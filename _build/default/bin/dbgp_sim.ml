@@ -1,0 +1,300 @@
+(* dbgp-sim: command-line driver for every experiment in the paper.
+
+   Each subcommand regenerates one table or figure of "Bootstrapping
+   evolvability for inter-domain routing with D-BGP" (SIGCOMM 2017). *)
+
+open Cmdliner
+module E = Dbgp_eval
+
+let out = Format.std_formatter
+
+(* ---------- table1 ---------- *)
+
+let table1 () =
+  Format.fprintf out "Table 1: analyzed protocols by evolvability scenario@.";
+  List.iter
+    (fun scenario ->
+      Format.fprintf out "@.%s@." (E.Taxonomy.scenario_name scenario);
+      List.iter
+        (fun (e : E.Taxonomy.entry) ->
+          Format.fprintf out "  %-12s %-38s %s%s@." e.E.Taxonomy.name
+            e.E.Taxonomy.summary
+            (String.concat "; " e.E.Taxonomy.control_info)
+            ( match e.E.Taxonomy.implemented_by with
+              | Some m -> "  [" ^ m ^ "]"
+              | None -> "" ))
+        (E.Taxonomy.by_scenario scenario))
+    [ E.Taxonomy.Critical_fix; E.Taxonomy.Custom_protocol;
+      E.Taxonomy.Replacement_protocol ];
+  Format.fprintf out "@.registry consistent: %b@." (E.Taxonomy.consistent ())
+
+(* ---------- table2 / table3 ---------- *)
+
+let table2 () =
+  Format.fprintf out
+    "Table 2: parameters for the control-plane overhead analysis@.@.";
+  Format.fprintf out "%-36s %-9s %-22s %s@." "Parameter" "Variable" "Range"
+    "Rationale";
+  List.iter
+    (fun (p, v, r, why) -> Format.fprintf out "%-36s %-9s %-22s %s@." p v r why)
+    E.Overhead.table2
+
+let table3 () =
+  Format.fprintf out "Table 3: control-plane overhead of D-BGP at a tier-1 AS@.@.";
+  Format.fprintf out "%-22s %14s %14s %14s %16s@." "Name" "CF bytes/IA"
+    "CR bytes/IA" "# of IAs" "Total overhead";
+  let row name (at_lo : E.Overhead.row) (at_hi : E.Overhead.row) =
+    Format.fprintf out "%-22s %6d-%-8d %6d-%-8d %7d-%-8d %a - %a@." name
+      at_lo.E.Overhead.ia_cf_bytes at_hi.E.Overhead.ia_cf_bytes
+      at_lo.E.Overhead.ia_cr_bytes at_hi.E.Overhead.ia_cr_bytes
+      at_lo.E.Overhead.advertisements at_hi.E.Overhead.advertisements
+      E.Overhead.pp_bytes at_lo.E.Overhead.total_bytes E.Overhead.pp_bytes
+      at_hi.E.Overhead.total_bytes
+  in
+  List.iter2
+    (fun (lo : E.Overhead.row) hi -> row lo.E.Overhead.name lo hi)
+    (E.Overhead.table3 E.Overhead.lo)
+    (E.Overhead.table3 E.Overhead.hi);
+  Format.fprintf out
+    "@.multi-protocol vs single-protocol overhead: %.1fx (min) - %.1fx (max)@."
+    (E.Overhead.overhead_ratio E.Overhead.lo)
+    (E.Overhead.overhead_ratio E.Overhead.hi);
+  Format.fprintf out
+    "(paper: 24 GB-36,000 GB basic; 7-1,300 GB +paths; 3-610 GB +sharing;@.";
+  Format.fprintf out " 2.3-240 GB single; headline ratio 1.3x-2.5x)@."
+
+(* ---------- fig9 / fig10 ---------- *)
+
+let benefit_cfg n trials dests seed =
+  { E.Benefits.default with
+    E.Benefits.brite = { Dbgp_topology.Brite.default with Dbgp_topology.Brite.n };
+    trials;
+    dest_sample = dests;
+    seed }
+
+let print_benefit fig archetype_name (dbgp : E.Benefits.series)
+    (bgp : E.Benefits.series) =
+  Format.fprintf out "Figure %s: incremental benefits, %s archetype@.@." fig
+    archetype_name;
+  Format.fprintf out "status quo: %.1f    best case: %.1f@.@." dbgp.E.Benefits.status_quo
+    dbgp.E.Benefits.best_case;
+  Format.fprintf out "%9s %22s %22s@." "adoption" "D-BGP baseline"
+    "BGP baseline";
+  List.iter2
+    (fun (d : E.Benefits.point) (b : E.Benefits.point) ->
+      Format.fprintf out "%8d%% %12.1f +/-%6.1f %12.1f +/-%6.1f@."
+        d.E.Benefits.adoption_pct d.E.Benefits.mean d.E.Benefits.ci95
+        b.E.Benefits.mean b.E.Benefits.ci95)
+    dbgp.E.Benefits.points bgp.E.Benefits.points;
+  let show_cross name s =
+    match E.Benefits.crossover s with
+    | Some pct -> Format.fprintf out "%s crosses status quo at %d%% adoption@." name pct
+    | None -> Format.fprintf out "%s never crosses status quo@." name
+  in
+  Format.fprintf out "@.";
+  show_cross "D-BGP baseline" dbgp;
+  show_cross "BGP baseline" bgp
+
+let fig9 n trials dests seed =
+  let cfg = benefit_cfg n trials dests seed in
+  let dbgp = E.Benefits.extra_paths cfg E.Benefits.Dbgp_baseline in
+  let bgp = E.Benefits.extra_paths cfg E.Benefits.Bgp_baseline in
+  print_benefit "9" "extra-paths" dbgp bgp;
+  Format.fprintf out
+    "@.(paper shape: D-BGP >= BGP at every level; steeper D-BGP slope at 10-40%%)@."
+
+let fig10 n trials dests seed =
+  let cfg = benefit_cfg n trials dests seed in
+  let dbgp = E.Benefits.bottleneck_bandwidth cfg E.Benefits.Dbgp_baseline in
+  let bgp = E.Benefits.bottleneck_bandwidth cfg E.Benefits.Bgp_baseline in
+  print_benefit "10" "bottleneck-bandwidth" dbgp bgp;
+  Format.fprintf out
+    "@.(paper shape: dip below status quo at low adoption; D-BGP crossover ~30%%, BGP ~90%%)@."
+
+(* ---------- stress ---------- *)
+
+let stress advertisements =
+  Format.fprintf out "Section 5 stress test (Beagle vs Quagga-equivalent)@.@.";
+  List.iter
+    (fun r -> Format.fprintf out "%a@." E.Stress.pp_result r)
+    (E.Stress.suite ~advertisements ());
+  Format.fprintf out
+    "@.(paper: 40,700 vs 40,900 prefixes/s BGP-only; 7,073 at 32 KB; 926 at 256 KB)@."
+
+(* ---------- deploy (Figure 8 + motivating scenarios) ---------- *)
+
+let deploy () =
+  Format.fprintf out "Section 6.1 deployment experiments (Figure 8 topology)@.@.";
+  let w = E.Scenarios.wiser_across_gulf () in
+  Format.fprintf out
+    "Wiser:   cost seen at S: %s | chose low-cost long path: %b | portal seen: %b@."
+    ( match w.E.Scenarios.cost_seen with
+      | Some c -> string_of_int c
+      | None -> "none" )
+    w.E.Scenarios.chose_low_cost w.E.Scenarios.portal_seen;
+  Format.fprintf out
+    "         BGP baseline: cost %s, low-cost chosen: %b (expected: invisible, shortest)@."
+    ( match w.E.Scenarios.cost_seen_bgp with
+      | Some c -> string_of_int c
+      | None -> "none" )
+    w.E.Scenarios.chose_low_cost_bgp;
+  let p = E.Scenarios.pathlet_across_gulf () in
+  Format.fprintf out
+    "Pathlet: %d/%d pathlets reached S (BGP baseline: %d); %d end-to-end routes composable@."
+    p.E.Scenarios.seen p.E.Scenarios.expected p.E.Scenarios.seen_bgp
+    p.E.Scenarios.end_to_end
+
+let motivate () =
+  Format.fprintf out "Motivating scenarios (Figures 1-3)@.@.";
+  let w = E.Scenarios.wiser_across_gulf () in
+  Format.fprintf out
+    "Fig 1 (Wiser):  BGP hides path costs (saw %s) -> S picks the expensive short path;@."
+    ( match w.E.Scenarios.cost_seen_bgp with
+      | Some c -> string_of_int c
+      | None -> "none" );
+  Format.fprintf out
+    "                D-BGP passes them through (saw %s) -> S picks cost-10 path: %b@."
+    ( match w.E.Scenarios.cost_seen with
+      | Some c -> string_of_int c
+      | None -> "none" )
+    w.E.Scenarios.chose_low_cost;
+  let m = E.Scenarios.miro_discovery () in
+  Format.fprintf out
+    "Fig 2 (MIRO):   discovery across gulf: %b (BGP baseline: %b); negotiated: %s; tunnel delivers: %b@."
+    m.E.Scenarios.discovered m.E.Scenarios.discovered_bgp
+    ( match m.E.Scenarios.negotiated with
+      | Some (via, ep) -> Printf.sprintf "%s via %s" via (Dbgp_types.Ipv4.to_string ep)
+      | None -> "no" )
+    m.E.Scenarios.tunnel_works;
+  let s = E.Scenarios.scion_multipath () in
+  Format.fprintf out
+    "Fig 3 (SCION):  within-island paths at S: %d (BGP baseline: %d); extra path forwards: %b@."
+    s.E.Scenarios.paths_seen s.E.Scenarios.paths_seen_bgp
+    s.E.Scenarios.forwarded_on_extra
+
+let fig7 () =
+  Format.fprintf out "Figures 6-7: the rich, evolvable Internet@.@.";
+  let ia, c = E.Rich_world.run () in
+  ( match ia with
+    | Some ia -> Format.fprintf out "%a@." Dbgp_core.Ia.pp ia
+    | None -> Format.fprintf out "route did not propagate!@." );
+  Format.fprintf out
+    "@.checks: wiser cost %s | wiser portal %b | miro portal %b | D pathlets %d | G pathlets %d | F scion paths %d@."
+    ( match c.E.Rich_world.wiser_cost with
+      | Some v -> string_of_int v
+      | None -> "none" )
+    c.E.Rich_world.wiser_portal_11 c.E.Rich_world.miro_portal_11
+    c.E.Rich_world.pathlets_d c.E.Rich_world.pathlets_g
+    c.E.Rich_world.scion_paths_f;
+  Format.fprintf out "all Figure-7 content present: %b@."
+    (E.Rich_world.expected_ok c)
+
+let convergence () =
+  Format.fprintf out "Section 3.5: convergence-cost experiments@.@.";
+  Format.fprintf out "dissemination cost vs topology size and IA payload:@.";
+  List.iter
+    (fun d -> Format.fprintf out "  %a@." E.Convergence.pp_dissemination d)
+    (E.Convergence.vs_size ~seed:42 ());
+  Format.fprintf out "@.re-convergence after a best-path link failure:@.";
+  Format.fprintf out "  %a@." E.Convergence.pp_failure
+    (E.Convergence.after_failure ~seed:42 ());
+  Format.fprintf out "@.session reset (full-table transfer over a real FSM session):@.";
+  Format.fprintf out "  %a@." E.Convergence.pp_reset (E.Convergence.session_reset ());
+  Format.fprintf out "  %a@." E.Convergence.pp_reset
+    (E.Convergence.session_reset ~payload_bytes:4096 ())
+
+let empirical () =
+  Format.fprintf out
+    "Empirical validation of the Table 3 size model (measured vs modeled IA bytes):@.@.";
+  List.iter
+    (fun c -> Format.fprintf out "  %a@." E.Empirical_overhead.pp c)
+    (E.Empirical_overhead.run ())
+
+let loc root =
+  Format.fprintf out "Section 6.1: per-protocol deployment effort@.@.";
+  E.Loc_report.pp out (E.Loc_report.report ~root ());
+  Format.fprintf out "@."
+
+let all n trials dests seed advertisements root =
+  let rule title =
+    Format.fprintf out
+      "@.==================== %s ====================@.@." title
+  in
+  rule "Table 1";
+  table1 ();
+  rule "Table 2";
+  table2 ();
+  rule "Table 3";
+  table3 ();
+  rule "Section 5 stress test";
+  stress advertisements;
+  rule "Section 6.1 deployment (Figure 8)";
+  deploy ();
+  rule "Section 6.1 effort (LoC)";
+  loc root;
+  rule "Figures 1-3";
+  motivate ();
+  rule "Figures 6-7";
+  fig7 ();
+  rule "Section 3.5 convergence";
+  convergence ();
+  rule "Table 3 empirical validation";
+  empirical ();
+  rule "Figure 9";
+  fig9 n trials dests seed;
+  rule "Figure 10";
+  fig10 n trials dests seed
+
+(* ---------- cmdliner plumbing ---------- *)
+
+let n_arg =
+  Arg.(value & opt int 1000 & info [ "n"; "ases" ] ~doc:"Number of ASes")
+
+let trials_arg = Arg.(value & opt int 9 & info [ "trials" ] ~doc:"Trials")
+
+let dests_arg =
+  Arg.(value & opt int 120 & info [ "dests" ] ~doc:"Sampled destinations")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed")
+
+let advs_arg =
+  Arg.(
+    value & opt int 30_000
+    & info [ "advertisements" ] ~doc:"Stress-test advertisements")
+
+let root_arg =
+  Arg.(value & opt string "." & info [ "root" ] ~doc:"Repository root")
+
+let unit_cmd name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let cmds =
+  [ unit_cmd "table1" "Table 1: protocol taxonomy" table1;
+    unit_cmd "table2" "Table 2: overhead-model parameters" table2;
+    unit_cmd "table3" "Table 3: control-plane overhead" table3;
+    Cmd.v
+      (Cmd.info "fig9" ~doc:"Figure 9: extra-paths archetype benefits")
+      Term.(const fig9 $ n_arg $ trials_arg $ dests_arg $ seed_arg);
+    Cmd.v
+      (Cmd.info "fig10" ~doc:"Figure 10: bottleneck-bandwidth benefits")
+      Term.(const fig10 $ n_arg $ trials_arg $ dests_arg $ seed_arg);
+    Cmd.v
+      (Cmd.info "stress" ~doc:"Section 5 stress test")
+      Term.(const stress $ advs_arg);
+    unit_cmd "deploy" "Figure 8 deployment experiments" deploy;
+    unit_cmd "motivate" "Figures 1-3 motivating scenarios" motivate;
+    unit_cmd "fig7" "Figures 6-7 rich-world IA" fig7;
+    Cmd.v (Cmd.info "loc" ~doc:"Section 6.1 LoC report") Term.(const loc $ root_arg);
+    unit_cmd "convergence" "Section 3.5 convergence-cost experiments" convergence;
+    unit_cmd "empirical" "Empirical validation of the Table 3 model" empirical;
+    Cmd.v
+      (Cmd.info "all" ~doc:"Run every experiment")
+      Term.(
+        const all $ n_arg $ trials_arg $ dests_arg $ seed_arg $ advs_arg
+        $ root_arg) ]
+
+let () =
+  let info =
+    Cmd.info "dbgp-sim" ~version:"1.0.0"
+      ~doc:"Reproduce the D-BGP (SIGCOMM 2017) evaluation"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/hybrid_island.ml: Asn Dbgp_bgp Dbgp_core Dbgp_netsim Dbgp_protocols Dbgp_topology Dbgp_types Format Island_id List Prefix String

@@ -1,0 +1,1 @@
+examples/legacy_interop.ml: Asn Dbgp_bgp Dbgp_core Dbgp_netsim Dbgp_types Format Ipv4 Island_id List Prefix Protocol_id String

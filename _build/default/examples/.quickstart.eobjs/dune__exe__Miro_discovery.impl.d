@@ -1,0 +1,1 @@
+examples/miro_discovery.ml: Asn Dbgp_bgp Dbgp_core Dbgp_netsim Dbgp_protocols Dbgp_types Format Ipv4 Island_id Prefix

@@ -1,0 +1,1 @@
+examples/miro_discovery.mli:

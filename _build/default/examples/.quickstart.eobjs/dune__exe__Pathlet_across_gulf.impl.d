@@ -1,0 +1,1 @@
+examples/pathlet_across_gulf.ml: Asn Dbgp_bgp Dbgp_core Dbgp_netsim Dbgp_protocols Dbgp_types Format Island_id List Prefix String

@@ -1,0 +1,1 @@
+examples/pathlet_across_gulf.mli:

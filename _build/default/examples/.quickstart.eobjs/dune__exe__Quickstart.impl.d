@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asn Dbgp_bgp Dbgp_core Dbgp_dataplane Dbgp_netsim Dbgp_types Engine Format Forwarder Header Ipv4 List Packet Prefix

@@ -1,0 +1,1 @@
+examples/rich_internet.ml: Dbgp_core Dbgp_eval Format String

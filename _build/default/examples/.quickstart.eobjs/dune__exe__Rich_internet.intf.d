@@ -1,0 +1,1 @@
+examples/rich_internet.mli:

@@ -1,0 +1,1 @@
+examples/scion_multipath.ml: Asn Dbgp_bgp Dbgp_core Dbgp_dataplane Dbgp_netsim Dbgp_protocols Dbgp_types Engine Format Forwarder Header Island_id List Packet Prefix String

@@ -1,0 +1,1 @@
+examples/scion_multipath.mli:

@@ -1,0 +1,1 @@
+examples/wiser_across_gulf.mli:

@@ -1,0 +1,75 @@
+(* A hybrid link-state / path-vector island (HLP-like) behind an island
+   ID — why D-BGP's path vector admits island-ID entries at all.
+
+     dune exec examples/hybrid_island.exe
+
+   The island routes internally by link state (Dijkstra over LSAs); its
+   interior cannot be expressed as a path vector, so its egress abstracts
+   the member ASes behind the island ID (Section 3.2).  The advertised
+   HLP cost accumulates the interior shortest-path distance. *)
+
+open Dbgp_types
+module Speaker = Dbgp_core.Speaker
+module Ia = Dbgp_core.Ia
+module Network = Dbgp_netsim.Network
+module Ls = Dbgp_topology.Link_state
+module Hlp = Dbgp_protocols.Hlp_like
+
+let asn = Asn.of_int
+let prefix = Prefix.of_string "131.7.0.0/24"
+
+let () =
+  (* The island's interior: a small weighted router graph. *)
+  let db = Ls.create () in
+  List.iter
+    (fun l ->
+      match Ls.install db l with
+      | `Installed -> ()
+      | `Stale -> assert false)
+    [ Ls.lsa ~router:"in" ~seq:1 [ ("r1", 1); ("r2", 4) ];
+      Ls.lsa ~router:"r1" ~seq:1 [ ("in", 1); ("out", 2) ];
+      Ls.lsa ~router:"r2" ~seq:1 [ ("in", 4); ("out", 1) ];
+      Ls.lsa ~router:"out" ~seq:1 [ ("r1", 2); ("r2", 1) ] ];
+  ( match Ls.shortest_path db ~src:"in" ~dst:"out" with
+    | Some (path, cost) ->
+      Format.printf "island interior: in->out via [%s], cost %d@."
+        (String.concat " -> " path) cost
+    | None -> Format.printf "island partitioned?!@." );
+  (* The island as one centralized speaker behind its ID. *)
+  let net = Network.create () in
+  let isl = Island_id.named "HYBRID" in
+  let add ?island ?island_members ?hide n =
+    let s =
+      Speaker.create
+        (Speaker.config ?island ?island_members
+           ?hide_island_interior:hide ~asn:(asn n)
+           ~addr:(Network.speaker_addr (asn n)) ())
+    in
+    Network.add_speaker net s;
+    s
+  in
+  ignore (add 1) (* origin *);
+  let h = add ~island:isl ~island_members:[ asn 2 ] ~hide:true 2 in
+  ignore (add 3) (* downstream observer *);
+  Speaker.add_module h
+    (Hlp.decision_module
+       { Hlp.my_island = isl; lsdb = db; ingress = "in"; egress = "out";
+         peering_cost = 1 });
+  Speaker.set_active h prefix Hlp.protocol;
+  Network.link net ~a:(asn 1) ~b:(asn 2) ~b_is:Dbgp_bgp.Policy.To_provider ();
+  Network.link net ~a:(asn 2) ~b:(asn 3) ~b_is:Dbgp_bgp.Policy.To_provider ();
+  Network.originate net (asn 1)
+    (Ia.originate ~prefix ~origin_asn:(asn 1)
+       ~next_hop:(Network.speaker_addr (asn 1)) ());
+  ignore (Network.run net);
+  match Speaker.best (Network.speaker net (asn 3)) prefix with
+  | None -> Format.printf "no route at the observer@."
+  | Some chosen ->
+    let ia = chosen.Speaker.candidate.Dbgp_core.Decision_module.ia in
+    Format.printf "@.what AS 3 sees:@.%a@." Ia.pp ia;
+    Format.printf
+      "@.the path vector names the island, not its routers; the HLP cost (%s)@."
+      ( match Hlp.cost_of ia with
+        | Some c -> string_of_int c ^ " = interior 3 + peering 1"
+        | None -> "missing!" );
+    Format.printf "carries the interior's link-state distance across the gulf.@."

@@ -1,0 +1,91 @@
+(* Discovering and buying a MIRO island's alternate-path service across
+   a gulf — the paper's Figure 2 scenario plus the Section 3.4 workflow.
+
+     dune exec examples/miro_discovery.exe
+
+   Topology: D -> X -> T is the default path; M hangs off X and sells
+   alternate paths.  With D-BGP, M's island descriptor (service portal +
+   path count) passes through the gulf, so T discovers the service
+   off-path, negotiates out-of-band, and tunnels its traffic. *)
+
+open Dbgp_types
+module Speaker = Dbgp_core.Speaker
+module Ia = Dbgp_core.Ia
+module Network = Dbgp_netsim.Network
+module Lookup = Dbgp_netsim.Lookup_service
+module Miro = Dbgp_protocols.Miro
+module Portal_io = Dbgp_protocols.Portal_io
+
+let asn = Asn.of_int
+let service_prefix = Prefix.of_string "173.82.2.0/24"
+let dest_prefix = Prefix.of_string "131.9.0.0/24"
+
+let () =
+  let net = Network.create () in
+  let island_m = Island_id.named "M" in
+  let portal = Ipv4.of_string "172.16.1.1" in
+  let miro =
+    Miro.create
+      { Miro.my_island = island_m;
+        portal;
+        offers =
+          [ { Miro.dest = dest_prefix; via = "low-latency"; price = 25;
+              tunnel_endpoint = Ipv4.of_string "173.82.2.1" };
+            { Miro.dest = dest_prefix; via = "bulk"; price = 8;
+              tunnel_endpoint = Ipv4.of_string "173.82.2.2" } ] }
+  in
+  (* The portal lives on the out-of-band lookup service. *)
+  Lookup.register_handler (Network.lookup net) ~portal ~service:Miro.service
+    (Miro.serve miro);
+  let add ?island n =
+    let s =
+      Speaker.create
+        (Speaker.config ?island ~asn:(asn n) ~addr:(Network.speaker_addr (asn n)) ())
+    in
+    Network.add_speaker net s;
+    s
+  in
+  ignore (add 1) (* D *);
+  ignore (add 2) (* X, the gulf *);
+  let t = add 3 in
+  ignore (add ~island:island_m 4) (* M *);
+  let cust a b =
+    Network.link net ~a:(asn a) ~b:(asn b) ~b_is:Dbgp_bgp.Policy.To_provider ()
+  in
+  cust 1 2; cust 2 3; cust 4 2;
+  (* M advertises its service prefix with the MIRO descriptors. *)
+  Network.originate net (asn 4)
+    (Miro.advertise miro
+       (Ia.originate ~prefix:service_prefix ~origin_asn:(asn 4)
+          ~next_hop:(Network.speaker_addr (asn 4)) ()));
+  Network.originate net (asn 1)
+    (Ia.originate ~prefix:dest_prefix ~origin_asn:(asn 1)
+       ~next_hop:(Network.speaker_addr (asn 1)) ());
+  ignore (Network.run net);
+  (* T inspects the IA for M's prefix: off-path discovery. *)
+  match Speaker.best t service_prefix with
+  | None -> Format.printf "T never heard about M's prefix@."
+  | Some chosen ->
+    let ia = chosen.Speaker.candidate.Dbgp_core.Decision_module.ia in
+    ( match Miro.discover ia with
+      | [] -> Format.printf "no MIRO service in the IA (plain BGP would do this)@."
+      | svc :: _ ->
+        Format.printf "T discovered a MIRO service: island %a, portal %a, %d alt paths@."
+          Island_id.pp svc.Miro.island Ipv4.pp svc.Miro.portal_addr svc.Miro.n_paths;
+        (* Negotiate out-of-band through the lookup service. *)
+        let io =
+          { Portal_io.post = (fun ~portal ~service ~key v ->
+                Lookup.post (Network.lookup net) ~portal ~service ~key v);
+            fetch = (fun ~portal ~service ~key ->
+                Lookup.fetch (Network.lookup net) ~portal ~service ~key);
+            rpc = (fun ~portal ~service req ->
+                Lookup.rpc (Network.lookup net) ~portal ~service req) }
+        in
+        match
+          Miro.negotiate ~io ~portal:svc.Miro.portal_addr ~dest:dest_prefix ~budget:20
+        with
+        | Some (via, endpoint) ->
+          Format.printf "negotiated path %S within budget; tunnel endpoint %a@."
+            via Ipv4.pp endpoint;
+          Format.printf "(the \"low-latency\" offer at 25 was over our budget of 20)@."
+        | None -> Format.printf "no offer within budget@." )

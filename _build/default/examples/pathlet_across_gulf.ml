@@ -1,0 +1,93 @@
+(* Deploying Pathlet Routing (a replacement protocol) across a gulf —
+   the paper's Figure 8 experiment.
+
+     dune exec examples/pathlet_across_gulf.exe
+
+   Island A disseminates one-hop pathlets internally; its border A2
+   composes two of them into a two-hop pathlet and translates everything
+   into an IA that crosses the BGP gulf; border A3 does the same for its
+   own pathlets.  Island B's border ingests the pathlets from every IA
+   it receives and the source S can compose end-to-end routes. *)
+
+open Dbgp_types
+module Speaker = Dbgp_core.Speaker
+module Ia = Dbgp_core.Ia
+module Network = Dbgp_netsim.Network
+module Pathlet = Dbgp_protocols.Pathlet
+
+let asn = Asn.of_int
+let prefix = Prefix.of_string "131.1.0.0/24"
+
+let () =
+  let net = Network.create () in
+  let island_a = Island_id.named "A" and island_b = Island_id.named "B" in
+  let add ?island n =
+    let s =
+      Speaker.create
+        (Speaker.config ?island ~asn:(asn n) ~addr:(Network.speaker_addr (asn n)) ())
+    in
+    Network.add_speaker net s;
+    s
+  in
+  (* Island A's within-island pathlets. *)
+  let deliver = Pathlet.Deliver prefix in
+  let p1 = Pathlet.make ~fid:1 [ Pathlet.Router "ar2"; Pathlet.Router "arm" ] in
+  let p2 = Pathlet.make ~fid:2 [ Pathlet.Router "arm"; deliver ] in
+  let p3 = Pathlet.make ~fid:3 [ Pathlet.Router "ar2"; Pathlet.Router "ar1" ] in
+  let p4 = Pathlet.make ~fid:4 [ Pathlet.Router "ar1"; deliver ] in
+  let p5 = Pathlet.make ~fid:5 [ Pathlet.Router "ar3"; Pathlet.Router "arx" ] in
+  let p6 = Pathlet.make ~fid:6 [ Pathlet.Router "arx"; deliver ] in
+  let two_hop = Pathlet.compose ~fid:10 p1 p2 in
+  Format.printf "A2 composed %a and %a into %a@.@." Pathlet.pp p1 Pathlet.pp p2
+    Pathlet.pp two_hop;
+  let a1 = add ~island:island_a 101 in
+  let a2 = add ~island:island_a 102 in
+  let a3 = add ~island:island_a 103 in
+  ignore (add 201) (* gulf *);
+  ignore (add 202) (* gulf *);
+  let b1 = add ~island:island_b 301 in
+  ignore (add ~island:island_b 302) (* S *);
+  let attach sp island pathlets =
+    Speaker.add_module sp
+      (Pathlet.decision_module ~island ~exported:(fun () -> pathlets));
+    Speaker.set_active sp prefix Pathlet.protocol
+  in
+  attach a1 island_a [];
+  attach a2 island_a [ two_hop; p3; p4 ];
+  attach a3 island_a [ p5; p6 ];
+  attach b1 island_b [];
+  let cust a b =
+    Network.link net ~a:(asn a) ~b:(asn b) ~b_is:Dbgp_bgp.Policy.To_provider ()
+  in
+  cust 101 102; cust 101 103;
+  cust 102 201; cust 201 301;
+  cust 103 202; cust 202 301;
+  cust 301 302;
+  Network.originate net (asn 101)
+    (Ia.originate ~prefix ~origin_asn:(asn 101)
+       ~next_hop:(Network.speaker_addr (asn 101)) ());
+  ignore (Network.run net);
+  (* Island B's ingress translation: harvest pathlets from every IA the
+     border received, as a real deployment would feed them into the
+     island-internal pathlet protocol. *)
+  let translation =
+    Pathlet.translation ~island:island_b ~origin_asn:(asn 301)
+      ~next_hop:(Network.speaker_addr (asn 301))
+  in
+  let store = Pathlet.Store.create () in
+  List.iter
+    (fun (_, ia) ->
+      match translation.Dbgp_core.Translation.ingress ia with
+      | Some ps -> List.iter (Pathlet.Store.add store) ps
+      | None -> ())
+    (Speaker.candidates_for b1 prefix);
+  Format.printf "pathlets known at S (expected 5):@.";
+  List.iter (fun p -> Format.printf "  %a@." Pathlet.pp p) (Pathlet.Store.all store);
+  let routes = Pathlet.Store.routes_to store ~from:"ar2" ~dest:prefix in
+  Format.printf "@.end-to-end FID routes from ar2 to %a:@." Prefix.pp prefix;
+  List.iter
+    (fun route ->
+      Format.printf "  [%s]@."
+        (String.concat "; "
+           (List.map (fun (p : Pathlet.pathlet) -> string_of_int p.Pathlet.fid) route)))
+    routes

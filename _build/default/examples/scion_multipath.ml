@@ -1,0 +1,86 @@
+(* A SCION-like path-based island advertising multiple within-island
+   paths across a gulf — the paper's Figure 3 problem and its Section
+   3.4 resolution, driven down to the data plane.
+
+     dune exec examples/scion_multipath.exe
+
+   Island A exposes two within-island paths to D.  BGP can redistribute
+   only one; the D-BGP island descriptor carries both, and the receiving
+   SCION island encodes the extra one in a packet header, encapsulated
+   in IPv4 to cross the gulf. *)
+
+open Dbgp_types
+module Speaker = Dbgp_core.Speaker
+module Ia = Dbgp_core.Ia
+module Network = Dbgp_netsim.Network
+module Scion = Dbgp_protocols.Scion_like
+open Dbgp_dataplane
+
+let asn = Asn.of_int
+let prefix = Prefix.of_string "131.5.0.0/24"
+let paths = [ [ "arin"; "ard" ]; [ "arin"; "armid"; "ard" ] ]
+
+let () =
+  let net = Network.create () in
+  let island_a = Island_id.named "A" and island_b = Island_id.named "B" in
+  let add ?island n =
+    let s =
+      Speaker.create
+        (Speaker.config ?island ~asn:(asn n) ~addr:(Network.speaker_addr (asn n)) ())
+    in
+    Network.add_speaker net s;
+    s
+  in
+  let _a1 = add ~island:island_a 1 in
+  let a2 = add ~island:island_a 2 in
+  ignore (add 3) (* the gulf *);
+  ignore (add ~island:island_b 4);
+  let s = add ~island:island_b 5 in
+  Speaker.add_module a2 (Scion.decision_module ~island:island_a ~exported:(fun () -> paths));
+  Speaker.set_active a2 prefix Scion.protocol;
+  let cust a b =
+    Network.link net ~a:(asn a) ~b:(asn b) ~b_is:Dbgp_bgp.Policy.To_provider ()
+  in
+  cust 1 2; cust 2 3; cust 3 4; cust 4 5;
+  Network.originate net (asn 1)
+    (Ia.originate ~prefix ~origin_asn:(asn 1)
+       ~next_hop:(Network.speaker_addr (asn 1)) ());
+  ignore (Network.run net);
+  match Speaker.best s prefix with
+  | None -> Format.printf "S has no route@."
+  | Some chosen ->
+    let ia = chosen.Speaker.candidate.Dbgp_core.Decision_module.ia in
+    let seen = Scion.extract ~island:island_a ia in
+    Format.printf "S sees %d within-island paths (BGP alone would carry 1 redistributed route):@."
+      (List.length seen);
+    List.iter (fun p -> Format.printf "  [%s]@." (String.concat " -> " p)) seen;
+    (* Pick the extra (longer) path and actually forward on it. *)
+    let extra = List.nth seen 1 in
+    Format.printf "@.forwarding on the extra path [%s]:@." (String.concat " -> " extra);
+    let engine = Engine.create () in
+    let fwd n = Forwarder.create ~me:(asn n) () in
+    let f1 = fwd 1 and f2 = fwd 2 and f3 = fwd 3 and f4 = fwd 4 and f5 = fwd 5 in
+    let ingress = Network.speaker_addr (asn 2) in
+    (* IPv4 routes toward island A's ingress for the gulf crossing. *)
+    List.iter
+      (fun (f, next) -> Forwarder.set_ip_route f (Prefix.make ingress 32) (Forwarder.To_as (asn next)))
+      [ (f5, 4); (f4, 3); (f3, 2) ];
+    Forwarder.add_local_addr f2 ingress;
+    (* SCION router topology inside island A. *)
+    Forwarder.claim_router f2 ~router:"arin";
+    Forwarder.set_router_port f2 ~router:"armid" (Forwarder.To_as (asn 1));
+    Forwarder.claim_router f1 ~router:"armid";
+    Forwarder.claim_router f1 ~router:"ard";
+    Forwarder.set_ip_route f1 prefix Forwarder.Local;
+    List.iter (Engine.add engine) [ f1; f2; f3; f4; f5 ];
+    let pkt =
+      Packet.make
+        ~headers:
+          [ Header.Tunnel_hdr { endpoint = ingress };
+            Header.Scion_hdr { path = extra; pos = 0 };
+            Header.Ipv4_hdr
+              { src = Network.speaker_addr (asn 5);
+                dst = Prefix.network prefix } ]
+        ~payload:"multi-network-protocol headers at work" ()
+    in
+    Format.printf "  %a@." Engine.pp_outcome (Engine.route engine ~from:(asn 5) pkt)

@@ -1,0 +1,92 @@
+(* Wiser across a BGP gulf — the paper's Figure 1 / Section 3.4 story.
+
+     dune exec examples/wiser_across_gulf.exe
+
+   An island runs Wiser (a critical fix that disseminates path costs so
+   ASes can steer traffic away from expensive ingresses).  The island's
+   two egresses advertise the same destination at different costs:
+
+                 .---- E1 (cost 100) -- G1 ----.
+     D (island W)                               S (island B, Wiser)
+                 '---- E2 (cost 10) -- G2 - G3 '
+
+   With plain BGP the gulf strips Wiser's control information and S
+   picks the shorter, expensive path.  With D-BGP pass-through S sees
+   both costs and picks the longer, cheap one. *)
+
+open Dbgp_types
+module Speaker = Dbgp_core.Speaker
+module Ia = Dbgp_core.Ia
+module Network = Dbgp_netsim.Network
+module Wiser = Dbgp_protocols.Wiser
+module Portal_io = Dbgp_protocols.Portal_io
+
+let asn = Asn.of_int
+let prefix = Prefix.of_string "128.6.0.0/24"
+
+let build ~passthrough_gulf =
+  let net = Network.create () in
+  let island_w = Island_id.named "W" and island_b = Island_id.named "B" in
+  let add ?island ?(passthrough = true) n =
+    let s =
+      Speaker.create
+        (Speaker.config ?island ~passthrough ~asn:(asn n)
+           ~addr:(Network.speaker_addr (asn n)) ())
+    in
+    Network.add_speaker net s;
+    s
+  in
+  let d = add ~island:island_w 1 in
+  let e1 = add ~island:island_w 2 in
+  let e2 = add ~island:island_w 3 in
+  ignore (add ~passthrough:passthrough_gulf 4) (* G1 *);
+  ignore (add ~passthrough:passthrough_gulf 5) (* G2 *);
+  ignore (add ~passthrough:passthrough_gulf 6) (* G3 *);
+  let s = add ~island:island_b 10 in
+  (* Wiser instances: the per-AS internal cost is the knob operators use
+     to limit ingress traffic. *)
+  let wiser_at island cost portal =
+    let w =
+      Wiser.create
+        { Wiser.my_island = island; internal_cost = cost;
+          portal = Ipv4.of_string portal; io = Portal_io.null }
+    in
+    w
+  in
+  List.iter
+    (fun (sp, w) ->
+      Speaker.add_module sp (Wiser.decision_module w);
+      Speaker.set_active sp prefix Wiser.protocol)
+    [ (d, wiser_at island_w 0 "172.16.0.1");
+      (e1, wiser_at island_w 100 "172.16.0.1");
+      (e2, wiser_at island_w 10 "172.16.0.1");
+      (s, wiser_at island_b 1 "172.16.0.2") ];
+  let cust a b =
+    Network.link net ~a:(asn a) ~b:(asn b) ~b_is:Dbgp_bgp.Policy.To_provider ()
+  in
+  cust 1 2; cust 1 3;          (* D to its egresses *)
+  cust 2 4; cust 4 10;         (* short path: E1 - G1 - S *)
+  cust 3 5; cust 5 6; cust 6 10; (* long path: E2 - G2 - G3 - S *)
+  Network.originate net (asn 1)
+    (Ia.originate ~prefix ~origin_asn:(asn 1)
+       ~next_hop:(Network.speaker_addr (asn 1)) ());
+  ignore (Network.run net);
+  s
+
+let report label s =
+  match Speaker.best s prefix with
+  | None -> Format.printf "%s: no route!@." label
+  | Some chosen ->
+    let ia = chosen.Speaker.candidate.Dbgp_core.Decision_module.ia in
+    Format.printf "%s@.  path: %a@.  Wiser cost visible: %s@.  chose the cheap long path: %b@.@."
+      label Path_elem.pp_path ia.Ia.path_vector
+      ( match Wiser.cost_of ia with
+        | Some c -> string_of_int c
+        | None -> "no (stripped)" )
+      (List.mem (asn 3) (Ia.asns_on_path ia))
+
+let () =
+  Format.printf "=== D-BGP baseline (gulf passes Wiser's costs through) ===@.";
+  report "S's selected route" (build ~passthrough_gulf:true);
+  Format.printf "=== Plain-BGP baseline (gulf strips unknown protocols) ===@.";
+  report "S's selected route" (build ~passthrough_gulf:false)

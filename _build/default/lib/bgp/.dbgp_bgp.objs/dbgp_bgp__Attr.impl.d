@@ -1,0 +1,1 @@
+lib/bgp/attr.ml: Asn Dbgp_types Dbgp_wire Format Ipv4 List Option Printf

@@ -1,0 +1,1 @@
+lib/bgp/attr.mli: Dbgp_types Dbgp_wire Format

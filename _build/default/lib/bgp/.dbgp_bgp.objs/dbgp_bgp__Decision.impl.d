@@ -1,0 +1,1 @@
+lib/bgp/decision.ml: Asn Attr Bool Dbgp_types Int Ipv4 List Option

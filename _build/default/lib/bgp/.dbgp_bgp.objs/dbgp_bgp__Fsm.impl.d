@@ -1,0 +1,1 @@
+lib/bgp/fsm.ml: Dbgp_types Format Message Option

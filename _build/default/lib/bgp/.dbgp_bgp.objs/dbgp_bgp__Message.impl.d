@@ -1,0 +1,1 @@
+lib/bgp/message.ml: Asn Attr Dbgp_types Dbgp_wire Format Ipv4 List Prefix Printf String

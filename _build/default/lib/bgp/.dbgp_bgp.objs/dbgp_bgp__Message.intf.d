@@ -1,0 +1,1 @@
+lib/bgp/message.mli: Attr Dbgp_types Format

@@ -1,0 +1,1 @@
+lib/bgp/policy.ml: Asn Attr Dbgp_types List Prefix

@@ -1,0 +1,1 @@
+lib/bgp/policy.mli: Attr Dbgp_types

@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: Dbgp_trie Dbgp_types Hashtbl Ipv4 List Option Prefix

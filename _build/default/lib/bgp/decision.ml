@@ -1,0 +1,44 @@
+open Dbgp_types
+
+type candidate = {
+  attrs : Attr.t;
+  from_peer : Ipv4.t;
+  from_asn : Asn.t;
+  ebgp : bool;
+}
+
+let origin_rank = function Attr.Igp -> 0 | Attr.Egp -> 1 | Attr.Incomplete -> 2
+
+(* Each step returns >0 if [a] wins; fall through on ties. *)
+let compare a b =
+  let lp c = Option.value c.attrs.Attr.local_pref ~default:100 in
+  let steps =
+    [ (fun () -> Int.compare (lp a) (lp b));
+      (fun () ->
+        Int.compare
+          (Attr.as_path_length b.attrs.Attr.as_path)
+          (Attr.as_path_length a.attrs.Attr.as_path));
+      (fun () ->
+        Int.compare (origin_rank b.attrs.Attr.origin) (origin_rank a.attrs.Attr.origin));
+      (fun () ->
+        (* MED comparable only between routes from the same neighbor AS;
+           missing MED is best (treated as 0 per common practice). *)
+        if Asn.equal a.from_asn b.from_asn then
+          let med c = Option.value c.attrs.Attr.med ~default:0 in
+          Int.compare (med b) (med a)
+        else 0);
+      (fun () -> Bool.compare a.ebgp b.ebgp);
+      (fun () -> Ipv4.compare b.from_peer a.from_peer) ]
+  in
+  let rec go = function
+    | [] -> 0
+    | step :: rest -> ( match step () with 0 -> go rest | c -> c )
+  in
+  go steps
+
+let best = function
+  | [] -> None
+  | c :: rest ->
+    Some (List.fold_left (fun acc x -> if compare x acc > 0 then x else acc) c rest)
+
+let rank cands = List.sort (fun a b -> compare b a) cands

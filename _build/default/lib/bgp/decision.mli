@@ -1,0 +1,25 @@
+(** The BGPv4 decision process (RFC 4271 section 9.1).
+
+    Ranks candidate routes for one prefix: highest LOCAL_PREF, shortest
+    AS path, lowest ORIGIN, lowest MED (between routes from the same
+    neighboring AS), eBGP over iBGP, lowest peer BGP identifier.  This is
+    the path-selection algorithm that lives inside D-BGP's BGP decision
+    module; critical fixes either extend it (Wiser) or replace it
+    entirely (archetype modules). *)
+
+type candidate = {
+  attrs : Attr.t;
+  from_peer : Dbgp_types.Ipv4.t;   (** peer BGP identifier *)
+  from_asn : Dbgp_types.Asn.t;     (** neighboring AS the route came from *)
+  ebgp : bool;                     (** learned over an external session? *)
+}
+
+val compare : candidate -> candidate -> int
+(** [compare a b > 0] iff [a] is preferred. Total order (final tie-break
+    on peer id makes it antisymmetric). *)
+
+val best : candidate list -> candidate option
+(** The most-preferred candidate, [None] on the empty list. *)
+
+val rank : candidate list -> candidate list
+(** All candidates, most-preferred first. *)

@@ -1,0 +1,119 @@
+type state = Idle | Connect | Open_sent | Open_confirm | Established
+
+type config = {
+  my_asn : Dbgp_types.Asn.t;
+  my_id : Dbgp_types.Ipv4.t;
+  hold_time : int;
+  capabilities : int list;
+}
+
+type t = { cfg : config; st : state; peer : Message.open_msg option }
+
+type event =
+  | Manual_start
+  | Manual_stop
+  | Tcp_established
+  | Tcp_failed
+  | Recv of Message.t
+  | Hold_timer_expired
+  | Keepalive_timer_expired
+
+type action =
+  | Send of Message.t
+  | Connect_tcp
+  | Close_tcp
+  | Session_up of Message.open_msg
+  | Session_down
+  | Deliver_update of Message.update
+  | Start_hold_timer of int
+  | Start_keepalive_timer of int
+
+let create cfg = { cfg; st = Idle; peer = None }
+let state t = t.st
+let config t = t.cfg
+let peer_open t = t.peer
+
+let negotiated_hold_time t =
+  Option.map (fun (o : Message.open_msg) -> min o.hold_time t.cfg.hold_time) t.peer
+
+let my_open cfg : Message.open_msg =
+  { version = 4;
+    my_asn = cfg.my_asn;
+    hold_time = cfg.hold_time;
+    bgp_id = cfg.my_id;
+    capabilities = cfg.capabilities }
+
+let notif code sub =
+  Message.Notification { error_code = code; error_subcode = sub; data = "" }
+
+let reset t actions = ({ t with st = Idle; peer = None }, actions)
+
+let timers t =
+  match negotiated_hold_time t with
+  | Some h when h > 0 -> [ Start_hold_timer h; Start_keepalive_timer (h / 3) ]
+  | _ -> []
+
+let handle t ev =
+  match (t.st, ev) with
+  | Idle, Manual_start -> ({ t with st = Connect }, [ Connect_tcp ])
+  | Idle, _ -> (t, [])
+  | _, Manual_stop -> reset t [ Send (notif 6 2 (* Cease/shutdown *)); Close_tcp; Session_down ]
+  | Connect, Tcp_established ->
+    ({ t with st = Open_sent }, [ Send (Message.Open (my_open t.cfg)) ])
+  | Connect, Tcp_failed -> reset t []
+  | Connect, _ -> (t, [])
+  | Open_sent, Recv (Message.Open o) ->
+    if o.version <> 4 then
+      reset t [ Send (notif 2 1 (* OPEN error / unsupported version *)); Close_tcp ]
+    else
+      let t = { t with st = Open_confirm; peer = Some o } in
+      (t, [ Send Message.Keepalive ])
+  | Open_sent, (Tcp_failed | Recv (Message.Notification _)) -> reset t [ Close_tcp ]
+  | Open_sent, Hold_timer_expired -> reset t [ Send (notif 4 0); Close_tcp ]
+  | Open_sent, _ -> reset t [ Send (notif 5 0 (* FSM error *)); Close_tcp ]
+  | Open_confirm, Recv Message.Keepalive ->
+    let t = { t with st = Established } in
+    let up = match t.peer with Some o -> [ Session_up o ] | None -> [] in
+    (t, up @ timers t)
+  | Open_confirm, (Tcp_failed | Recv (Message.Notification _)) ->
+    reset t [ Close_tcp ]
+  | Open_confirm, Hold_timer_expired -> reset t [ Send (notif 4 0); Close_tcp ]
+  | Open_confirm, Keepalive_timer_expired -> (t, [ Send Message.Keepalive ])
+  | Open_confirm, _ -> reset t [ Send (notif 5 0); Close_tcp ]
+  | Established, Recv (Message.Update u) ->
+    let restart =
+      match negotiated_hold_time t with
+      | Some h when h > 0 -> [ Start_hold_timer h ]
+      | _ -> []
+    in
+    (t, Deliver_update u :: restart)
+  | Established, Recv Message.Keepalive ->
+    let restart =
+      match negotiated_hold_time t with
+      | Some h when h > 0 -> [ Start_hold_timer h ]
+      | _ -> []
+    in
+    (t, restart)
+  | Established, Keepalive_timer_expired ->
+    let again =
+      match negotiated_hold_time t with
+      | Some h when h > 0 -> [ Start_keepalive_timer (h / 3) ]
+      | _ -> []
+    in
+    (t, (Send Message.Keepalive :: again))
+  | Established, Hold_timer_expired ->
+    reset t [ Send (notif 4 0); Close_tcp; Session_down ]
+  | Established, (Tcp_failed | Recv (Message.Notification _)) ->
+    reset t [ Close_tcp; Session_down ]
+  | Established, Recv (Message.Open _) ->
+    reset t [ Send (notif 5 0); Close_tcp; Session_down ]
+  | Established, (Manual_start | Tcp_established) -> (t, [])
+
+let pp_state ppf st =
+  Format.pp_print_string ppf
+    ( match st with
+      | Idle -> "Idle"
+      | Connect -> "Connect"
+      | Open_sent -> "OpenSent"
+      | Open_confirm -> "OpenConfirm"
+      | Established -> "Established" )

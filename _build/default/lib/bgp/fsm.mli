@@ -1,0 +1,57 @@
+(** The BGP peering session finite-state machine (RFC 4271 section 8,
+    simplified to the transitions exercised by a software router over a
+    reliable transport).
+
+    The FSM is pure: {!handle} maps a state and an event to a new state
+    plus a list of actions for the runtime (netsim's session layer) to
+    perform.  Keeping it pure lets the test suite drive every transition
+    directly. *)
+
+type state =
+  | Idle
+  | Connect
+  | Open_sent
+  | Open_confirm
+  | Established
+
+type config = {
+  my_asn : Dbgp_types.Asn.t;
+  my_id : Dbgp_types.Ipv4.t;
+  hold_time : int;            (** proposed hold time, seconds *)
+  capabilities : int list;
+}
+
+type t
+
+type event =
+  | Manual_start
+  | Manual_stop
+  | Tcp_established
+  | Tcp_failed
+  | Recv of Message.t
+  | Hold_timer_expired
+  | Keepalive_timer_expired
+
+type action =
+  | Send of Message.t
+  | Connect_tcp
+  | Close_tcp
+  | Session_up of Message.open_msg   (** the peer's OPEN, for capability checks *)
+  | Session_down
+  | Deliver_update of Message.update (** forward to the RIB layer *)
+  | Start_hold_timer of int
+  | Start_keepalive_timer of int
+
+val create : config -> t
+val state : t -> state
+val config : t -> config
+
+val peer_open : t -> Message.open_msg option
+(** The peer's OPEN once received (in Open_confirm / Established). *)
+
+val negotiated_hold_time : t -> int option
+(** min of both sides' proposals, once known. *)
+
+val handle : t -> event -> t * action list
+
+val pp_state : Format.formatter -> state -> unit

@@ -1,0 +1,122 @@
+open Dbgp_types
+module W = Dbgp_wire.Writer
+module R = Dbgp_wire.Reader
+
+type open_msg = {
+  version : int;
+  my_asn : Asn.t;
+  hold_time : int;
+  bgp_id : Ipv4.t;
+  capabilities : int list;
+}
+
+type update = {
+  withdrawn : Prefix.t list;
+  attrs : Attr.t option;
+  nlri : Prefix.t list;
+}
+
+type notification = { error_code : int; error_subcode : int; data : string }
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Keepalive
+  | Notification of notification
+
+let capability_dbgp = 0x79
+
+let marker = String.make 16 '\xff'
+
+let type_code = function
+  | Open _ -> 1
+  | Update _ -> 2
+  | Notification _ -> 3
+  | Keepalive -> 4
+
+let encode_body = function
+  | Open o ->
+    let b = W.create () in
+    W.u8 b o.version;
+    W.asn b o.my_asn;
+    W.u16 b o.hold_time;
+    W.ipv4 b o.bgp_id;
+    W.list b W.u8 o.capabilities;
+    W.contents b
+  | Update u ->
+    let b = W.create () in
+    W.list b W.prefix u.withdrawn;
+    ( match u.attrs with
+      | None -> W.u8 b 0
+      | Some a ->
+        W.u8 b 1;
+        Attr.encode b a );
+    W.list b W.prefix u.nlri;
+    W.contents b
+  | Keepalive -> ""
+  | Notification n ->
+    let b = W.create () in
+    W.u8 b n.error_code;
+    W.u8 b n.error_subcode;
+    W.delimited b n.data;
+    W.contents b
+
+let encode t =
+  let body = encode_body t in
+  let total = 16 + 2 + 1 + String.length body in
+  if total > 0xFFFF then invalid_arg "Message.encode: message too large"
+  else begin
+    let b = W.create ~capacity:total () in
+    W.bytes b marker;
+    W.u16 b total;
+    W.u8 b (type_code t);
+    W.bytes b body;
+    W.contents b
+  end
+
+let decode s =
+  let r = R.of_string s in
+  let m = R.bytes r 16 in
+  if m <> marker then raise (R.Error "bad marker");
+  let len = R.u16 r in
+  if len <> String.length s then
+    raise (R.Error (Printf.sprintf "length field %d /= buffer %d" len (String.length s)));
+  match R.u8 r with
+  | 1 ->
+    let version = R.u8 r in
+    let my_asn = R.asn r in
+    let hold_time = R.u16 r in
+    let bgp_id = R.ipv4 r in
+    let capabilities = R.list r R.u8 in
+    Open { version; my_asn; hold_time; bgp_id; capabilities }
+  | 2 ->
+    let withdrawn = R.list r R.prefix in
+    let attrs = match R.u8 r with 0 -> None | _ -> Some (Attr.decode r) in
+    let nlri = R.list r R.prefix in
+    Update { withdrawn; attrs; nlri }
+  | 3 ->
+    let error_code = R.u8 r in
+    let error_subcode = R.u8 r in
+    let data = R.delimited r in
+    Notification { error_code; error_subcode; data }
+  | 4 -> Keepalive
+  | n -> raise (R.Error (Printf.sprintf "bad message type %d" n))
+
+let pp ppf = function
+  | Open o ->
+    Format.fprintf ppf "OPEN v%d %a hold=%d id=%a" o.version Asn.pp o.my_asn
+      o.hold_time Ipv4.pp o.bgp_id
+  | Update u ->
+    Format.fprintf ppf "UPDATE withdrawn=%d nlri=[%a]%a"
+      (List.length u.withdrawn)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+         Prefix.pp)
+      u.nlri
+      (fun ppf -> function
+        | None -> ()
+        | Some a -> Format.fprintf ppf " %a" Attr.pp a)
+      u.attrs
+  | Keepalive -> Format.pp_print_string ppf "KEEPALIVE"
+  | Notification n ->
+    Format.fprintf ppf "NOTIFICATION %d/%d" n.error_code n.error_subcode

@@ -1,0 +1,45 @@
+(** BGPv4 messages (RFC 4271 section 4): OPEN, UPDATE, KEEPALIVE and
+    NOTIFICATION, with a binary codec framed by the standard 16-byte
+    marker + length + type header.  D-BGP reuses this session layer
+    unchanged and extends only the advertisement contents (Section 3). *)
+
+type open_msg = {
+  version : int;                (** 4 *)
+  my_asn : Dbgp_types.Asn.t;
+  hold_time : int;              (** seconds; 0 disables keepalives *)
+  bgp_id : Dbgp_types.Ipv4.t;   (** router ID *)
+  capabilities : int list;      (** advertised capability codes *)
+}
+
+type update = {
+  withdrawn : Dbgp_types.Prefix.t list;
+  attrs : Attr.t option;        (** [None] iff the update only withdraws *)
+  nlri : Dbgp_types.Prefix.t list;
+}
+
+type notification = {
+  error_code : int;
+  error_subcode : int;
+  data : string;
+}
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Keepalive
+  | Notification of notification
+
+val capability_dbgp : int
+(** The capability code Beagle advertises to signal IA support; legacy
+    peers that do not echo it receive plain BGP UPDATEs (Section 3.5,
+    deployment of D-BGP itself). *)
+
+val encode : t -> string
+(** Serializes with header.  @raise Invalid_argument if the message
+    exceeds the 64 KiB length field. *)
+
+val decode : string -> t
+(** @raise Dbgp_wire.Reader.Error on malformed input (bad marker, bad
+    type, truncation). *)
+
+val pp : Format.formatter -> t -> unit

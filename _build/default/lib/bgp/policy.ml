@@ -1,0 +1,81 @@
+open Dbgp_types
+
+type relationship = To_customer | To_peer | To_provider
+
+type match_cond =
+  | Match_any
+  | Match_prefix of Prefix.t
+  | Match_asn_on_path of Asn.t
+  | Match_community of Attr.community
+  | Match_not of match_cond
+  | Match_all of match_cond list
+
+type action =
+  | Set_local_pref of int
+  | Set_med of int
+  | Add_community of Attr.community
+  | Strip_communities
+  | Prepend of Asn.t * int
+
+type clause = { cond : match_cond; permit : bool; actions : action list }
+
+type t = clause list
+
+let permit_all = [ { cond = Match_any; permit = true; actions = [] } ]
+let deny_all = []
+
+let rec matches cond prefix (attrs : Attr.t) =
+  match cond with
+  | Match_any -> true
+  | Match_prefix p -> Prefix.subsumes p prefix
+  | Match_asn_on_path a -> Attr.as_path_contains a attrs.Attr.as_path
+  | Match_community c -> List.mem c attrs.Attr.communities
+  | Match_not c -> not (matches c prefix attrs)
+  | Match_all cs -> List.for_all (fun c -> matches c prefix attrs) cs
+
+let run_action (attrs : Attr.t) = function
+  | Set_local_pref lp -> { attrs with Attr.local_pref = Some lp }
+  | Set_med m -> { attrs with Attr.med = Some m }
+  | Add_community c -> { attrs with Attr.communities = c :: attrs.Attr.communities }
+  | Strip_communities -> { attrs with Attr.communities = [] }
+  | Prepend (a, n) ->
+    let rec go attrs = function
+      | 0 -> attrs
+      | k ->
+        go { attrs with Attr.as_path = Attr.prepend a attrs.Attr.as_path } (k - 1)
+    in
+    go attrs n
+
+let apply policy prefix attrs =
+  let rec go = function
+    | [] -> None
+    | c :: rest ->
+      if matches c.cond prefix attrs then
+        if c.permit then Some (List.fold_left run_action attrs c.actions)
+        else None
+      else go rest
+  in
+  go policy
+
+let lp_customer = 200
+let lp_peer = 100
+let lp_provider = 50
+
+let import_for rel =
+  let lp =
+    match rel with
+    | To_customer -> lp_customer
+    | To_peer -> lp_peer
+    | To_provider -> lp_provider
+  in
+  [ { cond = Match_any; permit = true; actions = [ Set_local_pref lp ] } ]
+
+let export_for rel ~learned_local_pref =
+  let from_customer =
+    match learned_local_pref with Some lp -> lp >= lp_customer | None -> true
+    (* A locally originated route (no import LOCAL_PREF) is exported to
+       everyone, like a customer route. *)
+  in
+  match rel with
+  | To_customer -> true
+  | To_peer | To_provider -> from_customer

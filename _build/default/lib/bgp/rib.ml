@@ -1,0 +1,66 @@
+open Dbgp_types
+module Trie = Dbgp_trie.Prefix_trie
+
+type peer_id = Ipv4.t
+
+(* Keys of the hashtables are peer ids as raw ints (Ipv4.to_int). *)
+type 'route t = {
+  adj_in : (int, 'route Trie.t) Hashtbl.t;
+  mutable loc : 'route Trie.t;
+  adj_out : (int, 'route Trie.t) Hashtbl.t;
+}
+
+let create () =
+  { adj_in = Hashtbl.create 8; loc = Trie.empty; adj_out = Hashtbl.create 8 }
+
+let key p = Ipv4.to_int p
+
+let table tbl peer = Option.value (Hashtbl.find_opt tbl (key peer)) ~default:Trie.empty
+
+let adj_in_set t ~peer p r =
+  Hashtbl.replace t.adj_in (key peer) (Trie.add p r (table t.adj_in peer))
+
+let adj_in_del t ~peer p =
+  Hashtbl.replace t.adj_in (key peer) (Trie.remove p (table t.adj_in peer))
+
+let adj_in_get t ~peer p = Trie.find p (table t.adj_in peer)
+
+let adj_in_candidates t p =
+  Hashtbl.fold
+    (fun peer trie acc ->
+      match Trie.find p trie with
+      | None -> acc
+      | Some r -> (Ipv4.of_int peer, r) :: acc)
+    t.adj_in []
+  |> List.sort (fun (a, _) (b, _) -> Ipv4.compare a b)
+
+let drop_peer t ~peer =
+  let affected =
+    Trie.fold (fun p _ acc -> p :: acc) (table t.adj_in peer) []
+  in
+  Hashtbl.remove t.adj_in (key peer);
+  Hashtbl.remove t.adj_out (key peer);
+  List.rev affected
+
+let loc_set t p r = t.loc <- Trie.add p r t.loc
+let loc_del t p = t.loc <- Trie.remove p t.loc
+let loc_get t p = Trie.find p t.loc
+let loc_lookup t addr = Trie.longest_match addr t.loc
+let loc_bindings t = Trie.bindings t.loc
+let loc_size t = Trie.cardinal t.loc
+
+let adj_out_set t ~peer p r =
+  Hashtbl.replace t.adj_out (key peer) (Trie.add p r (table t.adj_out peer))
+
+let adj_out_del t ~peer p =
+  Hashtbl.replace t.adj_out (key peer) (Trie.remove p (table t.adj_out peer))
+
+let adj_out_get t ~peer p = Trie.find p (table t.adj_out peer)
+
+let prefixes t =
+  let acc =
+    Hashtbl.fold
+      (fun _ trie acc -> Trie.fold (fun p _ s -> Prefix.Set.add p s) trie acc)
+      t.adj_in Prefix.Set.empty
+  in
+  Trie.fold (fun p _ s -> Prefix.Set.add p s) t.loc acc

@@ -1,0 +1,46 @@
+(** BGP routing information bases.
+
+    The three RIBs of RFC 4271: per-peer Adj-RIB-In (what each peer
+    advertised), the Loc-RIB (selected best routes), and per-peer
+    Adj-RIB-Out (what we advertised to each peer).  Mutable, as a speaker
+    owns exactly one; snapshots of the Loc-RIB are cheap because the
+    underlying trie is persistent. *)
+
+type peer_id = Dbgp_types.Ipv4.t
+
+type 'route t
+
+val create : unit -> 'route t
+
+(** {1 Adj-RIB-In} *)
+
+val adj_in_set : 'r t -> peer:peer_id -> Dbgp_types.Prefix.t -> 'r -> unit
+val adj_in_del : 'r t -> peer:peer_id -> Dbgp_types.Prefix.t -> unit
+val adj_in_get : 'r t -> peer:peer_id -> Dbgp_types.Prefix.t -> 'r option
+
+val adj_in_candidates : 'r t -> Dbgp_types.Prefix.t -> (peer_id * 'r) list
+(** Every peer's current route for the prefix. *)
+
+val drop_peer : 'r t -> peer:peer_id -> Dbgp_types.Prefix.t list
+(** Session loss: clears the peer's Adj-RIB-In and Adj-RIB-Out and
+    returns the prefixes whose candidate sets changed. *)
+
+(** {1 Loc-RIB} *)
+
+val loc_set : 'r t -> Dbgp_types.Prefix.t -> 'r -> unit
+val loc_del : 'r t -> Dbgp_types.Prefix.t -> unit
+val loc_get : 'r t -> Dbgp_types.Prefix.t -> 'r option
+val loc_lookup : 'r t -> Dbgp_types.Ipv4.t -> (Dbgp_types.Prefix.t * 'r) option
+(** Longest-prefix match against the Loc-RIB. *)
+
+val loc_bindings : 'r t -> (Dbgp_types.Prefix.t * 'r) list
+val loc_size : 'r t -> int
+
+(** {1 Adj-RIB-Out} *)
+
+val adj_out_set : 'r t -> peer:peer_id -> Dbgp_types.Prefix.t -> 'r -> unit
+val adj_out_del : 'r t -> peer:peer_id -> Dbgp_types.Prefix.t -> unit
+val adj_out_get : 'r t -> peer:peer_id -> Dbgp_types.Prefix.t -> 'r option
+
+val prefixes : 'r t -> Dbgp_types.Prefix.Set.t
+(** Every prefix appearing in any Adj-RIB-In or the Loc-RIB. *)

@@ -1,0 +1,1 @@
+lib/core/aggregation.ml: Asn Dbgp_types Hashtbl Ia List Option Path_elem Prefix Protocol_id Value

@@ -1,0 +1,1 @@
+lib/core/codec.ml: Dbgp_types Dbgp_wire Ia Island_id List Path_elem Printf Protocol_id String Value

@@ -1,0 +1,1 @@
+lib/core/decision_module.ml: Asn Dbgp_types Filters Ia Int List Option Peer Prefix Protocol_id Value

@@ -1,0 +1,1 @@
+lib/core/decision_module.mli: Dbgp_types Filters Ia Peer

@@ -1,0 +1,1 @@
+lib/core/factory.ml: Filters Ia List

@@ -1,0 +1,1 @@
+lib/core/filters.ml: Codec Dbgp_types Ia List Option Protocol_id

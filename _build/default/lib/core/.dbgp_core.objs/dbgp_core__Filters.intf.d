@@ -1,0 +1,1 @@
+lib/core/filters.mli: Dbgp_types Ia

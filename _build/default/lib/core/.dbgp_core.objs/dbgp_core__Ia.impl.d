@@ -1,0 +1,1 @@
+lib/core/ia.ml: Asn Dbgp_types Format Hashtbl Island_id List Option Path_elem Prefix Protocol_id Value

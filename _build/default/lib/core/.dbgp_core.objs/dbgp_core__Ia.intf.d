@@ -1,0 +1,1 @@
+lib/core/ia.mli: Dbgp_types Format Value

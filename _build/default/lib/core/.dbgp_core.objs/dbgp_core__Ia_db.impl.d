@@ -1,0 +1,1 @@
+lib/core/ia_db.ml: Dbgp_types Ia List Option Peer Prefix

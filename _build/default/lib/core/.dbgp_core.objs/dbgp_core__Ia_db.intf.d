@@ -1,0 +1,1 @@
+lib/core/ia_db.mli: Dbgp_types Ia Peer

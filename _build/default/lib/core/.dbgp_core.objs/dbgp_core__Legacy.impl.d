@@ -1,0 +1,1 @@
+lib/core/legacy.ml: Asn Codec Dbgp_bgp Dbgp_types Dbgp_wire Ia Ipv4 List Option Path_elem Protocol_id Value

@@ -1,0 +1,1 @@
+lib/core/legacy.mli: Dbgp_bgp Dbgp_types Ia

@@ -1,0 +1,1 @@
+lib/core/peer.ml: Asn Dbgp_types Format Ipv4 Map Set

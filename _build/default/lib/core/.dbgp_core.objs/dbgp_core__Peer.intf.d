@@ -1,0 +1,1 @@
+lib/core/peer.mli: Dbgp_types Format Map Set

@@ -1,0 +1,1 @@
+lib/core/speaker.ml: Asn Dbgp_bgp Dbgp_trie Dbgp_types Decision_module Factory Filters Hashtbl Ia Ia_db Ipv4 Island_id List Logs Option Path_elem Peer Prefix Protocol_id

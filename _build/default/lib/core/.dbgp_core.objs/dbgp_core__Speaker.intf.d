@@ -1,0 +1,1 @@
+lib/core/speaker.mli: Dbgp_bgp Dbgp_types Decision_module Filters Ia Peer

@@ -1,0 +1,1 @@
+lib/core/translation.ml: Dbgp_types Ia

@@ -1,0 +1,1 @@
+lib/core/translation.mli: Dbgp_types Ia

@@ -1,0 +1,1 @@
+lib/core/value.ml: Asn Dbgp_types Dbgp_wire Format Int Ipv4 List Prefix Printf String

@@ -1,0 +1,1 @@
+lib/core/value.mli: Dbgp_types Dbgp_wire Format

@@ -1,0 +1,149 @@
+open Dbgp_types
+module W = Dbgp_wire.Writer
+module R = Dbgp_wire.Reader
+
+let encode_island w = function
+  | Island_id.Singleton a ->
+    W.u8 w 0;
+    W.asn w a
+  | Island_id.Named s ->
+    W.u8 w 1;
+    W.delimited w s
+  | Island_id.Hashed h ->
+    W.u8 w 2;
+    W.varint w (h land max_int)
+
+let decode_island r =
+  match R.u8 r with
+  | 0 -> Island_id.Singleton (R.asn r)
+  | 1 -> Island_id.Named (R.delimited r)
+  | 2 -> Island_id.Hashed (R.varint r)
+  | n -> raise (R.Error (Printf.sprintf "bad island-id tag %d" n))
+
+let encode_elem w = function
+  | Path_elem.As a ->
+    W.u8 w 0;
+    W.asn w a
+  | Path_elem.Island i ->
+    W.u8 w 1;
+    encode_island w i
+  | Path_elem.As_set s ->
+    W.u8 w 2;
+    W.list w W.asn s
+
+let decode_elem r =
+  match R.u8 r with
+  | 0 -> Path_elem.As (R.asn r)
+  | 1 -> Path_elem.Island (decode_island r)
+  | 2 -> Path_elem.As_set (R.list r R.asn)
+  | n -> raise (R.Error (Printf.sprintf "bad path-elem tag %d" n))
+
+let encode_proto w p = W.delimited w (Protocol_id.name p)
+
+let decode_proto r =
+  let name = R.delimited r in
+  (* Decoding re-registers: a speaker can carry (pass through) protocols
+     it has never seen before; the registry grows as needed with the
+     default Custom kind. *)
+  match Protocol_id.find name with
+  | Some p -> p
+  | None -> Protocol_id.register name
+
+let encode_pd w (d : Ia.path_descriptor) =
+  W.list w encode_proto d.owners;
+  W.delimited w d.field;
+  Value.encode w d.value
+
+let decode_pd r : Ia.path_descriptor =
+  let owners = R.list r decode_proto in
+  let field = R.delimited r in
+  let value = Value.decode r in
+  { owners; field; value }
+
+let encode_id w (d : Ia.island_descriptor) =
+  encode_island w d.island;
+  encode_proto w d.proto;
+  W.delimited w d.ifield;
+  Value.encode w d.ivalue
+
+let decode_id r : Ia.island_descriptor =
+  let island = decode_island r in
+  let proto = decode_proto r in
+  let ifield = R.delimited r in
+  let ivalue = Value.decode r in
+  { island; proto; ifield; ivalue }
+
+let encode_membership w (i, members) =
+  encode_island w i;
+  W.list w W.asn members
+
+let decode_membership r =
+  let i = decode_island r in
+  let members = R.list r R.asn in
+  (i, members)
+
+let encode (ia : Ia.t) =
+  let w = W.create ~capacity:512 () in
+  W.prefix w ia.prefix;
+  W.list w encode_elem ia.path_vector;
+  W.list w encode_membership ia.membership;
+  W.list w encode_pd ia.path_descriptors;
+  W.list w encode_id ia.island_descriptors;
+  W.contents w
+
+let decode s : Ia.t =
+  let r = R.of_string s in
+  let prefix = R.prefix r in
+  let path_vector = R.list r decode_elem in
+  let membership = R.list r decode_membership in
+  let path_descriptors = R.list r decode_pd in
+  let island_descriptors = R.list r decode_id in
+  { prefix; path_vector; membership; path_descriptors; island_descriptors }
+
+let size ia = String.length (encode ia)
+let encode_compressed ia = Dbgp_wire.Compress.compress (encode ia)
+let decode_compressed s = decode (Dbgp_wire.Compress.decompress s)
+let compressed_size ia = String.length (encode_compressed ia)
+
+type breakdown = {
+  base : int;
+  critical_fix : int;
+  custom_replacement : int;
+  shared_savings : int;
+}
+
+let sized f x =
+  let w = W.create () in
+  f w x;
+  W.length w
+
+let breakdown (ia : Ia.t) =
+  let base =
+    size { ia with path_descriptors = []; island_descriptors = [] }
+  in
+  let is_fix p =
+    match Protocol_id.kind p with
+    | Protocol_id.Critical_fix | Protocol_id.Baseline -> true
+    | Protocol_id.Custom | Protocol_id.Replacement -> false
+  in
+  let critical_fix, custom_pd =
+    List.fold_left
+      (fun (cf, cr) (d : Ia.path_descriptor) ->
+        let sz = sized encode_pd d in
+        if List.exists is_fix d.owners then (cf + sz, cr) else (cf, cr + sz))
+      (0, 0) ia.path_descriptors
+  in
+  let custom_replacement =
+    List.fold_left
+      (fun acc d -> acc + sized encode_id d)
+      custom_pd ia.island_descriptors
+  in
+  let shared_savings =
+    List.fold_left
+      (fun acc (d : Ia.path_descriptor) ->
+        let n = List.length d.owners in
+        if n > 1 then acc + ((n - 1) * sized encode_pd { d with owners = [ List.hd d.owners ] })
+        else acc)
+      0 ia.path_descriptors
+  in
+  { base; critical_fix; custom_replacement; shared_savings }

@@ -1,0 +1,36 @@
+(** Wire codec for integrated advertisements.
+
+    Replaces Beagle's protocol-buffer serialization.  The encoding is
+    sharing-aware: a path descriptor owned by several protocols is
+    written once with its owner list, which is what makes many critical
+    fixes nearly free to carry (the "+ Sharing" row of Table 3). *)
+
+val encode : Ia.t -> string
+val decode : string -> Ia.t
+(** @raise Dbgp_wire.Reader.Error on malformed input. *)
+
+val size : Ia.t -> int
+(** Exact encoded size in bytes. *)
+
+val encode_compressed : Ia.t -> string
+(** LZSS-compressed encoding (Section 3.2: "IAs can be compressed to
+    further reduce their size").  Worth it for IAs with repetitive
+    descriptors; {!compressed_size} reports the effect. *)
+
+val decode_compressed : string -> Ia.t
+(** @raise Invalid_argument or @raise Dbgp_wire.Reader.Error on
+    malformed input. *)
+
+val compressed_size : Ia.t -> int
+
+(** Byte-level attribution of an IA's encoded size, for the control-plane
+    overhead analysis (Section 6.2). *)
+type breakdown = {
+  base : int;               (** prefix + path vector + membership *)
+  critical_fix : int;       (** path descriptors owned by critical fixes *)
+  custom_replacement : int; (** island descriptors + custom/replacement info *)
+  shared_savings : int;     (** bytes saved versus duplicating each shared
+                                descriptor per owner *)
+}
+
+val breakdown : Ia.t -> breakdown

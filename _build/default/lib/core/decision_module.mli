@@ -1,0 +1,44 @@
+(** Decision modules (Figure 5).
+
+    A decision module encapsulates one protocol's path-selection
+    algorithm and its protocol-specific import/export filters.  Exactly
+    one module is active per address range at a time; the speaker routes
+    extracted control information to the active module and hands its
+    chosen best path to the IA factory.
+
+    Modules are first-class values: protocol implementations (Wiser,
+    Pathlet Routing, archetypes...) construct them with closures over
+    whatever private state they need (RIBs beyond the speaker's, scaling
+    factors, portals). *)
+
+type candidate = {
+  from_peer : Peer.t option;  (** [None] for locally originated routes. *)
+  ia : Ia.t;                  (** post-import-filter integrated advertisement *)
+}
+
+type t = {
+  protocol : Dbgp_types.Protocol_id.t;
+  import_filter : Filters.t;
+  (** Protocol-specific import processing (stage 3), e.g. Wiser's cost
+      scaling.  May modify only this protocol's control information. *)
+  export_filter : Filters.t;
+  (** Protocol-specific export processing (stage 5). *)
+  select : prefix:Dbgp_types.Prefix.t -> candidate list -> candidate option;
+  (** The path-selection algorithm (stage 4). *)
+  contribute : me:Dbgp_types.Asn.t -> Ia.t -> Ia.t;
+  (** Update this protocol's control information in the outgoing IA for
+      the selected best path (stage 5-6), e.g. add my internal cost to
+      the Wiser path cost, or append my attestation. *)
+}
+
+val bgp : unit -> t
+(** The baseline's decision module: prefers the shortest path vector,
+    then the lowest origin, then the lowest advertising peer — BGP's
+    decision process restated over IAs (local preference is applied by
+    per-neighbor import filters upstream). *)
+
+val candidate_path_length : candidate -> int
+val compare_tiebreak : candidate -> candidate -> int
+(** The deterministic last-resort tie-break every module should fall
+    back on: lowest advertising peer, locally-originated first.  Keeps
+    selection stable across runs. *)

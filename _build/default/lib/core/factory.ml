@@ -1,0 +1,10 @@
+let build ~passthrough ~supported ~me ~my_addr ~contributions incoming =
+  let ia =
+    if passthrough then incoming
+    else
+      match Filters.keep_only supported incoming with
+      | Some ia -> ia
+      | None -> incoming (* keep_only never drops *)
+  in
+  let ia = List.fold_left (fun ia f -> f ia) ia contributions in
+  ia |> Ia.prepend_as me |> Ia.with_next_hop my_addr

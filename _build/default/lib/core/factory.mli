@@ -1,0 +1,25 @@
+(** The IA factory (Figure 5, stage 6).
+
+    Creates the new IA for a selected best path.  Pass-through lives
+    here: the factory starts from the {e incoming} IA for the chosen
+    path, so every protocol's control information survives by default;
+    the active module's [contribute] then updates its own fields, the
+    factory prepends this AS to the path vector and rewrites the
+    next hop.
+
+    [passthrough:false] is the plain-BGP baseline (and the ablation used
+    by the Section 6.3 comparisons): control information of protocols
+    this speaker does not support is stripped before re-advertisement. *)
+
+val build :
+  passthrough:bool ->
+  supported:Dbgp_types.Protocol_id.Set.t ->
+  me:Dbgp_types.Asn.t ->
+  my_addr:Dbgp_types.Ipv4.t ->
+  contributions:(Ia.t -> Ia.t) list ->
+  Ia.t ->
+  Ia.t
+(** [build ~passthrough ~supported ~me ~my_addr ~contributions incoming]
+    is the IA this speaker advertises after selecting [incoming]'s path.
+    [contributions] are the supported modules' [contribute ~me] updates,
+    applied in order after the stripping decision. *)

@@ -1,0 +1,40 @@
+open Dbgp_types
+
+type t = { mutable db : Ia.t Peer.Map.t Prefix.Map.t }
+
+let create () = { db = Prefix.Map.empty }
+
+let store t ~peer (ia : Ia.t) =
+  let m = Option.value (Prefix.Map.find_opt ia.prefix t.db) ~default:Peer.Map.empty in
+  t.db <- Prefix.Map.add ia.prefix (Peer.Map.add peer ia m) t.db
+
+let remove t ~peer prefix =
+  match Prefix.Map.find_opt prefix t.db with
+  | None -> ()
+  | Some m ->
+    let m = Peer.Map.remove peer m in
+    t.db <-
+      ( if Peer.Map.is_empty m then Prefix.Map.remove prefix t.db
+        else Prefix.Map.add prefix m t.db )
+
+let find t ~peer prefix =
+  Option.bind (Prefix.Map.find_opt prefix t.db) (Peer.Map.find_opt peer)
+
+let candidates t prefix =
+  match Prefix.Map.find_opt prefix t.db with
+  | None -> []
+  | Some m -> Peer.Map.bindings m
+
+let drop_peer t ~peer =
+  let affected =
+    Prefix.Map.fold
+      (fun p m acc -> if Peer.Map.mem peer m then p :: acc else acc)
+      t.db []
+  in
+  List.iter (fun p -> remove t ~peer p) affected;
+  List.rev affected
+
+let prefixes t =
+  Prefix.Map.fold (fun p _ acc -> Prefix.Set.add p acc) t.db Prefix.Set.empty
+
+let size t = Prefix.Map.fold (fun _ m acc -> acc + Peer.Map.cardinal m) t.db 0

@@ -1,0 +1,23 @@
+(** The database of received IAs (Figure 5, "IA DB").
+
+    Keyed by (prefix, advertising peer).  The IA factory indexes into it
+    to retrieve the incoming IA for a chosen best path so it can copy
+    through the control information of protocols not used for
+    selection. *)
+
+type t
+
+val create : unit -> t
+val store : t -> peer:Peer.t -> Ia.t -> unit
+val remove : t -> peer:Peer.t -> Dbgp_types.Prefix.t -> unit
+val find : t -> peer:Peer.t -> Dbgp_types.Prefix.t -> Ia.t option
+val candidates : t -> Dbgp_types.Prefix.t -> (Peer.t * Ia.t) list
+(** All stored IAs for a prefix, sorted by peer for determinism. *)
+
+val drop_peer : t -> peer:Peer.t -> Dbgp_types.Prefix.t list
+(** Session loss: forget everything from the peer; returns affected
+    prefixes. *)
+
+val prefixes : t -> Dbgp_types.Prefix.Set.t
+val size : t -> int
+(** Total number of stored IAs. *)

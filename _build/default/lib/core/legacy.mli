@@ -1,0 +1,54 @@
+(** Transporting IAs over legacy BGP-4 (Section 3.5, "Deployment of
+    D-BGP itself", and Section 7's observation that optional transitive
+    attributes are BGP's existing pass-through mechanism).
+
+    During the transitional phase, D-BGP speakers peer with legacy BGP-4
+    routers.  This module maps an integrated advertisement onto a plain
+    BGP UPDATE: the baseline information becomes ordinary path
+    attributes, and everything D-BGP adds — island membership, path and
+    island descriptors — rides in a single {e optional transitive}
+    attribute (type code 0xDB).  Legacy routers that do not understand
+    the attribute propagate it untouched (RFC 4271 semantics), which is
+    exactly how 4-byte AS numbers were deployed; routers that have been
+    configured to scrub unknown attributes degrade the IA to plain BGP,
+    matching {!Speaker}'s capability-based downgrade. *)
+
+val attr_type_code : int
+(** 0xDB — the optional transitive attribute carrying D-BGP extras. *)
+
+val to_update : Ia.t -> Dbgp_bgp.Message.update
+(** Encode.  The AS path keeps only AS-number entries (island IDs cannot
+    be expressed in a legacy AS_PATH; their full fidelity lives in the
+    extras attribute, from which {!of_update} restores them). *)
+
+val of_update : Dbgp_bgp.Message.update -> Ia.t option
+(** Decode.  With the extras attribute present, the original IA is
+    reconstructed exactly; without it (scrubbed or never attached), a
+    plain-BGP IA is synthesized from the standard attributes.  [None]
+    for withdraw-only updates or updates without NLRI. *)
+
+val roundtrips : Ia.t -> bool
+(** [of_update (to_update ia) = Some ia] — holds for every IA whose path
+    vector the legacy AS_PATH can carry. *)
+
+(** {1 Two-byte peers}
+
+    Section 3.5: during transition, D-BGP "could translate between
+    D-BGP's path vector and BGP's path vector (which only allows 2 bytes
+    per entry) using techniques similar to how 4-byte-per-entry path
+    vectors are being deployed today" — i.e. RFC 6793's AS_TRANS
+    mechanism. *)
+
+val as_trans : Dbgp_types.Asn.t
+(** ASN 23456, substituted for any ASN that does not fit 16 bits. *)
+
+val to_update_two_byte : Ia.t -> Dbgp_bgp.Message.update
+(** Like {!to_update}, but the legacy AS_PATH is 2-byte-safe: oversized
+    ASNs appear as {!as_trans} while the true 4-byte path rides in the
+    extras attribute (the AS4_PATH role). *)
+
+val reconstruct_path :
+  Dbgp_bgp.Message.update -> Dbgp_types.Asn.t list option
+(** The true path of a two-byte update: from the extras attribute when
+    present, else the legacy AS_PATH itself.  [None] for updates without
+    a path. *)

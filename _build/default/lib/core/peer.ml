@@ -1,0 +1,22 @@
+open Dbgp_types
+
+type t = { asn : Asn.t; addr : Ipv4.t }
+
+let make ~asn ~addr = { asn; addr }
+
+let compare a b =
+  match Asn.compare a.asn b.asn with
+  | 0 -> Ipv4.compare a.addr b.addr
+  | c -> c
+
+let equal a b = compare a b = 0
+let pp ppf t = Format.fprintf ppf "%a@%a" Asn.pp t.asn Ipv4.pp t.addr
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,14 @@
+(** Identity of a D-BGP peering neighbor. *)
+
+type t = {
+  asn : Dbgp_types.Asn.t;
+  addr : Dbgp_types.Ipv4.t;  (** the neighbor's router / speaker address *)
+}
+
+val make : asn:Dbgp_types.Asn.t -> addr:Dbgp_types.Ipv4.t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,337 @@
+open Dbgp_types
+module Trie = Dbgp_trie.Prefix_trie
+
+let log_src = Logs.Src.create "dbgp.speaker" ~doc:"D-BGP speaker pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type msg = Announce of Ia.t | Withdraw of Prefix.t
+
+type neighbor = {
+  peer : Peer.t;
+  relationship : Dbgp_bgp.Policy.relationship;
+  import : Filters.t;
+  export : Filters.t;
+  dbgp_capable : bool;
+  same_island : bool;
+}
+
+let neighbor ?(import = Filters.accept) ?(export = Filters.accept)
+    ?(dbgp_capable = true) ?(same_island = false) ~relationship peer =
+  { peer; relationship; import; export; dbgp_capable; same_island }
+
+type config = {
+  asn : Asn.t;
+  addr : Ipv4.t;
+  island : Island_id.t option;
+  island_members : Asn.t list;
+  hide_island_interior : bool;
+  passthrough : bool;
+  global_import : Filters.t;
+  global_export : Filters.t;
+}
+
+let config ?island ?(island_members = []) ?(hide_island_interior = false)
+    ?(passthrough = true) ?(global_import = Filters.accept)
+    ?(global_export = Filters.accept) ~asn ~addr () =
+  { asn; addr; island; island_members; hide_island_interior; passthrough;
+    global_import; global_export }
+
+type chosen = { candidate : Decision_module.candidate; outgoing : Ia.t }
+
+type t = {
+  cfg : config;
+  modules : (int, Decision_module.t) Hashtbl.t; (* by Protocol_id.to_int *)
+  mutable active : Protocol_id.t Trie.t;
+  mutable nbrs : neighbor Peer.Map.t;
+  db : Ia_db.t;                       (* post-global-import incoming IAs *)
+  mutable local : Ia.t Prefix.Map.t;  (* locally originated routes *)
+  mutable best : chosen Prefix.Map.t;
+  mutable adj_out : Ia.t Prefix.Map.t Peer.Map.t;
+}
+
+let create cfg =
+  let modules = Hashtbl.create 8 in
+  let m = Decision_module.bgp () in
+  Hashtbl.replace modules (Protocol_id.to_int m.Decision_module.protocol) m;
+  { cfg;
+    modules;
+    active = Trie.empty;
+    nbrs = Peer.Map.empty;
+    db = Ia_db.create ();
+    local = Prefix.Map.empty;
+    best = Prefix.Map.empty;
+    adj_out = Peer.Map.empty }
+
+let asn t = t.cfg.asn
+let addr t = t.cfg.addr
+let island_of t = t.cfg.island
+
+let add_module t (m : Decision_module.t) =
+  Hashtbl.replace t.modules (Protocol_id.to_int m.protocol) m
+
+let supported t =
+  Hashtbl.fold
+    (fun _ (m : Decision_module.t) acc -> Protocol_id.Set.add m.protocol acc)
+    t.modules Protocol_id.Set.empty
+
+let set_active t prefix proto =
+  if not (Hashtbl.mem t.modules (Protocol_id.to_int proto)) then
+    invalid_arg "Speaker.set_active: no module registered for protocol"
+  else t.active <- Trie.add prefix proto t.active
+
+let active_for t prefix =
+  match Trie.longest_match (Prefix.network prefix) t.active with
+  | Some (p, proto) when Prefix.subsumes p prefix -> proto
+  | _ -> Protocol_id.bgp
+
+let add_neighbor t n = t.nbrs <- Peer.Map.add n.peer n t.nbrs
+let neighbors t = List.map snd (Peer.Map.bindings t.nbrs)
+
+let module_for t proto =
+  match Hashtbl.find_opt t.modules (Protocol_id.to_int proto) with
+  | Some m -> m
+  | None -> Hashtbl.find t.modules (Protocol_id.to_int Protocol_id.bgp)
+
+(* Valley-free export: routes from peers/providers flow only to customers. *)
+let export_allowed ~(learned : Dbgp_bgp.Policy.relationship option)
+    ~(to_ : Dbgp_bgp.Policy.relationship) =
+  match learned with
+  | None (* locally originated *) | Some Dbgp_bgp.Policy.To_customer -> true
+  | Some (Dbgp_bgp.Policy.To_peer | Dbgp_bgp.Policy.To_provider) ->
+    to_ = Dbgp_bgp.Policy.To_customer
+
+let learned_relationship t (c : Decision_module.candidate) =
+  match c.from_peer with
+  | None -> None
+  | Some p ->
+    Option.map (fun n -> n.relationship) (Peer.Map.find_opt p t.nbrs)
+
+(* Build the per-neighbor outgoing message for an already-factory-built IA. *)
+let egress_for_neighbor t (n : neighbor) (ia : Ia.t) =
+  let island_egress : Filters.t =
+    match t.cfg.island with
+    | Some island when not n.same_island ->
+      let members =
+        if t.cfg.island_members = [] then [ t.cfg.asn ] else t.cfg.island_members
+      in
+      if t.cfg.hide_island_interior then Filters.abstract_island ~island ~members
+      else Filters.declare_membership ~island ~members
+    | _ -> Filters.accept
+  in
+  let downgrade : Filters.t =
+    if n.dbgp_capable then Filters.accept
+    else
+      Filters.compose
+        (Filters.keep_only (Protocol_id.Set.singleton Protocol_id.bgp))
+        (fun ia -> Some { ia with Ia.membership = [] })
+  in
+  Filters.chain [ island_egress; t.cfg.global_export; n.export; downgrade ] ia
+
+let record_adj_out t peer prefix = function
+  | None ->
+    t.adj_out <-
+      Peer.Map.update peer
+        (fun m -> Option.map (Prefix.Map.remove prefix) m)
+        t.adj_out
+  | Some ia ->
+    let m = Option.value (Peer.Map.find_opt peer t.adj_out) ~default:Prefix.Map.empty in
+    t.adj_out <- Peer.Map.add peer (Prefix.Map.add prefix ia m) t.adj_out
+
+let previously_announced t peer prefix =
+  match Peer.Map.find_opt peer t.adj_out with
+  | None -> false
+  | Some m -> Prefix.Map.mem prefix m
+
+(* Announce / withdraw the current best for [prefix] to all neighbors. *)
+let distribute t prefix =
+  let out = ref [] in
+  let emit peer m = out := (peer, m) :: !out in
+  ( match Prefix.Map.find_opt prefix t.best with
+    | None ->
+      Peer.Map.iter
+        (fun peer _ ->
+          if previously_announced t peer prefix then begin
+            record_adj_out t peer prefix None;
+            emit peer (Withdraw prefix)
+          end)
+        t.nbrs
+    | Some chosen ->
+      let learned = learned_relationship t chosen.candidate in
+      Peer.Map.iter
+        (fun peer n ->
+          let is_sender =
+            match chosen.candidate.Decision_module.from_peer with
+            | Some p -> Peer.equal p peer
+            | None -> false
+          in
+          let on_path =
+            List.exists
+              (Path_elem.mentions_asn peer.Peer.asn)
+              chosen.outgoing.Ia.path_vector
+            && not (Asn.equal peer.Peer.asn t.cfg.asn)
+          in
+          let eligible =
+            (not is_sender) && (not on_path)
+            && export_allowed ~learned ~to_:n.relationship
+          in
+          let final = if eligible then egress_for_neighbor t n chosen.outgoing else None in
+          match final with
+          | Some ia ->
+            record_adj_out t peer prefix (Some ia);
+            emit peer (Announce ia)
+          | None ->
+            if previously_announced t peer prefix then begin
+              record_adj_out t peer prefix None;
+              emit peer (Withdraw prefix)
+            end)
+        t.nbrs );
+  List.rev !out
+
+(* Recompute the best path for [prefix]: stages 2-6 of Figure 5. *)
+let process t prefix =
+  let active = active_for t prefix in
+  let m = module_for t active in
+  let raw_candidates =
+    let local =
+      match Prefix.Map.find_opt prefix t.local with
+      | None -> []
+      | Some ia -> [ { Decision_module.from_peer = None; ia } ]
+    in
+    local
+    @ List.filter_map
+        (fun (peer, ia) ->
+          (* Per-neighbor then protocol-specific import filters. *)
+          let nbr_import =
+            match Peer.Map.find_opt peer t.nbrs with
+            | Some n -> n.import
+            | None -> Filters.accept
+          in
+          match Filters.compose nbr_import m.Decision_module.import_filter ia with
+          | None -> None
+          | Some ia -> Some { Decision_module.from_peer = Some peer; ia })
+        (Ia_db.candidates t.db prefix)
+  in
+  let selected = m.Decision_module.select ~prefix raw_candidates in
+  let next =
+    match selected with
+    | None -> None
+    | Some candidate ->
+      (* Local origination advertises the IA as-is (the origin's own ASN is
+         already its path vector); learned routes go through the factory. *)
+      let outgoing =
+        match candidate.Decision_module.from_peer with
+        | None -> candidate.Decision_module.ia
+        | Some _ ->
+          let contributions =
+            let mods =
+              Hashtbl.fold (fun _ dm acc -> dm :: acc) t.modules []
+              |> List.sort (fun (a : Decision_module.t) b ->
+                     Protocol_id.compare a.protocol b.protocol)
+            in
+            (* Active module contributes first, then other supported ones. *)
+            let actives, others =
+              List.partition
+                (fun (dm : Decision_module.t) ->
+                  Protocol_id.equal dm.protocol active)
+                mods
+            in
+            List.map
+              (fun (dm : Decision_module.t) ia -> dm.contribute ~me:t.cfg.asn ia)
+              (actives @ others)
+          in
+          Factory.build ~passthrough:t.cfg.passthrough ~supported:(supported t)
+            ~me:t.cfg.asn ~my_addr:t.cfg.addr ~contributions
+            candidate.Decision_module.ia
+      in
+      ( match m.Decision_module.export_filter outgoing with
+        | None -> None
+        | Some outgoing -> Some { candidate; outgoing } )
+  in
+  let changed =
+    match (Prefix.Map.find_opt prefix t.best, next) with
+    | None, None -> false
+    | Some a, Some b ->
+      not
+        ( Ia.equal a.candidate.Decision_module.ia b.candidate.Decision_module.ia
+        && a.candidate.Decision_module.from_peer = b.candidate.Decision_module.from_peer
+        && Ia.equal a.outgoing b.outgoing )
+    | _ -> true
+  in
+  if changed then begin
+    ( match next with
+      | None ->
+        Log.debug (fun m ->
+            m "AS%d: best path for %s withdrawn" (Asn.to_int t.cfg.asn)
+              (Prefix.to_string prefix));
+        t.best <- Prefix.Map.remove prefix t.best
+      | Some c ->
+        Log.debug (fun m ->
+            m "AS%d: best path for %s now via %s (%s)" (Asn.to_int t.cfg.asn)
+              (Prefix.to_string prefix)
+              ( match c.candidate.Decision_module.from_peer with
+                | Some p -> Asn.to_string p.Peer.asn
+                | None -> "local" )
+              (Protocol_id.name active));
+        t.best <- Prefix.Map.add prefix c t.best );
+    distribute t prefix
+  end
+  else []
+
+let originate t (ia : Ia.t) =
+  t.local <- Prefix.Map.add ia.Ia.prefix ia t.local;
+  process t ia.Ia.prefix
+
+let receive t ~from msg =
+  match msg with
+  | Withdraw prefix ->
+    Ia_db.remove t.db ~peer:from prefix;
+    process t prefix
+  | Announce ia -> (
+    (* Stage 1: global import filtering, loop rejection first. *)
+    let ingress = Filters.compose Filters.reject_loops t.cfg.global_import in
+    match ingress ia with
+    | None ->
+      Log.debug (fun m ->
+          m "AS%d: IA for %s from %s rejected by global import filters"
+            (Asn.to_int t.cfg.asn)
+            (Prefix.to_string ia.Ia.prefix)
+            (Asn.to_string from.Peer.asn));
+      (* A rejected IA acts as an implicit withdrawal of any previous
+         route from this peer for the prefix. *)
+      if Option.is_some (Ia_db.find t.db ~peer:from ia.Ia.prefix) then begin
+        Ia_db.remove t.db ~peer:from ia.Ia.prefix;
+        process t ia.Ia.prefix
+      end
+      else []
+    | Some ia ->
+      Ia_db.store t.db ~peer:from ia;
+      process t ia.Ia.prefix )
+
+let peer_down t peer =
+  let affected = Ia_db.drop_peer t.db ~peer in
+  t.adj_out <- Peer.Map.remove peer t.adj_out;
+  t.nbrs <- Peer.Map.remove peer t.nbrs;
+  List.concat_map (process t) affected
+
+let best t prefix = Prefix.Map.find_opt prefix t.best
+let best_routes t = Prefix.Map.bindings t.best
+
+let next_hop_of t dest =
+  let fib =
+    Prefix.Map.fold
+      (fun prefix chosen acc ->
+        match chosen.candidate.Decision_module.from_peer with
+        | Some p -> Trie.add prefix p.Peer.addr acc
+        | None -> acc)
+      t.best Trie.empty
+  in
+  Option.map snd (Trie.longest_match dest fib)
+
+let adj_out t peer =
+  match Peer.Map.find_opt peer t.adj_out with
+  | None -> []
+  | Some m -> Prefix.Map.bindings m
+
+let candidates_for t prefix = Ia_db.candidates t.db prefix
+let ia_db_size t = Ia_db.size t.db

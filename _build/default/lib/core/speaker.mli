@@ -1,0 +1,118 @@
+(** A D-BGP speaker: the full IA-processing pipeline of Figure 5.
+
+    One speaker per AS (centralized control) or per border router
+    (distributed control).  The pipeline on receipt of an IA:
+
+    + global import filters — loop rejection, operator policy (stage 1);
+    + the protocol extractor hands candidates to the active decision
+      module for the prefix (stage 2), applying the module's import
+      filter (stage 3);
+    + the module selects a best path (stage 4);
+    + on change, the IA factory builds the outgoing IA with pass-through
+      (stage 6), modules contribute their control information (stage 5),
+      and global export filters — island abstraction or membership
+      declaration, legacy downgrade — run per neighbor (stage 7).
+
+    Speakers are pure with respect to I/O: {!receive}, {!originate} and
+    {!peer_down} return the messages to transmit; the netsim session
+    layer owns delivery. *)
+
+type msg =
+  | Announce of Ia.t
+  | Withdraw of Dbgp_types.Prefix.t
+
+type neighbor = {
+  peer : Peer.t;
+  relationship : Dbgp_bgp.Policy.relationship;
+  import : Filters.t;      (** per-neighbor import policy *)
+  export : Filters.t;      (** per-neighbor export policy *)
+  dbgp_capable : bool;     (** false: strip IAs down to plain BGP *)
+  same_island : bool;      (** true: skip island egress processing *)
+}
+
+val neighbor :
+  ?import:Filters.t ->
+  ?export:Filters.t ->
+  ?dbgp_capable:bool ->
+  ?same_island:bool ->
+  relationship:Dbgp_bgp.Policy.relationship ->
+  Peer.t ->
+  neighbor
+
+type config = {
+  asn : Dbgp_types.Asn.t;
+  addr : Dbgp_types.Ipv4.t;
+  island : Dbgp_types.Island_id.t option;
+  island_members : Dbgp_types.Asn.t list;
+  hide_island_interior : bool;
+  (** true: replace member ASes with the island ID at egress;
+      false: list them and declare membership. *)
+  passthrough : bool;
+  (** The evolvability feature itself.  false = plain-BGP behaviour. *)
+  global_import : Filters.t;
+  global_export : Filters.t;
+}
+
+val config :
+  ?island:Dbgp_types.Island_id.t ->
+  ?island_members:Dbgp_types.Asn.t list ->
+  ?hide_island_interior:bool ->
+  ?passthrough:bool ->
+  ?global_import:Filters.t ->
+  ?global_export:Filters.t ->
+  asn:Dbgp_types.Asn.t ->
+  addr:Dbgp_types.Ipv4.t ->
+  unit ->
+  config
+
+type t
+
+val create : config -> t
+val asn : t -> Dbgp_types.Asn.t
+val addr : t -> Dbgp_types.Ipv4.t
+val island_of : t -> Dbgp_types.Island_id.t option
+val add_module : t -> Decision_module.t -> unit
+(** Registers a decision module.  The BGP module is pre-registered. *)
+
+val supported : t -> Dbgp_types.Protocol_id.Set.t
+
+val set_active : t -> Dbgp_types.Prefix.t -> Dbgp_types.Protocol_id.t -> unit
+(** Selects the active protocol for an address range (longest-match).
+    Default for everything is BGP.
+    @raise Invalid_argument if no module for the protocol is registered. *)
+
+val active_for : t -> Dbgp_types.Prefix.t -> Dbgp_types.Protocol_id.t
+val add_neighbor : t -> neighbor -> unit
+val neighbors : t -> neighbor list
+
+val originate : t -> Ia.t -> (Peer.t * msg) list
+(** Injects a locally originated route (the IA as built by
+    {!Ia.originate} plus any descriptors) and returns announcements. *)
+
+val receive : t -> from:Peer.t -> msg -> (Peer.t * msg) list
+val peer_down : t -> Peer.t -> (Peer.t * msg) list
+
+(** {1 Introspection} *)
+
+type chosen = {
+  candidate : Decision_module.candidate;  (** the selected incoming route *)
+  outgoing : Ia.t;  (** the IA built for re-advertisement (pre per-neighbor filters) *)
+}
+
+val best : t -> Dbgp_types.Prefix.t -> chosen option
+val best_routes : t -> (Dbgp_types.Prefix.t * chosen) list
+val next_hop_of : t -> Dbgp_types.Ipv4.t -> Dbgp_types.Ipv4.t option
+(** Longest-prefix-match FIB lookup: the neighbor address traffic to this
+    destination should be forwarded to ([None] at the origin AS or when
+    unreachable). *)
+
+val adj_out : t -> Peer.t -> (Dbgp_types.Prefix.t * Ia.t) list
+(** What we last announced to the peer. *)
+
+val candidates_for : t -> Dbgp_types.Prefix.t -> (Peer.t * Ia.t) list
+(** Every received (post-global-import) IA for the prefix — the raw
+    material replacement protocols' ingress translation modules consume
+    (Section 3.3: borders translate the IAs they receive, not only the
+    selected best). *)
+
+val ia_db_size : t -> int

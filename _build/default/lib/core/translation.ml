@@ -1,0 +1,9 @@
+type 'adv t = {
+  protocol : Dbgp_types.Protocol_id.t;
+  ingress : Ia.t -> 'adv option;
+  egress : 'adv -> Ia.t -> Ia.t;
+  redistribute : 'adv -> Ia.t option;
+}
+
+let make ~protocol ~ingress ~egress ~redistribute =
+  { protocol; ingress; egress; redistribute }

@@ -1,0 +1,36 @@
+(** Translation and redistribution for replacement protocols (Section 3.3,
+    "Supporting islands running replacement protocols").
+
+    A replacement protocol (Pathlet Routing, SCION, ...) speaks its own
+    advertisement format within its island and D-BGP only at the island's
+    borders.  It supplies three pieces:
+
+    - an {b ingress translation module}, mapping incoming IAs to
+      within-island advertisements while preserving the D-BGP path
+      vector;
+    - an {b egress translation module}, encoding within-island state
+      into IAs that cross gulfs;
+    - a {b redistribution module}, producing baseline (plain-BGP)
+      routes for within-island destinations so gulf ASes retain basic
+      connectivity. *)
+
+type 'adv t = {
+  protocol : Dbgp_types.Protocol_id.t;
+  ingress : Ia.t -> 'adv option;
+  (** IA arriving at the island border -> internal advertisement.
+      Must preserve the IA's path vector for loop detection; [None]
+      rejects. *)
+  egress : 'adv -> Ia.t -> Ia.t;
+  (** Fold within-island state into the IA leaving the island (typically
+      as island descriptors). *)
+  redistribute : 'adv -> Ia.t option;
+  (** A plain-BGP IA for the internal route, or [None] if this route is
+      not to be redistributed. *)
+}
+
+val make :
+  protocol:Dbgp_types.Protocol_id.t ->
+  ingress:(Ia.t -> 'adv option) ->
+  egress:('adv -> Ia.t -> Ia.t) ->
+  redistribute:('adv -> Ia.t option) ->
+  'adv t

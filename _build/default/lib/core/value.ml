@@ -1,0 +1,108 @@
+open Dbgp_types
+module W = Dbgp_wire.Writer
+module R = Dbgp_wire.Reader
+
+type t =
+  | Int of int
+  | Str of string
+  | Bytes of string
+  | Addr of Ipv4.t
+  | Pfx of Prefix.t
+  | Asn of Asn.t
+  | List of t list
+  | Pair of t * t
+
+let int n = Int n
+let str s = Str s
+let bytes s = Bytes s
+let addr a = Addr a
+let pair a b = Pair (a, b)
+let list l = List l
+
+let as_int = function Int n -> Some n | _ -> None
+let as_str = function Str s -> Some s | _ -> None
+let as_bytes = function Bytes s -> Some s | _ -> None
+let as_addr = function Addr a -> Some a | _ -> None
+let as_list = function List l -> Some l | _ -> None
+let as_pair = function Pair (a, b) -> Some (a, b) | _ -> None
+let as_asn = function Asn a -> Some a | _ -> None
+
+let rec compare a b =
+  let tag = function
+    | Int _ -> 0 | Str _ -> 1 | Bytes _ -> 2 | Addr _ -> 3
+    | Pfx _ -> 4 | Asn _ -> 5 | List _ -> 6 | Pair _ -> 7
+  in
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y | Bytes x, Bytes y -> String.compare x y
+  | Addr x, Addr y -> Ipv4.compare x y
+  | Pfx x, Pfx y -> Prefix.compare x y
+  | Asn x, Asn y -> Asn.compare x y
+  | List x, List y -> List.compare compare x y
+  | Pair (x1, x2), Pair (y1, y2) ->
+    ( match compare x1 y1 with 0 -> compare x2 y2 | c -> c )
+  | _ -> Int.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+
+let rec pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bytes s -> Format.fprintf ppf "<%d bytes>" (String.length s)
+  | Addr a -> Ipv4.pp ppf a
+  | Pfx p -> Prefix.pp ppf p
+  | Asn a -> Asn.pp ppf a
+  | List l ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         pp)
+      l
+  | Pair (a, b) -> Format.fprintf ppf "(%a, %a)" pp a pp b
+
+let rec encode w = function
+  | Int n ->
+    W.u8 w 0;
+    W.varint w n
+  | Str s ->
+    W.u8 w 1;
+    W.delimited w s
+  | Bytes s ->
+    W.u8 w 2;
+    W.delimited w s
+  | Addr a ->
+    W.u8 w 3;
+    W.ipv4 w a
+  | Pfx p ->
+    W.u8 w 4;
+    W.prefix w p
+  | Asn a ->
+    W.u8 w 5;
+    W.asn w a
+  | List l ->
+    W.u8 w 6;
+    W.list w encode l
+  | Pair (a, b) ->
+    W.u8 w 7;
+    encode w a;
+    encode w b
+
+let rec decode r =
+  match R.u8 r with
+  | 0 -> Int (R.varint r)
+  | 1 -> Str (R.delimited r)
+  | 2 -> Bytes (R.delimited r)
+  | 3 -> Addr (R.ipv4 r)
+  | 4 -> Pfx (R.prefix r)
+  | 5 -> Asn (R.asn r)
+  | 6 -> List (R.list r decode)
+  | 7 ->
+    let a = decode r in
+    let b = decode r in
+    Pair (a, b)
+  | n -> raise (R.Error (Printf.sprintf "Value.decode: bad tag %d" n))
+
+let wire_size v =
+  let w = W.create () in
+  encode w v;
+  W.length w

@@ -1,0 +1,42 @@
+(** Typed values carried in IA descriptors.
+
+    Every protocol encodes its control information as values of this
+    small structural type, so the IA factory, filters, and the wire codec
+    can carry, copy and measure information for protocols they do not
+    understand — the essence of pass-through support. *)
+
+type t =
+  | Int of int              (** non-negative integer (costs, bandwidths, IDs) *)
+  | Str of string           (** text (names, negotiation hints) *)
+  | Bytes of string         (** opaque binary (signatures, attestations) *)
+  | Addr of Dbgp_types.Ipv4.t   (** portal / gateway addresses *)
+  | Pfx of Dbgp_types.Prefix.t
+  | Asn of Dbgp_types.Asn.t
+  | List of t list          (** paths, pathlets, alternatives *)
+  | Pair of t * t
+
+val int : int -> t
+val str : string -> t
+val bytes : string -> t
+val addr : Dbgp_types.Ipv4.t -> t
+val pair : t -> t -> t
+val list : t list -> t
+
+val as_int : t -> int option
+val as_str : t -> string option
+val as_bytes : t -> string option
+val as_addr : t -> Dbgp_types.Ipv4.t option
+val as_list : t -> t list option
+val as_pair : t -> (t * t) option
+val as_asn : t -> Dbgp_types.Asn.t option
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val encode : Dbgp_wire.Writer.t -> t -> unit
+val decode : Dbgp_wire.Reader.t -> t
+(** @raise Dbgp_wire.Reader.Error on malformed input. *)
+
+val wire_size : t -> int
+(** Exact encoded size in bytes, used by the overhead accounting. *)

@@ -1,0 +1,1 @@
+lib/dataplane/engine.ml: Asn Dbgp_types Format Forwarder Hashtbl Header List Packet Printf

@@ -1,0 +1,1 @@
+lib/dataplane/engine.mli: Dbgp_types Format Forwarder Packet

@@ -1,0 +1,1 @@
+lib/dataplane/forwarder.ml: Asn Dbgp_trie Dbgp_types Hashtbl Ipv4 Option

@@ -1,0 +1,1 @@
+lib/dataplane/header.ml: Dbgp_types Format Ipv4 List String

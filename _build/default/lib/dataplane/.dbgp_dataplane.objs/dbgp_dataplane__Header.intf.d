@@ -1,0 +1,1 @@
+lib/dataplane/header.mli: Dbgp_types Format

@@ -1,0 +1,31 @@
+open Dbgp_types
+
+type t =
+  | Ipv4_hdr of { src : Ipv4.t; dst : Ipv4.t }
+  | Scion_hdr of { path : string list; pos : int }
+  | Pathlet_hdr of { fids : int list }
+  | Tunnel_hdr of { endpoint : Ipv4.t }
+
+type stack = t list
+
+let pp ppf = function
+  | Ipv4_hdr { src; dst } -> Format.fprintf ppf "IP(%a->%a)" Ipv4.pp src Ipv4.pp dst
+  | Scion_hdr { path; pos } ->
+    Format.fprintf ppf "SCION(%s@%d)" (String.concat "," path) pos
+  | Pathlet_hdr { fids } ->
+    Format.fprintf ppf "PATHLET(%s)"
+      (String.concat "," (List.map string_of_int fids))
+  | Tunnel_hdr { endpoint } -> Format.fprintf ppf "TUN(%a)" Ipv4.pp endpoint
+
+let pp_stack ppf stack =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "|")
+    pp ppf stack
+
+let wire_size = function
+  | Ipv4_hdr _ -> 20
+  | Scion_hdr { path; _ } -> 8 + (4 * List.length path)
+  | Pathlet_hdr { fids } -> 4 + (4 * List.length fids)
+  | Tunnel_hdr _ -> 20
+
+let stack_size stack = List.fold_left (fun acc h -> acc + wire_size h) 0 stack

@@ -1,0 +1,28 @@
+(** Multi-network-protocol packet headers (Section 2).
+
+    Traffic crossing gulfs in an evolvable Internet may need several
+    network protocols' headers stacked: a SCION path header encapsulated
+    in IPv4 to cross a BGP gulf, a pathlet FID list, a tunnel header for
+    MIRO-style services.  The stack is outermost-first; forwarding
+    always acts on the head. *)
+
+type t =
+  | Ipv4_hdr of { src : Dbgp_types.Ipv4.t; dst : Dbgp_types.Ipv4.t }
+  | Scion_hdr of { path : string list; pos : int }
+      (** source-selected border-router path; [pos] = current hop *)
+  | Pathlet_hdr of { fids : int list }
+      (** remaining forwarding IDs, current first *)
+  | Tunnel_hdr of { endpoint : Dbgp_types.Ipv4.t }
+      (** decapsulated when the endpoint is reached *)
+
+type stack = t list
+
+val pp : Format.formatter -> t -> unit
+val pp_stack : Format.formatter -> stack -> unit
+
+val wire_size : t -> int
+(** Approximate on-the-wire size in bytes (IPv4 = 20, SCION = 8 +
+    4/hop, pathlets = 4/FID + 4, tunnel = 20), for overhead
+    accounting. *)
+
+val stack_size : stack -> int

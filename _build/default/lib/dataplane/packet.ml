@@ -1,0 +1,14 @@
+type t = { headers : Header.stack; payload : string; ttl : int }
+
+let make ?(ttl = 64) ~headers ~payload () =
+  if headers = [] then invalid_arg "Packet.make: empty header stack"
+  else if ttl <= 0 then invalid_arg "Packet.make: TTL must be positive"
+  else { headers; payload; ttl }
+
+let decrement_ttl t = if t.ttl <= 1 then None else Some { t with ttl = t.ttl - 1 }
+
+let size t = Header.stack_size t.headers + String.length t.payload
+
+let pp ppf t =
+  Format.fprintf ppf "[%a ttl=%d |%d bytes]" Header.pp_stack t.headers t.ttl
+    (String.length t.payload)

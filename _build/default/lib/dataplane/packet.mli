@@ -1,0 +1,18 @@
+(** Data-plane packets: a header stack, a payload, and a TTL bounding
+    forwarding loops. *)
+
+type t = {
+  headers : Header.stack;
+  payload : string;
+  ttl : int;
+}
+
+val make : ?ttl:int -> headers:Header.stack -> payload:string -> unit -> t
+(** Default TTL 64.  @raise Invalid_argument on an empty header stack or
+    non-positive TTL. *)
+
+val decrement_ttl : t -> t option
+(** [None] when the TTL expires. *)
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit

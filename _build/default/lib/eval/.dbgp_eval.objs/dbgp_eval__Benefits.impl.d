@@ -1,0 +1,1 @@
+lib/eval/benefits.ml: Array Dbgp_topology Dbgp_types Format Fun Hashtbl Int List Option Printf Prng

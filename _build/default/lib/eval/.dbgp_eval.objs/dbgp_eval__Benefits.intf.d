@@ -1,0 +1,1 @@
+lib/eval/benefits.mli: Dbgp_topology Format

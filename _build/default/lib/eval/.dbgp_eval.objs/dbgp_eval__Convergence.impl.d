@@ -1,0 +1,1 @@
+lib/eval/convergence.ml: Asn Dbgp_bgp Dbgp_core Dbgp_netsim Dbgp_topology Dbgp_types Format Fun Harness Ipv4 List Prefix Prng Protocol_id String Workload

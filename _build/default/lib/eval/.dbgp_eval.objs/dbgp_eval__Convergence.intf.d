@@ -1,0 +1,1 @@
+lib/eval/convergence.mli: Format

@@ -1,0 +1,1 @@
+lib/eval/empirical_overhead.ml: Asn Dbgp_core Dbgp_types Format Ipv4 Island_id List Overhead Prefix Printf Protocol_id String

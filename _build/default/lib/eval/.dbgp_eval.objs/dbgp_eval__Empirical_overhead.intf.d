@@ -1,0 +1,1 @@
+lib/eval/empirical_overhead.mli: Dbgp_core Format Overhead

@@ -1,0 +1,1 @@
+lib/eval/harness.ml: Asn Dbgp_bgp Dbgp_core Dbgp_netsim Dbgp_protocols Dbgp_types

@@ -1,0 +1,1 @@
+lib/eval/harness.mli: Dbgp_core Dbgp_netsim Dbgp_protocols Dbgp_types

@@ -1,0 +1,1 @@
+lib/eval/loc_report.ml: Filename Format List String

@@ -1,0 +1,1 @@
+lib/eval/rich_world.ml: Asn Dbgp_bgp Dbgp_core Dbgp_netsim Dbgp_protocols Dbgp_types Harness Ipv4 Island_id List Option Prefix Protocol_id

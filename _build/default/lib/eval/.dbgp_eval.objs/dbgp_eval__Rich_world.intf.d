@@ -1,0 +1,1 @@
+lib/eval/rich_world.mli: Dbgp_core

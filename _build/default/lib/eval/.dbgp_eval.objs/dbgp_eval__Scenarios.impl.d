@@ -1,0 +1,1 @@
+lib/eval/scenarios.ml: Asn Dbgp_bgp Dbgp_core Dbgp_dataplane Dbgp_netsim Dbgp_protocols Dbgp_types Engine Forwarder Harness Header Ipv4 Island_id List Option Packet Prefix

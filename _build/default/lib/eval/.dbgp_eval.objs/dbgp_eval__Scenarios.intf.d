@@ -1,0 +1,1 @@
+lib/eval/scenarios.mli: Dbgp_types

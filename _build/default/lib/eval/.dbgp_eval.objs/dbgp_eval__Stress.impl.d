@@ -1,0 +1,1 @@
+lib/eval/stress.ml: Asn Dbgp_bgp Dbgp_core Dbgp_types Format Gc Ipv4 List Printf String Unix Workload

@@ -1,0 +1,1 @@
+lib/eval/stress.mli: Format

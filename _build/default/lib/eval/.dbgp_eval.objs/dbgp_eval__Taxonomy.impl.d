@@ -1,0 +1,1 @@
+lib/eval/taxonomy.ml: Dbgp_types List Protocol_id

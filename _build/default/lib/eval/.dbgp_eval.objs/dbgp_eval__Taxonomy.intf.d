@@ -1,0 +1,1 @@
+lib/eval/taxonomy.mli: Dbgp_types

@@ -1,0 +1,1 @@
+lib/eval/workload.ml: Asn Dbgp_bgp Dbgp_core Dbgp_types Ipv4 List Path_elem Prefix Printf Prng Protocol_id String

@@ -1,0 +1,1 @@
+lib/eval/workload.mli: Dbgp_bgp Dbgp_core

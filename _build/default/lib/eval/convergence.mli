@@ -1,0 +1,51 @@
+(** Convergence-cost experiments (Section 3.5, "Potential concerns").
+
+    The paper argues D-BGP should not worsen convergence, with two
+    caveats: larger IAs make post-session-reset full-table transfers more
+    expensive, and islands switching protocols too often would behave
+    like link flaps.  These experiments quantify all three effects on
+    our substrate:
+
+    - {!vs_size}: messages and simulated convergence time to disseminate
+      one prefix over growing Waxman topologies, with and without a
+      large critical-fix descriptor attached;
+    - {!after_failure}: re-convergence cost when a link on the best path
+      fails;
+    - {!session_reset}: a full-table transfer over a real FSM-driven
+      session, BGP-only vs with IA payloads — the wire-byte
+      amplification of resets. *)
+
+type dissemination = {
+  ases : int;
+  payload_bytes : int;
+  messages : int;
+  bytes : int;
+  converged_at : float;
+}
+
+val vs_size :
+  ?payloads:int list -> ?sizes:int list -> seed:int -> unit -> dissemination list
+(** Defaults: payloads [0; 4096], sizes [50; 100; 200]. *)
+
+type failure = {
+  initial_messages : int;
+  reconvergence_messages : int;
+  still_reachable : bool;  (** the far AS found an alternate path *)
+}
+
+val after_failure : ?ases:int -> seed:int -> unit -> failure
+
+type reset = {
+  prefixes : int;
+  payload_bytes : int;
+  handshake_messages : int;   (** session establishment cost *)
+  initial_transfer_bytes : int;
+  reset_transfer_bytes : int; (** the re-sent full table after the reset *)
+}
+
+val session_reset :
+  ?prefixes:int -> ?payload_bytes:int -> unit -> reset
+
+val pp_dissemination : Format.formatter -> dissemination -> unit
+val pp_failure : Format.formatter -> failure -> unit
+val pp_reset : Format.formatter -> reset -> unit

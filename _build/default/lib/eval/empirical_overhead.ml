@@ -1,0 +1,98 @@
+open Dbgp_types
+module Ia = Dbgp_core.Ia
+module Value = Dbgp_core.Value
+module Codec = Dbgp_core.Codec
+
+type comparison = {
+  label : string;
+  modeled_bytes : int;
+  measured_bytes : int;
+  ratio : float;
+}
+
+let fix_protocols k =
+  List.init k (fun i ->
+      Protocol_id.register ~kind:Protocol_id.Critical_fix
+        (Printf.sprintf "emp-fix-%d" i))
+
+let cr_protocols k =
+  List.init k (fun i ->
+      Protocol_id.register ~kind:Protocol_id.Replacement
+        (Printf.sprintf "emp-repl-%d" i))
+
+let base_ia () =
+  Ia.originate
+    ~prefix:(Prefix.of_string "198.51.100.0/24")
+    ~origin_asn:(Asn.of_int 64501)
+    ~next_hop:(Ipv4.of_string "10.0.0.1")
+    ()
+  |> Ia.prepend_as (Asn.of_int 64502)
+  |> Ia.prepend_as (Asn.of_int 64503)
+
+let build_ia (p : Overhead.params) =
+  let fixes = fix_protocols p.Overhead.cf_per_path in
+  let shared_bytes =
+    int_of_float (float_of_int p.Overhead.ci_per_cf *. (1. -. p.Overhead.cf_unique_frac))
+  in
+  let unique_bytes =
+    int_of_float (float_of_int p.Overhead.ci_per_cf *. p.Overhead.cf_unique_frac)
+  in
+  let ia =
+    (* One descriptor shared by every fix on the path (and BGP). *)
+    Ia.set_path_descriptor
+      ~owners:(Protocol_id.bgp :: fixes)
+      ~field:"shared-control-info"
+      (Value.Bytes (String.make shared_bytes 's'))
+      (base_ia ())
+  in
+  let ia =
+    (* Each fix's unique fraction. *)
+    List.fold_left
+      (fun ia fix ->
+        Ia.set_path_descriptor ~owners:[ fix ]
+          ~field:(Protocol_id.name fix ^ "-unique")
+          (Value.Bytes (String.make unique_bytes 'u'))
+          ia)
+      ia fixes
+  in
+  (* Custom/replacement protocols: island descriptors of CI/CR bytes. *)
+  List.fold_left
+    (fun (ia, i) cr ->
+      ( Ia.add_island_descriptor
+          ~island:(Island_id.named (Printf.sprintf "isl-%d" i))
+          ~proto:cr ~field:"control-info"
+          (Value.Bytes (String.make p.Overhead.ci_per_cr 'r'))
+          ia,
+        i + 1 ))
+    (ia, 0)
+    (cr_protocols p.Overhead.cr_per_path)
+  |> fst
+
+let compare_at ~label (p : Overhead.params) =
+  let modeled =
+    (Overhead.plus_sharing p).Overhead.ia_cf_bytes
+    + (Overhead.plus_sharing p).Overhead.ia_cr_bytes
+  in
+  let ia = build_ia p in
+  let measured = Codec.size ia - Codec.size (base_ia ()) in
+  { label;
+    modeled_bytes = modeled;
+    measured_bytes = measured;
+    ratio = float_of_int measured /. float_of_int (max 1 modeled) }
+
+let mid : Overhead.params =
+  { Overhead.lo with
+    Overhead.cf_per_path = 4;
+    ci_per_cf = 64 * 1024;
+    cf_unique_frac = 0.2;
+    cr_per_path = 4;
+    ci_per_cr = 4 * 1024 }
+
+let run () =
+  [ compare_at ~label:"lo corner" Overhead.lo;
+    compare_at ~label:"mid point" mid;
+    compare_at ~label:"hi corner" Overhead.hi ]
+
+let pp ppf c =
+  Format.fprintf ppf "%-10s modeled %8d B, measured %8d B, ratio %.3f"
+    c.label c.modeled_bytes c.measured_bytes c.ratio

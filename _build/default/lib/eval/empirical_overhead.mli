@@ -1,0 +1,31 @@
+(** Empirical validation of the Table 3 overhead model.
+
+    The analytic model estimates IA sizes from parameter ranges; here we
+    {e construct} real IAs at a parameter point — the configured number
+    of critical fixes per path sharing the configured fraction of their
+    control information, plus custom/replacement island descriptors —
+    encode them with the actual codec, and compare measured bytes with
+    the model's prediction.  Framing (owner lists, field names, varints)
+    makes the measured size slightly larger; the point is that the two
+    agree to within a small factor and move together across parameter
+    points. *)
+
+type comparison = {
+  label : string;
+  modeled_bytes : int;   (** the model's CF + CR contribution *)
+  measured_bytes : int;  (** actual encoded size minus the base IA *)
+  ratio : float;         (** measured / modeled *)
+}
+
+val build_ia : Overhead.params -> Dbgp_core.Ia.t
+(** An IA realizing the parameter point: [cf_per_path] critical fixes
+    (one shared descriptor carrying the common [1 - cf_unique_frac]
+    fraction, plus per-fix unique descriptors), and [cr_per_path] island
+    descriptors of [ci_per_cr] bytes each. *)
+
+val compare_at : label:string -> Overhead.params -> comparison
+
+val run : unit -> comparison list
+(** The model's lo and hi corners plus a mid point. *)
+
+val pp : Format.formatter -> comparison -> unit

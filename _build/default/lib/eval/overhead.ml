@@ -1,0 +1,113 @@
+type params = {
+  prefixes : int;
+  prefixes_dbgp : int;
+  avg_path_len : int;
+  critical_fixes : int;
+  cf_per_path : int;
+  ci_per_cf : int;
+  cf_unique_frac : float;
+  custom_replacements : int;
+  cr_per_path : int;
+  ci_per_cr : int;
+}
+
+let kib = 1024
+
+let lo =
+  { prefixes = 600_000;
+    prefixes_dbgp = 625_000;
+    avg_path_len = 3;
+    critical_fixes = 10;
+    cf_per_path = 3;
+    ci_per_cf = 4 * kib;
+    cf_unique_frac = 0.1;
+    custom_replacements = 10;
+    cr_per_path = 3;
+    ci_per_cr = 100 }
+
+let hi =
+  { prefixes = 1_000_000;
+    prefixes_dbgp = 1_050_000;
+    avg_path_len = 5;
+    critical_fixes = 100;
+    cf_per_path = 5;
+    ci_per_cf = 256 * kib;
+    cf_unique_frac = 0.3;
+    custom_replacements = 1_000;
+    cr_per_path = 5;
+    ci_per_cr = 10 * kib }
+
+let table2 =
+  [ ("# of prefixes", "P", "600,000 - 1,000,000",
+     "600K prefixes in tier-1 ASes' tables today; allow room for growth");
+    ("# of prefixes in D-BGP's Internet", "Pd", "625,000 - 1,050,000",
+     "Allow for more prefixes to allow for off-path discovery");
+    ("Avg. BGP path length", "PL", "3 - 5",
+     "Derived from analysis of routing tables");
+    ("# of critical fixes", "CFs", "10 - 100",
+     "Assume governing body will limit total number");
+    ("Critical fixes / path", "CFs/path", "3 - 5",
+     "Assume one critical fix (or BGP) per hop on path");
+    ("Control info / critical fix", "CI/CF", "4 KB - 256 KB",
+     "4 KB is max size for BGP; up to 256 KB for future protocols");
+    ("Unique control info / critical fix", "CFu", "0.1 - 0.3",
+     "Most critical fixes share majority of control info w/each other");
+    ("# of custom or replacements", "CRs", "10 - 1,000",
+     "Many possible because large fraction need not be regulated");
+    ("Custom or replacements / path", "CR/path", "3 - 5",
+     "Assume one custom/replacement per hop on path");
+    ("Ctrl info / custom or replacement", "CI/CR", "100 B - 10 KB",
+     "Not much info needs to be disseminated outside islands") ]
+
+type row = {
+  name : string;
+  ia_cf_bytes : int;
+  ia_cr_bytes : int;
+  advertisements : int;
+  total_bytes : float;
+}
+
+let mk name cf cr advertisements =
+  { name;
+    ia_cf_bytes = cf;
+    ia_cr_bytes = cr;
+    advertisements;
+    total_bytes = float_of_int advertisements *. float_of_int (cf + cr) }
+
+let basic p =
+  mk "Basic"
+    (p.critical_fixes * p.ci_per_cf)
+    (p.custom_replacements * p.ci_per_cr)
+    p.prefixes_dbgp
+
+let plus_path_lengths p =
+  mk "+ Avg. path lengths"
+    (p.cf_per_path * p.ci_per_cf)
+    (p.cr_per_path * p.ci_per_cr)
+    p.prefixes_dbgp
+
+let plus_sharing p =
+  (* Each of the CFs/path fixes contributes only its unique fraction; the
+     shared majority is carried once. *)
+  let cf =
+    int_of_float
+      ( (float_of_int p.cf_per_path
+        *. float_of_int p.ci_per_cf *. p.cf_unique_frac)
+      +. (float_of_int p.ci_per_cf *. (1. -. p.cf_unique_frac)) )
+  in
+  mk "+ Sharing" cf (p.cr_per_path * p.ci_per_cr) p.prefixes_dbgp
+
+let single_protocol p = mk "Single protocol" p.ci_per_cf 0 p.prefixes
+
+let table3 p = [ basic p; plus_path_lengths p; plus_sharing p; single_protocol p ]
+
+let overhead_ratio p =
+  (plus_sharing p).total_bytes /. (single_protocol p).total_bytes
+
+let pp_bytes ppf b =
+  let gib = 1024. *. 1024. *. 1024. in
+  let mib = 1024. *. 1024. in
+  if b >= gib then Format.fprintf ppf "%.1f GB" (b /. gib)
+  else if b >= mib then Format.fprintf ppf "%.2f MB" (b /. mib)
+  else if b >= 1024. then Format.fprintf ppf "%.1f KB" (b /. 1024.)
+  else Format.fprintf ppf "%.0f B" b

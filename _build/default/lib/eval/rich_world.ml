@@ -1,0 +1,146 @@
+open Dbgp_types
+module Speaker = Dbgp_core.Speaker
+module Ia = Dbgp_core.Ia
+module Network = Dbgp_netsim.Network
+module P = Dbgp_bgp.Policy
+module Wiser = Dbgp_protocols.Wiser
+module Pathlet = Dbgp_protocols.Pathlet
+module Scion = Dbgp_protocols.Scion_like
+module Miro = Dbgp_protocols.Miro
+
+type checks = {
+  wiser_cost : int option;
+  wiser_portal_11 : bool;
+  miro_portal_11 : bool;
+  pathlets_d : int;
+  pathlets_g : int;
+  scion_paths_f : int;
+  islands_on_path : string list;
+  protocols_in_ia : string list;
+}
+
+let prefix = Prefix.of_string "131.4.0.0/24"
+
+let empty_checks =
+  { wiser_cost = None;
+    wiser_portal_11 = false;
+    miro_portal_11 = false;
+    pathlets_d = 0;
+    pathlets_g = 0;
+    scion_paths_f = 0;
+    islands_on_path = [];
+    protocols_in_ia = [] }
+
+let run () =
+  let net = Network.create () in
+  let isl_d = Island_id.named "D"
+  and isl_f = Island_id.named "F"
+  and isl_11 = Island_id.singleton (Asn.of_int 11)
+  and isl_g = Island_id.named "G" in
+  let add ?island ?passthrough n = Harness.add_as net ?island ?passthrough n in
+  let d = add ~island:isl_d 20 in
+  let gulf14 = add 14 in
+  let f = add ~island:isl_f 13 in
+  let eleven = add ~island:isl_11 11 in
+  let g = add ~island:isl_g 12 in
+  let eight = add 8 in
+  ignore gulf14;
+  (* Island D's pathlets (Figure 7: three composable fragments reaching
+     the destination). *)
+  let deliver = Pathlet.Deliver prefix in
+  let d_pathlets =
+    [ Pathlet.make ~fid:1 [ Pathlet.Router "dr1"; Pathlet.Router "dr2" ];
+      Pathlet.make ~fid:5 [ Pathlet.Router "dr2"; Pathlet.Router "dr4" ];
+      Pathlet.make ~fid:9 [ Pathlet.Router "dr4"; deliver ] ]
+  in
+  Speaker.add_module d
+    (Pathlet.decision_module ~island:isl_d ~exported:(fun () -> d_pathlets));
+  Speaker.set_active d prefix Pathlet.protocol;
+  (* Island F: SCION with two within-island paths. *)
+  let f_paths = [ [ "fr1"; "fr9"; "fr11"; "fr7" ]; [ "fr1"; "fr2"; "fr3"; "fr7" ] ] in
+  Speaker.add_module f
+    (Scion.decision_module ~island:isl_f ~exported:(fun () -> f_paths));
+  Speaker.set_active f prefix Scion.protocol;
+  (* Island 11: Wiser (cost 75) in parallel with a MIRO service. *)
+  let wiser =
+    Wiser.create
+      { Wiser.my_island = isl_11;
+        internal_cost = 75;
+        portal = Ipv4.of_string "172.16.11.1";
+        io = Dbgp_protocols.Portal_io.null }
+  in
+  Speaker.add_module eleven (Wiser.decision_module wiser);
+  Speaker.set_active eleven prefix Wiser.protocol;
+  let miro =
+    Miro.create
+      { Miro.my_island = isl_11;
+        portal = Ipv4.of_string "172.16.11.2";
+        offers =
+          [ { Miro.dest = prefix;
+              via = "premium";
+              price = 42;
+              tunnel_endpoint = Ipv4.of_string "172.16.11.3" } ] }
+  in
+  (* MIRO is coordinated out-of-band; its descriptors ride along via an
+     export filter on island 11's session toward island G. *)
+  let miro_filter ia = Some (Miro.advertise miro ia) in
+  (* Island G: pathlets of its own, including the inter-island pathlet
+     toward island D (Figure 7's (gr10, dr1)). *)
+  let g_pathlets =
+    [ Pathlet.make ~fid:1 [ Pathlet.Router "gr1"; Pathlet.Router "gr4" ];
+      Pathlet.make ~fid:3 [ Pathlet.Router "gr4"; Pathlet.Router "gr10" ];
+      Pathlet.make ~fid:6 [ Pathlet.Router "gr1"; Pathlet.Router "gr3" ];
+      Pathlet.make ~fid:7 [ Pathlet.Router "gr3"; Pathlet.Router "gr10" ];
+      Pathlet.make ~fid:8 [ Pathlet.Router "gr10"; Pathlet.Router "dr1" ] ]
+  in
+  Speaker.add_module g
+    (Pathlet.decision_module ~island:isl_g ~exported:(fun () -> g_pathlets));
+  Speaker.set_active g prefix Pathlet.protocol;
+  (* Advertisement chain: D -> 14 -> F -> 11 -> G -> 8. *)
+  let cust a b = Harness.cust net a b in
+  cust 20 14;
+  cust 14 13;
+  cust 13 11;
+  Network.link net ~a:(Asn.of_int 11) ~b:(Asn.of_int 12) ~b_is:P.To_provider
+    ~a_export:miro_filter ();
+  cust 12 8;
+  (* The origin island attaches its own pathlets when creating the IA
+     (contribution happens at re-advertisement, origination is direct). *)
+  Network.originate net (Asn.of_int 20)
+    (Pathlet.attach ~island:isl_d d_pathlets
+       (Ia.originate ~prefix ~origin_asn:(Asn.of_int 20)
+          ~next_hop:(Network.speaker_addr (Asn.of_int 20))
+          ()));
+  ignore (Network.run net);
+  match Speaker.best eight prefix with
+  | None -> (None, empty_checks)
+  | Some chosen ->
+    let ia = chosen.Speaker.candidate.Dbgp_core.Decision_module.ia in
+    let pathlets_of isl =
+      match List.assoc_opt isl (Pathlet.extract ia) with
+      | Some ps -> List.length ps
+      | None -> 0
+    in
+    let checks =
+      { wiser_cost = Wiser.cost_of ia;
+        wiser_portal_11 =
+          Option.is_some
+            (Ia.find_island_descriptor ~island:isl_11 ~proto:Wiser.protocol
+               ~field:Wiser.field_portal ia);
+        miro_portal_11 =
+          List.exists
+            (fun d -> Island_id.equal d.Miro.island isl_11)
+            (Miro.discover ia);
+        pathlets_d = pathlets_of isl_d;
+        pathlets_g = pathlets_of isl_g;
+        scion_paths_f = List.length (Scion.extract ~island:isl_f ia);
+        islands_on_path = List.map Island_id.to_string (Ia.islands_on_path ia);
+        protocols_in_ia =
+          List.map Protocol_id.name
+            (Protocol_id.Set.elements (Ia.protocols ia)) }
+    in
+    (Some ia, checks)
+
+let expected_ok c =
+  Option.is_some c.wiser_cost && c.wiser_portal_11 && c.miro_portal_11
+  && c.pathlets_d >= 3 && c.pathlets_g >= 5 && c.scion_paths_f >= 2

@@ -1,0 +1,27 @@
+(** The rich, evolvable Internet of Figures 6 and 7.
+
+    A chain of heterogeneous islands serves prefix 131.4.0.0/24 from a
+    Pathlet-Routing island D through a BGP gulf (AS 14), a SCION island
+    (F), a Wiser-//-MIRO island (11), and a second Pathlet island (G) to
+    a plain AS 8.  Figure 7 is the IA disseminated by island G to island
+    8 — this module rebuilds the topology on the simulator and checks
+    that every piece of Figure 7 survives the trip. *)
+
+type checks = {
+  wiser_cost : int option;     (** island 11's contribution (Fig 7: 75) *)
+  wiser_portal_11 : bool;      (** cost-exchange portal descriptor *)
+  miro_portal_11 : bool;       (** MIRO service portal descriptor *)
+  pathlets_d : int;            (** island D's pathlets carried *)
+  pathlets_g : int;            (** island G's pathlets carried *)
+  scion_paths_f : int;         (** island F's within-island paths *)
+  islands_on_path : string list;
+  protocols_in_ia : string list;
+}
+
+val run : unit -> Dbgp_core.Ia.t option * checks
+(** The IA received by AS 8 and the extracted checks.  [None] IA (and
+    all-empty checks) only if the route failed to propagate. *)
+
+val expected_ok : checks -> bool
+(** All Figure-7 content present: cost, both portals, pathlets from both
+    pathlet islands, at least two SCION paths. *)

@@ -1,0 +1,377 @@
+open Dbgp_types
+module Speaker = Dbgp_core.Speaker
+module Ia = Dbgp_core.Ia
+module Value = Dbgp_core.Value
+module Network = Dbgp_netsim.Network
+module Lookup = Dbgp_netsim.Lookup_service
+module P = Dbgp_bgp.Policy
+module Wiser = Dbgp_protocols.Wiser
+module Pathlet = Dbgp_protocols.Pathlet
+module Scion = Dbgp_protocols.Scion_like
+module Miro = Dbgp_protocols.Miro
+module Portal_io = Dbgp_protocols.Portal_io
+
+let io_of = Harness.io_of
+let add_as = Harness.add_as
+let cust = Harness.cust
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 / Section 3.4: Wiser across a gulf                         *)
+(* ------------------------------------------------------------------ *)
+
+type wiser_result = {
+  cost_seen : int option;
+  chose_low_cost : bool;
+  portal_seen : bool;
+  cost_seen_bgp : int option;
+  chose_low_cost_bgp : bool;
+}
+
+let wiser_prefix = Prefix.of_string "128.6.0.0/24"
+
+(* D=1, E1=2 (cost 100), E2=3 (cost 10) form island W; G1=4, G2=5, G3=6
+   are the gulf; S=10 is the upgraded source island.  The short path runs
+   via E1/G1, the long cheap one via E2/G2/G3. *)
+let run_wiser ~passthrough_gulf =
+  let net = Network.create () in
+  let island_w = Island_id.named "W" and island_b = Island_id.named "B" in
+  let io = io_of net in
+  let portal_w = Ipv4.of_string "172.16.0.1"
+  and portal_b = Ipv4.of_string "172.16.0.2" in
+  let wiser_at island portal cost =
+    Wiser.create { Wiser.my_island = island; internal_cost = cost; portal; io }
+  in
+  let d = add_as net ~island:island_w 1 in
+  let e1 = add_as net ~island:island_w 2 in
+  let e2 = add_as net ~island:island_w 3 in
+  let _g1 = add_as net ~passthrough:passthrough_gulf 4 in
+  let _g2 = add_as net ~passthrough:passthrough_gulf 5 in
+  let _g3 = add_as net ~passthrough:passthrough_gulf 6 in
+  let s = add_as net ~island:island_b 10 in
+  let instances =
+    [ (d, wiser_at island_w portal_w 0);
+      (e1, wiser_at island_w portal_w 100);
+      (e2, wiser_at island_w portal_w 10);
+      (s, wiser_at island_b portal_b 1) ]
+  in
+  List.iter
+    (fun (sp, w) ->
+      Speaker.add_module sp (Wiser.decision_module w);
+      Speaker.set_active sp wiser_prefix Wiser.protocol)
+    instances;
+  cust net 1 2;
+  cust net 1 3;
+  cust net 2 4;
+  cust net 4 10;
+  cust net 3 5;
+  cust net 5 6;
+  cust net 6 10;
+  Network.originate net (Asn.of_int 1)
+    (Ia.originate ~prefix:wiser_prefix ~origin_asn:(Asn.of_int 1)
+       ~next_hop:(Network.speaker_addr (Asn.of_int 1))
+       ());
+  ignore (Network.run net);
+  match Speaker.best s wiser_prefix with
+  | None -> (None, false, false)
+  | Some chosen ->
+    let ia = chosen.Speaker.candidate.Dbgp_core.Decision_module.ia in
+    let via_e2 = List.mem (Asn.of_int 3) (Ia.asns_on_path ia) in
+    let portal = Wiser.upstream_portal ~my_island:island_b ia in
+    (Wiser.cost_of ia, via_e2, Option.is_some portal)
+
+let wiser_across_gulf () =
+  let cost_seen, chose_low_cost, portal_seen = run_wiser ~passthrough_gulf:true in
+  let cost_seen_bgp, chose_low_cost_bgp, _ = run_wiser ~passthrough_gulf:false in
+  { cost_seen; chose_low_cost; portal_seen; cost_seen_bgp; chose_low_cost_bgp }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8, Pathlet arm                                                *)
+(* ------------------------------------------------------------------ *)
+
+type pathlet_result = {
+  expected : int;
+  seen : int;
+  seen_bgp : int;
+  end_to_end : int;
+}
+
+let pathlet_prefix = Prefix.of_string "131.1.0.0/24"
+
+(* Island A: A1=101 hosts the destination, borders A2=102 and A3=103.
+   Gulf: G1=201, G2=202.  Island B: border B1=301, source S=302.
+
+   One-hop pathlets inside island A (over routers named "ar..."):
+     p1: ar2 -> arm        p2: arm -> deliver
+     p3: ar2 -> ar1        p4: ar1 -> deliver
+     p5: ar3 -> arx        p6: arx -> deliver
+   A2 composes p1 o p2 into the two-hop pathlet P10 and advertises
+   {P10, p3, p4}; A3 advertises {p5, p6}.  All five must reach S. *)
+let run_pathlet ~passthrough_gulf =
+  let net = Network.create () in
+  let island_a = Island_id.named "A" and island_b = Island_id.named "B" in
+  let deliver = Pathlet.Deliver pathlet_prefix in
+  let p1 = Pathlet.make ~fid:1 [ Pathlet.Router "ar2"; Pathlet.Router "arm" ] in
+  let p2 = Pathlet.make ~fid:2 [ Pathlet.Router "arm"; deliver ] in
+  let p3 = Pathlet.make ~fid:3 [ Pathlet.Router "ar2"; Pathlet.Router "ar1" ] in
+  let p4 = Pathlet.make ~fid:4 [ Pathlet.Router "ar1"; deliver ] in
+  let p5 = Pathlet.make ~fid:5 [ Pathlet.Router "ar3"; Pathlet.Router "arx" ] in
+  let p6 = Pathlet.make ~fid:6 [ Pathlet.Router "arx"; deliver ] in
+  let p10 = Pathlet.compose ~fid:10 p1 p2 in
+  let a1 = add_as net ~island:island_a 101 in
+  let a2 = add_as net ~island:island_a 102 in
+  let a3 = add_as net ~island:island_a 103 in
+  let _g1 = add_as net ~passthrough:passthrough_gulf 201 in
+  let _g2 = add_as net ~passthrough:passthrough_gulf 202 in
+  let b1 = add_as net ~island:island_b 301 in
+  let s = add_as net ~island:island_b 302 in
+  let attach sp exported =
+    Speaker.add_module sp
+      (Pathlet.decision_module ~island:island_a ~exported:(fun () -> exported));
+    Speaker.set_active sp pathlet_prefix Pathlet.protocol
+  in
+  attach a1 [];
+  attach a2 [ p10; p3; p4 ];
+  attach a3 [ p5; p6 ];
+  (* Island B's border and source run Pathlet Routing too; they export
+     nothing of their own for this prefix. *)
+  List.iter
+    (fun sp ->
+      Speaker.add_module sp
+        (Pathlet.decision_module ~island:island_b ~exported:(fun () -> []));
+      Speaker.set_active sp pathlet_prefix Pathlet.protocol)
+    [ b1; s ];
+  cust net 101 102;
+  cust net 101 103;
+  cust net 102 201;
+  cust net 201 301;
+  cust net 103 202;
+  cust net 202 301;
+  cust net 301 302;
+  Network.originate net (Asn.of_int 101)
+    (Ia.originate ~prefix:pathlet_prefix ~origin_asn:(Asn.of_int 101)
+       ~next_hop:(Network.speaker_addr (Asn.of_int 101))
+       ());
+  ignore (Network.run net);
+  (* B1 is island B's border: its ingress translation module ingests
+     pathlets from every IA it received, and island-internal
+     dissemination carries them to S (modeled as a shared store). *)
+  let translation =
+    Pathlet.translation ~island:island_b ~origin_asn:(Asn.of_int 301)
+      ~next_hop:(Network.speaker_addr (Asn.of_int 301))
+  in
+  let store = Pathlet.Store.create () in
+  List.iter
+    (fun (_, ia) ->
+      match translation.Dbgp_core.Translation.ingress ia with
+      | Some pathlets -> List.iter (Pathlet.Store.add store) pathlets
+      | None -> ())
+    (Speaker.candidates_for b1 pathlet_prefix);
+  let seen = Pathlet.Store.size store in
+  let end_to_end =
+    List.length (Pathlet.Store.routes_to store ~from:"ar2" ~dest:pathlet_prefix)
+  in
+  (seen, end_to_end)
+
+let pathlet_across_gulf () =
+  let seen, end_to_end = run_pathlet ~passthrough_gulf:true in
+  let seen_bgp, _ = run_pathlet ~passthrough_gulf:false in
+  { expected = 5; seen; seen_bgp; end_to_end }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: MIRO off-path discovery                                    *)
+(* ------------------------------------------------------------------ *)
+
+type miro_result = {
+  discovered : bool;
+  discovered_bgp : bool;
+  negotiated : (string * Ipv4.t) option;
+  tunnel_works : bool;
+}
+
+let miro_service_prefix = Prefix.of_string "173.82.2.0/24"
+
+(* D=1 -> X=2 -> T=3 is the default path; M=4 hangs off X and sells
+   alternate paths.  T must discover M's service although M is not on
+   T's path to D. *)
+let run_miro ~passthrough_gulf =
+  let net = Network.create () in
+  let island_m = Island_id.named "M" in
+  let io = io_of net in
+  let portal = Ipv4.of_string "172.16.1.1" in
+  let tunnel_endpoint = Ipv4.of_string "173.82.2.1" in
+  let miro =
+    Miro.create
+      { Miro.my_island = island_m;
+        portal;
+        offers =
+          [ { Miro.dest = Prefix.of_string "131.9.0.0/24";
+              via = "alt-1";
+              price = 10;
+              tunnel_endpoint } ] }
+  in
+  Lookup.register_handler (Network.lookup net) ~portal ~service:Miro.service
+    (Miro.serve miro);
+  let _d = add_as net 1 in
+  let _x = add_as net ~passthrough:passthrough_gulf 2 in
+  let t = add_as net 3 in
+  let _m = add_as net ~island:island_m 4 in
+  cust net 1 2;
+  cust net 2 3;
+  cust net 4 2;
+  (* M originates its service prefix with the MIRO island descriptor. *)
+  Network.originate net (Asn.of_int 4)
+    (Miro.advertise miro
+       (Ia.originate ~prefix:miro_service_prefix ~origin_asn:(Asn.of_int 4)
+          ~next_hop:(Network.speaker_addr (Asn.of_int 4))
+          ()));
+  Network.originate net (Asn.of_int 1)
+    (Ia.originate ~prefix:(Prefix.of_string "131.9.0.0/24")
+       ~origin_asn:(Asn.of_int 1)
+       ~next_hop:(Network.speaker_addr (Asn.of_int 1))
+       ());
+  ignore (Network.run net);
+  match Speaker.best t miro_service_prefix with
+  | None -> (false, None)
+  | Some chosen ->
+    let ia = chosen.Speaker.candidate.Dbgp_core.Decision_module.ia in
+    ( match Miro.discover ia with
+      | [] -> (false, None)
+      | svc :: _ ->
+        let deal =
+          Miro.negotiate ~io ~portal:svc.Miro.portal_addr
+            ~dest:(Prefix.of_string "131.9.0.0/24") ~budget:50
+        in
+        (true, deal) )
+
+let miro_discovery () =
+  let discovered, negotiated = run_miro ~passthrough_gulf:true in
+  let discovered_bgp, _ = run_miro ~passthrough_gulf:false in
+  let tunnel_works =
+    match negotiated with
+    | None -> false
+    | Some (_, endpoint) ->
+      (* Data plane: T tunnels toward the endpoint; M terminates it. *)
+      let open Dbgp_dataplane in
+      let engine = Engine.create () in
+      let fwd asn = Forwarder.create ~me:(Asn.of_int asn) () in
+      let ft = fwd 3 and fx = fwd 2 and fm = fwd 4 in
+      Forwarder.set_ip_route ft miro_service_prefix
+        (Forwarder.To_as (Asn.of_int 2));
+      Forwarder.set_ip_route fx miro_service_prefix
+        (Forwarder.To_as (Asn.of_int 4));
+      Forwarder.add_local_addr fm endpoint;
+      (* Inside M the decapsulated traffic enters the purchased alternate
+         path; its continuation is M's business, modeled as local handoff. *)
+      Forwarder.set_ip_route fm (Prefix.of_string "131.9.0.0/24")
+        Forwarder.Local;
+      List.iter (Engine.add engine) [ ft; fx; fm ];
+      let pkt =
+        Packet.make
+          ~headers:
+            [ Header.Tunnel_hdr { endpoint };
+              Header.Ipv4_hdr
+                { src = Network.speaker_addr (Asn.of_int 3);
+                  dst = Prefix.network (Prefix.of_string "131.9.0.0/24") } ]
+          ~payload:"hello" ()
+      in
+      ( match Engine.route engine ~from:(Asn.of_int 3) pkt with
+        | Engine.Delivered { at; _ } -> Asn.equal at (Asn.of_int 4)
+        | Engine.Dropped _ -> false )
+  in
+  { discovered; discovered_bgp; negotiated; tunnel_works }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: SCION multipath across a gulf                              *)
+(* ------------------------------------------------------------------ *)
+
+type scion_result = {
+  paths_seen : int;
+  paths_seen_bgp : int;
+  forwarded_on_extra : bool;
+}
+
+let scion_prefix = Prefix.of_string "131.5.0.0/24"
+
+(* Island A (A1=1 origin, A2=2 border) exposes two within-island paths;
+   G=3 is the gulf; island B (B1=4 border, S=5).  Path 1 = [arin; ard]
+   is the redistributed one; path 2 = [arin; armid; ard] is the extra
+   one BGP loses. *)
+let scion_paths = [ [ "arin"; "ard" ]; [ "arin"; "armid"; "ard" ] ]
+
+let run_scion ~passthrough_gulf =
+  let net = Network.create () in
+  let island_a = Island_id.named "A" and island_b = Island_id.named "B" in
+  let a1 = add_as net ~island:island_a 1 in
+  let a2 = add_as net ~island:island_a 2 in
+  let _g = add_as net ~passthrough:passthrough_gulf 3 in
+  let b1 = add_as net ~island:island_b 4 in
+  let s = add_as net ~island:island_b 5 in
+  let attach sp island paths =
+    Speaker.add_module sp
+      (Scion.decision_module ~island ~exported:(fun () -> paths));
+    Speaker.set_active sp scion_prefix Scion.protocol
+  in
+  attach a1 island_a [];
+  attach a2 island_a scion_paths;
+  attach b1 island_b [];
+  attach s island_b [];
+  cust net 1 2;
+  cust net 2 3;
+  cust net 3 4;
+  cust net 4 5;
+  Network.originate net (Asn.of_int 1)
+    (Ia.originate ~prefix:scion_prefix ~origin_asn:(Asn.of_int 1)
+       ~next_hop:(Network.speaker_addr (Asn.of_int 1))
+       ());
+  ignore (Network.run net);
+  match Speaker.best s scion_prefix with
+  | None -> 0
+  | Some chosen ->
+    List.length
+      (Scion.extract ~island:island_a
+         chosen.Speaker.candidate.Dbgp_core.Decision_module.ia)
+
+let scion_multipath () =
+  let paths_seen = run_scion ~passthrough_gulf:true in
+  let paths_seen_bgp = run_scion ~passthrough_gulf:false in
+  let forwarded_on_extra =
+    (* Drive the extra (three-hop) path through the data plane. *)
+    let open Dbgp_dataplane in
+    let engine = Engine.create () in
+    let fwd asn = Forwarder.create ~me:(Asn.of_int asn) () in
+    let fa1 = fwd 1 and fa2 = fwd 2 and fg = fwd 3 and fb1 = fwd 4 and fs = fwd 5 in
+    (* IPv4 route toward island A's ingress address for gulf crossing. *)
+    let ingress_addr = Network.speaker_addr (Asn.of_int 2) in
+    Forwarder.set_ip_route fs scion_prefix (Forwarder.To_as (Asn.of_int 4));
+    Forwarder.set_ip_route fb1 scion_prefix (Forwarder.To_as (Asn.of_int 3));
+    Forwarder.set_ip_route fg scion_prefix (Forwarder.To_as (Asn.of_int 2));
+    Forwarder.set_ip_route fs (Prefix.make ingress_addr 32)
+      (Forwarder.To_as (Asn.of_int 4));
+    Forwarder.set_ip_route fb1 (Prefix.make ingress_addr 32)
+      (Forwarder.To_as (Asn.of_int 3));
+    Forwarder.set_ip_route fg (Prefix.make ingress_addr 32)
+      (Forwarder.To_as (Asn.of_int 2));
+    Forwarder.add_local_addr fa2 ingress_addr;
+    Forwarder.claim_router fa2 ~router:"arin";
+    Forwarder.set_router_port fa2 ~router:"armid" (Forwarder.To_as (Asn.of_int 1));
+    Forwarder.claim_router fa1 ~router:"armid";
+    Forwarder.claim_router fa1 ~router:"ard";
+    Forwarder.set_ip_route fa1 scion_prefix Forwarder.Local;
+    List.iter (Engine.add engine) [ fa1; fa2; fg; fb1; fs ];
+    let pkt =
+      Packet.make
+        ~headers:
+          [ Header.Tunnel_hdr { endpoint = ingress_addr };
+            Header.Scion_hdr { path = [ "arin"; "armid"; "ard" ]; pos = 0 };
+            Header.Ipv4_hdr
+              { src = Network.speaker_addr (Asn.of_int 5);
+                dst = Prefix.network scion_prefix } ]
+        ~payload:"data" ()
+    in
+    match Engine.route engine ~from:(Asn.of_int 5) pkt with
+    | Engine.Delivered { at; path } ->
+      Asn.equal at (Asn.of_int 1)
+      && List.exists (Asn.equal (Asn.of_int 2)) path
+    | Engine.Dropped _ -> false
+  in
+  { paths_seen; paths_seen_bgp; forwarded_on_extra }

@@ -1,0 +1,123 @@
+open Dbgp_types
+module Speaker = Dbgp_core.Speaker
+module Peer = Dbgp_core.Peer
+
+type result = {
+  label : string;
+  advertisements : int;
+  peers : int;
+  avg_adv_bytes : int;
+  elapsed_s : float;
+  prefixes_per_s : float;
+}
+
+let time f =
+  (* Isolate arms from each other's garbage. *)
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let mk_result label ~advertisements ~peers ~total_bytes elapsed_s =
+  { label;
+    advertisements;
+    peers;
+    avg_adv_bytes = (if advertisements = 0 then 0 else total_bytes / advertisements);
+    elapsed_s;
+    prefixes_per_s =
+      (if elapsed_s > 0. then float_of_int advertisements /. elapsed_s else 0.) }
+
+let run_quagga_equivalent ?(peers = 6) ~advertisements () =
+  let s = Workload.spec ~advertisements () in
+  let wire =
+    Workload.generate_updates s
+    |> List.map (fun u -> Dbgp_bgp.Message.encode (Dbgp_bgp.Message.Update u))
+  in
+  let total_bytes = List.fold_left (fun a m -> a + String.length m) 0 wire in
+  let rib = Dbgp_bgp.Rib.create () in
+  let peer_addr i = Ipv4.of_octets 192 168 0 (1 + (i mod peers)) in
+  let (), elapsed =
+    time (fun () ->
+        List.iteri
+          (fun i msg ->
+            match Dbgp_bgp.Message.decode msg with
+            | Dbgp_bgp.Message.Update { attrs = Some attrs; nlri; _ } ->
+              List.iter
+                (fun prefix ->
+                  let peer = peer_addr i in
+                  let cand =
+                    { Dbgp_bgp.Decision.attrs;
+                      from_peer = peer;
+                      from_asn =
+                        ( match Dbgp_bgp.Attr.as_path_asns attrs.Dbgp_bgp.Attr.as_path with
+                          | a :: _ -> a
+                          | [] -> Asn.of_int 65000 );
+                      ebgp = true }
+                  in
+                  Dbgp_bgp.Rib.adj_in_set rib ~peer prefix cand;
+                  let cands =
+                    List.map snd (Dbgp_bgp.Rib.adj_in_candidates rib prefix)
+                  in
+                  match Dbgp_bgp.Decision.best cands with
+                  | Some best -> Dbgp_bgp.Rib.loc_set rib prefix best
+                  | None -> Dbgp_bgp.Rib.loc_del rib prefix)
+                nlri
+            | _ -> ())
+          wire)
+  in
+  mk_result "Quagga-equivalent (BGP-only)" ~advertisements ~peers ~total_bytes
+    elapsed
+
+let run_beagle ?(peers = 6) ?(payload_bytes = 0) ~advertisements () =
+  let s = Workload.spec ~payload_bytes ~advertisements () in
+  let wire = List.map Dbgp_core.Codec.encode (Workload.generate s) in
+  let total_bytes = List.fold_left (fun a m -> a + String.length m) 0 wire in
+  let speaker =
+    Speaker.create
+      (Speaker.config ~asn:(Asn.of_int 64512)
+         ~addr:(Ipv4.of_octets 192 168 1 1) ())
+  in
+  let peer_of i =
+    Peer.make
+      ~asn:(Asn.of_int (65001 + (i mod peers)))
+      ~addr:(Ipv4.of_octets 192 168 0 (1 + (i mod peers)))
+  in
+  for i = 0 to peers - 1 do
+    Speaker.add_neighbor speaker
+      (Speaker.neighbor ~relationship:Dbgp_bgp.Policy.To_peer (peer_of i))
+  done;
+  let label =
+    if payload_bytes = 0 then "Beagle (BGP-only IAs)"
+    else Printf.sprintf "Beagle (%d KB IAs)" (payload_bytes / 1024)
+  in
+  let (), elapsed =
+    time (fun () ->
+        List.iteri
+          (fun i msg ->
+            let ia = Dbgp_core.Codec.decode msg in
+            let outbox =
+              Speaker.receive speaker ~from:(peer_of i) (Speaker.Announce ia)
+            in
+            (* Re-serialize what the router disseminates — the cost the
+               paper attributes Beagle's decay with IA size to. *)
+            List.iter
+              (fun (_, out) ->
+                match out with
+                | Speaker.Announce ia -> ignore (Dbgp_core.Codec.encode ia)
+                | Speaker.Withdraw _ -> ())
+              outbox)
+          wire)
+  in
+  mk_result label ~advertisements ~peers ~total_bytes elapsed
+
+let suite ?(advertisements = 2_000) () =
+  (* Every arm replays the same number of advertisements so RIB-size
+     effects cancel and only the serialization cost differs. *)
+  [ run_quagga_equivalent ~advertisements ();
+    run_beagle ~advertisements ();
+    run_beagle ~payload_bytes:(32 * 1024) ~advertisements ();
+    run_beagle ~payload_bytes:(256 * 1024) ~advertisements () ]
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-28s %8d advs  %6d B/adv  %8.2fs  %10.0f prefixes/s"
+    r.label r.advertisements r.avg_adv_bytes r.elapsed_s r.prefixes_per_s

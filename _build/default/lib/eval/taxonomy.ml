@@ -1,0 +1,132 @@
+open Dbgp_types
+
+type scenario = Critical_fix | Custom_protocol | Replacement_protocol
+
+type data_plane_need = Tunnels | Custom_headers | Multi_network_proto_headers
+
+type entry = {
+  name : string;
+  protocol : Protocol_id.t;
+  scenario : scenario;
+  summary : string;
+  control_info : string list;
+  data_plane : data_plane_need list;
+  implemented_by : string option;
+}
+
+let entries =
+  [ { name = "BGPSec";
+      protocol = Protocol_id.bgpsec;
+      scenario = Critical_fix;
+      summary = "Prevents path hijacking";
+      control_info = [ "Path attestations" ];
+      data_plane = [];
+      implemented_by = Some "Dbgp_protocols.Bgpsec_like" };
+    { name = "EQ-BGP";
+      protocol = Protocol_id.eq_bgp;
+      scenario = Critical_fix;
+      summary = "Adds end-to-end QoS";
+      control_info = [ "QoS metrics" ];
+      data_plane = [];
+      implemented_by = Some "Dbgp_protocols.Eqbgp" };
+    { name = "Xiao et al.";
+      protocol = Protocol_id.register ~kind:Protocol_id.Critical_fix "xiao-qos";
+      scenario = Critical_fix;
+      summary = "Adds end-to-end QoS";
+      control_info = [ "QoS metrics" ];
+      data_plane = [];
+      implemented_by = Some "Dbgp_protocols.Eqbgp (same descriptor shape)" };
+    { name = "LISP";
+      protocol = Protocol_id.lisp;
+      scenario = Critical_fix;
+      summary = "Supports mobility";
+      control_info = [ "Dest. ingress IDs" ];
+      data_plane = [];
+      implemented_by = Some "Dbgp_protocols.Lisp_like" };
+    { name = "R-BGP";
+      protocol = Protocol_id.r_bgp;
+      scenario = Critical_fix;
+      summary = "Enables quick failover";
+      control_info = [ "Extra backup paths" ];
+      data_plane = [];
+      implemented_by = Some "Dbgp_protocols.Rbgp" };
+    { name = "Wiser";
+      protocol = Protocol_id.wiser;
+      scenario = Critical_fix;
+      summary = "Limits ingress traffic";
+      control_info = [ "Path costs" ];
+      data_plane = [];
+      implemented_by = Some "Dbgp_protocols.Wiser" };
+    { name = "MIRO";
+      protocol = Protocol_id.miro;
+      scenario = Custom_protocol;
+      summary = "Exposes alt. paths";
+      control_info = [ "Service's existence" ];
+      data_plane = [ Tunnels ];
+      implemented_by = Some "Dbgp_protocols.Miro" };
+    { name = "Arrow";
+      protocol = Protocol_id.arrow;
+      scenario = Custom_protocol;
+      summary = "Exposes alt. paths + intra-island QoS";
+      control_info = [ "Service's existence" ];
+      data_plane = [ Tunnels ];
+      implemented_by = Some "Dbgp_protocols.Arrow" };
+    { name = "RON";
+      protocol = Protocol_id.ron;
+      scenario = Custom_protocol;
+      summary = "Creates low-latency paths";
+      control_info = [ "Service's existence" ];
+      data_plane = [ Tunnels ];
+      implemented_by = Some "Dbgp_protocols.Ron" };
+    { name = "NIRA";
+      protocol = Protocol_id.nira;
+      scenario = Replacement_protocol;
+      summary = "Path-based routing";
+      control_info = [ "Multiple paths" ];
+      data_plane = [ Custom_headers; Multi_network_proto_headers ];
+      implemented_by = None };
+    { name = "SCION";
+      protocol = Protocol_id.scion;
+      scenario = Replacement_protocol;
+      summary = "Path-based routing";
+      control_info = [ "Multiple paths" ];
+      data_plane = [ Custom_headers; Multi_network_proto_headers ];
+      implemented_by = Some "Dbgp_protocols.Scion_like" };
+    { name = "Pathlets";
+      protocol = Protocol_id.pathlet;
+      scenario = Replacement_protocol;
+      summary = "Multi-hop routing";
+      control_info = [ "Pathlets" ];
+      data_plane = [ Custom_headers; Multi_network_proto_headers ];
+      implemented_by = Some "Dbgp_protocols.Pathlet" };
+    { name = "YAMR";
+      protocol = Protocol_id.yamr;
+      scenario = Replacement_protocol;
+      summary = "Multi-hop routing";
+      control_info = [ "Pathlets" ];
+      data_plane = [ Custom_headers; Multi_network_proto_headers ];
+      implemented_by = None };
+    { name = "HLP";
+      protocol = Protocol_id.hlp;
+      scenario = Replacement_protocol;
+      summary = "Hybrid PV/LS";
+      control_info = [ "Path costs" ];
+      data_plane = [];
+      implemented_by = Some "Dbgp_protocols.Hlp_like (+ Dbgp_topology.Link_state)" } ]
+
+let by_scenario s = List.filter (fun e -> e.scenario = s) entries
+
+let scenario_name = function
+  | Critical_fix -> "Baseline -> critical fix"
+  | Custom_protocol -> "Baseline -> custom protocol"
+  | Replacement_protocol -> "Baseline -> replacement protocol"
+
+let consistent () =
+  List.for_all
+    (fun e ->
+      match (e.scenario, Protocol_id.kind e.protocol) with
+      | Critical_fix, Protocol_id.Critical_fix
+      | Custom_protocol, Protocol_id.Custom
+      | Replacement_protocol, Protocol_id.Replacement -> true
+      | _ -> false)
+    entries

@@ -1,0 +1,36 @@
+(** Table 1: the 14 analyzed protocols and their evolvability scenarios.
+
+    Machine-checked rather than prose: every entry names the scenario it
+    maps to, the extra control-plane information it must disseminate and
+    the data-plane support it needs, and — where this reproduction
+    implements the protocol — the module that realizes it. *)
+
+type scenario =
+  | Critical_fix          (** baseline -> baseline with critical fix *)
+  | Custom_protocol       (** baseline -> baseline // custom protocol *)
+  | Replacement_protocol  (** baseline -> replacement protocol *)
+
+type data_plane_need =
+  | Tunnels
+  | Custom_headers
+  | Multi_network_proto_headers
+
+type entry = {
+  name : string;
+  protocol : Dbgp_types.Protocol_id.t;
+  scenario : scenario;
+  summary : string;
+  control_info : string list;   (** the Table 1 star items *)
+  data_plane : data_plane_need list;  (** the Table 1 diamond items *)
+  implemented_by : string option;  (** module in this repository, if built *)
+}
+
+val entries : entry list
+(** All 14, in Table 1 order. *)
+
+val by_scenario : scenario -> entry list
+val scenario_name : scenario -> string
+
+val consistent : unit -> bool
+(** Sanity: every entry's registered {!Dbgp_types.Protocol_id.kind}
+    agrees with its scenario. *)

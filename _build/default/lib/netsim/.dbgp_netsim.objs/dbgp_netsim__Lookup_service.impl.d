@@ -1,0 +1,1 @@
+lib/netsim/lookup_service.ml: Dbgp_core Dbgp_types Hashtbl Ipv4 List String

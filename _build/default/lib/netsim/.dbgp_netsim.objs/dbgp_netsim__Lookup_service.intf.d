@@ -1,0 +1,1 @@
+lib/netsim/lookup_service.mli: Dbgp_core Dbgp_types

@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Asn Dbgp_bgp Dbgp_core Dbgp_types Event_queue Hashtbl Ipv4 Island_id List Lookup_service Option Prefix

@@ -1,0 +1,1 @@
+lib/netsim/network.mli: Dbgp_bgp Dbgp_core Dbgp_types Event_queue Lookup_service

@@ -1,0 +1,1 @@
+lib/netsim/session.ml: Dbgp_bgp Dbgp_core Event_queue List Option String

@@ -1,0 +1,1 @@
+lib/netsim/session.mli: Dbgp_bgp Dbgp_core Event_queue

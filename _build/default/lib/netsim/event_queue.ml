@@ -1,0 +1,47 @@
+module Key = struct
+  type t = float * int
+
+  let compare (t1, s1) (t2, s2) =
+    match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+end
+
+module M = Map.Make (Key)
+
+type t = {
+  mutable events : (unit -> unit) M.t;
+  mutable clock : float;
+  mutable seq : int;
+}
+
+let create () = { events = M.empty; clock = 0.; seq = 0 }
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Event_queue.schedule_at: time in the past"
+  else begin
+    t.events <- M.add (time, t.seq) f t.events;
+    t.seq <- t.seq + 1
+  end
+
+let schedule t ~delay f =
+  if delay < 0. then invalid_arg "Event_queue.schedule: negative delay"
+  else schedule_at t ~time:(t.clock +. delay) f
+
+let is_empty t = M.is_empty t.events
+let pending t = M.cardinal t.events
+
+let step t =
+  match M.min_binding_opt t.events with
+  | None -> false
+  | Some (((time, _) as key), f) ->
+    t.events <- M.remove key t.events;
+    t.clock <- time;
+    f ();
+    true
+
+let run ?(max_events = 10_000_000) t =
+  let executed = ref 0 in
+  while !executed < max_events && step t do
+    incr executed
+  done;
+  !executed

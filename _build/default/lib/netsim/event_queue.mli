@@ -1,0 +1,26 @@
+(** Discrete-event priority queue.
+
+    Drives the network simulator: events are thunks scheduled at
+    simulated timestamps, popped in (time, sequence) order so that
+    simultaneous events run in scheduling order — deterministic replay
+    for the whole test and benchmark suite. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** @raise Invalid_argument on negative delay. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** @raise Invalid_argument if [time] is in the simulated past. *)
+
+val is_empty : t -> bool
+val pending : t -> int
+
+val run : ?max_events:int -> t -> int
+(** Pops and executes events until the queue drains or the budget is
+    hit; returns the number executed. *)
+
+val step : t -> bool
+(** Execute one event; [false] if the queue was empty. *)

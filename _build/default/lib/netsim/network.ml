@@ -1,0 +1,184 @@
+open Dbgp_types
+module Speaker = Dbgp_core.Speaker
+module Peer = Dbgp_core.Peer
+
+type stats = {
+  messages : int;
+  announce_bytes : int;
+  withdrawals : int;
+  events : int;
+  converged_at : float;
+}
+
+type t = {
+  q : Event_queue.t;
+  lookup : Lookup_service.t;
+  speakers : (int, Speaker.t) Hashtbl.t;     (* by ASN *)
+  by_addr : (int, int) Hashtbl.t;            (* speaker addr -> ASN *)
+  latencies : (int * int, float) Hashtbl.t;  (* by ASN pair, a < b *)
+  mutable mrai : float;
+  (* Per (src, dst) directed pair: the latest pending message per prefix
+     plus whether a flush is already scheduled. *)
+  pending : (int * int, (Prefix.t, Speaker.msg) Hashtbl.t * bool ref) Hashtbl.t;
+  mutable messages : int;
+  mutable announce_bytes : int;
+  mutable withdrawals : int;
+}
+
+let create () =
+  { q = Event_queue.create ();
+    lookup = Lookup_service.create ();
+    speakers = Hashtbl.create 64;
+    by_addr = Hashtbl.create 64;
+    latencies = Hashtbl.create 64;
+    mrai = 0.;
+    pending = Hashtbl.create 64;
+    messages = 0;
+    announce_bytes = 0;
+    withdrawals = 0 }
+
+let lookup t = t.lookup
+let queue t = t.q
+
+let speaker_addr a =
+  let n = Asn.to_int a in
+  Ipv4.of_octets 10 ((n lsr 16) land 0xFF) ((n lsr 8) land 0xFF) (n land 0xFF)
+
+let add_speaker t s =
+  let addr = Ipv4.to_int (Speaker.addr s) in
+  if Hashtbl.mem t.by_addr addr then
+    invalid_arg "Network.add_speaker: duplicate speaker address"
+  else begin
+    Hashtbl.replace t.speakers (Asn.to_int (Speaker.asn s)) s;
+    Hashtbl.replace t.by_addr addr (Asn.to_int (Speaker.asn s))
+  end
+
+let speaker t a =
+  match Hashtbl.find_opt t.speakers (Asn.to_int a) with
+  | Some s -> s
+  | None -> raise Not_found
+
+let peer_of t a =
+  let s = speaker t a in
+  Peer.make ~asn:(Speaker.asn s) ~addr:(Speaker.addr s)
+
+let lat_key a b =
+  let a = Asn.to_int a and b = Asn.to_int b in
+  if a < b then (a, b) else (b, a)
+
+let latency t a b =
+  Option.value (Hashtbl.find_opt t.latencies (lat_key a b)) ~default:1.0
+
+let prefix_of_msg = function
+  | Speaker.Announce ia -> ia.Dbgp_core.Ia.prefix
+  | Speaker.Withdraw p -> p
+
+let rec dispatch t ~from outbox =
+  List.iter
+    (fun ((peer : Peer.t), msg) ->
+      match Hashtbl.find_opt t.by_addr (Ipv4.to_int peer.Peer.addr) with
+      | None -> () (* neighbor not simulated; drop *)
+      | Some dst_asn ->
+        let dst = Asn.of_int dst_asn in
+        let delay = latency t from dst in
+        if Hashtbl.mem t.latencies (lat_key from dst) then
+          if t.mrai <= 0. then
+            Event_queue.schedule t.q ~delay (fun () -> deliver t ~from ~to_:dst msg)
+          else begin
+            (* MRAI batching: keep only the latest state per prefix and
+               flush the whole batch once per interval. *)
+            let key = (Asn.to_int from, dst_asn) in
+            let batch, scheduled =
+              match Hashtbl.find_opt t.pending key with
+              | Some entry -> entry
+              | None ->
+                let entry = (Hashtbl.create 8, ref false) in
+                Hashtbl.replace t.pending key entry;
+                entry
+            in
+            Hashtbl.replace batch (prefix_of_msg msg) msg;
+            if not !scheduled then begin
+              scheduled := true;
+              Event_queue.schedule t.q ~delay:(t.mrai +. delay) (fun () ->
+                  scheduled := false;
+                  let msgs = Hashtbl.fold (fun _ m acc -> m :: acc) batch [] in
+                  Hashtbl.reset batch;
+                  List.iter (fun m -> deliver t ~from ~to_:dst m) msgs)
+            end
+          end)
+    outbox
+
+and deliver t ~from ~to_ msg =
+  t.messages <- t.messages + 1;
+  ( match msg with
+    | Speaker.Announce ia ->
+      t.announce_bytes <- t.announce_bytes + Dbgp_core.Codec.size ia
+    | Speaker.Withdraw _ -> t.withdrawals <- t.withdrawals + 1 );
+  let s = speaker t to_ in
+  let outbox = Speaker.receive s ~from:(peer_of t from) msg in
+  dispatch t ~from:to_ outbox
+
+let inverse : Dbgp_bgp.Policy.relationship -> Dbgp_bgp.Policy.relationship =
+  function
+  | Dbgp_bgp.Policy.To_customer -> Dbgp_bgp.Policy.To_provider
+  | Dbgp_bgp.Policy.To_provider -> Dbgp_bgp.Policy.To_customer
+  | Dbgp_bgp.Policy.To_peer -> Dbgp_bgp.Policy.To_peer
+
+let link t ?(latency = 1.0) ?(a_import = Dbgp_core.Filters.accept)
+    ?(a_export = Dbgp_core.Filters.accept)
+    ?(b_import = Dbgp_core.Filters.accept)
+    ?(b_export = Dbgp_core.Filters.accept) ?(a_dbgp = true) ?(b_dbgp = true)
+    ~a ~b ~b_is () =
+  let sa = speaker t a and sb = speaker t b in
+  Hashtbl.replace t.latencies (lat_key a b) latency;
+  (* Island co-membership: compare outgoing IA treatment by checking the
+     speakers' configured islands via a probe neighbor; the Speaker API
+     exposes islands only through config, so we thread it via best-effort
+     equality of their egress behaviour.  Simpler and robust: compare the
+     islands recorded at construction time. *)
+  let same_island =
+    match (Speaker.island_of sa, Speaker.island_of sb) with
+    | Some ia, Some ib -> Island_id.equal ia ib
+    | _ -> false
+  in
+  Speaker.add_neighbor sa
+    (Speaker.neighbor ~import:a_import ~export:a_export ~dbgp_capable:b_dbgp
+       ~same_island ~relationship:b_is (peer_of t b));
+  Speaker.add_neighbor sb
+    (Speaker.neighbor ~import:b_import ~export:b_export ~dbgp_capable:a_dbgp
+       ~same_island ~relationship:(inverse b_is) (peer_of t a))
+
+let fail_link t a b =
+  Hashtbl.remove t.latencies (lat_key a b);
+  let sa = speaker t a and sb = speaker t b in
+  let out_a = Speaker.peer_down sa (peer_of t b) in
+  let out_b = Speaker.peer_down sb (peer_of t a) in
+  Event_queue.schedule t.q ~delay:0. (fun () -> dispatch t ~from:a out_a);
+  Event_queue.schedule t.q ~delay:0. (fun () -> dispatch t ~from:b out_b)
+
+let originate t a ia =
+  Event_queue.schedule t.q ~delay:0. (fun () ->
+      let outbox = Speaker.originate (speaker t a) ia in
+      dispatch t ~from:a outbox)
+
+let inject t ~from ~to_ msg =
+  Event_queue.schedule t.q ~delay:0. (fun () ->
+      t.messages <- t.messages + 1;
+      let s = speaker t to_ in
+      let outbox = Speaker.receive s ~from msg in
+      dispatch t ~from:(Speaker.asn s) outbox)
+
+let set_mrai t v =
+  if v < 0. then invalid_arg "Network.set_mrai: negative interval" else t.mrai <- v
+
+let run ?max_events t =
+  let events = Event_queue.run ?max_events t.q in
+  { messages = t.messages;
+    announce_bytes = t.announce_bytes;
+    withdrawals = t.withdrawals;
+    events;
+    converged_at = Event_queue.now t.q }
+
+let asns t =
+  Hashtbl.fold (fun a _ acc -> Asn.of_int a :: acc) t.speakers []
+  |> List.sort Asn.compare

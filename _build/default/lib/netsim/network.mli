@@ -1,0 +1,80 @@
+(** The network simulator: our MiniNeXT substitute.
+
+    Hosts one {!Dbgp_core.Speaker} per AS, delivers control-plane
+    messages over configured links with latency through the shared
+    {!Event_queue}, and accounts message counts and bytes.  The
+    Figure-8 deployment experiments, the motivating-scenario tests and
+    the rich-world reproduction all execute on this harness.
+
+    Neighbor policy lives on the speakers (configure with
+    {!Dbgp_core.Speaker.add_neighbor} or the {!link} convenience); the
+    network only knows connectivity and latency. *)
+
+type t
+
+type stats = {
+  messages : int;        (** control messages delivered *)
+  announce_bytes : int;  (** encoded IA bytes carried *)
+  withdrawals : int;
+  events : int;          (** total simulator events executed *)
+  converged_at : float;  (** simulated time the network went quiet *)
+}
+
+val create : unit -> t
+val lookup : t -> Lookup_service.t
+val queue : t -> Event_queue.t
+
+val speaker_addr : Dbgp_types.Asn.t -> Dbgp_types.Ipv4.t
+(** Deterministic address for an AS's speaker: 10.0.0.0/8 carved by AS
+    number. *)
+
+val add_speaker : t -> Dbgp_core.Speaker.t -> unit
+(** @raise Invalid_argument if a speaker with the same address exists. *)
+
+val speaker : t -> Dbgp_types.Asn.t -> Dbgp_core.Speaker.t
+(** @raise Not_found if the AS is not in the network. *)
+
+val peer_of : t -> Dbgp_types.Asn.t -> Dbgp_core.Peer.t
+
+val link :
+  t ->
+  ?latency:float ->
+  ?a_import:Dbgp_core.Filters.t ->
+  ?a_export:Dbgp_core.Filters.t ->
+  ?b_import:Dbgp_core.Filters.t ->
+  ?b_export:Dbgp_core.Filters.t ->
+  ?a_dbgp:bool ->
+  ?b_dbgp:bool ->
+  a:Dbgp_types.Asn.t ->
+  b:Dbgp_types.Asn.t ->
+  b_is:Dbgp_bgp.Policy.relationship ->
+  unit ->
+  unit
+(** Connects two registered speakers. [b_is] is the relationship of [b]
+    seen from [a] ([To_customer] = b is a's customer); the inverse side
+    is derived.  [same_island] is inferred by comparing the speakers'
+    configured islands. *)
+
+val fail_link : t -> Dbgp_types.Asn.t -> Dbgp_types.Asn.t -> unit
+(** Takes the link down: both speakers drop the session and re-converge. *)
+
+val set_mrai : t -> float -> unit
+(** Minimum route-advertisement interval: with a positive MRAI, messages
+    to each neighbor are batched per prefix and only the latest state is
+    delivered every interval — BGP's standard churn dampener, and the
+    "flexibility in choosing the rate at which to disseminate
+    advertisements" Section 3.5 leans on.  Default 0 (immediate).
+    @raise Invalid_argument on negative values. *)
+
+val originate : t -> Dbgp_types.Asn.t -> Dbgp_core.Ia.t -> unit
+(** Locally originate a route at the AS and schedule its announcements. *)
+
+val inject : t -> from:Dbgp_core.Peer.t -> to_:Dbgp_types.Asn.t ->
+  Dbgp_core.Speaker.msg -> unit
+(** Deliver an arbitrary message as if [from] had sent it (attack and
+    fault-injection tests). *)
+
+val run : ?max_events:int -> t -> stats
+(** Run to quiescence. *)
+
+val asns : t -> Dbgp_types.Asn.t list

@@ -1,0 +1,98 @@
+module Fsm = Dbgp_bgp.Fsm
+module Message = Dbgp_bgp.Message
+
+type callbacks = {
+  on_established : Message.open_msg -> unit;
+  on_update : Message.update -> unit;
+  on_down : unit -> unit;
+}
+
+let null_callbacks =
+  { on_established = (fun _ -> ());
+    on_update = (fun _ -> ());
+    on_down = (fun () -> ()) }
+
+type endpoint = {
+  q : Event_queue.t;
+  latency : float;
+  mutable fsm : Fsm.t;
+  mutable peer : endpoint option;
+  mutable cbs : callbacks;
+  mutable hold_gen : int;
+  mutable keep_gen : int;
+  mutable bytes_sent : int;
+  mutable messages_sent : int;
+}
+
+let rec handle ep ev =
+  let fsm, actions = Fsm.handle ep.fsm ev in
+  ep.fsm <- fsm;
+  List.iter (perform ep) actions
+
+and perform ep = function
+  | Fsm.Send msg ->
+    let wire = Message.encode msg in
+    ep.bytes_sent <- ep.bytes_sent + String.length wire;
+    ep.messages_sent <- ep.messages_sent + 1;
+    ( match ep.peer with
+      | None -> ()
+      | Some peer ->
+        Event_queue.schedule ep.q ~delay:ep.latency (fun () ->
+            handle peer (Fsm.Recv (Message.decode wire))) )
+  | Fsm.Connect_tcp ->
+    (* Simplified transport: after one latency, both sides observe the
+       connection — each accepts it only while still connecting, so a
+       simultaneous open cannot double-fire. *)
+    let deliver side =
+      if Fsm.state side.fsm = Fsm.Connect then handle side Fsm.Tcp_established
+    in
+    Event_queue.schedule ep.q ~delay:ep.latency (fun () ->
+        deliver ep;
+        Option.iter deliver ep.peer)
+  | Fsm.Close_tcp -> ()
+  | Fsm.Session_up o -> ep.cbs.on_established o
+  | Fsm.Session_down -> ep.cbs.on_down ()
+  | Fsm.Deliver_update u -> ep.cbs.on_update u
+  | Fsm.Start_hold_timer h ->
+    ep.hold_gen <- ep.hold_gen + 1;
+    let gen = ep.hold_gen in
+    Event_queue.schedule ep.q ~delay:(float_of_int h) (fun () ->
+        if ep.hold_gen = gen then handle ep Fsm.Hold_timer_expired)
+  | Fsm.Start_keepalive_timer k ->
+    ep.keep_gen <- ep.keep_gen + 1;
+    let gen = ep.keep_gen in
+    Event_queue.schedule ep.q ~delay:(float_of_int (max 1 k)) (fun () ->
+        if ep.keep_gen = gen then handle ep Fsm.Keepalive_timer_expired)
+
+let create q ?(latency = 1.0) ~a ~b () =
+  let mk cfg =
+    { q; latency; fsm = Fsm.create cfg; peer = None; cbs = null_callbacks;
+      hold_gen = 0; keep_gen = 0; bytes_sent = 0; messages_sent = 0 }
+  in
+  let ea = mk a and eb = mk b in
+  ea.peer <- Some eb;
+  eb.peer <- Some ea;
+  (ea, eb)
+
+let set_callbacks ep cbs = ep.cbs <- cbs
+let start ep = handle ep Fsm.Manual_start
+let stop ep = handle ep Fsm.Manual_stop
+
+let drop_connection ep =
+  let fail side =
+    Event_queue.schedule ep.q ~delay:0. (fun () -> handle side Fsm.Tcp_failed)
+  in
+  fail ep;
+  Option.iter fail ep.peer
+
+let state ep = Fsm.state ep.fsm
+
+let send_update ep u =
+  if Fsm.state ep.fsm <> Fsm.Established then
+    invalid_arg "Session.send_update: session not established"
+  else perform ep (Fsm.Send (Message.Update u))
+
+let send_ia ep ia = send_update ep (Dbgp_core.Legacy.to_update ia)
+
+let bytes_sent ep = ep.bytes_sent
+let messages_sent ep = ep.messages_sent

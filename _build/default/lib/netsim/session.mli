@@ -1,0 +1,52 @@
+(** BGP peering sessions driven by the real FSM over the event queue.
+
+    The {!Network} harness abstracts sessions away to focus on IA
+    semantics; this module runs the full session machinery instead —
+    {!Dbgp_bgp.Fsm} states, encoded {!Dbgp_bgp.Message}s on the wire,
+    hold and keepalive timers, TCP failure — so session dynamics
+    (establishment, resets and the re-advertisement storms Section 3.5
+    worries about) can be exercised and measured.
+
+    IAs ride in UPDATE messages via {!Dbgp_core.Legacy}, i.e. exactly
+    the transitional optional-transitive encoding. *)
+
+type endpoint
+
+type callbacks = {
+  on_established : Dbgp_bgp.Message.open_msg -> unit;
+      (** peer's OPEN, post-capability exchange *)
+  on_update : Dbgp_bgp.Message.update -> unit;
+  on_down : unit -> unit;
+}
+
+val null_callbacks : callbacks
+
+val create :
+  Event_queue.t ->
+  ?latency:float ->
+  a:Dbgp_bgp.Fsm.config ->
+  b:Dbgp_bgp.Fsm.config ->
+  unit ->
+  endpoint * endpoint
+(** A point-to-point session; both endpoints must {!start} for the
+    handshake to complete (standard BGP: both sides are configured). *)
+
+val set_callbacks : endpoint -> callbacks -> unit
+val start : endpoint -> unit
+val stop : endpoint -> unit
+(** Administrative shutdown: sends CEASE, tears the session down. *)
+
+val drop_connection : endpoint -> unit
+(** Simulate transport failure on this endpoint's side: both ends see
+    TCP fail after the link latency. *)
+
+val state : endpoint -> Dbgp_bgp.Fsm.state
+
+val send_update : endpoint -> Dbgp_bgp.Message.update -> unit
+(** @raise Invalid_argument unless the session is established. *)
+
+val send_ia : endpoint -> Dbgp_core.Ia.t -> unit
+(** [send_update] with the {!Dbgp_core.Legacy} encoding. *)
+
+val bytes_sent : endpoint -> int
+val messages_sent : endpoint -> int

@@ -1,0 +1,1 @@
+lib/protocols/arrow.ml: Dbgp_core Dbgp_dataplane Dbgp_types Ipv4 Island_id List Option Portal_io Protocol_id

@@ -1,0 +1,1 @@
+lib/protocols/arrow.mli: Dbgp_core Dbgp_dataplane Dbgp_types Portal_io

@@ -1,0 +1,1 @@
+lib/protocols/bgpsec_like.ml: Asn Char Dbgp_core Dbgp_types Int Int64 List Path_elem Prefix Printf Protocol_id String

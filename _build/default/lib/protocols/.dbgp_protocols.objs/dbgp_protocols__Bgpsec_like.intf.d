@@ -1,0 +1,1 @@
+lib/protocols/bgpsec_like.mli: Dbgp_core Dbgp_types

@@ -1,0 +1,1 @@
+lib/protocols/eqbgp.ml: Dbgp_core Dbgp_types Int List Option Protocol_id

@@ -1,0 +1,1 @@
+lib/protocols/eqbgp.mli: Dbgp_core Dbgp_types

@@ -1,0 +1,1 @@
+lib/protocols/header_builder.ml: Dbgp_core Dbgp_dataplane Dbgp_types Ipv4 Island_id List Option Pathlet Scion_like String

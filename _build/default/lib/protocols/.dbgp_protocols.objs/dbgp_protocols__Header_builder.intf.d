@@ -1,0 +1,1 @@
+lib/protocols/header_builder.mli: Dbgp_core Dbgp_dataplane Dbgp_types

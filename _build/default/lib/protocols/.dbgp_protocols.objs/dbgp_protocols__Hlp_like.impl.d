@@ -1,0 +1,1 @@
+lib/protocols/hlp_like.ml: Dbgp_core Dbgp_topology Dbgp_types Int Island_id List Option Protocol_id

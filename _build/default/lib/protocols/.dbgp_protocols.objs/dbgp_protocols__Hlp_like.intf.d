@@ -1,0 +1,1 @@
+lib/protocols/hlp_like.mli: Dbgp_core Dbgp_topology Dbgp_types

@@ -1,0 +1,1 @@
+lib/protocols/lisp_like.ml: Dbgp_core Dbgp_types Ipv4 Island_id List Option Portal_io Prefix Protocol_id

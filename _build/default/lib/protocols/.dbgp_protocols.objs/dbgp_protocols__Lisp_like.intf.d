@@ -1,0 +1,1 @@
+lib/protocols/lisp_like.mli: Dbgp_core Dbgp_types Portal_io

@@ -1,0 +1,1 @@
+lib/protocols/miro.ml: Dbgp_core Dbgp_types Int Ipv4 Island_id List Option Portal_io Prefix Protocol_id

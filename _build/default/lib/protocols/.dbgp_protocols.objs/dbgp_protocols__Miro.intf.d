@@ -1,0 +1,1 @@
+lib/protocols/miro.mli: Dbgp_core Dbgp_types Portal_io

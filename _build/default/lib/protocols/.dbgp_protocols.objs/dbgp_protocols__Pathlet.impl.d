@@ -1,0 +1,1 @@
+lib/protocols/pathlet.ml: Dbgp_core Dbgp_types Format Hashtbl Int List Option Prefix Protocol_id

@@ -1,0 +1,1 @@
+lib/protocols/pathlet.mli: Dbgp_core Dbgp_types Format

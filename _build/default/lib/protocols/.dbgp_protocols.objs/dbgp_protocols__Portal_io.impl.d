@@ -1,0 +1,1 @@
+lib/protocols/portal_io.ml: Dbgp_core Dbgp_types Hashtbl Ipv4

@@ -1,0 +1,1 @@
+lib/protocols/portal_io.mli: Dbgp_core Dbgp_types

@@ -1,0 +1,1 @@
+lib/protocols/rbgp.ml: Asn Dbgp_core Dbgp_types Hashtbl Island_id List Path_elem Prefix Protocol_id

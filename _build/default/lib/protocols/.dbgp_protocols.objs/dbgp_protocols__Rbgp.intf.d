@@ -1,0 +1,1 @@
+lib/protocols/rbgp.mli: Dbgp_core Dbgp_types

@@ -1,0 +1,1 @@
+lib/protocols/ron.ml: Dbgp_core Dbgp_dataplane Dbgp_types Hashtbl Ipv4 List Option Protocol_id

@@ -1,0 +1,1 @@
+lib/protocols/ron.mli: Dbgp_core Dbgp_dataplane Dbgp_types

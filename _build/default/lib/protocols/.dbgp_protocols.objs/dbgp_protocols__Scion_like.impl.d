@@ -1,0 +1,1 @@
+lib/protocols/scion_like.ml: Dbgp_core Dbgp_types Int List Protocol_id String

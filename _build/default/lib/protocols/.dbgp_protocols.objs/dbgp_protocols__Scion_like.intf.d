@@ -1,0 +1,1 @@
+lib/protocols/scion_like.mli: Dbgp_core Dbgp_types

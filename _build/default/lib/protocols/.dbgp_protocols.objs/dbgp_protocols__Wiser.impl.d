@@ -1,0 +1,1 @@
+lib/protocols/wiser.ml: Dbgp_core Dbgp_types Float Hashtbl Int Ipv4 Island_id List Option Path_elem Portal_io Protocol_id

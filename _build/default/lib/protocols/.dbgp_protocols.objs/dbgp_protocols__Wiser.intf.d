@@ -1,0 +1,1 @@
+lib/protocols/wiser.mli: Dbgp_core Dbgp_types Portal_io

@@ -1,0 +1,131 @@
+open Dbgp_types
+module Ia = Dbgp_core.Ia
+module Value = Dbgp_core.Value
+module Dm = Dbgp_core.Decision_module
+
+let protocol = Protocol_id.bgpsec
+let field_attest = "bgpsec-attest"
+
+type attestation = { signer : Asn.t; mac : string }
+
+type pki = Asn.t -> string option
+
+let fnv1a64 s =
+  let prime = 0x100000001b3L and basis = 0xcbf29ce484222325L in
+  let h = ref basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let mac ~secret ~prefix ~signer ~path =
+  let msg =
+    Printf.sprintf "%s|%s|%d|%s" secret (Prefix.to_string prefix)
+      (Asn.to_int signer)
+      (String.concat "," (List.map Asn.to_string path))
+  in
+  (* Two rounds with distinct suffixes to widen the toy MAC to 128 bits. *)
+  Printf.sprintf "%016Lx%016Lx" (fnv1a64 msg) (fnv1a64 (msg ^ "#2"))
+
+let attestation_to_value a =
+  Value.Pair (Value.Asn a.signer, Value.Bytes a.mac)
+
+let attestation_of_value = function
+  | Value.Pair (Value.Asn signer, Value.Bytes mac) -> Some { signer; mac }
+  | _ -> None
+
+let attestations ia =
+  match Ia.find_path_descriptor ~proto:protocol ~field:field_attest ia with
+  | Some (Value.List vs) -> List.filter_map attestation_of_value vs
+  | _ -> []
+
+let set_attestations chain ia =
+  Ia.set_path_descriptor ~owners:[ protocol ] ~field:field_attest
+    (Value.List (List.map attestation_to_value chain))
+    ia
+
+let sign_origin ~secret ~me ia =
+  let m = mac ~secret ~prefix:ia.Ia.prefix ~signer:me ~path:[] in
+  set_attestations [ { signer = me; mac = m } ] ia
+
+type status = Full | Partial of Asn.t list | Broken of Asn.t
+
+let verify ~pki ia =
+  let chain = attestations ia in
+  let find_mac a =
+    List.find_map
+      (fun at -> if Asn.equal at.signer a then Some at.mac else None)
+      chain
+  in
+  (* Path ASes from the origin outward; islands abstract their interior
+     away and cannot participate from outside. *)
+  let path_asns = List.rev (Ia.asns_on_path ia) in
+  let rec walk seen missing = function
+    | [] -> if missing = [] then Full else Partial (List.rev missing)
+    | a :: rest -> (
+      match (find_mac a, pki a) with
+      | Some m, Some secret ->
+        (* [seen] is kept origin-first, matching the path each signer saw. *)
+        let expect = mac ~secret ~prefix:ia.Ia.prefix ~signer:a ~path:seen in
+        if String.equal m expect then walk (seen @ [ a ]) missing rest
+        else Broken a
+      | Some _, None -> Broken a (* claims participation but no key known *)
+      | None, _ -> walk (seen @ [ a ]) (a :: missing) rest )
+  in
+  let has_islands =
+    List.exists
+      (function Path_elem.Island _ -> true | _ -> false)
+      ia.Ia.path_vector
+  in
+  match walk [] [] path_asns with
+  | Full when has_islands -> Partial []
+  | st -> st
+
+type config = { me : Asn.t; secret : string; pki : pki; require_full : bool }
+
+let status_rank = function
+  | Full -> 2
+  | Partial _ -> 1
+  | Broken _ -> 0
+
+let decision_module cfg =
+  let bgp = Dm.bgp () in
+  let import_filter ia =
+    match verify ~pki:cfg.pki ia with
+    | Broken _ -> None
+    | Full -> Some ia
+    | Partial _ -> if cfg.require_full then None else Some ia
+  in
+  let select ~prefix cands =
+    (* Prefer better-attested candidates, then fall back to BGP rules. *)
+    let by_status =
+      List.sort
+        (fun a b ->
+          Int.compare
+            (status_rank (verify ~pki:cfg.pki b.Dm.ia))
+            (status_rank (verify ~pki:cfg.pki a.Dm.ia)))
+        cands
+    in
+    match by_status with
+    | [] -> None
+    | best :: _ ->
+      let best_rank = status_rank (verify ~pki:cfg.pki best.Dm.ia) in
+      let tier =
+        List.filter
+          (fun c -> status_rank (verify ~pki:cfg.pki c.Dm.ia) = best_rank)
+          by_status
+      in
+      bgp.Dm.select ~prefix tier
+  in
+  let contribute ~me ia =
+    let path = List.rev (Ia.asns_on_path ia) in
+    let m = mac ~secret:cfg.secret ~prefix:ia.Ia.prefix ~signer:me ~path in
+    set_attestations (attestations ia @ [ { signer = me; mac = m } ]) ia
+  in
+  { Dm.protocol; import_filter; export_filter = Dbgp_core.Filters.accept;
+    select; contribute }
+
+let drop_attestations : Dbgp_core.Filters.t =
+ fun ia -> Some (Ia.remove_protocol protocol ia)

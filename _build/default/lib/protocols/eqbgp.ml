@@ -1,0 +1,47 @@
+open Dbgp_types
+module Ia = Dbgp_core.Ia
+module Value = Dbgp_core.Value
+module Dm = Dbgp_core.Decision_module
+
+let protocol = Protocol_id.eq_bgp
+let field_bandwidth = "eqbgp-bw"
+
+let bandwidth_of ia =
+  Option.bind
+    (Ia.find_path_descriptor ~proto:protocol ~field:field_bandwidth ia)
+    Value.as_int
+
+type config = { ingress_bandwidth : int }
+
+let decision_module cfg =
+  let bw c = Option.value (bandwidth_of c.Dm.ia) ~default:(-1) in
+  let better a b =
+    match Int.compare (bw a) (bw b) with
+    | 0 -> (
+      match
+        Int.compare (Dm.candidate_path_length b) (Dm.candidate_path_length a)
+      with
+      | 0 -> Dm.compare_tiebreak a b
+      | c -> c )
+    | c -> c
+  in
+  let select ~prefix:_ = function
+    | [] -> None
+    | c :: rest ->
+      Some
+        (List.fold_left (fun acc x -> if better x acc > 0 then x else acc) c rest)
+  in
+  let contribute ~me:_ ia =
+    let bottleneck =
+      match bandwidth_of ia with
+      | None -> cfg.ingress_bandwidth
+      | Some b -> min b cfg.ingress_bandwidth
+    in
+    Ia.set_path_descriptor ~owners:[ protocol ] ~field:field_bandwidth
+      (Value.Int bottleneck) ia
+  in
+  { Dm.protocol;
+    import_filter = Dbgp_core.Filters.accept;
+    export_filter = Dbgp_core.Filters.accept;
+    select;
+    contribute }

@@ -1,0 +1,45 @@
+(** Building multi-network-protocol header stacks from an IA.
+
+    Requirement G-R4 exists partly "to inform sources how to create
+    multi-network-protocol headers" (Section 2.5): the path vector plus
+    island membership says {e which} protocols appear in {e which} order
+    on the path, and island descriptors carry the protocol-specific
+    material (SCION paths, pathlet FIDs).  This module turns that
+    information into a {!Dbgp_dataplane.Header.stack} a source can put
+    on its packets:
+
+    - the innermost header is plain IPv4 to the destination;
+    - for each island on the path that advertised within-island paths or
+      pathlets, a SCION / pathlet header encoding the source's choice;
+    - islands separated from the traffic source by a gulf get a tunnel
+      header to their ingress address (routing compliance, Section 2.1 —
+      optional in general, required here to reach the island's entry). *)
+
+type island_plan = {
+  island : Dbgp_types.Island_id.t;
+  header : Dbgp_dataplane.Header.t option;
+      (** the protocol-specific header for this island, if any *)
+  tunnel : Dbgp_types.Ipv4.t option;
+      (** ingress to tunnel to when a gulf precedes the island *)
+}
+
+val plan :
+  ia:Dbgp_core.Ia.t ->
+  ingress_of:(Dbgp_types.Island_id.t -> Dbgp_types.Ipv4.t option) ->
+  island_plan list
+(** One entry per island on the path, in travel order (nearest the
+    source first).  SCION islands get the shortest advertised path;
+    pathlet islands get the FID sequence of the first composable route
+    to the destination prefix (none if their pathlets do not reach it).
+    The first island needs no tunnel (the source reaches it by plain
+    forwarding); later islands are tunneled to when [ingress_of] knows
+    their ingress. *)
+
+val build :
+  ia:Dbgp_core.Ia.t ->
+  src:Dbgp_types.Ipv4.t ->
+  dst:Dbgp_types.Ipv4.t ->
+  ingress_of:(Dbgp_types.Island_id.t -> Dbgp_types.Ipv4.t option) ->
+  Dbgp_dataplane.Header.stack
+(** The full stack: plans flattened outermost-first plus the innermost
+    IPv4 header. *)

@@ -1,0 +1,62 @@
+open Dbgp_types
+module Ia = Dbgp_core.Ia
+module Value = Dbgp_core.Value
+module Dm = Dbgp_core.Decision_module
+module Ls = Dbgp_topology.Link_state
+
+let protocol = Protocol_id.hlp
+let field_cost = "hlp-cost"
+
+let cost_of ia =
+  Option.bind (Ia.find_path_descriptor ~proto:protocol ~field:field_cost ia)
+    Value.as_int
+
+type config = {
+  my_island : Island_id.t;
+  lsdb : Ls.t;
+  ingress : string;
+  egress : string;
+  peering_cost : int;
+}
+
+let within_island_route cfg =
+  Ls.shortest_path cfg.lsdb ~src:cfg.ingress ~dst:cfg.egress
+
+let decision_module cfg =
+  let eff c = match cost_of c.Dm.ia with None -> max_int | Some v -> v in
+  let better a b =
+    match Int.compare (eff b) (eff a) with
+    | 0 -> (
+      match
+        Int.compare (Dm.candidate_path_length b) (Dm.candidate_path_length a)
+      with
+      | 0 -> Dm.compare_tiebreak a b
+      | c -> c )
+    | c -> c
+  in
+  let select ~prefix:_ = function
+    | [] -> None
+    | c :: rest ->
+      Some
+        (List.fold_left (fun acc x -> if better x acc > 0 then x else acc) c rest)
+  in
+  let contribute ~me:_ ia =
+    match Ls.distance cfg.lsdb ~src:cfg.ingress ~dst:cfg.egress with
+    | None -> ia (* partitioned interior: leave the cost untouched *)
+    | Some interior ->
+      let base = Option.value (cost_of ia) ~default:0 in
+      Ia.set_path_descriptor ~owners:[ protocol ] ~field:field_cost
+        (Value.Int (base + interior + cfg.peering_cost))
+        ia
+  in
+  let export_filter ia =
+    (* A hybrid island cannot express its interior as a path vector, so
+       it must be abstracted behind the island ID. *)
+    if within_island_route cfg = None then None
+    else Some ia
+  in
+  { Dm.protocol;
+    import_filter = Dbgp_core.Filters.accept;
+    export_filter;
+    select;
+    contribute }

@@ -1,0 +1,74 @@
+open Dbgp_types
+module Ia = Dbgp_core.Ia
+module Value = Dbgp_core.Value
+
+let protocol = Protocol_id.miro
+let field_portal = "miro-portal"
+let field_paths_offered = "miro-paths"
+let service = "miro"
+
+type offer = {
+  dest : Prefix.t;
+  via : string;
+  price : int;
+  tunnel_endpoint : Ipv4.t;
+}
+
+type config = { my_island : Island_id.t; portal : Ipv4.t; offers : offer list }
+
+type t = { cfg : config; mutable sold : (Prefix.t * string) list }
+
+let create cfg = { cfg; sold = [] }
+
+let advertise t ia =
+  ia
+  |> Ia.add_island_descriptor ~island:t.cfg.my_island ~proto:protocol
+       ~field:field_portal (Value.Addr t.cfg.portal)
+  |> Ia.add_island_descriptor ~island:t.cfg.my_island ~proto:protocol
+       ~field:field_paths_offered
+       (Value.Int (List.length t.cfg.offers))
+
+let serve t req =
+  match req with
+  | Value.Pair (Value.Pfx dest, Value.Int budget) -> (
+    let affordable =
+      List.filter
+        (fun o -> Prefix.equal o.dest dest && o.price <= budget)
+        t.cfg.offers
+      |> List.sort (fun a b -> Int.compare a.price b.price)
+    in
+    match affordable with
+    | [] -> None
+    | o :: _ ->
+      t.sold <- t.sold @ [ (dest, o.via) ];
+      Some (Value.Pair (Value.Str o.via, Value.Addr o.tunnel_endpoint)) )
+  | _ -> None
+
+let sold t = t.sold
+
+type discovered = { island : Island_id.t; portal_addr : Ipv4.t; n_paths : int }
+
+let discover ia =
+  Ia.find_island_descriptors ~proto:protocol ia
+  |> List.filter_map (fun (d : Ia.island_descriptor) ->
+         if d.Ia.ifield = field_portal then
+           Option.map
+             (fun portal_addr ->
+               let n_paths =
+                 match
+                   Ia.find_island_descriptor ~island:d.Ia.island ~proto:protocol
+                     ~field:field_paths_offered ia
+                 with
+                 | Some (Value.Int n) -> n
+                 | _ -> 0
+               in
+               { island = d.Ia.island; portal_addr; n_paths })
+             (Value.as_addr d.Ia.ivalue)
+         else None)
+
+let negotiate ~io ~portal ~dest ~budget =
+  match
+    io.Portal_io.rpc ~portal ~service (Value.Pair (Value.Pfx dest, Value.Int budget))
+  with
+  | Some (Value.Pair (Value.Str via, Value.Addr ep)) -> Some (via, ep)
+  | _ -> None

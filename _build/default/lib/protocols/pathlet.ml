@@ -1,0 +1,138 @@
+open Dbgp_types
+module Ia = Dbgp_core.Ia
+module Value = Dbgp_core.Value
+module Dm = Dbgp_core.Decision_module
+
+let protocol = Protocol_id.pathlet
+let field_pathlets = "pathlets"
+
+type hop = Router of string | Deliver of Prefix.t
+
+type pathlet = { fid : int; hops : hop list }
+
+let make ~fid hops =
+  let rec check = function
+    | [] -> invalid_arg "Pathlet.make: empty hop list"
+    | [ (Router _ | Deliver _) ] -> ()
+    | Router _ :: rest -> check rest
+    | Deliver _ :: _ -> invalid_arg "Pathlet.make: Deliver must be last"
+  in
+  check hops;
+  { fid; hops }
+
+let entry p = List.hd p.hops
+
+let exit_hop p = List.nth p.hops (List.length p.hops - 1)
+
+let delivers_to p =
+  match exit_hop p with Deliver pfx -> Some pfx | Router _ -> None
+
+let compose ~fid a b =
+  match (exit_hop a, entry b) with
+  | Router ra, Router rb when ra = rb ->
+    (* Drop the duplicated junction router. *)
+    make ~fid (a.hops @ List.tl b.hops)
+  | _ -> invalid_arg "Pathlet.compose: pathlets do not connect"
+
+let hop_to_value = function
+  | Router r -> Value.Pair (Value.Int 0, Value.Str r)
+  | Deliver p -> Value.Pair (Value.Int 1, Value.Pfx p)
+
+let hop_of_value = function
+  | Value.Pair (Value.Int 0, Value.Str r) -> Some (Router r)
+  | Value.Pair (Value.Int 1, Value.Pfx p) -> Some (Deliver p)
+  | _ -> None
+
+let to_value p =
+  Value.Pair (Value.Int p.fid, Value.List (List.map hop_to_value p.hops))
+
+let of_value = function
+  | Value.Pair (Value.Int fid, Value.List hops) ->
+    let decoded = List.filter_map hop_of_value hops in
+    if List.length decoded = List.length hops && decoded <> [] then
+      Some { fid; hops = decoded }
+    else None
+  | _ -> None
+
+let pp_hop ppf = function
+  | Router r -> Format.pp_print_string ppf r
+  | Deliver p -> Format.fprintf ppf "->%a" Prefix.pp p
+
+let pp ppf p =
+  Format.fprintf ppf "%d:(%a)" p.fid
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_hop)
+    p.hops
+
+let equal a b = a = b
+
+module Store = struct
+  type t = (int, pathlet) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+  let add t p = Hashtbl.replace t p.fid p
+  let find t ~fid = Hashtbl.find_opt t fid
+
+  let all t =
+    Hashtbl.fold (fun _ p acc -> p :: acc) t []
+    |> List.sort (fun a b -> Int.compare a.fid b.fid)
+
+  let size t = Hashtbl.length t
+
+  let routes_to t ~from ~dest =
+    let pathlets = all t in
+    let starts_at router p =
+      match entry p with Router r -> r = router | Deliver _ -> false
+    in
+    let rec search at used acc_rev results =
+      List.fold_left
+        (fun results p ->
+          if List.mem p.fid used then results
+          else if starts_at at p then
+            match exit_hop p with
+            | Deliver pfx when Prefix.equal pfx dest ->
+              List.rev (p :: acc_rev) :: results
+            | Deliver _ -> results
+            | Router r -> search r (p.fid :: used) (p :: acc_rev) results
+          else results)
+        results pathlets
+    in
+    List.rev (search from [] [] [])
+end
+
+let attach ~island pathlets ia =
+  Ia.add_island_descriptor ~island ~proto:protocol ~field:field_pathlets
+    (Value.List (List.map to_value pathlets))
+    ia
+
+let extract ia =
+  Ia.find_island_descriptors ~proto:protocol ia
+  |> List.filter_map (fun (d : Ia.island_descriptor) ->
+         if d.Ia.ifield = field_pathlets then
+           match d.Ia.ivalue with
+           | Value.List vs -> Some (d.Ia.island, List.filter_map of_value vs)
+           | _ -> None
+         else None)
+
+let decision_module ~island ~exported =
+  let bgp = Dm.bgp () in
+  { bgp with
+    Dm.protocol;
+    contribute =
+      (fun ~me:_ ia ->
+        match exported () with
+        | [] -> ia
+        | pathlets -> attach ~island pathlets ia) }
+
+let translation ~island ~origin_asn ~next_hop =
+  Dbgp_core.Translation.make ~protocol
+    ~ingress:(fun ia ->
+      match List.concat_map snd (extract ia) with
+      | [] -> None
+      | pathlets -> Some pathlets)
+    ~egress:(fun pathlets ia -> attach ~island pathlets ia)
+    ~redistribute:(fun pathlets ->
+      List.find_map delivers_to pathlets
+      |> Option.map (fun prefix ->
+             Ia.originate ~prefix ~origin_asn ~next_hop ()))

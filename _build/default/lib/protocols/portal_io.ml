@@ -1,0 +1,33 @@
+open Dbgp_types
+
+type t = {
+  post : portal:Ipv4.t -> service:string -> key:string -> Dbgp_core.Value.t -> unit;
+  fetch : portal:Ipv4.t -> service:string -> key:string -> Dbgp_core.Value.t option;
+  rpc : portal:Ipv4.t -> service:string -> Dbgp_core.Value.t -> Dbgp_core.Value.t option;
+}
+
+let null =
+  { post = (fun ~portal:_ ~service:_ ~key:_ _ -> ());
+    fetch = (fun ~portal:_ ~service:_ ~key:_ -> None);
+    rpc = (fun ~portal:_ ~service:_ _ -> None) }
+
+let in_memory () =
+  let store = Hashtbl.create 32 in
+  let handlers = Hashtbl.create 8 in
+  let io =
+    { post =
+        (fun ~portal ~service ~key v ->
+          Hashtbl.replace store (Ipv4.to_int portal, service, key) v);
+      fetch =
+        (fun ~portal ~service ~key ->
+          Hashtbl.find_opt store (Ipv4.to_int portal, service, key));
+      rpc =
+        (fun ~portal ~service req ->
+          match Hashtbl.find_opt handlers (Ipv4.to_int portal, service) with
+          | None -> None
+          | Some f -> f req) }
+  in
+  let register ~portal ~service f =
+    Hashtbl.replace handlers (Ipv4.to_int portal, service) f
+  in
+  (io, register)

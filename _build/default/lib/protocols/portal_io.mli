@@ -1,0 +1,26 @@
+(** Out-of-band portal access, abstracted.
+
+    Two-way and custom protocols (Wiser's cost exchange, MIRO's service
+    negotiation) communicate outside D-BGP advertisements via portals.
+    Protocol implementations accept this record so they stay independent
+    of the transport; the netsim lookup service provides the standard
+    implementation, and tests can substitute in-memory fakes or
+    fault-injecting wrappers. *)
+
+type t = {
+  post : portal:Dbgp_types.Ipv4.t -> service:string -> key:string ->
+    Dbgp_core.Value.t -> unit;
+  fetch : portal:Dbgp_types.Ipv4.t -> service:string -> key:string ->
+    Dbgp_core.Value.t option;
+  rpc : portal:Dbgp_types.Ipv4.t -> service:string -> Dbgp_core.Value.t ->
+    Dbgp_core.Value.t option;
+}
+
+val null : t
+(** Discards posts, returns [None] everywhere — the behaviour when the
+    portal is unreachable across the gulf. *)
+
+val in_memory : unit -> t * (portal:Dbgp_types.Ipv4.t -> service:string ->
+  (Dbgp_core.Value.t -> Dbgp_core.Value.t option) -> unit)
+(** A self-contained store for unit tests: returns the io record and a
+    handler-registration function. *)

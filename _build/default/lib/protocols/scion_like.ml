@@ -1,0 +1,67 @@
+open Dbgp_types
+module Ia = Dbgp_core.Ia
+module Value = Dbgp_core.Value
+module Dm = Dbgp_core.Decision_module
+
+let protocol = Protocol_id.scion
+let field_paths = "scion-paths"
+
+type path = string list
+
+let path_to_value p = Value.List (List.map (fun r -> Value.Str r) p)
+
+let path_of_value = function
+  | Value.List hops ->
+    let rs = List.filter_map Value.as_str hops in
+    if List.length rs = List.length hops then Some rs else None
+  | _ -> None
+
+let attach ~island paths ia =
+  Ia.add_island_descriptor ~island ~proto:protocol ~field:field_paths
+    (Value.List (List.map path_to_value paths))
+    ia
+
+let extract ~island ia =
+  match Ia.find_island_descriptor ~island ~proto:protocol ~field:field_paths ia with
+  | Some (Value.List vs) -> List.filter_map path_of_value vs
+  | _ -> []
+
+let extract_all ia =
+  Ia.find_island_descriptors ~proto:protocol ia
+  |> List.filter_map (fun (d : Ia.island_descriptor) ->
+         if d.Ia.ifield = field_paths then
+           match d.Ia.ivalue with
+           | Value.List vs -> Some (d.Ia.island, List.filter_map path_of_value vs)
+           | _ -> None
+         else None)
+
+let choose_path paths =
+  match
+    List.sort
+      (fun a b ->
+        match Int.compare (List.length a) (List.length b) with
+        | 0 -> List.compare String.compare a b
+        | c -> c)
+      paths
+  with
+  | [] -> None
+  | p :: _ -> Some p
+
+let decision_module ~island ~exported =
+  let bgp = Dm.bgp () in
+  { bgp with
+    Dm.protocol;
+    contribute =
+      (fun ~me:_ ia ->
+        match exported () with [] -> ia | paths -> attach ~island paths ia) }
+
+let translation ~island ~origin_asn ~next_hop ~prefix =
+  Dbgp_core.Translation.make ~protocol
+    ~ingress:(fun ia ->
+      match List.concat_map snd (extract_all ia) with
+      | [] -> None
+      | paths -> Some paths)
+    ~egress:(fun paths ia -> attach ~island paths ia)
+    ~redistribute:(fun paths ->
+      if paths = [] then None
+      else Some (Ia.originate ~prefix ~origin_asn ~next_hop ()))

@@ -1,0 +1,1 @@
+lib/topology/as_graph.ml: Array Format Fun Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/topology/brite.ml: Array As_graph Dbgp_types Fun Hashtbl List Prng

@@ -1,0 +1,1 @@
+lib/topology/brite.mli: As_graph Dbgp_types

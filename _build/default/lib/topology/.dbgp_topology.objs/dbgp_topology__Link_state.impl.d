@@ -1,0 +1,1 @@
+lib/topology/link_state.ml: Hashtbl List Map Option String

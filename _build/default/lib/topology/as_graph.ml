@@ -1,0 +1,82 @@
+type view = Provider_of_me | Customer_of_me | Peer_of_me
+
+type t = { n : int; adj : (int, view) Hashtbl.t array }
+
+let create n =
+  if n <= 0 then invalid_arg "As_graph.create: need at least one AS"
+  else { n; adj = Array.init n (fun _ -> Hashtbl.create 4) }
+
+let size t = t.n
+
+let check_id t v =
+  if v < 0 || v >= t.n then invalid_arg (Printf.sprintf "As_graph: bad AS id %d" v)
+
+let set_rel t a b view_of_b_from_a view_of_a_from_b =
+  check_id t a;
+  check_id t b;
+  if a = b then invalid_arg "As_graph: self-link";
+  Hashtbl.replace t.adj.(a) b view_of_b_from_a;
+  Hashtbl.replace t.adj.(b) a view_of_a_from_b
+
+let add_customer_provider t ~customer ~provider =
+  set_rel t customer provider Provider_of_me Customer_of_me
+
+let add_peering t a b = set_rel t a b Peer_of_me Peer_of_me
+
+let neighbors t v =
+  check_id t v;
+  Hashtbl.fold (fun u view acc -> (u, view) :: acc) t.adj.(v) []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let view_of t ~me ~neighbor =
+  check_id t me;
+  Hashtbl.find_opt t.adj.(me) neighbor
+
+let degree t v =
+  check_id t v;
+  Hashtbl.length t.adj.(v)
+
+let filter_nbrs t v want =
+  neighbors t v |> List.filter_map (fun (u, view) -> if view = want then Some u else None)
+
+let providers t v = filter_nbrs t v Provider_of_me
+let customers t v = filter_nbrs t v Customer_of_me
+let peers t v = filter_nbrs t v Peer_of_me
+
+let edge_count t =
+  Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.adj / 2
+
+let fold_edges f t acc =
+  let acc = ref acc in
+  for a = 0 to t.n - 1 do
+    Hashtbl.iter (fun b view -> if a < b then acc := f a b view !acc) t.adj.(a)
+  done;
+  !acc
+
+let is_connected t =
+  let seen = Array.make t.n false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      Hashtbl.iter (fun u _ -> dfs u) t.adj.(v)
+    end
+  in
+  dfs 0;
+  Array.for_all Fun.id seen
+
+let stubs t =
+  List.init t.n Fun.id |> List.filter (fun v -> customers t v = [])
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>AS graph: %d ASes, %d links@," t.n (edge_count t);
+  fold_edges
+    (fun a b view () ->
+      let rel =
+        match view with
+        | Customer_of_me -> Printf.sprintf "%d -> %d (provider->customer)" a b
+        | Provider_of_me -> Printf.sprintf "%d -> %d (customer->provider)" a b
+        | Peer_of_me -> Printf.sprintf "%d -- %d (peer)" a b
+      in
+      Format.fprintf ppf "%s@," rel)
+    t ();
+  Format.fprintf ppf "@]"

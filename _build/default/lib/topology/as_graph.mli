@@ -1,0 +1,48 @@
+(** AS-level topology annotated with business relationships.
+
+    Nodes are dense integer AS indices [0 .. n-1] (callers map these to
+    {!Dbgp_types.Asn.t} as needed).  Each link is either a
+    customer-provider link or a peering link, the two relationship kinds
+    of the Gao-Rexford model.  The paper's evaluation topology (Section
+    6.3) is annotated with customer/provider relationships only; peering
+    is supported for generality and for hand-built scenario graphs. *)
+
+type t
+
+(** How a neighbor relates to this AS. *)
+type view =
+  | Provider_of_me  (** the neighbor is my provider *)
+  | Customer_of_me  (** the neighbor is my customer *)
+  | Peer_of_me      (** the neighbor is my (settlement-free) peer *)
+
+val create : int -> t
+(** [create n] is an edgeless graph over AS indices [0 .. n-1]. *)
+
+val size : t -> int
+
+val add_customer_provider : t -> customer:int -> provider:int -> unit
+(** Adds a transit link.  Idempotent; replaces any previous relationship
+    between the two.  @raise Invalid_argument on self-links or bad ids. *)
+
+val add_peering : t -> int -> int -> unit
+
+val neighbors : t -> int -> (int * view) list
+(** All neighbors of an AS with their relationship to it. *)
+
+val view_of : t -> me:int -> neighbor:int -> view option
+val degree : t -> int -> int
+val providers : t -> int -> int list
+val customers : t -> int -> int list
+val peers : t -> int -> int list
+val edge_count : t -> int
+(** Number of undirected links. *)
+
+val is_connected : t -> bool
+val fold_edges : (int -> int -> view -> 'a -> 'a) -> t -> 'a -> 'a
+(** Each undirected link visited once as [f a b view_of_b_from_a]. *)
+
+val stubs : t -> int list
+(** ASes with no customers — the topology's leaves; the paper measures
+    Figure 9 benefits at upgraded stubs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+type lsa = { router : string; links : (string * int) list; seq : int }
+
+let lsa ~router ~seq links =
+  List.iter
+    (fun (nbr, w) ->
+      if w <= 0 then invalid_arg "Link_state.lsa: weight must be positive";
+      if nbr = router then invalid_arg "Link_state.lsa: self-link")
+    links;
+  { router; links; seq }
+
+type t = { db : (string, lsa) Hashtbl.t }
+
+let create () = { db = Hashtbl.create 16 }
+
+let install t l =
+  match Hashtbl.find_opt t.db l.router with
+  | Some existing when existing.seq >= l.seq -> `Stale
+  | _ ->
+    Hashtbl.replace t.db l.router l;
+    `Installed
+
+let routers t =
+  Hashtbl.fold (fun r _ acc -> r :: acc) t.db [] |> List.sort String.compare
+
+let raw_links t r =
+  match Hashtbl.find_opt t.db r with None -> [] | Some l -> l.links
+
+let links_of t r =
+  (* Two-way check: neighbor must advertise the link back. *)
+  raw_links t r
+  |> List.filter (fun (nbr, _) -> List.mem_assoc r (raw_links t nbr))
+
+module Pq = Map.Make (struct
+  type t = int * string
+
+  let compare = compare
+end)
+
+let shortest_path t ~src ~dst =
+  if Hashtbl.find_opt t.db src = None then None
+  else begin
+    let dist = Hashtbl.create 16 and prev = Hashtbl.create 16 in
+    Hashtbl.replace dist src 0;
+    let pq = ref (Pq.add (0, src) () Pq.empty) in
+    let finished = Hashtbl.create 16 in
+    let result = ref None in
+    while !result = None && not (Pq.is_empty !pq) do
+      let (d, u), () = Pq.min_binding !pq in
+      pq := Pq.remove (d, u) !pq;
+      if not (Hashtbl.mem finished u) then begin
+        Hashtbl.replace finished u ();
+        if u = dst then result := Some d
+        else
+          List.iter
+            (fun (v, w) ->
+              let nd = d + w in
+              let better =
+                match Hashtbl.find_opt dist v with
+                | None -> true
+                | Some old -> nd < old
+              in
+              if better then begin
+                Hashtbl.replace dist v nd;
+                Hashtbl.replace prev v u;
+                pq := Pq.add (nd, v) () !pq
+              end)
+            (links_of t u)
+      end
+    done;
+    match !result with
+    | None -> None
+    | Some total ->
+      let rec walk v acc =
+        if v = src then v :: acc
+        else
+          match Hashtbl.find_opt prev v with
+          | Some u -> walk u (v :: acc)
+          | None -> acc (* unreachable: src = dst handled below *)
+      in
+      Some (walk dst [], total)
+  end
+
+let distance t ~src ~dst = Option.map snd (shortest_path t ~src ~dst)

@@ -1,0 +1,120 @@
+type klass = Origin | From_customer | From_peer | From_provider
+
+type 'a route = { path : int list; klass : klass; payload : 'a }
+
+let exportable k (view : As_graph.view) =
+  match k with
+  | Origin | From_customer -> true
+  | From_peer | From_provider -> ( match view with
+                                   | As_graph.Customer_of_me -> true
+                                   | As_graph.Provider_of_me | As_graph.Peer_of_me -> false )
+
+let klass_of_view = function
+  | As_graph.Customer_of_me -> From_customer
+  | As_graph.Peer_of_me -> From_peer
+  | As_graph.Provider_of_me -> From_provider
+
+let next_hop r = match r.path with _ :: nh :: _ -> nh | _ -> max_int
+
+let shortest_path_prefer ~at:_ a b =
+  match Int.compare (List.length b.path) (List.length a.path) with
+  | 0 -> Int.compare (next_hop b) (next_hop a)
+  | c -> c
+
+let klass_rank = function
+  | Origin -> 3
+  | From_customer -> 2
+  | From_peer -> 1
+  | From_provider -> 0
+
+let classful_prefer ~at a b =
+  match Int.compare (klass_rank a.klass) (klass_rank b.klass) with
+  | 0 -> shortest_path_prefer ~at a b
+  | c -> c
+
+let compute g ~dest ~origin ~extend ~prefer =
+  let n = As_graph.size g in
+  if dest < 0 || dest >= n then invalid_arg "Routing.compute: bad destination";
+  let best : 'a route option array = Array.make n None in
+  best.(dest) <- Some { path = [ dest ]; klass = Origin; payload = origin };
+  let changed = ref true in
+  let rounds = ref 0 in
+  let max_rounds = 2 * n in
+  while !changed && !rounds < max_rounds do
+    changed := false;
+    incr rounds;
+    let next = Array.make n None in
+    next.(dest) <- best.(dest);
+    for v = 0 to n - 1 do
+      if v <> dest then begin
+        let consider cand =
+          match next.(v) with
+          | None -> next.(v) <- Some cand
+          | Some cur -> if prefer ~at:v cand cur > 0 then next.(v) <- Some cand
+        in
+        List.iter
+          (fun (u, view_of_u) ->
+            match best.(u) with
+            | None -> ()
+            | Some r ->
+              (* u exports to v iff the valley-free rule allows a route of
+                 r's class to flow toward v; v's view of u determines the
+                 class the route acquires at v. *)
+              let view_of_v_from_u =
+                match view_of_u with
+                | As_graph.Customer_of_me -> As_graph.Provider_of_me
+                | As_graph.Provider_of_me -> As_graph.Customer_of_me
+                | As_graph.Peer_of_me -> As_graph.Peer_of_me
+              in
+              if exportable r.klass view_of_v_from_u && not (List.mem v r.path)
+              then
+                match extend ~at:v ~from:u r.payload with
+                | None -> ()
+                | Some payload ->
+                  consider
+                    { path = v :: r.path;
+                      klass = klass_of_view view_of_u;
+                      payload })
+          (As_graph.neighbors g v)
+      end
+    done;
+    for v = 0 to n - 1 do
+      let same =
+        match (best.(v), next.(v)) with
+        | None, None -> true
+        | Some a, Some b -> a.path = b.path && a.klass = b.klass && a.payload = b.payload
+        | _ -> false
+      in
+      if not same then begin
+        best.(v) <- next.(v);
+        changed := true
+      end
+    done
+  done;
+  best
+
+let is_valley_free g path =
+  let rec steps = function
+    | a :: (b :: _ as rest) ->
+      ( match As_graph.view_of g ~me:a ~neighbor:b with
+        | None -> None
+        | Some v -> Option.map (fun tl -> v :: tl) (steps rest) )
+    | _ -> Some []
+  in
+  match steps path with
+  | None -> false
+  | Some views ->
+    (* Traffic travels source -> dest: uphill (to provider) steps, at most
+       one peer step, then downhill (to customer) steps. *)
+    let rec uphill = function
+      | As_graph.Provider_of_me :: rest -> uphill rest
+      | rest -> peer rest
+    and peer = function
+      | As_graph.Peer_of_me :: rest -> downhill rest
+      | rest -> downhill rest
+    and downhill = function
+      | [] -> true
+      | As_graph.Customer_of_me :: rest -> downhill rest
+      | As_graph.Provider_of_me :: _ | As_graph.Peer_of_me :: _ -> false
+    in
+    uphill views

@@ -1,0 +1,1 @@
+lib/trie/prefix_trie.ml: Dbgp_types Ipv4 List Option Prefix

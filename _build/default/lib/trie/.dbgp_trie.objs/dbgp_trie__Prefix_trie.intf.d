@@ -1,0 +1,1 @@
+lib/trie/prefix_trie.mli: Dbgp_types

@@ -1,0 +1,100 @@
+open Dbgp_types
+
+(* A binary trie: the node at depth [d] along a bit path represents the
+   prefix whose first [d] bits are that path.  Depth is bounded by 32, so
+   path compression is unnecessary for correctness or asymptotics here. *)
+type 'a t = Empty | Node of 'a option * 'a t * 'a t
+
+let empty = Empty
+
+let is_empty = function
+  | Empty -> true
+  | Node _ -> false
+
+let node v l r =
+  match (v, l, r) with None, Empty, Empty -> Empty | _ -> Node (v, l, r)
+
+let add p value t =
+  let len = Prefix.length p in
+  let rec go i t =
+    let v, l, r = match t with Empty -> (None, Empty, Empty) | Node (v, l, r) -> (v, l, r) in
+    if i = len then Node (Some value, l, r)
+    else if Prefix.bit p i then Node (v, l, go (i + 1) r)
+    else Node (v, go (i + 1) l, r)
+  in
+  go 0 t
+
+let update p f t =
+  let len = Prefix.length p in
+  let rec go i t =
+    let v, l, r = match t with Empty -> (None, Empty, Empty) | Node (v, l, r) -> (v, l, r) in
+    if i = len then node (f v) l r
+    else if Prefix.bit p i then node v l (go (i + 1) r)
+    else node v (go (i + 1) l) r
+  in
+  go 0 t
+
+let remove p t = update p (fun _ -> None) t
+
+let find p t =
+  let len = Prefix.length p in
+  let rec go i t =
+    match t with
+    | Empty -> None
+    | Node (v, l, r) ->
+      if i = len then v else if Prefix.bit p i then go (i + 1) r else go (i + 1) l
+  in
+  go 0 t
+
+let mem p t = Option.is_some (find p t)
+
+let addr_bit a i = Ipv4.to_int a land (1 lsl (31 - i)) <> 0
+
+let matches addr t =
+  let rec go i t acc =
+    match t with
+    | Empty -> acc
+    | Node (v, l, r) ->
+      let acc =
+        match v with
+        | None -> acc
+        | Some x -> (Prefix.make addr i, x) :: acc
+      in
+      if i = 32 then acc
+      else if addr_bit addr i then go (i + 1) r acc
+      else go (i + 1) l acc
+  in
+  go 0 t []
+
+let longest_match addr t =
+  match matches addr t with [] -> None | best :: _ -> Some best
+
+let rec fold_at p f t acc =
+  match t with
+  | Empty -> acc
+  | Node (v, l, r) ->
+    let acc = match v with None -> acc | Some x -> f p x acc in
+    ( match Prefix.split p with
+      | None -> acc
+      | Some (lo, hi) -> fold_at hi f r (fold_at lo f l acc) )
+
+let fold f t acc =
+  (* Accumulate in reverse then flip to get prefix order without requiring
+     f to be commutative. *)
+  let items = fold_at Prefix.default (fun p v acc -> (p, v) :: acc) t [] in
+  List.fold_left (fun acc (p, v) -> f p v acc) acc (List.rev items)
+
+let iter f t = fold (fun p v () -> f p v) t ()
+let cardinal t = fold (fun _ _ n -> n + 1) t 0
+let bindings t = List.rev (fold (fun p v acc -> (p, v) :: acc) t [])
+let of_list l = List.fold_left (fun t (p, v) -> add p v t) empty l
+
+let rec map f = function
+  | Empty -> Empty
+  | Node (v, l, r) -> Node (Option.map f v, map f l, map f r)
+
+let filter pred t =
+  fold (fun p v acc -> if pred p v then add p v acc else acc) t empty
+
+let covered p t =
+  bindings t |> List.filter (fun (q, _) -> Prefix.subsumes p q)

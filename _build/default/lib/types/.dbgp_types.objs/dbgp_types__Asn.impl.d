@@ -1,0 +1,1 @@
+lib/types/asn.ml: Format Hashtbl Int Map Printf Set String

@@ -1,0 +1,1 @@
+lib/types/asn.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/types/ipv4.ml: Format Int Int32 Printf String

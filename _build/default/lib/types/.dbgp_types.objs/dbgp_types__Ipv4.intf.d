@@ -1,0 +1,1 @@
+lib/types/ipv4.mli: Format

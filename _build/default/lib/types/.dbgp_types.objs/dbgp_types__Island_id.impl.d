@@ -1,0 +1,1 @@
+lib/types/island_id.ml: Asn Format Hashtbl Int List Map Printf Set String

@@ -1,0 +1,1 @@
+lib/types/island_id.mli: Asn Format Map Set

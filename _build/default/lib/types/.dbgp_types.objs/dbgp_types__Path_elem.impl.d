@@ -1,0 +1,1 @@
+lib/types/path_elem.ml: Asn Format Island_id List String

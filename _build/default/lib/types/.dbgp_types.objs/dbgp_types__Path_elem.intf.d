@@ -1,0 +1,1 @@
+lib/types/path_elem.mli: Asn Format Island_id

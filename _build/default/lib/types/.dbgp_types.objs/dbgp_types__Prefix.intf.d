@@ -1,0 +1,1 @@
+lib/types/prefix.mli: Format Ipv4 Map Set

@@ -1,0 +1,1 @@
+lib/types/protocol_id.ml: Format Hashtbl Int List Map Printf Set

@@ -1,0 +1,1 @@
+lib/types/protocol_id.mli: Format Map Set

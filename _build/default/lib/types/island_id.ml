@@ -1,0 +1,37 @@
+type t = Singleton of Asn.t | Named of string | Hashed of int
+
+let singleton a = Singleton a
+let named s = Named s
+
+let of_border_asns asns =
+  let sorted = List.sort_uniq Asn.compare asns in
+  Hashed (Hashtbl.hash (List.map Asn.to_int sorted))
+
+let compare a b =
+  match (a, b) with
+  | Singleton x, Singleton y -> Asn.compare x y
+  | Singleton _, _ -> -1
+  | _, Singleton _ -> 1
+  | Named x, Named y -> String.compare x y
+  | Named _, _ -> -1
+  | _, Named _ -> 1
+  | Hashed x, Hashed y -> Int.compare x y
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+let to_string = function
+  | Singleton a -> Asn.to_string a
+  | Named s -> s
+  | Hashed h -> Printf.sprintf "isl-%08x" (h land 0xFFFF_FFFF)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

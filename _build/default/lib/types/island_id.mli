@@ -1,0 +1,28 @@
+(** Island identifiers.
+
+    An island is a cluster of one or more contiguous ASes that support the
+    same protocol (Section 2).  Islands are named either by a
+    governing-body-assigned name, by a hash of their border ASes' numbers
+    (the paper's self-assignment alternative), or — for singleton islands —
+    by the AS's own number (Section 3.1). *)
+
+type t =
+  | Singleton of Asn.t  (** A one-AS island, identified by its AS number. *)
+  | Named of string     (** A governing-body-assigned island name. *)
+  | Hashed of int       (** Self-assigned: hash of the border ASes. *)
+
+val singleton : Asn.t -> t
+val named : string -> t
+
+val of_border_asns : Asn.t list -> t
+(** Self-assignment: a stable hash of the island's border AS numbers,
+    order-insensitive. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

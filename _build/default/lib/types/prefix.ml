@@ -1,0 +1,61 @@
+type t = { net : Ipv4.t; len : int }
+
+let mask len = if len = 0 then 0 else 0xFFFF_FFFF lsl (32 - len) land 0xFFFF_FFFF
+
+let make addr len =
+  if len < 0 || len > 32 then
+    invalid_arg (Printf.sprintf "Prefix.make: bad length %d" len)
+  else { net = Ipv4.of_int (Ipv4.to_int addr land mask len); len }
+
+let network p = p.net
+let length p = p.len
+
+let of_string_opt s =
+  match String.index_opt s '/' with
+  | None -> Option.map (fun a -> make a 32) (Ipv4.of_string_opt s)
+  | Some i ->
+    let addr = String.sub s 0 i
+    and len = String.sub s (i + 1) (String.length s - i - 1) in
+    ( match (Ipv4.of_string_opt addr, int_of_string_opt len) with
+      | Some a, Some l when l >= 0 && l <= 32 -> Some (make a l)
+      | _ -> None )
+
+let of_string s =
+  match of_string_opt s with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Prefix.of_string: %S" s)
+
+let to_string p = Printf.sprintf "%s/%d" (Ipv4.to_string p.net) p.len
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+let mem addr p = Ipv4.to_int addr land mask p.len = Ipv4.to_int p.net
+
+let subsumes p q =
+  p.len <= q.len && Ipv4.to_int q.net land mask p.len = Ipv4.to_int p.net
+
+let bit p i =
+  if i < 0 || i >= p.len then invalid_arg "Prefix.bit: index out of range"
+  else Ipv4.to_int p.net land (1 lsl (31 - i)) <> 0
+
+let compare p q =
+  match Ipv4.compare p.net q.net with 0 -> Int.compare p.len q.len | c -> c
+
+let equal p q = compare p q = 0
+let hash p = Hashtbl.hash (Ipv4.to_int p.net, p.len)
+let default = { net = Ipv4.any; len = 0 }
+
+let split p =
+  if p.len >= 32 then None
+  else
+    let lo = { net = p.net; len = p.len + 1 } in
+    let hi_net = Ipv4.of_int (Ipv4.to_int p.net lor (1 lsl (31 - p.len))) in
+    Some (lo, { net = hi_net; len = p.len + 1 })
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive"
+  else
+    (* Rejection-free for our purposes: modulo bias is negligible for
+       bounds far below 2^62. *)
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range"
+  else lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t k arr =
+  let n = Array.length arr in
+  if k < 0 || k > n then invalid_arg "Prng.sample: bad k"
+  else begin
+    let copy = Array.copy arr in
+    for i = 0 to k - 1 do
+      let j = i + int t (n - i) in
+      let tmp = copy.(i) in
+      copy.(i) <- copy.(j);
+      copy.(j) <- tmp
+    done;
+    Array.sub copy 0 k
+  end

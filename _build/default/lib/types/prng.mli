@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the reproduction — the BRITE/Waxman
+    topology generator, random upgrade sets in the benefit simulations,
+    synthetic workload traces — draws from this PRNG so that experiments
+    are bit-reproducible across runs and machines, independent of OCaml's
+    [Random] implementation. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** An independent generator derived from the current state; the parent
+    advances.  Lets sub-experiments draw without perturbing each other. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+val bits64 : t -> int64
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> int -> 'a array -> 'a array
+(** [sample t k arr] draws [k] distinct elements uniformly (reservoir-free:
+    partial Fisher-Yates on a copy).
+    @raise Invalid_argument if [k > Array.length arr] or [k < 0]. *)

@@ -1,0 +1,66 @@
+type kind = Baseline | Critical_fix | Custom | Replacement
+
+type t = { id : int; name : string; kind : kind }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+let by_id : (int, t) Hashtbl.t = Hashtbl.create 32
+let next_id = ref 0
+
+let register ?(kind = Custom) name =
+  match Hashtbl.find_opt registry name with
+  | Some t ->
+    if t.kind <> kind && kind <> Custom then
+      invalid_arg
+        (Printf.sprintf "Protocol_id.register: %s already registered" name)
+    else t
+  | None ->
+    let t = { id = !next_id; name; kind } in
+    incr next_id;
+    Hashtbl.add registry name t;
+    Hashtbl.add by_id t.id t;
+    t
+
+let find name = Hashtbl.find_opt registry name
+let name t = t.name
+let kind t = t.kind
+let to_int t = t.id
+let of_int i = Hashtbl.find_opt by_id i
+let compare a b = Int.compare a.id b.id
+let equal a b = Int.equal a.id b.id
+let hash t = t.id
+let pp ppf t = Format.pp_print_string ppf t.name
+
+let pp_kind ppf = function
+  | Baseline -> Format.pp_print_string ppf "baseline"
+  | Critical_fix -> Format.pp_print_string ppf "critical-fix"
+  | Custom -> Format.pp_print_string ppf "custom"
+  | Replacement -> Format.pp_print_string ppf "replacement"
+
+let all () =
+  Hashtbl.fold (fun _ t acc -> t :: acc) registry []
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+
+(* Table 1 of the paper, grouped by scenario. *)
+let bgp = register ~kind:Baseline "bgp"
+let bgpsec = register ~kind:Critical_fix "bgpsec"
+let eq_bgp = register ~kind:Critical_fix "eq-bgp"
+let lisp = register ~kind:Critical_fix "lisp"
+let r_bgp = register ~kind:Critical_fix "r-bgp"
+let wiser = register ~kind:Critical_fix "wiser"
+let miro = register ~kind:Custom "miro"
+let arrow = register ~kind:Custom "arrow"
+let ron = register ~kind:Custom "ron"
+let nira = register ~kind:Replacement "nira"
+let scion = register ~kind:Replacement "scion"
+let pathlet = register ~kind:Replacement "pathlet"
+let yamr = register ~kind:Replacement "yamr"
+let hlp = register ~kind:Replacement "hlp"
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

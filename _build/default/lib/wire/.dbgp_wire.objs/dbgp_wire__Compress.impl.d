@@ -1,0 +1,1 @@
+lib/wire/compress.ml: Array Buffer Char String

@@ -1,0 +1,1 @@
+lib/wire/reader.ml: Char Dbgp_types List Printf String

@@ -1,0 +1,148 @@
+(* LZSS with a 4 KiB window and 3..18-byte matches, hash-chain search.
+   Stream layout: version byte, 4-byte big-endian original length, then
+   groups of up to eight tokens preceded by a flag byte (bit set =
+   literal).  A match token packs a 12-bit distance and 4-bit
+   (length - 3) into two bytes. *)
+
+let version = 1
+let window = 4096
+let min_match = 3
+let max_match = 18
+let max_chain = 64
+
+let hash src i =
+  (Char.code src.[i] lsl 10)
+  lxor (Char.code src.[i + 1] lsl 5)
+  lxor Char.code src.[i + 2]
+  land 0xFFFF
+
+let compress src =
+  let n = String.length src in
+  let out = Buffer.create (n / 2 + 16) in
+  Buffer.add_char out (Char.chr version);
+  Buffer.add_char out (Char.chr ((n lsr 24) land 0xFF));
+  Buffer.add_char out (Char.chr ((n lsr 16) land 0xFF));
+  Buffer.add_char out (Char.chr ((n lsr 8) land 0xFF));
+  Buffer.add_char out (Char.chr (n land 0xFF));
+  let head = Array.make 0x10000 (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  (* Token group state: up to 8 tokens buffered with their flag bits. *)
+  let flags = ref 0 and nflags = ref 0 in
+  let group = Buffer.create 17 in
+  let flush_group () =
+    if !nflags > 0 then begin
+      Buffer.add_char out (Char.chr !flags);
+      Buffer.add_buffer out group;
+      Buffer.clear group;
+      flags := 0;
+      nflags := 0
+    end
+  in
+  let emit_literal c =
+    flags := !flags lor (1 lsl !nflags);
+    Buffer.add_char group c;
+    incr nflags;
+    if !nflags = 8 then flush_group ()
+  in
+  let emit_match ~dist ~len =
+    Buffer.add_char group (Char.chr ((dist lsr 4) land 0xFF));
+    Buffer.add_char group (Char.chr (((dist land 0xF) lsl 4) lor (len - min_match)));
+    incr nflags;
+    if !nflags = 8 then flush_group ()
+  in
+  let match_len i j =
+    (* longest common run between positions j (earlier) and i, capped *)
+    let cap = min max_match (n - i) in
+    let k = ref 0 in
+    while !k < cap && src.[j + !k] = src.[i + !k] do
+      incr k
+    done;
+    !k
+  in
+  let i = ref 0 in
+  while !i < n do
+    let best_len = ref 0 and best_dist = ref 0 in
+    if !i + min_match <= n then begin
+      let h = hash src (min !i (n - min_match)) in
+      let cand = ref head.(h) and depth = ref 0 in
+      while !cand >= 0 && !depth < max_chain do
+        if !i - !cand <= window then begin
+          let l = match_len !i !cand in
+          if l > !best_len then begin
+            best_len := l;
+            best_dist := !i - !cand
+          end;
+          cand := prev.(!cand);
+          incr depth
+        end
+        else cand := -1
+      done
+    end;
+    if !best_len >= min_match then begin
+      emit_match ~dist:!best_dist ~len:!best_len;
+      (* index every position covered by the match *)
+      let stop = min (!i + !best_len) (n - min_match) in
+      let j = ref !i in
+      while !j < stop do
+        let h = hash src !j in
+        prev.(!j) <- head.(h);
+        head.(h) <- !j;
+        incr j
+      done;
+      i := !i + !best_len
+    end
+    else begin
+      if !i + min_match <= n then begin
+        let h = hash src !i in
+        prev.(!i) <- head.(h);
+        head.(h) <- !i
+      end;
+      emit_literal src.[!i];
+      incr i
+    end
+  done;
+  flush_group ();
+  Buffer.contents out
+
+let decompress s =
+  let fail () = invalid_arg "Compress.decompress: malformed input" in
+  let n = String.length s in
+  if n < 5 || Char.code s.[0] <> version then fail ();
+  let orig =
+    (Char.code s.[1] lsl 24) lor (Char.code s.[2] lsl 16)
+    lor (Char.code s.[3] lsl 8) lor Char.code s.[4]
+  in
+  let out = Buffer.create orig in
+  let i = ref 5 in
+  while Buffer.length out < orig do
+    if !i >= n then fail ();
+    let flags = Char.code s.[!i] in
+    incr i;
+    let t = ref 0 in
+    while !t < 8 && Buffer.length out < orig do
+      if flags land (1 lsl !t) <> 0 then begin
+        if !i >= n then fail ();
+        Buffer.add_char out s.[!i];
+        incr i
+      end
+      else begin
+        if !i + 1 >= n then fail ();
+        let b1 = Char.code s.[!i] and b2 = Char.code s.[!i + 1] in
+        i := !i + 2;
+        let dist = (b1 lsl 4) lor (b2 lsr 4) in
+        let len = (b2 land 0xF) + min_match in
+        let start = Buffer.length out - dist in
+        if dist = 0 || start < 0 then fail ();
+        for k = 0 to len - 1 do
+          Buffer.add_char out (Buffer.nth out (start + k))
+        done
+      end;
+      incr t
+    done
+  done;
+  if Buffer.length out <> orig then fail ();
+  Buffer.contents out
+
+let ratio s =
+  if String.length s = 0 then 1.
+  else float_of_int (String.length (compress s)) /. float_of_int (String.length s)

@@ -1,0 +1,21 @@
+(** Byte-oriented LZSS compression.
+
+    Section 3.2 notes that "IAs can be compressed to further reduce
+    their size"; this is the compressor backing that claim (the sealed
+    build has no zlib, so it is self-contained).  A classic LZSS: a
+    sliding window of back-references (distance up to 4095, length 3 to
+    18) interleaved with literals, flagged in groups of eight.  The
+    format is self-framing (original length up front), so decompression
+    is exact and allocation is single-shot. *)
+
+val compress : string -> string
+(** Never fails; incompressible input grows by at most ~13%% (1 flag
+    byte per 8 literals) plus the 5-byte header. *)
+
+val decompress : string -> string
+(** Exact inverse of {!compress}.
+    @raise Invalid_argument on malformed or truncated input. *)
+
+val ratio : string -> float
+(** [compressed size / original size] for quick reporting; 1.0 for the
+    empty string. *)

@@ -1,0 +1,70 @@
+exception Error of string
+
+type t = { src : string; mutable pos : int }
+
+let of_string s = { src = s; pos = 0 }
+let pos t = t.pos
+let remaining t = String.length t.src - t.pos
+let at_end t = remaining t = 0
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let u8 t =
+  if remaining t < 1 then fail "u8: truncated at %d" t.pos
+  else begin
+    let c = Char.code t.src.[t.pos] in
+    t.pos <- t.pos + 1;
+    c
+  end
+
+let u16 t =
+  let hi = u8 t in
+  let lo = u8 t in
+  (hi lsl 8) lor lo
+
+let u32 t =
+  let hi = u16 t in
+  let lo = u16 t in
+  (hi lsl 16) lor lo
+
+let varint t =
+  let rec go shift acc =
+    if shift > 56 then fail "varint: too long at %d" t.pos
+    else
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let bytes t n =
+  if n < 0 || remaining t < n then fail "bytes: need %d, have %d" n (remaining t)
+  else begin
+    let s = String.sub t.src t.pos n in
+    t.pos <- t.pos + n;
+    s
+  end
+
+let delimited t =
+  let n = varint t in
+  bytes t n
+
+let ipv4 t = Dbgp_types.Ipv4.of_int (u32 t)
+
+let prefix t =
+  let len = u8 t in
+  if len > 32 then fail "prefix: bad length %d" len
+  else begin
+    let octets = (len + 7) / 8 in
+    let net = ref 0 in
+    for i = 0 to octets - 1 do
+      net := !net lor (u8 t lsl (24 - (8 * i)))
+    done;
+    Dbgp_types.Prefix.make (Dbgp_types.Ipv4.of_int !net) len
+  end
+
+let asn t = Dbgp_types.Asn.of_int (u32 t)
+
+let list t f =
+  let n = varint t in
+  if n > remaining t then fail "list: count %d exceeds buffer" n
+  else List.init n (fun _ -> f t)

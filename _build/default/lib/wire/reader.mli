@@ -1,0 +1,25 @@
+(** Binary decoder matching {!Writer}.
+
+    Decoding a malformed buffer raises {!Error} with a human-readable
+    reason; D-BGP speakers translate this into dropping the advertisement
+    (as BGP treats an unparseable UPDATE). *)
+
+exception Error of string
+
+type t
+
+val of_string : string -> t
+val pos : t -> int
+val remaining : t -> int
+val at_end : t -> bool
+
+val u8 : t -> int
+val u16 : t -> int
+val u32 : t -> int
+val varint : t -> int
+val bytes : t -> int -> string
+val delimited : t -> string
+val ipv4 : t -> Dbgp_types.Ipv4.t
+val prefix : t -> Dbgp_types.Prefix.t
+val asn : t -> Dbgp_types.Asn.t
+val list : t -> (t -> 'a) -> 'a list

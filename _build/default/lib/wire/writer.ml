@@ -1,0 +1,57 @@
+type t = Buffer.t
+
+let create ?(capacity = 256) () = Buffer.create capacity
+let length = Buffer.length
+let contents = Buffer.contents
+let reset = Buffer.clear
+
+let u8 b n =
+  if n < 0 || n > 0xFF then invalid_arg "Writer.u8: out of range"
+  else Buffer.add_char b (Char.chr n)
+
+let u16 b n =
+  if n < 0 || n > 0xFFFF then invalid_arg "Writer.u16: out of range"
+  else begin
+    Buffer.add_char b (Char.chr (n lsr 8));
+    Buffer.add_char b (Char.chr (n land 0xFF))
+  end
+
+let u32 b n =
+  if n < 0 || n > 0xFFFF_FFFF then invalid_arg "Writer.u32: out of range"
+  else begin
+    Buffer.add_char b (Char.chr ((n lsr 24) land 0xFF));
+    Buffer.add_char b (Char.chr ((n lsr 16) land 0xFF));
+    Buffer.add_char b (Char.chr ((n lsr 8) land 0xFF));
+    Buffer.add_char b (Char.chr (n land 0xFF))
+  end
+
+let rec varint b n =
+  if n < 0 then invalid_arg "Writer.varint: negative"
+  else if n < 0x80 then Buffer.add_char b (Char.chr n)
+  else begin
+    Buffer.add_char b (Char.chr (0x80 lor (n land 0x7F)));
+    varint b (n lsr 7)
+  end
+
+let bytes b s = Buffer.add_string b s
+
+let delimited b s =
+  varint b (String.length s);
+  bytes b s
+
+let ipv4 b a = u32 b (Dbgp_types.Ipv4.to_int a)
+
+let prefix b p =
+  let len = Dbgp_types.Prefix.length p in
+  u8 b len;
+  let octets = (len + 7) / 8 in
+  let net = Dbgp_types.Ipv4.to_int (Dbgp_types.Prefix.network p) in
+  for i = 0 to octets - 1 do
+    u8 b ((net lsr (24 - (8 * i))) land 0xFF)
+  done
+
+let asn b a = u32 b (Dbgp_types.Asn.to_int a)
+
+let list b f xs =
+  varint b (List.length xs);
+  List.iter (f b) xs

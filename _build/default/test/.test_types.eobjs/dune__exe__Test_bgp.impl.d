@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Asn Dbgp_bgp Dbgp_types Dbgp_wire Gen Ipv4 List Option Prefix QCheck QCheck_alcotest String Test

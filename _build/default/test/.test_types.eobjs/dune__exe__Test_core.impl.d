@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Asn Dbgp_bgp Dbgp_core Dbgp_types Dbgp_wire Gen Ipv4 Island_id List Path_elem Prefix Protocol_id QCheck QCheck_alcotest String Test

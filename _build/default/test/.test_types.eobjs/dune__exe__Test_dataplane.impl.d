@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Asn Dbgp_dataplane Dbgp_types Engine Forwarder Header Ipv4 List Packet Prefix

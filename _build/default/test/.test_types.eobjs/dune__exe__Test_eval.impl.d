@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Benefits Dbgp_bgp Dbgp_core Dbgp_eval Dbgp_topology Dbgp_types List Loc_report Overhead Printf Rich_world Scenarios Stress Taxonomy Workload

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Asn Dbgp_bgp Dbgp_core Dbgp_netsim Dbgp_types Ipv4 List Option Prefix

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Asn Dbgp_core Dbgp_protocols Dbgp_types Gen Ipv4 Island_id List Option Prefix QCheck QCheck_alcotest String Test

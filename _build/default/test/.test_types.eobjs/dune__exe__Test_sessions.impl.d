@@ -1,0 +1,1 @@
+test/test_sessions.ml: Alcotest Asn Dbgp_bgp Dbgp_core Dbgp_eval Dbgp_netsim Dbgp_types Ipv4 List Prefix Printf Protocol_id

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Dbgp_topology Dbgp_types Int List Option Prng QCheck QCheck_alcotest Queue Test

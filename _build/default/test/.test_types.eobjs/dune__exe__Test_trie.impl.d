@@ -1,0 +1,1 @@
+test/test_trie.ml: Alcotest Dbgp_trie Dbgp_types Gen Ipv4 List Option Prefix QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Array Asn Dbgp_types Fun Gen Ipv4 Island_id List Path_elem Prefix Prng Protocol_id QCheck QCheck_alcotest Test

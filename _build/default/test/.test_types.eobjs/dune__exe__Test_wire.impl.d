@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Asn Char Dbgp_types Dbgp_wire Ipv4 List Prefix QCheck QCheck_alcotest String Test

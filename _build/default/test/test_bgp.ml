@@ -1,0 +1,443 @@
+open Dbgp_types
+module Attr = Dbgp_bgp.Attr
+module Message = Dbgp_bgp.Message
+module Decision = Dbgp_bgp.Decision
+module Rib = Dbgp_bgp.Rib
+module Policy = Dbgp_bgp.Policy
+module Fsm = Dbgp_bgp.Fsm
+module W = Dbgp_wire.Writer
+module R = Dbgp_wire.Reader
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let asn = Asn.of_int
+let ip = Ipv4.of_string
+let pfx = Prefix.of_string
+
+let attrs ?med ?local_pref ?(origin = Attr.Igp) ?(communities = [])
+    ?(unknowns = []) path =
+  Attr.make ~origin ?med ?local_pref ~communities ~unknowns
+    ~as_path:[ Attr.Seq (List.map asn path) ]
+    ~next_hop:(ip "10.0.0.1") ()
+
+(* ------------------------- Attr ------------------------- *)
+
+let test_attr_roundtrip () =
+  let a =
+    Attr.make ~origin:Attr.Egp ~med:30 ~local_pref:150 ~atomic_aggregate:true
+      ~aggregator:(asn 100, ip "1.1.1.1")
+      ~communities:[ Attr.community ~asn:65000 ~value:42 ]
+      ~unknowns:[ { Attr.type_code = 99; transitive = true; body = "blob" } ]
+      ~as_path:[ Attr.Seq [ asn 1; asn 2 ]; Attr.Set [ asn 3; asn 4 ] ]
+      ~next_hop:(ip "9.9.9.9") ()
+  in
+  let w = W.create () in
+  Attr.encode w a;
+  let b = Attr.decode (R.of_string (W.contents w)) in
+  check "roundtrip equal" true (Attr.equal a b)
+
+let test_attr_path_length () =
+  let a = attrs [ 1; 2; 3 ] in
+  check_int "seq" 3 (Attr.as_path_length a.Attr.as_path);
+  let withset = [ Attr.Seq [ asn 1 ]; Attr.Set [ asn 2; asn 3; asn 4 ] ] in
+  check_int "set counts one" 2 (Attr.as_path_length withset)
+
+let test_attr_prepend () =
+  let a = attrs [ 2; 3 ] in
+  let p = Attr.prepend (asn 1) a.Attr.as_path in
+  check "prepended" true (Attr.as_path_asns p = [ asn 1; asn 2; asn 3 ]);
+  let onto_set = Attr.prepend (asn 1) [ Attr.Set [ asn 2 ] ] in
+  check "new seq before set" true
+    (match onto_set with Attr.Seq [ x ] :: Attr.Set _ :: [] -> Asn.equal x (asn 1) | _ -> false)
+
+let test_attr_contains () =
+  let a = attrs [ 10; 20 ] in
+  check "contains" true (Attr.as_path_contains (asn 20) a.Attr.as_path);
+  check "not contains" false (Attr.as_path_contains (asn 30) a.Attr.as_path)
+
+let test_attr_strip () =
+  let a =
+    attrs ~local_pref:200
+      ~unknowns:
+        [ { Attr.type_code = 1; transitive = true; body = "keep" };
+          { Attr.type_code = 2; transitive = false; body = "drop" } ]
+      [ 1 ]
+  in
+  let s = Attr.strip_non_transitive a in
+  check "local pref dropped" true (s.Attr.local_pref = None);
+  check_int "one unknown kept" 1 (List.length s.Attr.unknowns);
+  check "transitive kept" true
+    (List.for_all (fun u -> u.Attr.transitive) s.Attr.unknowns)
+
+let test_community_encoding () =
+  let c = Attr.community ~asn:65000 ~value:10 in
+  check_int "packed" ((65000 lsl 16) lor 10) c;
+  Alcotest.check_raises "range" (Invalid_argument "Attr.community: halves must fit 16 bits")
+    (fun () -> ignore (Attr.community ~asn:70000 ~value:0))
+
+(* ------------------------- Message ------------------------- *)
+
+let roundtrip m = Message.decode (Message.encode m)
+
+let test_msg_open () =
+  let o =
+    Message.Open
+      { Message.version = 4; my_asn = asn 65001; hold_time = 90;
+        bgp_id = ip "10.0.0.1"; capabilities = [ Message.capability_dbgp ] }
+  in
+  check "open roundtrip" true (roundtrip o = o)
+
+let test_msg_update () =
+  let u =
+    Message.Update
+      { Message.withdrawn = [ pfx "10.1.0.0/16" ];
+        attrs = Some (attrs [ 1; 2 ]);
+        nlri = [ pfx "10.2.0.0/16"; pfx "10.3.0.0/24" ] }
+  in
+  check "update roundtrip" true (roundtrip u = u);
+  let w_only =
+    Message.Update { Message.withdrawn = [ pfx "1.0.0.0/8" ]; attrs = None; nlri = [] }
+  in
+  check "withdraw-only roundtrip" true (roundtrip w_only = w_only)
+
+let test_msg_keepalive_notification () =
+  check "keepalive" true (roundtrip Message.Keepalive = Message.Keepalive);
+  let n = Message.Notification { Message.error_code = 6; error_subcode = 2; data = "bye" } in
+  check "notification" true (roundtrip n = n)
+
+let test_msg_malformed () =
+  let fails s = try ignore (Message.decode s) ; false with R.Error _ -> true in
+  check "bad marker" true (fails (String.make 19 '\x00'));
+  check "truncated" true (fails "\xff\xff");
+  let good = Message.encode Message.Keepalive in
+  let tampered = String.sub good 0 (String.length good - 1) ^ "\x07" in
+  check "bad type" true (fails (String.sub tampered 0 18 ^ "\x09"))
+
+let test_msg_length_field () =
+  let m = Message.encode Message.Keepalive in
+  check_int "keepalive is 19 bytes" 19 (String.length m);
+  let fails s = try ignore (Message.decode s) ; false with R.Error _ -> true in
+  check "length mismatch" true (fails (m ^ "extra"))
+
+(* ------------------------- Decision ------------------------- *)
+
+let cand ?(peer = "10.0.0.9") ?(from = 200) ?(ebgp = true) a =
+  { Decision.attrs = a; from_peer = ip peer; from_asn = asn from; ebgp }
+
+let test_decision_local_pref () =
+  let hi = cand (attrs ~local_pref:200 [ 1; 2; 3; 4 ]) in
+  let lo = cand (attrs ~local_pref:100 [ 1 ]) in
+  check "local pref dominates length" true (Decision.compare hi lo > 0)
+
+let test_decision_path_length () =
+  let short = cand (attrs [ 1; 2 ]) in
+  let long = cand (attrs [ 1; 2; 3 ]) in
+  check "shorter wins" true (Decision.compare short long > 0)
+
+let test_decision_origin () =
+  let igp = cand (attrs ~origin:Attr.Igp [ 1; 2 ]) in
+  let egp = cand (attrs ~origin:Attr.Egp [ 1; 2 ]) in
+  let inc = cand (attrs ~origin:Attr.Incomplete [ 1; 2 ]) in
+  check "igp > egp" true (Decision.compare igp egp > 0);
+  check "egp > incomplete" true (Decision.compare egp inc > 0)
+
+let test_decision_med () =
+  let a = cand ~from:100 (attrs ~med:10 [ 1; 2 ]) in
+  let b = cand ~from:100 ~peer:"10.0.0.8" (attrs ~med:20 [ 1; 2 ]) in
+  check "lower med same neighbor" true (Decision.compare a b > 0);
+  let c = cand ~from:101 ~peer:"10.0.0.8" (attrs ~med:20 [ 1; 2 ]) in
+  (* different neighbor AS: MED skipped, falls to ebgp tie then peer id *)
+  check "med not compared across ASes" true (Decision.compare a c < 0)
+
+let test_decision_ebgp_peer () =
+  let e = cand ~ebgp:true (attrs [ 1; 2 ]) in
+  let i = cand ~ebgp:false ~peer:"10.0.0.1" (attrs [ 1; 2 ]) in
+  check "ebgp over ibgp" true (Decision.compare e i > 0);
+  let p1 = cand ~peer:"10.0.0.1" (attrs [ 1; 2 ]) in
+  let p2 = cand ~peer:"10.0.0.2" (attrs [ 1; 2 ]) in
+  check "lower peer id wins" true (Decision.compare p1 p2 > 0)
+
+let test_decision_best_rank () =
+  let c1 = cand ~peer:"10.0.0.3" (attrs [ 1; 2; 3 ]) in
+  let c2 = cand ~peer:"10.0.0.2" (attrs [ 1; 2 ]) in
+  let c3 = cand ~peer:"10.0.0.1" (attrs ~local_pref:300 [ 1; 2; 3; 4; 5 ]) in
+  check "best is highest lp" true (Decision.best [ c1; c2; c3 ] = Some c3);
+  check "empty none" true (Decision.best [] = None);
+  let ranked = Decision.rank [ c1; c2; c3 ] in
+  check "rank order" true (ranked = [ c3; c2; c1 ])
+
+(* ------------------------- Rib ------------------------- *)
+
+let test_rib_adj_in () =
+  let rib = Rib.create () in
+  let p1 = ip "10.0.0.1" and p2 = ip "10.0.0.2" in
+  Rib.adj_in_set rib ~peer:p1 (pfx "1.0.0.0/8") "r1";
+  Rib.adj_in_set rib ~peer:p2 (pfx "1.0.0.0/8") "r2";
+  check_int "two candidates" 2 (List.length (Rib.adj_in_candidates rib (pfx "1.0.0.0/8")));
+  Rib.adj_in_del rib ~peer:p1 (pfx "1.0.0.0/8");
+  check "deleted" true (Rib.adj_in_get rib ~peer:p1 (pfx "1.0.0.0/8") = None);
+  check "other kept" true (Rib.adj_in_get rib ~peer:p2 (pfx "1.0.0.0/8") = Some "r2")
+
+let test_rib_loc () =
+  let rib = Rib.create () in
+  Rib.loc_set rib (pfx "10.0.0.0/8") "wide";
+  Rib.loc_set rib (pfx "10.1.0.0/16") "narrow";
+  check "lpm" true
+    (Rib.loc_lookup rib (ip "10.1.2.3") = Some (pfx "10.1.0.0/16", "narrow"));
+  check_int "size" 2 (Rib.loc_size rib);
+  Rib.loc_del rib (pfx "10.1.0.0/16");
+  check "fallback" true (Rib.loc_lookup rib (ip "10.1.2.3") = Some (pfx "10.0.0.0/8", "wide"))
+
+let test_rib_drop_peer () =
+  let rib = Rib.create () in
+  let p1 = ip "10.0.0.1" in
+  Rib.adj_in_set rib ~peer:p1 (pfx "1.0.0.0/8") "a";
+  Rib.adj_in_set rib ~peer:p1 (pfx "2.0.0.0/8") "b";
+  Rib.adj_out_set rib ~peer:p1 (pfx "3.0.0.0/8") "c";
+  let affected = Rib.drop_peer rib ~peer:p1 in
+  check_int "two prefixes affected" 2 (List.length affected);
+  check "adj out cleared" true (Rib.adj_out_get rib ~peer:p1 (pfx "3.0.0.0/8") = None)
+
+let test_rib_prefixes () =
+  let rib = Rib.create () in
+  Rib.adj_in_set rib ~peer:(ip "10.0.0.1") (pfx "1.0.0.0/8") "a";
+  Rib.loc_set rib (pfx "2.0.0.0/8") "b";
+  check_int "union" 2 (Prefix.Set.cardinal (Rib.prefixes rib))
+
+(* ------------------------- Policy ------------------------- *)
+
+let test_policy_first_match () =
+  let pol =
+    [ { Policy.cond = Policy.Match_prefix (pfx "10.0.0.0/8"); permit = false; actions = [] };
+      { Policy.cond = Policy.Match_any; permit = true; actions = [ Policy.Set_med 5 ] } ]
+  in
+  check "denied" true (Policy.apply pol (pfx "10.1.0.0/16") (attrs [ 1 ]) = None);
+  ( match Policy.apply pol (pfx "11.0.0.0/8") (attrs [ 1 ]) with
+    | Some a -> check "action applied" true (a.Attr.med = Some 5)
+    | None -> Alcotest.fail "should permit" );
+  check "implicit deny" true (Policy.apply Policy.deny_all (pfx "1.0.0.0/8") (attrs [ 1 ]) = None)
+
+let test_policy_matchers () =
+  let a = attrs ~communities:[ Attr.community ~asn:1 ~value:2 ] [ 7; 8 ] in
+  let m c = Policy.apply [ { Policy.cond = c; permit = true; actions = [] } ] (pfx "9.0.0.0/8") a <> None in
+  check "asn on path" true (m (Policy.Match_asn_on_path (asn 8)));
+  check "asn absent" false (m (Policy.Match_asn_on_path (asn 9)));
+  check "community" true (m (Policy.Match_community (Attr.community ~asn:1 ~value:2)));
+  check "not" true (m (Policy.Match_not (Policy.Match_asn_on_path (asn 9))));
+  check "all" true
+    (m (Policy.Match_all [ Policy.Match_any; Policy.Match_asn_on_path (asn 7) ]))
+
+let test_policy_actions () =
+  let a = attrs [ 5 ] in
+  let run acts =
+    match
+      Policy.apply [ { Policy.cond = Policy.Match_any; permit = true; actions = acts } ]
+        (pfx "9.0.0.0/8") a
+    with
+    | Some x -> x
+    | None -> Alcotest.fail "permit expected"
+  in
+  check "set lp" true ((run [ Policy.Set_local_pref 300 ]).Attr.local_pref = Some 300);
+  check_int "prepend twice" 3
+    (Attr.as_path_length (run [ Policy.Prepend (asn 5, 2) ]).Attr.as_path);
+  check "strip communities" true
+    ((run [ Policy.Add_community 7; Policy.Strip_communities ]).Attr.communities = [])
+
+let test_policy_gao_rexford () =
+  let lp rel =
+    match Policy.apply (Policy.import_for rel) (pfx "9.0.0.0/8") (attrs [ 1 ]) with
+    | Some a -> Option.value a.Attr.local_pref ~default:0
+    | None -> -1
+  in
+  check "customer > peer > provider" true
+    (lp Policy.To_customer > lp Policy.To_peer && lp Policy.To_peer > lp Policy.To_provider);
+  check "customer routes exported everywhere" true
+    (Policy.export_for Policy.To_peer ~learned_local_pref:(Some 200));
+  check "peer routes not to peers" false
+    (Policy.export_for Policy.To_peer ~learned_local_pref:(Some 100));
+  check "peer routes to customers" true
+    (Policy.export_for Policy.To_customer ~learned_local_pref:(Some 100));
+  check "local routes everywhere" true
+    (Policy.export_for Policy.To_provider ~learned_local_pref:None)
+
+(* ------------------------- FSM ------------------------- *)
+
+let cfg =
+  { Fsm.my_asn = asn 65001; my_id = ip "10.0.0.1"; hold_time = 90;
+    capabilities = [ Message.capability_dbgp ] }
+
+let peer_open : Message.open_msg =
+  { Message.version = 4; my_asn = asn 65002; hold_time = 30;
+    bgp_id = ip "10.0.0.2"; capabilities = [] }
+
+let drive t evs = List.fold_left (fun (t, _) ev -> Fsm.handle t ev) (t, []) evs
+
+let test_fsm_happy_path () =
+  let t = Fsm.create cfg in
+  check "starts idle" true (Fsm.state t = Fsm.Idle);
+  let t, acts = Fsm.handle t Fsm.Manual_start in
+  check "connecting" true (Fsm.state t = Fsm.Connect);
+  check "wants tcp" true (List.mem Fsm.Connect_tcp acts);
+  let t, acts = Fsm.handle t Fsm.Tcp_established in
+  check "open sent" true (Fsm.state t = Fsm.Open_sent);
+  check "sent open" true
+    (List.exists (function Fsm.Send (Message.Open _) -> true | _ -> false) acts);
+  let t, acts = Fsm.handle t (Fsm.Recv (Message.Open peer_open)) in
+  check "open confirm" true (Fsm.state t = Fsm.Open_confirm);
+  check "sent keepalive" true (List.mem (Fsm.Send Message.Keepalive) acts);
+  let t, acts = Fsm.handle t (Fsm.Recv Message.Keepalive) in
+  check "established" true (Fsm.state t = Fsm.Established);
+  check "session up" true
+    (List.exists (function Fsm.Session_up _ -> true | _ -> false) acts);
+  check "negotiated min hold" true (Fsm.negotiated_hold_time t = Some 30)
+
+let established () =
+  fst
+    (drive (Fsm.create cfg)
+       [ Fsm.Manual_start; Fsm.Tcp_established;
+         Fsm.Recv (Message.Open peer_open); Fsm.Recv Message.Keepalive ])
+
+let test_fsm_update_delivery () =
+  let t = established () in
+  let u = { Message.withdrawn = []; attrs = Some (attrs [ 1 ]); nlri = [ pfx "1.0.0.0/8" ] } in
+  let t', acts = Fsm.handle t (Fsm.Recv (Message.Update u)) in
+  check "still established" true (Fsm.state t' = Fsm.Established);
+  check "delivered" true (List.mem (Fsm.Deliver_update u) acts);
+  check "hold timer restarted" true
+    (List.exists (function Fsm.Start_hold_timer _ -> true | _ -> false) acts)
+
+let test_fsm_hold_expiry () =
+  let t = established () in
+  let t', acts = Fsm.handle t Fsm.Hold_timer_expired in
+  check "reset to idle" true (Fsm.state t' = Fsm.Idle);
+  check "session down" true (List.mem Fsm.Session_down acts);
+  check "notified" true
+    (List.exists (function Fsm.Send (Message.Notification _) -> true | _ -> false) acts)
+
+let test_fsm_bad_version () =
+  let t, _ = drive (Fsm.create cfg) [ Fsm.Manual_start; Fsm.Tcp_established ] in
+  let t', acts = Fsm.handle t (Fsm.Recv (Message.Open { peer_open with Message.version = 3 })) in
+  check "rejected to idle" true (Fsm.state t' = Fsm.Idle);
+  check "open error" true
+    (List.exists
+       (function Fsm.Send (Message.Notification n) -> n.Message.error_code = 2 | _ -> false)
+       acts)
+
+let test_fsm_stop () =
+  let t = established () in
+  let t', acts = Fsm.handle t Fsm.Manual_stop in
+  check "idle" true (Fsm.state t' = Fsm.Idle);
+  check "cease sent" true
+    (List.exists
+       (function Fsm.Send (Message.Notification n) -> n.Message.error_code = 6 | _ -> false)
+       acts)
+
+let test_fsm_keepalive_cycle () =
+  let t = established () in
+  let _, acts = Fsm.handle t Fsm.Keepalive_timer_expired in
+  check "keepalive sent and rearmed" true
+    (List.mem (Fsm.Send Message.Keepalive) acts
+    && List.exists (function Fsm.Start_keepalive_timer _ -> true | _ -> false) acts)
+
+let test_fsm_unexpected_open_in_established () =
+  let t = established () in
+  let t', _ = Fsm.handle t (Fsm.Recv (Message.Open peer_open)) in
+  check "fsm error resets" true (Fsm.state t' = Fsm.Idle)
+
+let test_fsm_zero_hold_time () =
+  (* hold time 0 disables keepalive/hold machinery entirely *)
+  let z = { cfg with Fsm.hold_time = 0 } in
+  let t, _ =
+    drive (Fsm.create z)
+      [ Fsm.Manual_start; Fsm.Tcp_established;
+        Fsm.Recv (Message.Open { peer_open with Message.hold_time = 0 }) ]
+  in
+  let t, acts = Fsm.handle t (Fsm.Recv Message.Keepalive) in
+  check "established" true (Fsm.state t = Fsm.Established);
+  check "no timers armed" false
+    (List.exists
+       (function Fsm.Start_hold_timer _ | Fsm.Start_keepalive_timer _ -> true | _ -> false)
+       acts);
+  check "negotiated zero" true (Fsm.negotiated_hold_time t = Some 0)
+
+let test_attr_unknown_flags () =
+  let a =
+    attrs
+      ~unknowns:
+        [ { Attr.type_code = 200; transitive = true; body = "t" };
+          { Attr.type_code = 201; transitive = false; body = "n" } ]
+      [ 1 ]
+  in
+  let w = W.create () in
+  Attr.encode w a;
+  let b = Attr.decode (R.of_string (W.contents w)) in
+  check "transitivity bits survive the wire" true
+    (List.map (fun (u : Attr.unknown) -> (u.Attr.type_code, u.Attr.transitive)) b.Attr.unknowns
+    = [ (200, true); (201, false) ])
+
+let qcheck =
+  let open QCheck in
+  [ Test.make ~name:"attr wire roundtrip" ~count:200
+      (triple (list_of_size (Gen.int_range 1 6) (int_bound 100000))
+         (option (int_bound 1000)) (option (int_bound 1000)))
+      (fun (path, med, lp) ->
+        let a =
+          Attr.make ?med ?local_pref:lp
+            ~as_path:[ Attr.Seq (List.map asn path) ]
+            ~next_hop:(ip "1.2.3.4") ()
+        in
+        let w = W.create () in
+        Attr.encode w a;
+        Attr.equal a (Attr.decode (R.of_string (W.contents w))));
+    Test.make ~name:"decision total order antisymmetric" ~count:200
+      (pair (list_of_size (Gen.int_range 1 5) (int_bound 1000))
+         (list_of_size (Gen.int_range 1 5) (int_bound 1000)))
+      (fun (p1, p2) ->
+        let c1 = cand ~peer:"10.0.0.1" (attrs p1) in
+        let c2 = cand ~peer:"10.0.0.2" (attrs p2) in
+        let ab = Decision.compare c1 c2 and ba = Decision.compare c2 c1 in
+        (ab > 0 && ba < 0) || (ab < 0 && ba > 0) || (ab = 0 && ba = 0)) ]
+
+let () =
+  Alcotest.run "bgp"
+    [ ("attr",
+       [ Alcotest.test_case "roundtrip" `Quick test_attr_roundtrip;
+         Alcotest.test_case "path length" `Quick test_attr_path_length;
+         Alcotest.test_case "prepend" `Quick test_attr_prepend;
+         Alcotest.test_case "contains" `Quick test_attr_contains;
+         Alcotest.test_case "strip non-transitive" `Quick test_attr_strip;
+         Alcotest.test_case "communities" `Quick test_community_encoding ]);
+      ("message",
+       [ Alcotest.test_case "open" `Quick test_msg_open;
+         Alcotest.test_case "update" `Quick test_msg_update;
+         Alcotest.test_case "keepalive/notification" `Quick test_msg_keepalive_notification;
+         Alcotest.test_case "malformed" `Quick test_msg_malformed;
+         Alcotest.test_case "length field" `Quick test_msg_length_field ]);
+      ("decision",
+       [ Alcotest.test_case "local pref" `Quick test_decision_local_pref;
+         Alcotest.test_case "path length" `Quick test_decision_path_length;
+         Alcotest.test_case "origin" `Quick test_decision_origin;
+         Alcotest.test_case "med" `Quick test_decision_med;
+         Alcotest.test_case "ebgp/peer id" `Quick test_decision_ebgp_peer;
+         Alcotest.test_case "best/rank" `Quick test_decision_best_rank ]);
+      ("rib",
+       [ Alcotest.test_case "adj-in" `Quick test_rib_adj_in;
+         Alcotest.test_case "loc-rib" `Quick test_rib_loc;
+         Alcotest.test_case "drop peer" `Quick test_rib_drop_peer;
+         Alcotest.test_case "prefixes" `Quick test_rib_prefixes ]);
+      ("policy",
+       [ Alcotest.test_case "first match" `Quick test_policy_first_match;
+         Alcotest.test_case "matchers" `Quick test_policy_matchers;
+         Alcotest.test_case "actions" `Quick test_policy_actions;
+         Alcotest.test_case "gao-rexford" `Quick test_policy_gao_rexford ]);
+      ("fsm",
+       [ Alcotest.test_case "happy path" `Quick test_fsm_happy_path;
+         Alcotest.test_case "update delivery" `Quick test_fsm_update_delivery;
+         Alcotest.test_case "hold expiry" `Quick test_fsm_hold_expiry;
+         Alcotest.test_case "bad version" `Quick test_fsm_bad_version;
+         Alcotest.test_case "manual stop" `Quick test_fsm_stop;
+         Alcotest.test_case "keepalive cycle" `Quick test_fsm_keepalive_cycle;
+         Alcotest.test_case "unexpected open" `Quick test_fsm_unexpected_open_in_established;
+         Alcotest.test_case "zero hold time" `Quick test_fsm_zero_hold_time ]);
+      ("attr-flags", [ Alcotest.test_case "unknown transitivity" `Quick test_attr_unknown_flags ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck) ]

@@ -1,0 +1,272 @@
+open Dbgp_types
+module Eq = Dbgp_netsim.Event_queue
+module Lookup = Dbgp_netsim.Lookup_service
+module Network = Dbgp_netsim.Network
+module Speaker = Dbgp_core.Speaker
+module Ia = Dbgp_core.Ia
+module Value = Dbgp_core.Value
+module P = Dbgp_bgp.Policy
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let asn = Asn.of_int
+let ip = Ipv4.of_string
+let pfx = Prefix.of_string
+
+(* ------------------------- event queue ------------------------- *)
+
+let test_eq_ordering () =
+  let q = Eq.create () in
+  let log = ref [] in
+  Eq.schedule q ~delay:3. (fun () -> log := "c" :: !log);
+  Eq.schedule q ~delay:1. (fun () -> log := "a" :: !log);
+  Eq.schedule q ~delay:2. (fun () -> log := "b" :: !log);
+  check_int "three events" 3 (Eq.run q);
+  check "time order" true (List.rev !log = [ "a"; "b"; "c" ]);
+  check "clock advanced" true (Eq.now q = 3.)
+
+let test_eq_fifo_at_same_time () =
+  let q = Eq.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Eq.schedule q ~delay:1. (fun () -> log := i :: !log)
+  done;
+  ignore (Eq.run q);
+  check "scheduling order preserved" true (List.rev !log = [ 1; 2; 3; 4; 5 ])
+
+let test_eq_nested_scheduling () =
+  let q = Eq.create () in
+  let log = ref [] in
+  Eq.schedule q ~delay:1. (fun () ->
+      log := "outer" :: !log;
+      Eq.schedule q ~delay:1. (fun () -> log := "inner" :: !log));
+  ignore (Eq.run q);
+  check "cascade ran" true (List.rev !log = [ "outer"; "inner" ]);
+  check "now is 2" true (Eq.now q = 2.)
+
+let test_eq_errors_and_budget () =
+  let q = Eq.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Event_queue.schedule: negative delay") (fun () ->
+      Eq.schedule q ~delay:(-1.) (fun () -> ()));
+  Eq.schedule q ~delay:1. (fun () -> ());
+  Alcotest.check_raises "past" (Invalid_argument "Event_queue.schedule_at: time in the past")
+    (fun () ->
+      ignore (Eq.run q);
+      Eq.schedule_at q ~time:0.5 (fun () -> ()));
+  (* budget stops a self-perpetuating chain *)
+  let q2 = Eq.create () in
+  let rec forever () = Eq.schedule q2 ~delay:1. (fun () -> forever ()) in
+  forever ();
+  check_int "bounded" 10 (Eq.run ~max_events:10 q2)
+
+let test_eq_step () =
+  let q = Eq.create () in
+  check "empty step" false (Eq.step q);
+  Eq.schedule q ~delay:1. (fun () -> ());
+  check_int "pending" 1 (Eq.pending q);
+  check "step" true (Eq.step q);
+  check "drained" true (Eq.is_empty q)
+
+(* ------------------------- lookup service ------------------------- *)
+
+let test_lookup_kv () =
+  let l = Lookup.create () in
+  let portal = ip "172.16.0.1" in
+  Lookup.post l ~portal ~service:"svc" ~key:"k" (Value.Int 1);
+  check "fetch" true (Lookup.fetch l ~portal ~service:"svc" ~key:"k" = Some (Value.Int 1));
+  check "missing" true (Lookup.fetch l ~portal ~service:"svc" ~key:"other" = None);
+  check "portal isolation" true
+    (Lookup.fetch l ~portal:(ip "172.16.0.2") ~service:"svc" ~key:"k" = None);
+  Lookup.post l ~portal ~service:"svc" ~key:"k" (Value.Int 2);
+  check "overwrite" true (Lookup.fetch l ~portal ~service:"svc" ~key:"k" = Some (Value.Int 2));
+  check "keys" true (Lookup.keys l ~portal ~service:"svc" = [ "k" ])
+
+let test_lookup_rpc_accounting () =
+  let l = Lookup.create () in
+  let portal = ip "172.16.0.1" in
+  check "no handler" true (Lookup.rpc l ~portal ~service:"x" (Value.Int 0) = None);
+  Lookup.register_handler l ~portal ~service:"x" (fun v ->
+      Option.map (fun n -> Value.Int (n + 1)) (Value.as_int v));
+  check "handled" true (Lookup.rpc l ~portal ~service:"x" (Value.Int 41) = Some (Value.Int 42));
+  check "handler declines" true (Lookup.rpc l ~portal ~service:"x" (Value.Str "no") = None);
+  check "accesses counted" true (Lookup.accesses l > 0);
+  Lookup.reset_accesses l;
+  check_int "reset" 0 (Lookup.accesses l)
+
+(* ------------------------- network ------------------------- *)
+
+let mk_net chain =
+  (* chain of customer->provider ASes, e.g. [1;2;3]: 1 cust of 2 cust of 3 *)
+  let net = Network.create () in
+  List.iter
+    (fun n ->
+      Network.add_speaker net
+        (Speaker.create
+           (Speaker.config ~asn:(asn n) ~addr:(Network.speaker_addr (asn n)) ())))
+    chain;
+  let rec links = function
+    | a :: (b :: _ as rest) ->
+      Network.link net ~a:(asn a) ~b:(asn b) ~b_is:P.To_provider ();
+      links rest
+    | _ -> ()
+  in
+  links chain;
+  net
+
+let origin_ia n prefix =
+  Ia.originate ~prefix:(pfx prefix) ~origin_asn:(asn n)
+    ~next_hop:(Network.speaker_addr (asn n)) ()
+
+let test_network_propagation () =
+  let net = mk_net [ 1; 2; 3; 4 ] in
+  Network.originate net (asn 1) (origin_ia 1 "99.0.0.0/24");
+  let stats = Network.run net in
+  check "messages flowed" true (stats.Network.messages >= 3);
+  check "bytes counted" true (stats.Network.announce_bytes > 0);
+  let best = Speaker.best (Network.speaker net (asn 4)) (pfx "99.0.0.0/24") in
+  ( match best with
+    | Some chosen ->
+      check "full path" true
+        (Ia.asns_on_path chosen.Speaker.candidate.Dbgp_core.Decision_module.ia
+        = [ asn 3; asn 2; asn 1 ])
+    | None -> Alcotest.fail "AS 4 should learn the route" );
+  check "converged time positive" true (stats.Network.converged_at > 0.)
+
+let test_network_next_hop_fib () =
+  let net = mk_net [ 1; 2; 3 ] in
+  Network.originate net (asn 1) (origin_ia 1 "99.0.0.0/24");
+  ignore (Network.run net);
+  let s3 = Network.speaker net (asn 3) in
+  check "fib points at 2" true
+    (Speaker.next_hop_of s3 (ip "99.0.0.5") = Some (Network.speaker_addr (asn 2)));
+  check "unknown dest" true (Speaker.next_hop_of s3 (ip "55.0.0.1") = None)
+
+let test_network_link_failure () =
+  let net = mk_net [ 1; 2; 3 ] in
+  Network.originate net (asn 1) (origin_ia 1 "99.0.0.0/24");
+  ignore (Network.run net);
+  check "learned" true (Speaker.best (Network.speaker net (asn 3)) (pfx "99.0.0.0/24") <> None);
+  Network.fail_link net (asn 1) (asn 2);
+  ignore (Network.run net);
+  check "withdrawn everywhere" true
+    (Speaker.best (Network.speaker net (asn 3)) (pfx "99.0.0.0/24") = None)
+
+let test_network_alternate_path_after_failure () =
+  (* diamond: 1 -> 2 -> 4 and 1 -> 3 -> 4 (all customer->provider up). *)
+  let net = Network.create () in
+  List.iter
+    (fun n ->
+      Network.add_speaker net
+        (Speaker.create (Speaker.config ~asn:(asn n) ~addr:(Network.speaker_addr (asn n)) ())))
+    [ 1; 2; 3; 4 ];
+  Network.link net ~a:(asn 1) ~b:(asn 2) ~b_is:P.To_provider ();
+  Network.link net ~a:(asn 1) ~b:(asn 3) ~b_is:P.To_provider ();
+  Network.link net ~a:(asn 2) ~b:(asn 4) ~b_is:P.To_provider ();
+  Network.link net ~a:(asn 3) ~b:(asn 4) ~b_is:P.To_provider ();
+  Network.originate net (asn 1) (origin_ia 1 "99.0.0.0/24");
+  ignore (Network.run net);
+  let via_first =
+    match Speaker.best (Network.speaker net (asn 4)) (pfx "99.0.0.0/24") with
+    | Some c -> Ia.asns_on_path c.Speaker.candidate.Dbgp_core.Decision_module.ia
+    | None -> []
+  in
+  check "initially reachable" true (via_first <> []);
+  let middle = List.hd via_first in
+  Network.fail_link net (Asn.of_int (Asn.to_int middle)) (asn 4);
+  ignore (Network.run net);
+  ( match Speaker.best (Network.speaker net (asn 4)) (pfx "99.0.0.0/24") with
+    | Some c ->
+      let path = Ia.asns_on_path c.Speaker.candidate.Dbgp_core.Decision_module.ia in
+      check "rerouted around failure" false (List.mem middle path)
+    | None -> Alcotest.fail "alternate path should exist" )
+
+let test_network_duplicate_speaker () =
+  let net = Network.create () in
+  let s = Speaker.create (Speaker.config ~asn:(asn 1) ~addr:(Network.speaker_addr (asn 1)) ()) in
+  Network.add_speaker net s;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Network.add_speaker: duplicate speaker address")
+    (fun () -> Network.add_speaker net s)
+
+let test_network_inject () =
+  (* A spoofed announcement from an unknown peer is processed like any
+     other message (attack-injection hook). *)
+  let net = mk_net [ 1; 2 ] in
+  let bogus = Dbgp_core.Peer.make ~asn:(asn 66) ~addr:(ip "10.6.6.6") in
+  Network.inject net ~from:bogus ~to_:(asn 2)
+    (Speaker.Announce (origin_ia 66 "66.0.0.0/24"));
+  ignore (Network.run net);
+  check "spoofed route installed (no BGPSec!)" true
+    (Speaker.best (Network.speaker net (asn 2)) (pfx "66.0.0.0/24") <> None)
+
+let test_network_stats_withdrawals () =
+  let net = mk_net [ 1; 2; 3 ] in
+  Network.originate net (asn 1) (origin_ia 1 "99.0.0.0/24");
+  ignore (Network.run net);
+  Network.fail_link net (asn 1) (asn 2);
+  let stats = Network.run net in
+  check "withdrawals counted" true (stats.Network.withdrawals >= 1)
+
+let test_network_mrai_batches () =
+  (* Diamond where AS 4 hears a long path first, then a shorter one: the
+     transient extra advertisement to downstream AS 5 is suppressed by
+     the MRAI batch (only the final state is delivered). *)
+  let build mrai =
+    let net = Network.create () in
+    List.iter
+      (fun n ->
+        Network.add_speaker net
+          (Speaker.create (Speaker.config ~asn:(asn n) ~addr:(Network.speaker_addr (asn n)) ())))
+      [ 1; 2; 3; 4; 5 ];
+    Network.set_mrai net mrai;
+    Network.link net ~a:(asn 1) ~b:(asn 2) ~b_is:P.To_provider ~latency:5. ();
+    Network.link net ~a:(asn 1) ~b:(asn 3) ~b_is:P.To_provider ~latency:1. ();
+    Network.link net ~a:(asn 3) ~b:(asn 2) ~b_is:P.To_provider ~latency:1. ();
+    Network.link net ~a:(asn 2) ~b:(asn 4) ~b_is:P.To_provider ~latency:1. ();
+    Network.link net ~a:(asn 4) ~b:(asn 5) ~b_is:P.To_provider ~latency:1. ();
+    Network.originate net (asn 1) (origin_ia 1 "99.0.0.0/24");
+    Network.run net
+  in
+  let immediate = build 0. and batched = build 30. in
+  check "batching reduces messages" true
+    (batched.Network.messages < immediate.Network.messages);
+  check "negative mrai rejected" true
+    ( try
+        Network.set_mrai (Network.create ()) (-1.);
+        false
+      with Invalid_argument _ -> true )
+
+let test_network_mrai_converges_same_routes () =
+  let routes mrai =
+    let net = mk_net [ 1; 2; 3; 4 ] in
+    Network.set_mrai net mrai;
+    Network.originate net (asn 1) (origin_ia 1 "99.0.0.0/24");
+    ignore (Network.run net);
+    match Speaker.best (Network.speaker net (asn 4)) (pfx "99.0.0.0/24") with
+    | Some c -> Ia.asns_on_path c.Speaker.candidate.Dbgp_core.Decision_module.ia
+    | None -> []
+  in
+  check "same final routes with and without MRAI" true (routes 0. = routes 10.)
+
+let () =
+  Alcotest.run "netsim"
+    [ ("event-queue",
+       [ Alcotest.test_case "ordering" `Quick test_eq_ordering;
+         Alcotest.test_case "fifo ties" `Quick test_eq_fifo_at_same_time;
+         Alcotest.test_case "nested" `Quick test_eq_nested_scheduling;
+         Alcotest.test_case "errors/budget" `Quick test_eq_errors_and_budget;
+         Alcotest.test_case "step" `Quick test_eq_step ]);
+      ("lookup",
+       [ Alcotest.test_case "kv" `Quick test_lookup_kv;
+         Alcotest.test_case "rpc/accounting" `Quick test_lookup_rpc_accounting ]);
+      ("network",
+       [ Alcotest.test_case "propagation" `Quick test_network_propagation;
+         Alcotest.test_case "fib" `Quick test_network_next_hop_fib;
+         Alcotest.test_case "link failure" `Quick test_network_link_failure;
+         Alcotest.test_case "reroute" `Quick test_network_alternate_path_after_failure;
+         Alcotest.test_case "duplicate speaker" `Quick test_network_duplicate_speaker;
+         Alcotest.test_case "inject" `Quick test_network_inject;
+         Alcotest.test_case "withdrawal stats" `Quick test_network_stats_withdrawals;
+         Alcotest.test_case "mrai batches" `Quick test_network_mrai_batches;
+         Alcotest.test_case "mrai same routes" `Quick test_network_mrai_converges_same_routes ]) ]

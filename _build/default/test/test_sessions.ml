@@ -1,0 +1,192 @@
+(* Tests for the FSM-driven session layer and the convergence /
+   empirical-overhead experiments built on it. *)
+
+open Dbgp_types
+module Eq = Dbgp_netsim.Event_queue
+module Session = Dbgp_netsim.Session
+module Fsm = Dbgp_bgp.Fsm
+module Message = Dbgp_bgp.Message
+module Ia = Dbgp_core.Ia
+module Legacy = Dbgp_core.Legacy
+module E = Dbgp_eval
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let asn = Asn.of_int
+let ip = Ipv4.of_string
+let pfx = Prefix.of_string
+
+let cfg n id : Fsm.config =
+  { Fsm.my_asn = asn n; my_id = ip id; hold_time = 90;
+    capabilities = [ Message.capability_dbgp ] }
+
+let fresh_pair ?latency () =
+  let q = Eq.create () in
+  let a, b = Session.create q ?latency ~a:(cfg 65001 "10.0.0.1") ~b:(cfg 65002 "10.0.0.2") () in
+  (q, a, b)
+
+let establish q a b =
+  Session.start a;
+  Session.start b;
+  ignore (Eq.run ~max_events:50 q)
+
+let test_session_establishment () =
+  let q, a, b = fresh_pair () in
+  let up_a = ref None and up_b = ref None in
+  Session.set_callbacks a
+    { Session.null_callbacks with
+      Session.on_established = (fun o -> up_a := Some o) };
+  Session.set_callbacks b
+    { Session.null_callbacks with
+      Session.on_established = (fun o -> up_b := Some o) };
+  establish q a b;
+  check "a established" true (Session.state a = Fsm.Established);
+  check "b established" true (Session.state b = Fsm.Established);
+  ( match !up_a with
+    | Some o ->
+      check "a saw b's ASN" true (Asn.equal o.Message.my_asn (asn 65002));
+      check "capability exchanged" true
+        (List.mem Message.capability_dbgp o.Message.capabilities)
+    | None -> Alcotest.fail "a's session-up callback never fired" );
+  check "b's callback fired" true (!up_b <> None);
+  check "handshake counted" true (Session.messages_sent a >= 2)
+
+let test_session_ia_transfer () =
+  let q, a, b = fresh_pair () in
+  establish q a b;
+  let received = ref [] in
+  Session.set_callbacks b
+    { Session.null_callbacks with
+      Session.on_update = (fun u -> received := u :: !received) };
+  let ia =
+    Ia.originate ~prefix:(pfx "99.0.0.0/24") ~origin_asn:(asn 65001)
+      ~next_hop:(ip "10.0.0.1") ()
+    |> Ia.set_path_descriptor ~owners:[ Protocol_id.wiser ] ~field:"wiser-cost"
+         (Dbgp_core.Value.Int 7)
+  in
+  Session.send_ia a ia;
+  ignore (Eq.run ~max_events:20 q);
+  match !received with
+  | [ u ] ->
+    ( match Legacy.of_update u with
+      | Some ia' -> check "IA intact over the session" true (Ia.equal ia ia')
+      | None -> Alcotest.fail "legacy decode failed" )
+  | l -> Alcotest.fail (Printf.sprintf "expected one update, got %d" (List.length l))
+
+let test_session_send_requires_established () =
+  let _, a, _ = fresh_pair () in
+  Alcotest.check_raises "not established"
+    (Invalid_argument "Session.send_update: session not established") (fun () ->
+      Session.send_update a
+        { Message.withdrawn = []; attrs = None; nlri = [] })
+
+let test_session_drop_and_recover () =
+  let q, a, b = fresh_pair () in
+  establish q a b;
+  let downs = ref 0 in
+  Session.set_callbacks a
+    { Session.null_callbacks with Session.on_down = (fun () -> incr downs) };
+  Session.drop_connection a;
+  ignore (Eq.run ~max_events:50 q);
+  check "both idle after failure" true
+    (Session.state a = Fsm.Idle && Session.state b = Fsm.Idle);
+  check_int "down callback" 1 !downs;
+  (* recovery *)
+  establish q a b;
+  check "re-established" true
+    (Session.state a = Fsm.Established && Session.state b = Fsm.Established)
+
+let test_session_admin_stop () =
+  let q, a, b = fresh_pair () in
+  establish q a b;
+  Session.stop a;
+  ignore (Eq.run ~max_events:50 q);
+  check "a idle" true (Session.state a = Fsm.Idle);
+  (* b received the CEASE notification and tore down too *)
+  check "b idle" true (Session.state b = Fsm.Idle)
+
+let test_session_keepalives_maintain () =
+  let q, a, b = fresh_pair () in
+  establish q a b;
+  (* run simulated time well past the hold time: keepalives must keep the
+     session alive *)
+  ignore (Eq.run ~max_events:400 q);
+  check "still established" true
+    (Session.state a = Fsm.Established && Session.state b = Fsm.Established)
+
+(* ------------------------- convergence experiments ------------------------- *)
+
+let test_convergence_vs_size () =
+  let rows = E.Convergence.vs_size ~payloads:[ 0; 2048 ] ~sizes:[ 30; 60 ] ~seed:5 () in
+  check_int "four rows" 4 (List.length rows);
+  let msgs n p =
+    (List.find
+       (fun (r : E.Convergence.dissemination) ->
+         r.E.Convergence.ases = n && r.E.Convergence.payload_bytes = p)
+       rows)
+      .E.Convergence.messages
+  in
+  let bytes n p =
+    (List.find
+       (fun (r : E.Convergence.dissemination) ->
+         r.E.Convergence.ases = n && r.E.Convergence.payload_bytes = p)
+       rows)
+      .E.Convergence.bytes
+  in
+  (* The paper's argument: IA size does not change convergence message
+     counts, only bytes. *)
+  check_int "payload does not change messages" (msgs 30 0) (msgs 30 2048);
+  check "payload inflates bytes" true (bytes 30 2048 > 10 * bytes 30 0);
+  check "more ASes, more messages" true (msgs 60 0 > msgs 30 0)
+
+let test_convergence_failure () =
+  let f = E.Convergence.after_failure ~ases:60 ~seed:5 () in
+  check "initial propagation happened" true (f.E.Convergence.initial_messages > 0);
+  check "reconvergence bounded" true
+    (f.E.Convergence.reconvergence_messages < f.E.Convergence.initial_messages)
+
+let test_convergence_session_reset () =
+  let plain = E.Convergence.session_reset ~prefixes:50 () in
+  let fat = E.Convergence.session_reset ~prefixes:50 ~payload_bytes:2048 () in
+  check "reset repeats the full transfer" true
+    (plain.E.Convergence.reset_transfer_bytes
+     >= plain.E.Convergence.initial_transfer_bytes);
+  check "payload amplifies reset cost" true
+    (fat.E.Convergence.reset_transfer_bytes
+     > 10 * plain.E.Convergence.reset_transfer_bytes)
+
+(* ------------------------- empirical overhead ------------------------- *)
+
+let test_empirical_overhead_agreement () =
+  let rows = E.Empirical_overhead.run () in
+  check_int "three points" 3 (List.length rows);
+  List.iter
+    (fun (c : E.Empirical_overhead.comparison) ->
+      check
+        (Printf.sprintf "%s within 20%% of model" c.E.Empirical_overhead.label)
+        true
+        (c.E.Empirical_overhead.ratio > 0.8 && c.E.Empirical_overhead.ratio < 1.2))
+    rows;
+  (* sizes must grow from lo to hi *)
+  match rows with
+  | [ lo; mid; hi ] ->
+    check "monotone" true
+      (lo.E.Empirical_overhead.measured_bytes < mid.E.Empirical_overhead.measured_bytes
+      && mid.E.Empirical_overhead.measured_bytes < hi.E.Empirical_overhead.measured_bytes)
+  | _ -> Alcotest.fail "expected lo/mid/hi"
+
+let () =
+  Alcotest.run "sessions"
+    [ ("session",
+       [ Alcotest.test_case "establishment" `Quick test_session_establishment;
+         Alcotest.test_case "ia transfer" `Quick test_session_ia_transfer;
+         Alcotest.test_case "requires established" `Quick test_session_send_requires_established;
+         Alcotest.test_case "drop and recover" `Quick test_session_drop_and_recover;
+         Alcotest.test_case "admin stop" `Quick test_session_admin_stop;
+         Alcotest.test_case "keepalives" `Quick test_session_keepalives_maintain ]);
+      ("convergence",
+       [ Alcotest.test_case "vs size" `Quick test_convergence_vs_size;
+         Alcotest.test_case "after failure" `Quick test_convergence_failure;
+         Alcotest.test_case "session reset" `Quick test_convergence_session_reset ]);
+      ("empirical-overhead",
+       [ Alcotest.test_case "model agreement" `Quick test_empirical_overhead_agreement ]) ]

@@ -1,0 +1,146 @@
+open Dbgp_types
+module Trie = Dbgp_trie.Prefix_trie
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Prefix.of_string
+let ip = Ipv4.of_string
+
+let test_add_find () =
+  let t = Trie.empty |> Trie.add (p "10.0.0.0/8") "a" |> Trie.add (p "10.1.0.0/16") "b" in
+  check "find /8" true (Trie.find (p "10.0.0.0/8") t = Some "a");
+  check "find /16" true (Trie.find (p "10.1.0.0/16") t = Some "b");
+  check "exact only" true (Trie.find (p "10.0.0.0/9") t = None);
+  check "mem" true (Trie.mem (p "10.0.0.0/8") t);
+  check_int "cardinal" 2 (Trie.cardinal t)
+
+let test_replace () =
+  let t = Trie.empty |> Trie.add (p "10.0.0.0/8") 1 |> Trie.add (p "10.0.0.0/8") 2 in
+  check "replaced" true (Trie.find (p "10.0.0.0/8") t = Some 2);
+  check_int "no dup" 1 (Trie.cardinal t)
+
+let test_remove () =
+  let t = Trie.empty |> Trie.add (p "10.0.0.0/8") 1 |> Trie.add (p "10.1.0.0/16") 2 in
+  let t = Trie.remove (p "10.0.0.0/8") t in
+  check "gone" true (Trie.find (p "10.0.0.0/8") t = None);
+  check "sibling kept" true (Trie.find (p "10.1.0.0/16") t = Some 2);
+  check "remove absent is noop" true
+    (Trie.cardinal (Trie.remove (p "99.0.0.0/8") t) = 1);
+  check "empty after full removal" true
+    (Trie.is_empty (Trie.remove (p "10.1.0.0/16") t))
+
+let test_update () =
+  let t = Trie.update (p "1.0.0.0/8") (function None -> Some 5 | Some _ -> None) Trie.empty in
+  check "inserted" true (Trie.find (p "1.0.0.0/8") t = Some 5);
+  let t = Trie.update (p "1.0.0.0/8") (Option.map succ) t in
+  check "modified" true (Trie.find (p "1.0.0.0/8") t = Some 6);
+  let t = Trie.update (p "1.0.0.0/8") (fun _ -> None) t in
+  check "deleted" true (Trie.is_empty t)
+
+let test_longest_match () =
+  let t =
+    Trie.empty
+    |> Trie.add (p "0.0.0.0/0") "default"
+    |> Trie.add (p "10.0.0.0/8") "eight"
+    |> Trie.add (p "10.1.0.0/16") "sixteen"
+  in
+  let lm a = Option.map snd (Trie.longest_match (ip a) t) in
+  check "most specific" true (lm "10.1.2.3" = Some "sixteen");
+  check "middle" true (lm "10.2.0.1" = Some "eight");
+  check "default" true (lm "192.0.2.1" = Some "default");
+  check "none" true
+    (Trie.longest_match (ip "192.0.2.1") (Trie.remove (p "0.0.0.0/0") t) = None)
+
+let test_matches_order () =
+  let t =
+    Trie.empty
+    |> Trie.add (p "0.0.0.0/0") 0
+    |> Trie.add (p "10.0.0.0/8") 8
+    |> Trie.add (p "10.1.0.0/16") 16
+  in
+  let ms = Trie.matches (ip "10.1.9.9") t in
+  check "most specific first" true (List.map snd ms = [ 16; 8; 0 ])
+
+let test_covered () =
+  let t =
+    Trie.empty
+    |> Trie.add (p "10.0.0.0/8") 'a'
+    |> Trie.add (p "10.1.0.0/16") 'b'
+    |> Trie.add (p "11.0.0.0/8") 'c'
+  in
+  let cs = Trie.covered (p "10.0.0.0/8") t in
+  check_int "two covered" 2 (List.length cs);
+  check "c excluded" false (List.exists (fun (_, v) -> v = 'c') cs)
+
+let test_fold_order () =
+  let t =
+    Trie.of_list
+      [ (p "192.0.0.0/8", 3); (p "10.0.0.0/8", 1); (p "10.0.0.0/16", 2) ]
+  in
+  let keys = List.map (fun (q, _) -> Prefix.to_string q) (Trie.bindings t) in
+  check "prefix order" true
+    (keys = [ "10.0.0.0/8"; "10.0.0.0/16"; "192.0.0.0/8" ])
+
+let test_map_filter () =
+  let t = Trie.of_list [ (p "1.0.0.0/8", 1); (p "2.0.0.0/8", 2) ] in
+  let doubled = Trie.map (fun v -> v * 2) t in
+  check "map" true (Trie.find (p "2.0.0.0/8") doubled = Some 4);
+  let odd = Trie.filter (fun _ v -> v mod 2 = 1) t in
+  check_int "filter" 1 (Trie.cardinal odd)
+
+(* Model-based property tests against Prefix.Map and a linear scan. *)
+let qcheck =
+  let open QCheck in
+  let genp =
+    Gen.map
+      (fun (net, len) -> Prefix.make (Ipv4.of_int (net lsl 12)) len)
+      Gen.(pair (int_bound 0xFFFFF) (int_bound 20))
+  in
+  let arb_ops = make Gen.(list_size (int_range 0 60) (pair genp (int_bound 100))) in
+  [ Test.make ~name:"trie agrees with Prefix.Map on add" ~count:200 arb_ops
+      (fun ops ->
+        let t = List.fold_left (fun t (q, v) -> Trie.add q v t) Trie.empty ops in
+        let m =
+          List.fold_left (fun m (q, v) -> Prefix.Map.add q v m) Prefix.Map.empty ops
+        in
+        Trie.bindings t = Prefix.Map.bindings m);
+    Test.make ~name:"longest_match agrees with linear scan" ~count:200
+      (make Gen.(pair (list_size (int_range 0 40) (pair genp (int_bound 100))) (int_bound 0xFFFFFFF)))
+      (fun (ops, addr_seed) ->
+        let addr = Ipv4.of_int (addr_seed lsl 4) in
+        let t = List.fold_left (fun t (q, v) -> Trie.add q v t) Trie.empty ops in
+        let m =
+          List.fold_left (fun m (q, v) -> Prefix.Map.add q v m) Prefix.Map.empty ops
+        in
+        let linear =
+          Prefix.Map.fold
+            (fun q v acc ->
+              if Prefix.mem addr q then
+                match acc with
+                | Some (q', _) when Prefix.length q' >= Prefix.length q -> acc
+                | _ -> Some (q, v)
+              else acc)
+            m None
+        in
+        Trie.longest_match addr t = linear);
+    Test.make ~name:"remove really removes" ~count:200 arb_ops (fun ops ->
+        let t = List.fold_left (fun t (q, v) -> Trie.add q v t) Trie.empty ops in
+        List.for_all
+          (fun (q, _) -> Trie.find q (Trie.remove q t) = None)
+          ops) ]
+
+let () =
+  Alcotest.run "trie"
+    [ ("basics",
+       [ Alcotest.test_case "add/find" `Quick test_add_find;
+         Alcotest.test_case "replace" `Quick test_replace;
+         Alcotest.test_case "remove" `Quick test_remove;
+         Alcotest.test_case "update" `Quick test_update ]);
+      ("lookup",
+       [ Alcotest.test_case "longest match" `Quick test_longest_match;
+         Alcotest.test_case "matches order" `Quick test_matches_order;
+         Alcotest.test_case "covered" `Quick test_covered ]);
+      ("traversal",
+       [ Alcotest.test_case "fold order" `Quick test_fold_order;
+         Alcotest.test_case "map/filter" `Quick test_map_filter ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck) ]

@@ -1,0 +1,184 @@
+open Dbgp_types
+module W = Dbgp_wire.Writer
+module R = Dbgp_wire.Reader
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let roundtrip write read v =
+  let w = W.create () in
+  write w v;
+  read (R.of_string (W.contents w))
+
+let test_fixed_width () =
+  check_int "u8" 200 (roundtrip W.u8 R.u8 200);
+  check_int "u16" 0xBEEF (roundtrip W.u16 R.u16 0xBEEF);
+  check_int "u32" 0xDEADBEEF (roundtrip W.u32 R.u32 0xDEADBEEF);
+  Alcotest.check_raises "u8 range" (Invalid_argument "Writer.u8: out of range")
+    (fun () -> ignore (roundtrip W.u8 R.u8 256));
+  Alcotest.check_raises "u16 range" (Invalid_argument "Writer.u16: out of range")
+    (fun () -> ignore (roundtrip W.u16 R.u16 (-1)))
+
+let test_varint () =
+  List.iter
+    (fun n -> check_int (string_of_int n) n (roundtrip W.varint R.varint n))
+    [ 0; 1; 127; 128; 300; 16383; 16384; 1_000_000; 1 lsl 40 ];
+  Alcotest.check_raises "negative" (Invalid_argument "Writer.varint: negative")
+    (fun () -> ignore (roundtrip W.varint R.varint (-1)))
+
+let test_varint_encoding_size () =
+  let size n =
+    let w = W.create () in
+    W.varint w n;
+    W.length w
+  in
+  check_int "1 byte" 1 (size 127);
+  check_int "2 bytes" 2 (size 128);
+  check_int "3 bytes" 3 (size 16384)
+
+let test_strings () =
+  Alcotest.(check string) "delimited" "hello" (roundtrip W.delimited R.delimited "hello");
+  Alcotest.(check string) "empty" "" (roundtrip W.delimited R.delimited "");
+  let w = W.create () in
+  W.bytes w "abc";
+  let r = R.of_string (W.contents w) in
+  Alcotest.(check string) "raw bytes" "abc" (R.bytes r 3);
+  check "at end" true (R.at_end r)
+
+let test_network_types () =
+  let a = Ipv4.of_string "203.0.113.7" in
+  check "ipv4" true (Ipv4.equal a (roundtrip W.ipv4 R.ipv4 a));
+  let asn = Asn.of_int 4_200_000_001 in
+  check "asn 4-byte" true (Asn.equal asn (roundtrip W.asn R.asn asn));
+  List.iter
+    (fun s ->
+      let p = Prefix.of_string s in
+      check s true (Prefix.equal p (roundtrip W.prefix R.prefix p)))
+    [ "0.0.0.0/0"; "10.0.0.0/8"; "192.168.4.0/22"; "1.2.3.4/32"; "128.0.0.0/1" ]
+
+let test_prefix_compactness () =
+  (* NLRI-style: /8 needs 1 address octet, /32 needs 4. *)
+  let size s =
+    let w = W.create () in
+    W.prefix w (Prefix.of_string s);
+    W.length w
+  in
+  check_int "/8" 2 (size "10.0.0.0/8");
+  check_int "/16" 3 (size "10.1.0.0/16");
+  check_int "/32" 5 (size "1.2.3.4/32");
+  check_int "/0" 1 (size "0.0.0.0/0")
+
+let test_lists () =
+  let xs = [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  let ys = roundtrip (fun w -> W.list w W.varint) (fun r -> R.list r R.varint) xs in
+  check "list roundtrip" true (xs = ys);
+  check "empty list" true
+    ([] = roundtrip (fun w -> W.list w W.varint) (fun r -> R.list r R.varint) [])
+
+let test_errors () =
+  let truncated f s = try ignore (f (R.of_string s)); false with R.Error _ -> true in
+  check "u8 empty" true (truncated R.u8 "");
+  check "u32 short" true (truncated R.u32 "ab");
+  check "delimited short" true (truncated R.delimited "\x05ab");
+  check "prefix bad len" true (truncated R.prefix "\x2a");
+  check "list count too big" true
+    (truncated (fun r -> R.list r R.u8) "\x7fab");
+  check "varint overlong" true
+    (truncated R.varint "\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff")
+
+let test_reader_positions () =
+  let r = R.of_string "abcdef" in
+  check_int "pos 0" 0 (R.pos r);
+  ignore (R.bytes r 2);
+  check_int "pos 2" 2 (R.pos r);
+  check_int "remaining" 4 (R.remaining r)
+
+let test_writer_reset () =
+  let w = W.create () in
+  W.u32 w 42;
+  check_int "len before" 4 (W.length w);
+  W.reset w;
+  check_int "len after" 0 (W.length w)
+
+(* ------------------------- compression ------------------------- *)
+
+module C = Dbgp_wire.Compress
+
+let test_compress_roundtrip_basics () =
+  List.iter
+    (fun s -> Alcotest.(check string) "roundtrip" s (C.decompress (C.compress s)))
+    [ ""; "x"; "abcabcabcabcabcabc"; String.make 5000 'q';
+      String.init 3000 (fun i -> Char.chr (i * 7 mod 256));
+      "no repetition here at all, or almost" ]
+
+let test_compress_shrinks_repetitive () =
+  let s = String.concat "" (List.init 200 (fun _ -> "wiser-cost=100;")) in
+  check "repetitive input shrinks a lot" true
+    (String.length (C.compress s) < String.length s / 4);
+  check "ratio reported" true (C.ratio s < 0.25);
+  check "empty ratio is 1" true (C.ratio "" = 1.)
+
+let test_compress_bounded_expansion () =
+  (* worst case: high-entropy input *)
+  let s = String.init 4096 (fun i -> Char.chr ((i * 167 + (i * i mod 253)) mod 256)) in
+  check "expansion bounded" true
+    (String.length (C.compress s) <= (String.length s * 9 / 8) + 8)
+
+let test_compress_malformed () =
+  let bad s = try ignore (C.decompress s); false with Invalid_argument _ -> true in
+  check "empty" true (bad "");
+  check "bad version" true (bad "\x09\x00\x00\x00\x05abcde");
+  check "truncated body" true
+    (bad (String.sub (C.compress (String.make 100 'z')) 0 8));
+  check "length lies" true
+    (bad ("\x01\x00\x00\xff\xff" ^ "\xff" ^ "ab"))
+
+let qcheck =
+  let open QCheck in
+  [ Test.make ~name:"compress roundtrip" ~count:300 string (fun s ->
+        C.decompress (C.compress s) = s);
+    Test.make ~name:"compress roundtrip on repetitive strings" ~count:100
+      (pair small_string (int_range 1 100))
+      (fun (chunk, reps) ->
+        let s = String.concat "" (List.init reps (fun _ -> chunk)) in
+        C.decompress (C.compress s) = s);
+    Test.make ~name:"decompress never crashes unexpectedly" ~count:300 string
+      (fun s ->
+        match C.decompress s with
+        | _ -> true
+        | exception Invalid_argument _ -> true);
+    Test.make ~name:"varint roundtrip" ~count:500 (int_bound max_int) (fun n ->
+        roundtrip W.varint R.varint n = n);
+    Test.make ~name:"delimited roundtrip" ~count:300 string (fun s ->
+        roundtrip W.delimited R.delimited s = s);
+    Test.make ~name:"u32 roundtrip" ~count:300 (int_bound 0xFFFF_FFFF) (fun n ->
+        roundtrip W.u32 R.u32 n = n);
+    Test.make ~name:"concatenated fields decode in order" ~count:200
+      (pair (int_bound 1000000) string) (fun (n, s) ->
+        let w = W.create () in
+        W.varint w n;
+        W.delimited w s;
+        let r = R.of_string (W.contents w) in
+        R.varint r = n && R.delimited r = s && R.at_end r) ]
+
+let () =
+  Alcotest.run "wire"
+    [ ("fixed-width", [ Alcotest.test_case "u8/u16/u32" `Quick test_fixed_width ]);
+      ("varint",
+       [ Alcotest.test_case "roundtrip" `Quick test_varint;
+         Alcotest.test_case "sizes" `Quick test_varint_encoding_size ]);
+      ("strings", [ Alcotest.test_case "delimited" `Quick test_strings ]);
+      ("network",
+       [ Alcotest.test_case "ipv4/asn/prefix" `Quick test_network_types;
+         Alcotest.test_case "prefix compactness" `Quick test_prefix_compactness ]);
+      ("lists", [ Alcotest.test_case "roundtrip" `Quick test_lists ]);
+      ("compress",
+       [ Alcotest.test_case "roundtrip basics" `Quick test_compress_roundtrip_basics;
+         Alcotest.test_case "shrinks repetitive" `Quick test_compress_shrinks_repetitive;
+         Alcotest.test_case "bounded expansion" `Quick test_compress_bounded_expansion;
+         Alcotest.test_case "malformed" `Quick test_compress_malformed ]);
+      ("errors",
+       [ Alcotest.test_case "malformed input" `Quick test_errors;
+         Alcotest.test_case "positions" `Quick test_reader_positions;
+         Alcotest.test_case "reset" `Quick test_writer_reset ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck) ]
