@@ -207,6 +207,57 @@ let print_benefit fig (dbgp : E.Benefits.series) (bgp : E.Benefits.series) =
           (E.Benefits.baseline_name s.E.Benefits.baseline))
     [ dbgp; bgp ]
 
+(* ------------------------------------------------------------------ *)
+(* Chaos scenario: reconvergence under seeded faults, persisted as      *)
+(* BENCH_chaos.json so runs can be compared across revisions.           *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_bench () =
+  rule "Chaos: reconvergence under seeded faults";
+  let r = E.Chaos.run E.Chaos.default in
+  let s = E.Chaos.session_chaos ~seed:E.Chaos.default.E.Chaos.seed () in
+  Format.fprintf out "%a@.%a@." E.Chaos.pp_report r E.Chaos.pp_session_report s;
+  let reconvergence_time =
+    r.E.Chaos.final.Dbgp_netsim.Network.converged_at
+    -. r.E.Chaos.initial.Dbgp_netsim.Network.converged_at
+  in
+  let message_overhead =
+    r.E.Chaos.final.Dbgp_netsim.Network.messages
+    - r.E.Chaos.initial.Dbgp_netsim.Network.messages
+  in
+  let oc = open_out "BENCH_chaos.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"seed\": %d,\n\
+    \  \"ases\": %d,\n\
+    \  \"loss\": %g,\n\
+    \  \"flaps\": %d,\n\
+    \  \"initial_messages\": %d,\n\
+    \  \"initial_converged_at\": %g,\n\
+    \  \"final_messages\": %d,\n\
+    \  \"final_converged_at\": %g,\n\
+    \  \"reconvergence_time\": %g,\n\
+    \  \"message_overhead\": %d,\n\
+    \  \"dropped\": %d,\n\
+    \  \"stale_leaks\": %d,\n\
+    \  \"forwarding_loops\": %d,\n\
+    \  \"healthy\": %b,\n\
+    \  \"session_pairs_restored\": %d,\n\
+    \  \"session_retries\": %d\n\
+     }\n"
+    r.E.Chaos.config.E.Chaos.seed r.E.Chaos.config.E.Chaos.ases
+    r.E.Chaos.config.E.Chaos.loss
+    (List.length r.E.Chaos.flapped)
+    r.E.Chaos.initial.Dbgp_netsim.Network.messages
+    r.E.Chaos.initial.Dbgp_netsim.Network.converged_at
+    r.E.Chaos.final.Dbgp_netsim.Network.messages
+    r.E.Chaos.final.Dbgp_netsim.Network.converged_at reconvergence_time
+    message_overhead r.E.Chaos.dropped r.E.Chaos.stale_leaks
+    r.E.Chaos.forwarding_loops (E.Chaos.healthy r) s.E.Chaos.established
+    s.E.Chaos.retries;
+  close_out oc;
+  Format.fprintf out "wrote BENCH_chaos.json@."
+
 let () =
   let t0 = Unix.gettimeofday () in
   rule "Table 1: protocol taxonomy";
@@ -316,5 +367,6 @@ let () =
     (fun c -> Format.fprintf out "%a@." E.Empirical_overhead.pp c)
     (E.Empirical_overhead.run ());
   island_id_ablation ();
+  chaos_bench ();
   run_bechamel ();
   Format.fprintf out "total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -203,6 +203,26 @@ let convergence () =
   Format.fprintf out "  %a@." E.Convergence.pp_reset
     (E.Convergence.session_reset ~payload_bytes:4096 ())
 
+let chaos ases seed loss flaps =
+  if loss < 0. || loss >= 1. then (
+    Format.eprintf "dbgp-sim: --loss must be in [0, 1)@.";
+    exit 2 );
+  if flaps < 0 then (
+    Format.eprintf "dbgp-sim: --flaps must be non-negative@.";
+    exit 2 );
+  if ases < 2 then (
+    Format.eprintf "dbgp-sim: --chaos-ases must be at least 2@.";
+    exit 2 );
+  Format.fprintf out
+    "Chaos run: seeded faults (loss, jitter, link flaps) with graceful \
+     restart and flap damping@.@.";
+  let cfg = { E.Chaos.default with E.Chaos.ases; seed; loss; flaps } in
+  let r = E.Chaos.run cfg in
+  Format.fprintf out "%a@." E.Chaos.pp_report r;
+  Format.fprintf out "healthy: %b@.@." (E.Chaos.healthy r);
+  let s = E.Chaos.session_chaos ~seed () in
+  Format.fprintf out "%a@." E.Chaos.pp_session_report s
+
 let empirical () =
   Format.fprintf out
     "Empirical validation of the Table 3 size model (measured vs modeled IA bytes):@.@.";
@@ -238,6 +258,8 @@ let all n trials dests seed advertisements root =
   fig7 ();
   rule "Section 3.5 convergence";
   convergence ();
+  rule "Chaos (fault injection)";
+  chaos 60 seed 0.05 4;
   rule "Table 3 empirical validation";
   empirical ();
   rule "Figure 9";
@@ -265,6 +287,15 @@ let advs_arg =
 let root_arg =
   Arg.(value & opt string "." & info [ "root" ] ~doc:"Repository root")
 
+let chaos_ases_arg =
+  Arg.(value & opt int 60 & info [ "chaos-ases" ] ~doc:"Chaos topology size")
+
+let loss_arg =
+  Arg.(value & opt float 0.05 & info [ "loss" ] ~doc:"Message-loss probability")
+
+let flaps_arg =
+  Arg.(value & opt int 4 & info [ "flaps" ] ~doc:"Scheduled link flaps")
+
 let unit_cmd name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
 
 let cmds =
@@ -285,6 +316,10 @@ let cmds =
     unit_cmd "fig7" "Figures 6-7 rich-world IA" fig7;
     Cmd.v (Cmd.info "loc" ~doc:"Section 6.1 LoC report") Term.(const loc $ root_arg);
     unit_cmd "convergence" "Section 3.5 convergence-cost experiments" convergence;
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:"Fault-injection run: lossy links, flaps, graceful restart")
+      Term.(const chaos $ chaos_ases_arg $ seed_arg $ loss_arg $ flaps_arg);
     unit_cmd "empirical" "Empirical validation of the Table 3 model" empirical;
     Cmd.v
       (Cmd.info "all" ~doc:"Run every experiment")

@@ -1,0 +1,79 @@
+(* Route-flap damping in the style of RFC 2439.
+
+   Each (peer, prefix) pair accumulates a figure-of-merit penalty on every
+   flap (withdrawal, or re-advertisement with changed attributes).  The
+   penalty decays exponentially with a configurable half-life.  Once it
+   crosses [suppress_threshold] the route is suppressed and stays
+   suppressed — hysteresis — until the decayed penalty falls below
+   [reuse_threshold].
+
+   Time is the simulator clock (seconds of virtual time), so the default
+   half-life is far shorter than the RFC's wall-clock recommendation. *)
+
+type params = {
+  half_life : float;            (* seconds for the penalty to halve *)
+  suppress_threshold : float;   (* penalty above which the route is suppressed *)
+  reuse_threshold : float;      (* decayed penalty below which it is reusable *)
+  withdraw_penalty : float;     (* added per withdrawal *)
+  attr_change_penalty : float;  (* added per re-advertisement with new attrs *)
+  max_penalty : float;          (* ceiling, bounds the suppression time *)
+}
+
+let default =
+  { half_life = 15.;
+    suppress_threshold = 2000.;
+    reuse_threshold = 750.;
+    withdraw_penalty = 1000.;
+    attr_change_penalty = 500.;
+    max_penalty = 12000. }
+
+let validate p =
+  if p.half_life <= 0. then invalid_arg "Flap_damping: half_life must be positive";
+  if p.reuse_threshold <= 0. || p.reuse_threshold >= p.suppress_threshold then
+    invalid_arg "Flap_damping: need 0 < reuse_threshold < suppress_threshold";
+  if p.max_penalty < p.suppress_threshold then
+    invalid_arg "Flap_damping: max_penalty below suppress_threshold";
+  p
+
+type t = {
+  mutable penalty : float;  (* as of [last] *)
+  mutable last : float;
+  mutable suppressed : bool;
+  mutable flaps : int;
+}
+
+let create () = { penalty = 0.; last = 0.; suppressed = false; flaps = 0 }
+let flaps st = st.flaps
+
+let decay p st ~now =
+  if now > st.last then begin
+    st.penalty <- st.penalty *. (0.5 ** ((now -. st.last) /. p.half_life));
+    st.last <- now
+  end;
+  if st.suppressed && st.penalty < p.reuse_threshold then st.suppressed <- false
+
+let penalty p st ~now =
+  decay p st ~now;
+  st.penalty
+
+let penalize p st ~now amount =
+  decay p st ~now;
+  st.penalty <- Float.min p.max_penalty (st.penalty +. amount);
+  st.flaps <- st.flaps + 1;
+  if st.penalty >= p.suppress_threshold then st.suppressed <- true
+
+let is_suppressed p st ~now =
+  decay p st ~now;
+  st.suppressed
+
+(* Seconds from [now] until a currently-suppressed route decays below the
+   reuse threshold; 0 if it is already reusable. *)
+let time_to_reuse p st ~now =
+  decay p st ~now;
+  if not st.suppressed then 0.
+  else p.half_life *. (Float.log (st.penalty /. p.reuse_threshold) /. Float.log 2.)
+
+let pp ppf st =
+  Format.fprintf ppf "penalty %.0f%s (%d flaps)" st.penalty
+    (if st.suppressed then ", suppressed" else "")
+    st.flaps

@@ -7,7 +7,30 @@ type config = {
   capabilities : int list;
 }
 
-type t = { cfg : config; st : state; peer : Message.open_msg option }
+(* Automatic re-establishment after transport failure: exponential
+   backoff with deterministic (seeded) jitter and a max-retry cap.
+   With [retry = None] a Tcp_failed session parks in Idle, as before. *)
+type retry = {
+  base : float;        (* first retry delay, seconds *)
+  multiplier : float;  (* delay growth factor per attempt *)
+  max_delay : float;   (* backoff ceiling *)
+  max_retries : int;   (* give up (park in Idle) after this many attempts *)
+  jitter : float;      (* each delay is scaled by 1 + U[0, jitter] *)
+  seed : int;          (* PRNG seed for the jitter draws *)
+}
+
+let default_retry =
+  { base = 1.0; multiplier = 2.0; max_delay = 64.0; max_retries = 8;
+    jitter = 0.1; seed = 1 }
+
+type t = {
+  cfg : config;
+  st : state;
+  peer : Message.open_msg option;
+  retry : retry option;
+  rng : Dbgp_types.Prng.t;
+  attempts : int;  (* consecutive failed attempts since last Established *)
+}
 
 type event =
   | Manual_start
@@ -17,6 +40,7 @@ type event =
   | Recv of Message.t
   | Hold_timer_expired
   | Keepalive_timer_expired
+  | Connect_retry_expired
 
 type action =
   | Send of Message.t
@@ -27,11 +51,25 @@ type action =
   | Deliver_update of Message.update
   | Start_hold_timer of int
   | Start_keepalive_timer of int
+  | Start_connect_retry_timer of float
+  | Stop_connect_retry_timer
 
-let create cfg = { cfg; st = Idle; peer = None }
+let create ?retry cfg =
+  { cfg; st = Idle; peer = None; retry;
+    rng =
+      Dbgp_types.Prng.create (match retry with Some r -> r.seed | None -> 0);
+    attempts = 0 }
+
 let state t = t.st
 let config t = t.cfg
 let peer_open t = t.peer
+let attempts t = t.attempts
+
+let retry_delay r rng attempt =
+  let d =
+    Float.min r.max_delay (r.base *. (r.multiplier ** float_of_int attempt))
+  in
+  if r.jitter > 0. then d *. (1. +. Dbgp_types.Prng.float rng r.jitter) else d
 
 let negotiated_hold_time t =
   Option.map (fun (o : Message.open_msg) -> min o.hold_time t.cfg.hold_time) t.peer
@@ -46,7 +84,17 @@ let my_open cfg : Message.open_msg =
 let notif code sub =
   Message.Notification { error_code = code; error_subcode = sub; data = "" }
 
-let reset t actions = ({ t with st = Idle; peer = None }, actions)
+let reset t actions = ({ t with st = Idle; peer = None; attempts = 0 }, actions)
+
+(* Transport-level failure: arm the connect-retry timer (backoff) when a
+   retry policy is configured and attempts remain; otherwise park in Idle. *)
+let fail t actions =
+  match t.retry with
+  | Some r when t.attempts < r.max_retries ->
+    let d = retry_delay r t.rng t.attempts in
+    ( { t with st = Idle; peer = None; attempts = t.attempts + 1 },
+      actions @ [ Start_connect_retry_timer d ] )
+  | _ -> reset t actions
 
 let timers t =
   match negotiated_hold_time t with
@@ -55,12 +103,21 @@ let timers t =
 
 let handle t ev =
   match (t.st, ev) with
-  | Idle, Manual_start -> ({ t with st = Connect }, [ Connect_tcp ])
+  | Idle, (Manual_start | Connect_retry_expired) ->
+    ({ t with st = Connect }, [ Connect_tcp ])
+  | Idle, Tcp_established ->
+    (* Passive open: accept an inbound connection while Idle, so a single
+       retrying endpoint can re-establish against a listening peer. *)
+    ({ t with st = Open_sent }, [ Send (Message.Open (my_open t.cfg)) ])
+  | Idle, Manual_stop ->
+    (* Cancel a pending connect-retry so an admin stop sticks. *)
+    ({ t with attempts = 0 }, [ Stop_connect_retry_timer ])
   | Idle, _ -> (t, [])
+  | _, Connect_retry_expired -> (t, [])
   | _, Manual_stop -> reset t [ Send (notif 6 2 (* Cease/shutdown *)); Close_tcp; Session_down ]
   | Connect, Tcp_established ->
     ({ t with st = Open_sent }, [ Send (Message.Open (my_open t.cfg)) ])
-  | Connect, Tcp_failed -> reset t []
+  | Connect, Tcp_failed -> fail t []
   | Connect, _ -> (t, [])
   | Open_sent, Recv (Message.Open o) ->
     if o.version <> 4 then
@@ -68,15 +125,16 @@ let handle t ev =
     else
       let t = { t with st = Open_confirm; peer = Some o } in
       (t, [ Send Message.Keepalive ])
-  | Open_sent, (Tcp_failed | Recv (Message.Notification _)) -> reset t [ Close_tcp ]
+  | Open_sent, Tcp_failed -> fail t [ Close_tcp ]
+  | Open_sent, Recv (Message.Notification _) -> reset t [ Close_tcp ]
   | Open_sent, Hold_timer_expired -> reset t [ Send (notif 4 0); Close_tcp ]
   | Open_sent, _ -> reset t [ Send (notif 5 0 (* FSM error *)); Close_tcp ]
   | Open_confirm, Recv Message.Keepalive ->
-    let t = { t with st = Established } in
+    let t = { t with st = Established; attempts = 0 } in
     let up = match t.peer with Some o -> [ Session_up o ] | None -> [] in
     (t, up @ timers t)
-  | Open_confirm, (Tcp_failed | Recv (Message.Notification _)) ->
-    reset t [ Close_tcp ]
+  | Open_confirm, Tcp_failed -> fail t [ Close_tcp ]
+  | Open_confirm, Recv (Message.Notification _) -> reset t [ Close_tcp ]
   | Open_confirm, Hold_timer_expired -> reset t [ Send (notif 4 0); Close_tcp ]
   | Open_confirm, Keepalive_timer_expired -> (t, [ Send Message.Keepalive ])
   | Open_confirm, _ -> reset t [ Send (notif 5 0); Close_tcp ]
@@ -102,8 +160,9 @@ let handle t ev =
     in
     (t, (Send Message.Keepalive :: again))
   | Established, Hold_timer_expired ->
-    reset t [ Send (notif 4 0); Close_tcp; Session_down ]
-  | Established, (Tcp_failed | Recv (Message.Notification _)) ->
+    fail t [ Send (notif 4 0); Close_tcp; Session_down ]
+  | Established, Tcp_failed -> fail t [ Close_tcp; Session_down ]
+  | Established, Recv (Message.Notification _) ->
     reset t [ Close_tcp; Session_down ]
   | Established, Recv (Message.Open _) ->
     reset t [ Send (notif 5 0); Close_tcp; Session_down ]

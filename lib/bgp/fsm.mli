@@ -21,6 +21,19 @@ type config = {
   capabilities : int list;
 }
 
+type retry = {
+  base : float;        (** first retry delay, seconds *)
+  multiplier : float;  (** delay growth factor per attempt *)
+  max_delay : float;   (** backoff ceiling *)
+  max_retries : int;   (** park in Idle after this many failed attempts *)
+  jitter : float;      (** each delay is scaled by 1 + U[0, jitter] *)
+  seed : int;          (** PRNG seed for deterministic jitter *)
+}
+(** Automatic re-establishment policy after transport failure: exponential
+    backoff with seeded jitter and a max-retry cap. *)
+
+val default_retry : retry
+
 type t
 
 type event =
@@ -31,6 +44,7 @@ type event =
   | Recv of Message.t
   | Hold_timer_expired
   | Keepalive_timer_expired
+  | Connect_retry_expired  (** the backoff timer fired; try to reconnect *)
 
 type action =
   | Send of Message.t
@@ -41,8 +55,16 @@ type action =
   | Deliver_update of Message.update (** forward to the RIB layer *)
   | Start_hold_timer of int
   | Start_keepalive_timer of int
+  | Start_connect_retry_timer of float
+      (** arm the backoff timer; deliver [Connect_retry_expired] after the
+          given delay unless stopped *)
+  | Stop_connect_retry_timer
 
-val create : config -> t
+val create : ?retry:retry -> config -> t
+
+(** Consecutive failed connection attempts since the session was last
+    Established (0 when no retry is in progress). *)
+val attempts : t -> int
 val state : t -> state
 val config : t -> config
 

@@ -25,6 +25,12 @@ let candidates t prefix =
   | None -> []
   | Some m -> Peer.Map.bindings m
 
+let prefixes_of t ~peer =
+  Prefix.Map.fold
+    (fun p m acc -> if Peer.Map.mem peer m then p :: acc else acc)
+    t.db []
+  |> List.rev
+
 let drop_peer t ~peer =
   let affected =
     Prefix.Map.fold

@@ -18,6 +18,10 @@ val drop_peer : t -> peer:Peer.t -> Dbgp_types.Prefix.t list
 (** Session loss: forget everything from the peer; returns affected
     prefixes. *)
 
+val prefixes_of : t -> peer:Peer.t -> Dbgp_types.Prefix.t list
+(** Prefixes currently stored from the peer, without removing them
+    (graceful restart marks these stale instead of flushing). *)
+
 val prefixes : t -> Dbgp_types.Prefix.Set.t
 val size : t -> int
 (** Total number of stored IAs. *)

@@ -39,6 +39,8 @@ let config ?island ?(island_members = []) ?(hide_island_interior = false)
 
 type chosen = { candidate : Decision_module.candidate; outgoing : Ia.t }
 
+module Damping = Dbgp_bgp.Flap_damping
+
 type t = {
   cfg : config;
   modules : (int, Decision_module.t) Hashtbl.t; (* by Protocol_id.to_int *)
@@ -48,6 +50,16 @@ type t = {
   mutable local : Ia.t Prefix.Map.t;  (* locally originated routes *)
   mutable best : chosen Prefix.Map.t;
   mutable adj_out : Ia.t Prefix.Map.t Peer.Map.t;
+  (* Resilience state.  [stale]: routes retained through a graceful
+     restart, per RFC 4724; flushed if the peer does not refresh them
+     within the restart window.  [flap_state]: RFC 2439 per-(peer,prefix)
+     damping penalties; suppressed routes are excluded from selection.
+     [reuse_events]: (prefix, time) pairs the runtime must re-evaluate at,
+     drained via {!take_reuse_events}. *)
+  mutable stale : Prefix.Set.t Peer.Map.t;
+  mutable damping : Damping.params option;
+  mutable flap_state : Damping.t Prefix.Map.t Peer.Map.t;
+  mutable reuse_events : (Prefix.t * float) list;
 }
 
 let create cfg =
@@ -61,7 +73,11 @@ let create cfg =
     db = Ia_db.create ();
     local = Prefix.Map.empty;
     best = Prefix.Map.empty;
-    adj_out = Peer.Map.empty }
+    adj_out = Peer.Map.empty;
+    stale = Peer.Map.empty;
+    damping = None;
+    flap_state = Peer.Map.empty;
+    reuse_events = [] }
 
 let asn t = t.cfg.asn
 let addr t = t.cfg.addr
@@ -143,6 +159,131 @@ let previously_announced t peer prefix =
   | None -> false
   | Some m -> Prefix.Map.mem prefix m
 
+(* ------------------------- flap damping ------------------------- *)
+
+let set_damping t params =
+  t.damping <- Option.map Damping.validate params;
+  if t.damping = None then t.flap_state <- Peer.Map.empty
+
+let take_reuse_events t =
+  let evs = List.rev t.reuse_events in
+  t.reuse_events <- [];
+  evs
+
+let flap_state_of t peer prefix =
+  Option.bind (Peer.Map.find_opt peer t.flap_state) (Prefix.Map.find_opt prefix)
+
+let suppressed t ~now peer prefix =
+  match t.damping with
+  | None -> false
+  | Some p -> (
+    match flap_state_of t peer prefix with
+    | None -> false
+    | Some st -> Damping.is_suppressed p st ~now )
+
+(* Charge a damping penalty; when this crosses into suppression, queue a
+   reuse event so the runtime re-runs the decision process once the
+   penalty has decayed below the reuse threshold. *)
+let note_flap t ~now peer prefix amount =
+  match t.damping with
+  | None -> ()
+  | Some p ->
+    let st =
+      match flap_state_of t peer prefix with
+      | Some st -> st
+      | None ->
+        let st = Damping.create () in
+        let m =
+          Option.value (Peer.Map.find_opt peer t.flap_state)
+            ~default:Prefix.Map.empty
+        in
+        t.flap_state <- Peer.Map.add peer (Prefix.Map.add prefix st m) t.flap_state;
+        st
+    in
+    let was = Damping.is_suppressed p st ~now in
+    Damping.penalize p st ~now amount;
+    if Damping.is_suppressed p st ~now && not was then begin
+      Log.debug (fun m ->
+          m "AS%d: damping suppresses %s via %s" (Asn.to_int t.cfg.asn)
+            (Prefix.to_string prefix)
+            (Asn.to_string peer.Peer.asn));
+      t.reuse_events <-
+        (prefix, now +. Damping.time_to_reuse p st ~now) :: t.reuse_events
+    end
+
+let withdraw_penalty t =
+  match t.damping with Some p -> p.Damping.withdraw_penalty | None -> 0.
+
+let attr_change_penalty t =
+  match t.damping with Some p -> p.Damping.attr_change_penalty | None -> 0.
+
+let flap_penalty t ~now peer prefix =
+  match (t.damping, flap_state_of t peer prefix) with
+  | Some p, Some st -> Damping.penalty p st ~now
+  | _ -> 0.
+
+(* ------------------------- graceful restart ------------------------- *)
+
+let stale_count t =
+  Peer.Map.fold (fun _ s acc -> acc + Prefix.Set.cardinal s) t.stale 0
+
+let is_stale t peer prefix =
+  match Peer.Map.find_opt peer t.stale with
+  | None -> false
+  | Some s -> Prefix.Set.mem prefix s
+
+let clear_stale t peer prefix =
+  t.stale <-
+    Peer.Map.update peer
+      (function
+        | None -> None
+        | Some s ->
+          let s = Prefix.Set.remove prefix s in
+          if Prefix.Set.is_empty s then None else Some s)
+      t.stale
+
+(* RFC 4724-style restart: keep the peer's routes (still candidates, so
+   forwarding continues) but mark them stale.  A fresh announcement or
+   withdrawal from the returning peer clears the mark; {!flush_stale}
+   drops whatever is still stale when the restart window closes. *)
+let peer_down_graceful t peer =
+  let ps = Ia_db.prefixes_of t.db ~peer in
+  if ps <> [] then begin
+    let set =
+      List.fold_left
+        (fun s p -> Prefix.Set.add p s)
+        (Option.value (Peer.Map.find_opt peer t.stale) ~default:Prefix.Set.empty)
+        ps
+    in
+    t.stale <- Peer.Map.add peer set t.stale;
+    Log.debug (fun m ->
+        m "AS%d: peer %s down gracefully, %d routes marked stale"
+          (Asn.to_int t.cfg.asn)
+          (Asn.to_string peer.Peer.asn)
+          (Prefix.Set.cardinal set))
+  end
+
+(* The outgoing IA (if any) for [chosen] toward one neighbor: split-horizon,
+   loop avoidance, valley-free export, then per-neighbor egress filters. *)
+let emission_for t (chosen : chosen) (n : neighbor) =
+  let learned = learned_relationship t chosen.candidate in
+  let is_sender =
+    match chosen.candidate.Decision_module.from_peer with
+    | Some p -> Peer.equal p n.peer
+    | None -> false
+  in
+  let on_path =
+    List.exists
+      (Path_elem.mentions_asn n.peer.Peer.asn)
+      chosen.outgoing.Ia.path_vector
+    && not (Asn.equal n.peer.Peer.asn t.cfg.asn)
+  in
+  let eligible =
+    (not is_sender) && (not on_path)
+    && export_allowed ~learned ~to_:n.relationship
+  in
+  if eligible then egress_for_neighbor t n chosen.outgoing else None
+
 (* Announce / withdraw the current best for [prefix] to all neighbors. *)
 let distribute t prefix =
   let out = ref [] in
@@ -157,26 +298,9 @@ let distribute t prefix =
           end)
         t.nbrs
     | Some chosen ->
-      let learned = learned_relationship t chosen.candidate in
       Peer.Map.iter
         (fun peer n ->
-          let is_sender =
-            match chosen.candidate.Decision_module.from_peer with
-            | Some p -> Peer.equal p peer
-            | None -> false
-          in
-          let on_path =
-            List.exists
-              (Path_elem.mentions_asn peer.Peer.asn)
-              chosen.outgoing.Ia.path_vector
-            && not (Asn.equal peer.Peer.asn t.cfg.asn)
-          in
-          let eligible =
-            (not is_sender) && (not on_path)
-            && export_allowed ~learned ~to_:n.relationship
-          in
-          let final = if eligible then egress_for_neighbor t n chosen.outgoing else None in
-          match final with
+          match emission_for t chosen n with
           | Some ia ->
             record_adj_out t peer prefix (Some ia);
             emit peer (Announce ia)
@@ -188,8 +312,31 @@ let distribute t prefix =
         t.nbrs );
   List.rev !out
 
-(* Recompute the best path for [prefix]: stages 2-6 of Figure 5. *)
-let process t prefix =
+(* Re-advertise the full current state to one neighbor (route refresh):
+   used when a failed link recovers, so the returning peer resynchronizes
+   without a Manual full-table reset.  Idempotent at the receiver. *)
+let refresh_peer t peer =
+  match Peer.Map.find_opt peer t.nbrs with
+  | None -> []
+  | Some n ->
+    Prefix.Map.fold
+      (fun prefix chosen acc ->
+        match emission_for t chosen n with
+        | Some ia ->
+          record_adj_out t peer prefix (Some ia);
+          (peer, Announce ia) :: acc
+        | None ->
+          if previously_announced t peer prefix then begin
+            record_adj_out t peer prefix None;
+            (peer, Withdraw prefix) :: acc
+          end
+          else acc)
+      t.best []
+    |> List.rev
+
+(* Recompute the best path for [prefix]: stages 2-6 of Figure 5.  [now] is
+   the simulation clock, needed only to evaluate flap-damping decay. *)
+let process t ~now prefix =
   let active = active_for t prefix in
   let m = module_for t active in
   let raw_candidates =
@@ -201,15 +348,19 @@ let process t prefix =
     local
     @ List.filter_map
         (fun (peer, ia) ->
-          (* Per-neighbor then protocol-specific import filters. *)
-          let nbr_import =
-            match Peer.Map.find_opt peer t.nbrs with
-            | Some n -> n.import
-            | None -> Filters.accept
-          in
-          match Filters.compose nbr_import m.Decision_module.import_filter ia with
-          | None -> None
-          | Some ia -> Some { Decision_module.from_peer = Some peer; ia })
+          (* Damping: suppressed routes stay in the IA DB but are
+             invisible to selection until their penalty decays. *)
+          if suppressed t ~now peer prefix then None
+          else
+            (* Per-neighbor then protocol-specific import filters. *)
+            let nbr_import =
+              match Peer.Map.find_opt peer t.nbrs with
+              | Some n -> n.import
+              | None -> Filters.accept
+            in
+            match Filters.compose nbr_import m.Decision_module.import_filter ia with
+            | None -> None
+            | Some ia -> Some { Decision_module.from_peer = Some peer; ia })
         (Ia_db.candidates t.db prefix)
   in
   let selected = m.Decision_module.select ~prefix raw_candidates in
@@ -278,15 +429,20 @@ let process t prefix =
   end
   else []
 
-let originate t (ia : Ia.t) =
+let originate ?(now = 0.) t (ia : Ia.t) =
   t.local <- Prefix.Map.add ia.Ia.prefix ia t.local;
-  process t ia.Ia.prefix
+  process t ~now ia.Ia.prefix
 
-let receive t ~from msg =
+let receive ?(now = 0.) t ~from msg =
   match msg with
   | Withdraw prefix ->
+    let had = Option.is_some (Ia_db.find t.db ~peer:from prefix) in
     Ia_db.remove t.db ~peer:from prefix;
-    process t prefix
+    (* Hearing from the peer at all proves it is back: its stale mark for
+       this prefix is resolved (by removal). *)
+    clear_stale t from prefix;
+    if had then note_flap t ~now from prefix (withdraw_penalty t);
+    process t ~now prefix
   | Announce ia -> (
     (* Stage 1: global import filtering, loop rejection first. *)
     let ingress = Filters.compose Filters.reject_loops t.cfg.global_import in
@@ -301,18 +457,60 @@ let receive t ~from msg =
          route from this peer for the prefix. *)
       if Option.is_some (Ia_db.find t.db ~peer:from ia.Ia.prefix) then begin
         Ia_db.remove t.db ~peer:from ia.Ia.prefix;
-        process t ia.Ia.prefix
+        clear_stale t from ia.Ia.prefix;
+        note_flap t ~now from ia.Ia.prefix (withdraw_penalty t);
+        process t ~now ia.Ia.prefix
       end
       else []
     | Some ia ->
+      ( match Ia_db.find t.db ~peer:from ia.Ia.prefix with
+        | Some prev when not (Ia.equal prev ia) ->
+          (* Re-advertisement with changed attributes is a flap too. *)
+          note_flap t ~now from ia.Ia.prefix (attr_change_penalty t)
+        | _ -> () );
       Ia_db.store t.db ~peer:from ia;
-      process t ia.Ia.prefix )
+      clear_stale t from ia.Ia.prefix;
+      process t ~now ia.Ia.prefix )
 
-let peer_down t peer =
+let peer_down ?(now = 0.) t peer =
   let affected = Ia_db.drop_peer t.db ~peer in
   t.adj_out <- Peer.Map.remove peer t.adj_out;
   t.nbrs <- Peer.Map.remove peer t.nbrs;
-  List.concat_map (process t) affected
+  t.stale <- Peer.Map.remove peer t.stale;
+  List.concat_map (process t ~now) affected
+
+(* Close a graceful-restart window: drop every route from [peer] that is
+   still stale (never refreshed) and recompute the affected prefixes. *)
+let flush_stale ?(now = 0.) t peer =
+  match Peer.Map.find_opt peer t.stale with
+  | None -> []
+  | Some set ->
+    t.stale <- Peer.Map.remove peer t.stale;
+    Prefix.Set.fold
+      (fun p acc ->
+        Ia_db.remove t.db ~peer p;
+        acc @ process t ~now p)
+      set []
+
+let reevaluate ?(now = 0.) t prefix =
+  let out = process t ~now prefix in
+  (* A reuse timer is armed when a route first crosses into suppression;
+     if the penalty kept accruing afterwards the route can still be
+     suppressed when that timer fires — re-arm it for the updated reuse
+     time so the route is never suppressed forever. *)
+  ( match t.damping with
+    | None -> ()
+    | Some p ->
+      Peer.Map.iter
+        (fun _peer states ->
+          match Prefix.Map.find_opt prefix states with
+          | Some st when Damping.is_suppressed p st ~now ->
+            t.reuse_events <-
+              (prefix, now +. Damping.time_to_reuse p st ~now)
+              :: t.reuse_events
+          | _ -> ())
+        t.flap_state );
+  out
 
 let best t prefix = Prefix.Map.find_opt prefix t.best
 let best_routes t = Prefix.Map.bindings t.best

@@ -85,12 +85,49 @@ val active_for : t -> Dbgp_types.Prefix.t -> Dbgp_types.Protocol_id.t
 val add_neighbor : t -> neighbor -> unit
 val neighbors : t -> neighbor list
 
-val originate : t -> Ia.t -> (Peer.t * msg) list
+val originate : ?now:float -> t -> Ia.t -> (Peer.t * msg) list
 (** Injects a locally originated route (the IA as built by
-    {!Ia.originate} plus any descriptors) and returns announcements. *)
+    {!Ia.originate} plus any descriptors) and returns announcements.
+    [now] is the simulation clock, used only by flap damping. *)
 
-val receive : t -> from:Peer.t -> msg -> (Peer.t * msg) list
-val peer_down : t -> Peer.t -> (Peer.t * msg) list
+val receive : ?now:float -> t -> from:Peer.t -> msg -> (Peer.t * msg) list
+val peer_down : ?now:float -> t -> Peer.t -> (Peer.t * msg) list
+
+(** {1 Resilience: graceful restart (RFC 4724) and flap damping (RFC 2439)} *)
+
+val peer_down_graceful : t -> Peer.t -> unit
+(** Session loss with restart capability: the peer's routes stay in the IA
+    DB (and stay selectable) but are marked stale.  A fresh announcement
+    or withdrawal clears the mark; {!flush_stale} drops the rest. *)
+
+val flush_stale : ?now:float -> t -> Peer.t -> (Peer.t * msg) list
+(** Close the restart window: drop the peer's still-stale routes and
+    return the resulting withdrawals/announcements. *)
+
+val refresh_peer : t -> Peer.t -> (Peer.t * msg) list
+(** Re-advertise the current best routes to one (re-connected) neighbor,
+    route-refresh style.  Idempotent at the receiver. *)
+
+val stale_count : t -> int
+(** Routes currently retained as stale across all peers. *)
+
+val is_stale : t -> Peer.t -> Dbgp_types.Prefix.t -> bool
+
+val set_damping : t -> Dbgp_bgp.Flap_damping.params option -> unit
+(** Enable (or disable, with [None]) route-flap damping in the decision
+    path.  @raise Invalid_argument on inconsistent thresholds. *)
+
+val take_reuse_events : t -> (Dbgp_types.Prefix.t * float) list
+(** Drain the (prefix, absolute time) re-evaluation obligations created
+    when a route became suppressed; the runtime must call {!reevaluate}
+    at each returned time. *)
+
+val reevaluate : ?now:float -> t -> Dbgp_types.Prefix.t -> (Peer.t * msg) list
+(** Re-run the decision process for a prefix (used when a suppressed
+    route's penalty has decayed below the reuse threshold). *)
+
+val suppressed : t -> now:float -> Peer.t -> Dbgp_types.Prefix.t -> bool
+val flap_penalty : t -> now:float -> Peer.t -> Dbgp_types.Prefix.t -> float
 
 (** {1 Introspection} *)
 

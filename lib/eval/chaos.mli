@@ -1,0 +1,56 @@
+(** Chaos harness: seeded fault schedules over BRITE topologies.
+
+    Converges a random topology, then runs a chaos phase — probabilistic
+    message loss, latency jitter and scheduled link flaps — with graceful
+    restart and route-flap damping active, and checks the resilience
+    invariants afterwards.  Fully deterministic per seed. *)
+
+type config = {
+  seed : int;
+  ases : int;
+  loss : float;            (** per-message loss probability during chaos *)
+  latency_jitter : float;  (** max extra per-message latency, seconds *)
+  flaps : int;             (** scheduled link flaps *)
+  flap_start : float;      (** chaos-phase offset of the first flap *)
+  flap_spacing : float;    (** gap between successive flap starts *)
+  down_time : float;       (** how long each flapped link stays down *)
+  mrai : float;
+  graceful_window : float option;
+  damping : Dbgp_bgp.Flap_damping.params option;
+}
+
+val default : config
+
+type report = {
+  config : config;
+  initial : Dbgp_netsim.Network.stats;
+  final : Dbgp_netsim.Network.stats;
+  flapped : (int * int) list;  (** links taken down and restored *)
+  dropped : int;               (** messages lost to faults, total *)
+  reconverged : bool;          (** nothing reachable pre-chaos lost its route *)
+  baseline_unreachable : int;  (** ASes valley-free policy never reaches *)
+  unreachable : int;           (** ASes with no route after the chaos phase *)
+  stale_leaks : int;           (** stale routes surviving past all windows *)
+  forwarding_loops : int;      (** ASes whose data-plane walk cycles *)
+  sessions_restored : bool;    (** all flapped links are back up *)
+}
+
+val run : config -> report
+
+val healthy : report -> bool
+(** Reconverged, no stale leaks, loop-free, all flapped links restored. *)
+
+type session_report = {
+  pairs : int;
+  drops : int;
+  established : int;  (** pairs fully Established at the end *)
+  retries : int;      (** connect-retry timers armed across all endpoints *)
+}
+
+val session_chaos : ?pairs:int -> ?drops:int -> seed:int -> unit -> session_report
+(** FSM-level chaos: [pairs] point-to-point sessions with auto-reconnect
+    each lose their transport [drops] times; with retry configured every
+    pair must climb back to Established through the backoff schedule. *)
+
+val pp_report : Format.formatter -> report -> unit
+val pp_session_report : Format.formatter -> session_report -> unit

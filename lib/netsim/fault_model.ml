@@ -1,0 +1,76 @@
+(* Fault injection for the simulated control plane.
+
+   A fault model owns a seeded PRNG and decides, per message, whether the
+   message is lost and how much latency jitter it picks up.  Loss can be
+   confined to a time window ([from]/[until]) so experiments can run a
+   lossy chaos phase and still assert clean reconvergence afterwards.
+   Per-link overrides shadow the global defaults.
+
+   Determinism: all randomness comes from the seeded PRNG, drawn in event
+   order, so the same seed and schedule reproduce the same run. *)
+
+open Dbgp_types
+
+type link_params = { loss : float; jitter : float }
+
+type t = {
+  rng : Prng.t;
+  mutable loss : float;          (* default per-message loss probability *)
+  mutable jitter : float;        (* default max added latency, seconds *)
+  mutable loss_from : float;     (* loss applies while from <= now < until *)
+  mutable loss_until : float;
+  per_link : (int * int, link_params) Hashtbl.t;  (* undirected, a < b *)
+  mutable dropped : int;
+}
+
+let create ~seed () =
+  { rng = Prng.create seed;
+    loss = 0.;
+    jitter = 0.;
+    loss_from = 0.;
+    loss_until = infinity;
+    per_link = Hashtbl.create 16;
+    dropped = 0 }
+
+let key a b = if a < b then (a, b) else (b, a)
+
+let set_loss ?(from = 0.) ?(until = infinity) t p =
+  if p < 0. || p >= 1. then
+    invalid_arg "Fault_model.set_loss: probability must be in [0, 1)";
+  t.loss <- p;
+  t.loss_from <- from;
+  t.loss_until <- until
+
+let set_jitter t j =
+  if j < 0. then invalid_arg "Fault_model.set_jitter: negative jitter";
+  t.jitter <- j
+
+let set_link t ~a ~b ?(loss = 0.) ?(jitter = 0.) () =
+  if loss < 0. || loss >= 1. then
+    invalid_arg "Fault_model.set_link: loss probability must be in [0, 1)";
+  if jitter < 0. then invalid_arg "Fault_model.set_link: negative jitter";
+  Hashtbl.replace t.per_link (key a b) { loss; jitter }
+
+let params t a b =
+  match Hashtbl.find_opt t.per_link (key a b) with
+  | Some p -> p
+  | None -> { loss = t.loss; jitter = t.jitter }
+
+(* Should the message travelling a->b at [now] be lost?  Consumes one PRNG
+   draw only when loss is live on the link, keeping quiet phases free. *)
+let drop t ~now a b =
+  let ({ loss; _ } : link_params) = params t a b in
+  loss > 0.
+  && now >= t.loss_from
+  && now < t.loss_until
+  &&
+  let hit = Prng.float t.rng 1.0 < loss in
+  if hit then t.dropped <- t.dropped + 1;
+  hit
+
+(* Extra latency for a message on link a-b: uniform in [0, jitter). *)
+let jitter t a b =
+  let ({ jitter; _ } : link_params) = params t a b in
+  if jitter <= 0. then 0. else Prng.float t.rng jitter
+
+let dropped t = t.dropped

@@ -6,8 +6,24 @@ type stats = {
   messages : int;
   announce_bytes : int;
   withdrawals : int;
+  dropped : int;
   events : int;
   converged_at : float;
+}
+
+(* Everything needed to re-create both directions of a link after a
+   failure, so [recover_link] can restore exactly what [link] built. *)
+type link_cfg = {
+  c_latency : float;
+  c_a : Asn.t;
+  c_b : Asn.t;
+  c_a_import : Dbgp_core.Filters.t;
+  c_a_export : Dbgp_core.Filters.t;
+  c_b_import : Dbgp_core.Filters.t;
+  c_b_export : Dbgp_core.Filters.t;
+  c_a_dbgp : bool;
+  c_b_dbgp : bool;
+  c_b_is : Dbgp_bgp.Policy.relationship;
 }
 
 type t = {
@@ -15,14 +31,19 @@ type t = {
   lookup : Lookup_service.t;
   speakers : (int, Speaker.t) Hashtbl.t;     (* by ASN *)
   by_addr : (int, int) Hashtbl.t;            (* speaker addr -> ASN *)
-  latencies : (int * int, float) Hashtbl.t;  (* by ASN pair, a < b *)
+  latencies : (int * int, float) Hashtbl.t;  (* by ASN pair, a < b; presence = link up *)
+  links : (int * int, link_cfg) Hashtbl.t;   (* config for every link ever made *)
   mutable mrai : float;
+  mutable fault : Fault_model.t option;
+  mutable graceful_window : float option;    (* restart window; None = flush at once *)
+  restart_gen : (int * int, int) Hashtbl.t;  (* invalidates superseded flush timers *)
   (* Per (src, dst) directed pair: the latest pending message per prefix
      plus whether a flush is already scheduled. *)
   pending : (int * int, (Prefix.t, Speaker.msg) Hashtbl.t * bool ref) Hashtbl.t;
   mutable messages : int;
   mutable announce_bytes : int;
   mutable withdrawals : int;
+  mutable dropped : int;
 }
 
 let create () =
@@ -31,11 +52,16 @@ let create () =
     speakers = Hashtbl.create 64;
     by_addr = Hashtbl.create 64;
     latencies = Hashtbl.create 64;
+    links = Hashtbl.create 64;
     mrai = 0.;
+    fault = None;
+    graceful_window = None;
+    restart_gen = Hashtbl.create 16;
     pending = Hashtbl.create 64;
     messages = 0;
     announce_bytes = 0;
-    withdrawals = 0 }
+    withdrawals = 0;
+    dropped = 0 }
 
 let lookup t = t.lookup
 let queue t = t.q
@@ -62,12 +88,30 @@ let peer_of t a =
   let s = speaker t a in
   Peer.make ~asn:(Speaker.asn s) ~addr:(Speaker.addr s)
 
+let asn_of_addr t addr =
+  Option.map Asn.of_int (Hashtbl.find_opt t.by_addr (Ipv4.to_int addr))
+
 let lat_key a b =
   let a = Asn.to_int a and b = Asn.to_int b in
   if a < b then (a, b) else (b, a)
 
 let latency t a b =
   Option.value (Hashtbl.find_opt t.latencies (lat_key a b)) ~default:1.0
+
+let link_up t a b = Hashtbl.mem t.latencies (lat_key a b)
+
+let set_fault_model t f = t.fault <- Some f
+let fault_model t = t.fault
+
+let set_graceful_restart t w =
+  ( match w with
+    | Some w when w <= 0. ->
+      invalid_arg "Network.set_graceful_restart: window must be positive"
+    | _ -> () );
+  t.graceful_window <- w
+
+let set_damping t params =
+  Hashtbl.iter (fun _ s -> Speaker.set_damping s params) t.speakers
 
 let prefix_of_msg = function
   | Speaker.Announce ia -> ia.Dbgp_core.Ia.prefix
@@ -80,8 +124,13 @@ let rec dispatch t ~from outbox =
       | None -> () (* neighbor not simulated; drop *)
       | Some dst_asn ->
         let dst = Asn.of_int dst_asn in
-        let delay = latency t from dst in
-        if Hashtbl.mem t.latencies (lat_key from dst) then
+        if Hashtbl.mem t.latencies (lat_key from dst) then begin
+          let jitter =
+            match t.fault with
+            | Some f -> Fault_model.jitter f (Asn.to_int from) dst_asn
+            | None -> 0.
+          in
+          let delay = latency t from dst +. jitter in
           if t.mrai <= 0. then
             Event_queue.schedule t.q ~delay (fun () -> deliver t ~from ~to_:dst msg)
           else begin
@@ -105,18 +154,46 @@ let rec dispatch t ~from outbox =
                   Hashtbl.reset batch;
                   List.iter (fun m -> deliver t ~from ~to_:dst m) msgs)
             end
-          end)
+          end
+        end)
     outbox
 
 and deliver t ~from ~to_ msg =
-  t.messages <- t.messages + 1;
-  ( match msg with
-    | Speaker.Announce ia ->
-      t.announce_bytes <- t.announce_bytes + Dbgp_core.Codec.size ia
-    | Speaker.Withdraw _ -> t.withdrawals <- t.withdrawals + 1 );
-  let s = speaker t to_ in
-  let outbox = Speaker.receive s ~from:(peer_of t from) msg in
-  dispatch t ~from:to_ outbox
+  let now = Event_queue.now t.q in
+  if not (Hashtbl.mem t.latencies (lat_key from to_)) then
+    (* The link went down while the message was in flight. *)
+    t.dropped <- t.dropped + 1
+  else if
+    match t.fault with
+    | Some f -> Fault_model.drop f ~now (Asn.to_int from) (Asn.to_int to_)
+    | None -> false
+  then t.dropped <- t.dropped + 1
+  else begin
+    t.messages <- t.messages + 1;
+    ( match msg with
+      | Speaker.Announce ia ->
+        t.announce_bytes <- t.announce_bytes + Dbgp_core.Codec.size ia
+      | Speaker.Withdraw _ -> t.withdrawals <- t.withdrawals + 1 );
+    let s = speaker t to_ in
+    let outbox = Speaker.receive ~now s ~from:(peer_of t from) msg in
+    drain_reuse t to_ s;
+    dispatch t ~from:to_ outbox
+  end
+
+(* Damping reuse obligations: when a speaker suppressed a route it hands
+   us (prefix, time) pairs; re-run its decision process at each time so
+   the route returns to service once its penalty has decayed. *)
+and drain_reuse t asn s =
+  List.iter
+    (fun (prefix, at) ->
+      let time = Float.max at (Event_queue.now t.q) in
+      Event_queue.schedule_at t.q ~time (fun () ->
+          let outbox =
+            Speaker.reevaluate ~now:(Event_queue.now t.q) s prefix
+          in
+          drain_reuse t asn s;
+          dispatch t ~from:asn outbox))
+    (Speaker.take_reuse_events s)
 
 let inverse : Dbgp_bgp.Policy.relationship -> Dbgp_bgp.Policy.relationship =
   function
@@ -124,48 +201,137 @@ let inverse : Dbgp_bgp.Policy.relationship -> Dbgp_bgp.Policy.relationship =
   | Dbgp_bgp.Policy.To_provider -> Dbgp_bgp.Policy.To_customer
   | Dbgp_bgp.Policy.To_peer -> Dbgp_bgp.Policy.To_peer
 
-let link t ?(latency = 1.0) ?(a_import = Dbgp_core.Filters.accept)
-    ?(a_export = Dbgp_core.Filters.accept)
-    ?(b_import = Dbgp_core.Filters.accept)
-    ?(b_export = Dbgp_core.Filters.accept) ?(a_dbgp = true) ?(b_dbgp = true)
-    ~a ~b ~b_is () =
+(* Bring a (possibly recovered) link up from its stored configuration:
+   set the latency and (re-)install both neighbor entries. *)
+let connect_link t cfg =
+  let a = cfg.c_a and b = cfg.c_b in
   let sa = speaker t a and sb = speaker t b in
-  Hashtbl.replace t.latencies (lat_key a b) latency;
-  (* Island co-membership: compare outgoing IA treatment by checking the
-     speakers' configured islands via a probe neighbor; the Speaker API
-     exposes islands only through config, so we thread it via best-effort
-     equality of their egress behaviour.  Simpler and robust: compare the
-     islands recorded at construction time. *)
+  Hashtbl.replace t.latencies (lat_key a b) cfg.c_latency;
   let same_island =
     match (Speaker.island_of sa, Speaker.island_of sb) with
     | Some ia, Some ib -> Island_id.equal ia ib
     | _ -> false
   in
   Speaker.add_neighbor sa
-    (Speaker.neighbor ~import:a_import ~export:a_export ~dbgp_capable:b_dbgp
-       ~same_island ~relationship:b_is (peer_of t b));
+    (Speaker.neighbor ~import:cfg.c_a_import ~export:cfg.c_a_export
+       ~dbgp_capable:cfg.c_b_dbgp ~same_island ~relationship:cfg.c_b_is
+       (peer_of t b));
   Speaker.add_neighbor sb
-    (Speaker.neighbor ~import:b_import ~export:b_export ~dbgp_capable:a_dbgp
-       ~same_island ~relationship:(inverse b_is) (peer_of t a))
+    (Speaker.neighbor ~import:cfg.c_b_import ~export:cfg.c_b_export
+       ~dbgp_capable:cfg.c_a_dbgp ~same_island
+       ~relationship:(inverse cfg.c_b_is) (peer_of t a))
+
+let link t ?(latency = 1.0) ?(a_import = Dbgp_core.Filters.accept)
+    ?(a_export = Dbgp_core.Filters.accept)
+    ?(b_import = Dbgp_core.Filters.accept)
+    ?(b_export = Dbgp_core.Filters.accept) ?(a_dbgp = true) ?(b_dbgp = true)
+    ~a ~b ~b_is () =
+  if Asn.equal a b then invalid_arg "Network.link: cannot link an AS to itself";
+  let cfg =
+    { c_latency = latency;
+      c_a = a;
+      c_b = b;
+      c_a_import = a_import;
+      c_a_export = a_export;
+      c_b_import = b_import;
+      c_b_export = b_export;
+      c_a_dbgp = a_dbgp;
+      c_b_dbgp = b_dbgp;
+      c_b_is = b_is }
+  in
+  Hashtbl.replace t.links (lat_key a b) cfg;
+  connect_link t cfg
+
+(* MRAI batches survive across link events as closures over the batch
+   table; emptying the table makes an already-scheduled flush a no-op, so
+   a failed link never delivers stale pre-failure state. *)
+let clear_pending t a b =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.pending key with
+      | Some (batch, _scheduled) ->
+        Hashtbl.reset batch;
+        Hashtbl.remove t.pending key
+      | None -> ())
+    [ (Asn.to_int a, Asn.to_int b); (Asn.to_int b, Asn.to_int a) ]
+
+let bump_restart_gen t key =
+  let g = 1 + Option.value (Hashtbl.find_opt t.restart_gen key) ~default:0 in
+  Hashtbl.replace t.restart_gen key g;
+  g
 
 let fail_link t a b =
   Hashtbl.remove t.latencies (lat_key a b);
+  clear_pending t a b;
   let sa = speaker t a and sb = speaker t b in
-  let out_a = Speaker.peer_down sa (peer_of t b) in
-  let out_b = Speaker.peer_down sb (peer_of t a) in
-  Event_queue.schedule t.q ~delay:0. (fun () -> dispatch t ~from:a out_a);
-  Event_queue.schedule t.q ~delay:0. (fun () -> dispatch t ~from:b out_b)
+  match t.graceful_window with
+  | Some window ->
+    (* Graceful restart: both sides retain the peer's routes as stale and
+       keep forwarding; a timer closes the restart window and flushes
+       whatever the (possibly returned) peer did not refresh. *)
+    Speaker.peer_down_graceful sa (peer_of t b);
+    Speaker.peer_down_graceful sb (peer_of t a);
+    let gen = bump_restart_gen t (lat_key a b) in
+    Event_queue.schedule t.q ~delay:window (fun () ->
+        if Hashtbl.find_opt t.restart_gen (lat_key a b) = Some gen then begin
+          let now = Event_queue.now t.q in
+          let out_a = Speaker.flush_stale ~now sa (peer_of t b) in
+          let out_b = Speaker.flush_stale ~now sb (peer_of t a) in
+          drain_reuse t a sa;
+          drain_reuse t b sb;
+          dispatch t ~from:a out_a;
+          dispatch t ~from:b out_b
+        end)
+  | None ->
+    let now = Event_queue.now t.q in
+    let out_a = Speaker.peer_down ~now sa (peer_of t b) in
+    let out_b = Speaker.peer_down ~now sb (peer_of t a) in
+    Event_queue.schedule t.q ~delay:0. (fun () -> dispatch t ~from:a out_a);
+    Event_queue.schedule t.q ~delay:0. (fun () -> dispatch t ~from:b out_b)
+
+(* Route-refresh both directions of a link (computed at execution time so
+   it reflects the speakers' state when the event fires). *)
+let refresh_link t a b =
+  let sa = speaker t a and sb = speaker t b in
+  Event_queue.schedule t.q ~delay:0. (fun () ->
+      dispatch t ~from:a (Speaker.refresh_peer sa (peer_of t b)));
+  Event_queue.schedule t.q ~delay:0. (fun () ->
+      dispatch t ~from:b (Speaker.refresh_peer sb (peer_of t a)))
+
+let recover_link t a b =
+  match Hashtbl.find_opt t.links (lat_key a b) with
+  | None -> invalid_arg "Network.recover_link: link was never configured"
+  | Some cfg ->
+    if not (Hashtbl.mem t.latencies (lat_key a b)) then begin
+      connect_link t cfg;
+      refresh_link t a b
+    end
+
+let refresh_all t =
+  Hashtbl.iter
+    (fun (a, b) _ -> refresh_link t (Asn.of_int a) (Asn.of_int b))
+    t.latencies
+
+let schedule_flap t ~down_at ~up_at a b =
+  if up_at <= down_at then
+    invalid_arg "Network.schedule_flap: up_at must follow down_at";
+  Event_queue.schedule_at t.q ~time:down_at (fun () -> fail_link t a b);
+  Event_queue.schedule_at t.q ~time:up_at (fun () -> recover_link t a b)
 
 let originate t a ia =
   Event_queue.schedule t.q ~delay:0. (fun () ->
-      let outbox = Speaker.originate (speaker t a) ia in
+      let s = speaker t a in
+      let outbox = Speaker.originate ~now:(Event_queue.now t.q) s ia in
       dispatch t ~from:a outbox)
 
 let inject t ~from ~to_ msg =
   Event_queue.schedule t.q ~delay:0. (fun () ->
       t.messages <- t.messages + 1;
       let s = speaker t to_ in
-      let outbox = Speaker.receive s ~from msg in
+      let outbox =
+        Speaker.receive ~now:(Event_queue.now t.q) s ~from msg
+      in
+      drain_reuse t (Speaker.asn s) s;
       dispatch t ~from:(Speaker.asn s) outbox)
 
 let set_mrai t v =
@@ -176,9 +342,15 @@ let run ?max_events t =
   { messages = t.messages;
     announce_bytes = t.announce_bytes;
     withdrawals = t.withdrawals;
+    dropped =
+      t.dropped
+      + (match t.fault with Some f -> Fault_model.dropped f | None -> 0);
     events;
     converged_at = Event_queue.now t.q }
 
 let asns t =
   Hashtbl.fold (fun a _ acc -> Asn.of_int a :: acc) t.speakers []
   |> List.sort Asn.compare
+
+let stale_total t =
+  Hashtbl.fold (fun _ s acc -> acc + Speaker.stale_count s) t.speakers 0

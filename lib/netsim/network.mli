@@ -8,7 +8,12 @@
 
     Neighbor policy lives on the speakers (configure with
     {!Dbgp_core.Speaker.add_neighbor} or the {!link} convenience); the
-    network only knows connectivity and latency. *)
+    network only knows connectivity and latency.
+
+    Fault injection: attach a {!Fault_model} for probabilistic message
+    loss and latency jitter, schedule link flaps with {!schedule_flap},
+    and opt into graceful restart ({!set_graceful_restart}) and
+    route-flap damping ({!set_damping}) to study resilience. *)
 
 type t
 
@@ -16,6 +21,7 @@ type stats = {
   messages : int;        (** control messages delivered *)
   announce_bytes : int;  (** encoded IA bytes carried *)
   withdrawals : int;
+  dropped : int;         (** messages lost to faults or cut links *)
   events : int;          (** total simulator events executed *)
   converged_at : float;  (** simulated time the network went quiet *)
 }
@@ -36,6 +42,9 @@ val speaker : t -> Dbgp_types.Asn.t -> Dbgp_core.Speaker.t
 
 val peer_of : t -> Dbgp_types.Asn.t -> Dbgp_core.Peer.t
 
+val asn_of_addr : t -> Dbgp_types.Ipv4.t -> Dbgp_types.Asn.t option
+(** Reverse lookup from a speaker address (as found in FIB next hops). *)
+
 val link :
   t ->
   ?latency:float ->
@@ -53,10 +62,51 @@ val link :
 (** Connects two registered speakers. [b_is] is the relationship of [b]
     seen from [a] ([To_customer] = b is a's customer); the inverse side
     is derived.  [same_island] is inferred by comparing the speakers'
-    configured islands. *)
+    configured islands.  The configuration is retained so the link can
+    be restored by {!recover_link} after a failure.
+    @raise Invalid_argument on a self-loop. *)
+
+val link_up : t -> Dbgp_types.Asn.t -> Dbgp_types.Asn.t -> bool
 
 val fail_link : t -> Dbgp_types.Asn.t -> Dbgp_types.Asn.t -> unit
-(** Takes the link down: both speakers drop the session and re-converge. *)
+(** Takes the link down.  Pending MRAI batches for the pair are discarded
+    and in-flight messages are dropped on arrival.  Without graceful
+    restart both speakers drop the session's routes and re-converge
+    immediately; with it (see {!set_graceful_restart}) routes are
+    retained as stale for the restart window and only the leftovers are
+    flushed when it closes. *)
+
+val recover_link : t -> Dbgp_types.Asn.t -> Dbgp_types.Asn.t -> unit
+(** Brings a failed link back with its original configuration and
+    schedules a route refresh in both directions.  No-op if the link is
+    already up.
+    @raise Invalid_argument if the pair was never linked. *)
+
+val schedule_flap :
+  t -> down_at:float -> up_at:float ->
+  Dbgp_types.Asn.t -> Dbgp_types.Asn.t -> unit
+(** Schedules a {!fail_link} at [down_at] and the matching
+    {!recover_link} at [up_at] (absolute simulation times).
+    @raise Invalid_argument unless [down_at < up_at]. *)
+
+val refresh_all : t -> unit
+(** Schedules a route refresh in both directions of every up link —
+    a recovery sweep after a lossy phase. *)
+
+val set_fault_model : t -> Fault_model.t -> unit
+(** Attach a fault model; its loss/jitter decisions apply to every
+    subsequently delivered message. *)
+
+val fault_model : t -> Fault_model.t option
+
+val set_graceful_restart : t -> float option -> unit
+(** Set the graceful-restart window (RFC 4724 style) used by
+    {!fail_link}; [None] (the default) restores immediate flushing.
+    @raise Invalid_argument on a non-positive window. *)
+
+val set_damping : t -> Dbgp_bgp.Flap_damping.params option -> unit
+(** Enable route-flap damping (RFC 2439) on every registered speaker.
+    Reuse timers are serviced automatically through the event queue. *)
 
 val set_mrai : t -> float -> unit
 (** Minimum route-advertisement interval: with a positive MRAI, messages
@@ -78,3 +128,7 @@ val run : ?max_events:int -> t -> stats
 (** Run to quiescence. *)
 
 val asns : t -> Dbgp_types.Asn.t list
+
+val stale_total : t -> int
+(** Stale (graceful-restart retained) routes across all speakers —
+    should be zero once every restart window has closed. *)

@@ -20,6 +20,8 @@ type endpoint = {
   mutable cbs : callbacks;
   mutable hold_gen : int;
   mutable keep_gen : int;
+  mutable retry_gen : int;
+  mutable retries : int;
   mutable bytes_sent : int;
   mutable messages_sent : int;
 }
@@ -41,10 +43,13 @@ and perform ep = function
             handle peer (Fsm.Recv (Message.decode wire))) )
   | Fsm.Connect_tcp ->
     (* Simplified transport: after one latency, both sides observe the
-       connection — each accepts it only while still connecting, so a
-       simultaneous open cannot double-fire. *)
+       connection — each accepts it only while connecting or idle (the
+       passive side of a reconnect), so a simultaneous open cannot
+       double-fire. *)
     let deliver side =
-      if Fsm.state side.fsm = Fsm.Connect then handle side Fsm.Tcp_established
+      match Fsm.state side.fsm with
+      | Fsm.Connect | Fsm.Idle -> handle side Fsm.Tcp_established
+      | _ -> ()
     in
     Event_queue.schedule ep.q ~delay:ep.latency (fun () ->
         deliver ep;
@@ -63,13 +68,27 @@ and perform ep = function
     let gen = ep.keep_gen in
     Event_queue.schedule ep.q ~delay:(float_of_int (max 1 k)) (fun () ->
         if ep.keep_gen = gen then handle ep Fsm.Keepalive_timer_expired)
+  | Fsm.Start_connect_retry_timer d ->
+    ep.retry_gen <- ep.retry_gen + 1;
+    ep.retries <- ep.retries + 1;
+    let gen = ep.retry_gen in
+    Event_queue.schedule ep.q ~delay:d (fun () ->
+        if ep.retry_gen = gen && Fsm.state ep.fsm = Fsm.Idle then
+          handle ep Fsm.Connect_retry_expired)
+  | Fsm.Stop_connect_retry_timer -> ep.retry_gen <- ep.retry_gen + 1
 
-let create q ?(latency = 1.0) ~a ~b () =
-  let mk cfg =
-    { q; latency; fsm = Fsm.create cfg; peer = None; cbs = null_callbacks;
-      hold_gen = 0; keep_gen = 0; bytes_sent = 0; messages_sent = 0 }
+let create q ?(latency = 1.0) ?retry ~a ~b () =
+  let mk ?retry cfg =
+    { q; latency; fsm = Fsm.create ?retry cfg; peer = None;
+      cbs = null_callbacks; hold_gen = 0; keep_gen = 0; retry_gen = 0;
+      retries = 0; bytes_sent = 0; messages_sent = 0 }
   in
-  let ea = mk a and eb = mk b in
+  (* Offset b's jitter seed so the two sides don't retry in lock-step. *)
+  let retry_b =
+    Option.map (fun (r : Fsm.retry) -> { r with Fsm.seed = r.Fsm.seed + 1 })
+      retry
+  in
+  let ea = mk ?retry a and eb = mk ?retry:retry_b b in
   ea.peer <- Some eb;
   eb.peer <- Some ea;
   (ea, eb)
@@ -79,8 +98,12 @@ let start ep = handle ep Fsm.Manual_start
 let stop ep = handle ep Fsm.Manual_stop
 
 let drop_connection ep =
+  (* Guard inside the closure: a side already back in Idle when the
+     failure lands has no connection to lose and must not see a spurious
+     Tcp_failed (which would burn a retry attempt). *)
   let fail side =
-    Event_queue.schedule ep.q ~delay:0. (fun () -> handle side Fsm.Tcp_failed)
+    Event_queue.schedule ep.q ~delay:0. (fun () ->
+        if Fsm.state side.fsm <> Fsm.Idle then handle side Fsm.Tcp_failed)
   in
   fail ep;
   Option.iter fail ep.peer
@@ -96,3 +119,4 @@ let send_ia ep ia = send_update ep (Dbgp_core.Legacy.to_update ia)
 
 let bytes_sent ep = ep.bytes_sent
 let messages_sent ep = ep.messages_sent
+let retry_count ep = ep.retries

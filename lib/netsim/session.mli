@@ -24,12 +24,16 @@ val null_callbacks : callbacks
 val create :
   Event_queue.t ->
   ?latency:float ->
+  ?retry:Dbgp_bgp.Fsm.retry ->
   a:Dbgp_bgp.Fsm.config ->
   b:Dbgp_bgp.Fsm.config ->
   unit ->
   endpoint * endpoint
 (** A point-to-point session; both endpoints must {!start} for the
-    handshake to complete (standard BGP: both sides are configured). *)
+    handshake to complete (standard BGP: both sides are configured).
+    With [retry], TCP failures re-enter Connect after an exponential
+    backoff instead of staying Idle; the second endpoint's jitter seed
+    is offset so the two sides do not retry in lock-step. *)
 
 val set_callbacks : endpoint -> callbacks -> unit
 val start : endpoint -> unit
@@ -38,7 +42,7 @@ val stop : endpoint -> unit
 
 val drop_connection : endpoint -> unit
 (** Simulate transport failure on this endpoint's side: both ends see
-    TCP fail after the link latency. *)
+    TCP fail, unless already back in Idle by the time it lands. *)
 
 val state : endpoint -> Dbgp_bgp.Fsm.state
 
@@ -50,3 +54,6 @@ val send_ia : endpoint -> Dbgp_core.Ia.t -> unit
 
 val bytes_sent : endpoint -> int
 val messages_sent : endpoint -> int
+
+val retry_count : endpoint -> int
+(** Connect-retry timers armed on this endpoint so far. *)

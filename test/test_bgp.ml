@@ -360,6 +360,178 @@ let test_fsm_zero_hold_time () =
        acts);
   check "negotiated zero" true (Fsm.negotiated_hold_time t = Some 0)
 
+(* ------------------------- connect-retry backoff ------------------------- *)
+
+let no_jitter =
+  { Fsm.base = 1.0; multiplier = 2.0; max_delay = 8.0; max_retries = 10;
+    jitter = 0.; seed = 1 }
+
+(* Fail [n] connection attempts in a row and collect the armed delays. *)
+let backoff_delays t n =
+  let rec go t acc k =
+    if k = 0 then (t, acc)
+    else
+      let t, _ = Fsm.handle t Fsm.Connect_retry_expired in
+      let t, acts = Fsm.handle t Fsm.Tcp_failed in
+      let ds =
+        List.filter_map
+          (function Fsm.Start_connect_retry_timer d -> Some d | _ -> None)
+          acts
+      in
+      (* No timer armed means the FSM gave up: the runtime would never
+         deliver another Connect_retry_expired, so stop driving. *)
+      if ds = [] then (t, acc) else go t (acc @ ds) (k - 1)
+  in
+  let t, acts = Fsm.handle t Fsm.Manual_start in
+  assert (List.mem Fsm.Connect_tcp acts);
+  let t, acts = Fsm.handle t Fsm.Tcp_failed in
+  let first =
+    List.filter_map
+      (function Fsm.Start_connect_retry_timer d -> Some d | _ -> None)
+      acts
+  in
+  go t first (n - 1)
+
+let test_fsm_backoff_schedule () =
+  (* Without jitter the schedule is exactly base * multiplier^n, capped. *)
+  let _, ds = backoff_delays (Fsm.create ~retry:no_jitter cfg) 6 in
+  Alcotest.(check (list (float 1e-9)))
+    "exponential, capped at max_delay" [ 1.; 2.; 4.; 8.; 8.; 8. ] ds
+
+let test_fsm_backoff_deterministic () =
+  let jittered = { no_jitter with Fsm.jitter = 0.25; seed = 7 } in
+  let _, d1 = backoff_delays (Fsm.create ~retry:jittered cfg) 5 in
+  let _, d2 = backoff_delays (Fsm.create ~retry:jittered cfg) 5 in
+  Alcotest.(check (list (float 0.))) "same seed, same schedule" d1 d2;
+  List.iteri
+    (fun i d ->
+      let base = Float.min 8.0 (2.0 ** float_of_int i) in
+      check "jitter within [d, 1.25d]" true (d >= base && d <= 1.25 *. base))
+    d1
+
+let test_fsm_backoff_max_retries () =
+  let capped = { no_jitter with Fsm.max_retries = 3 } in
+  let t, ds = backoff_delays (Fsm.create ~retry:capped cfg) 5 in
+  check_int "gives up after the cap" 3 (List.length ds);
+  check "parked in idle" true (Fsm.state t = Fsm.Idle);
+  check_int "attempt counter reset on giving up" 0 (Fsm.attempts t)
+
+let test_fsm_backoff_resets_on_established () =
+  let t = Fsm.create ~retry:no_jitter cfg in
+  let t, _ = drive t [ Fsm.Manual_start; Fsm.Tcp_failed ] in
+  check_int "one attempt recorded" 1 (Fsm.attempts t);
+  let t, _ =
+    drive t
+      [ Fsm.Connect_retry_expired; Fsm.Tcp_established;
+        Fsm.Recv (Message.Open peer_open); Fsm.Recv Message.Keepalive ]
+  in
+  check "re-established via retry" true (Fsm.state t = Fsm.Established);
+  check_int "attempts cleared" 0 (Fsm.attempts t);
+  (* The next failure starts the schedule from the base delay again. *)
+  let _, acts = Fsm.handle t Fsm.Tcp_failed in
+  check "restarts from base delay" true
+    (List.mem (Fsm.Start_connect_retry_timer 1.0) acts)
+
+let test_fsm_manual_stop_cancels_retry () =
+  let t = Fsm.create ~retry:no_jitter cfg in
+  let t, _ = drive t [ Fsm.Manual_start; Fsm.Tcp_failed ] in
+  let t, acts = Fsm.handle t Fsm.Manual_stop in
+  check "stop action emitted" true (List.mem Fsm.Stop_connect_retry_timer acts);
+  check_int "attempts cleared" 0 (Fsm.attempts t);
+  (* A stale expiry after the stop is ignored once re-established. *)
+  let t, _ = Fsm.handle t Fsm.Tcp_established in
+  check "passive open still works" true (Fsm.state t = Fsm.Open_sent)
+
+(* Hold-timer expiry must tear down (or no-op) in every non-Idle state;
+   before the fault work only Established was exercised. *)
+let test_fsm_hold_expiry_all_states () =
+  let connect, _ = drive (Fsm.create cfg) [ Fsm.Manual_start ] in
+  let t', acts = Fsm.handle connect Fsm.Hold_timer_expired in
+  check "connect: spurious expiry ignored" true
+    (Fsm.state t' = Fsm.Connect && acts = []);
+  let open_sent, _ =
+    drive (Fsm.create cfg) [ Fsm.Manual_start; Fsm.Tcp_established ]
+  in
+  let t', acts = Fsm.handle open_sent Fsm.Hold_timer_expired in
+  check "open_sent: reset with notification" true
+    (Fsm.state t' = Fsm.Idle
+    && List.exists
+         (function
+           | Fsm.Send (Message.Notification n) -> n.Message.error_code = 4
+           | _ -> false)
+         acts);
+  let open_confirm, _ =
+    drive (Fsm.create cfg)
+      [ Fsm.Manual_start; Fsm.Tcp_established;
+        Fsm.Recv (Message.Open peer_open) ]
+  in
+  let t', acts = Fsm.handle open_confirm Fsm.Hold_timer_expired in
+  check "open_confirm: reset with notification" true
+    (Fsm.state t' = Fsm.Idle
+    && List.exists
+         (function
+           | Fsm.Send (Message.Notification n) -> n.Message.error_code = 4
+           | _ -> false)
+         acts);
+  let t', acts = Fsm.handle (established ()) Fsm.Hold_timer_expired in
+  check "established: session down" true
+    (Fsm.state t' = Fsm.Idle && List.mem Fsm.Session_down acts)
+
+(* ------------------------- flap damping ------------------------- *)
+
+module Damping = Dbgp_bgp.Flap_damping
+
+let damp_params =
+  { Damping.half_life = 1.;
+    suppress_threshold = 1500.;
+    reuse_threshold = 500.;
+    withdraw_penalty = 1000.;
+    attr_change_penalty = 500.;
+    max_penalty = 4000. }
+
+let test_damping_validate () =
+  check "default valid" true (Damping.validate Damping.default == Damping.default);
+  Alcotest.check_raises "reuse above suppress"
+    (Invalid_argument
+       "Flap_damping: need 0 < reuse_threshold < suppress_threshold")
+    (fun () ->
+      ignore
+        (Damping.validate
+           { damp_params with Damping.reuse_threshold = 2000. }))
+
+let test_damping_decay () =
+  let st = Damping.create () in
+  Damping.penalize damp_params st ~now:0. 1000.;
+  Alcotest.(check (float 1e-6)) "initial" 1000.
+    (Damping.penalty damp_params st ~now:0.);
+  Alcotest.(check (float 1e-6)) "one half-life" 500.
+    (Damping.penalty damp_params st ~now:1.);
+  Alcotest.(check (float 1e-6)) "two half-lives" 250.
+    (Damping.penalty damp_params st ~now:2.)
+
+let test_damping_suppress_reuse_crossing () =
+  let st = Damping.create () in
+  Damping.penalize damp_params st ~now:0. 1000.;
+  check "below threshold" false (Damping.is_suppressed damp_params st ~now:0.);
+  Damping.penalize damp_params st ~now:0. 1000.;
+  check "crossed into suppression" true
+    (Damping.is_suppressed damp_params st ~now:0.);
+  let ttr = Damping.time_to_reuse damp_params st ~now:0. in
+  Alcotest.(check (float 1e-6)) "reuse time = hl * log2(p/reuse)" 2. ttr;
+  check "still suppressed just before reuse" true
+    (Damping.is_suppressed damp_params st ~now:(ttr -. 0.01));
+  check "released after reuse time" false
+    (Damping.is_suppressed damp_params st ~now:(ttr +. 0.01))
+
+let test_damping_penalty_cap () =
+  let st = Damping.create () in
+  for _ = 1 to 20 do
+    Damping.penalize damp_params st ~now:0. 1000.
+  done;
+  Alcotest.(check (float 1e-6)) "capped at max_penalty" 4000.
+    (Damping.penalty damp_params st ~now:0.);
+  check_int "every flap counted" 20 (Damping.flaps st)
+
 let test_attr_unknown_flags () =
   let a =
     attrs
@@ -438,6 +610,22 @@ let () =
          Alcotest.test_case "manual stop" `Quick test_fsm_stop;
          Alcotest.test_case "keepalive cycle" `Quick test_fsm_keepalive_cycle;
          Alcotest.test_case "unexpected open" `Quick test_fsm_unexpected_open_in_established;
-         Alcotest.test_case "zero hold time" `Quick test_fsm_zero_hold_time ]);
+         Alcotest.test_case "zero hold time" `Quick test_fsm_zero_hold_time;
+         Alcotest.test_case "hold expiry in all states" `Quick
+           test_fsm_hold_expiry_all_states ]);
+      ("fsm-backoff",
+       [ Alcotest.test_case "schedule" `Quick test_fsm_backoff_schedule;
+         Alcotest.test_case "deterministic" `Quick test_fsm_backoff_deterministic;
+         Alcotest.test_case "max retries" `Quick test_fsm_backoff_max_retries;
+         Alcotest.test_case "reset on established" `Quick
+           test_fsm_backoff_resets_on_established;
+         Alcotest.test_case "manual stop cancels" `Quick
+           test_fsm_manual_stop_cancels_retry ]);
+      ("flap-damping",
+       [ Alcotest.test_case "validate" `Quick test_damping_validate;
+         Alcotest.test_case "decay" `Quick test_damping_decay;
+         Alcotest.test_case "suppress/reuse crossing" `Quick
+           test_damping_suppress_reuse_crossing;
+         Alcotest.test_case "penalty cap" `Quick test_damping_penalty_cap ]);
       ("attr-flags", [ Alcotest.test_case "unknown transitivity" `Quick test_attr_unknown_flags ]);
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck) ]

@@ -114,6 +114,78 @@ let test_session_keepalives_maintain () =
   check "still established" true
     (Session.state a = Fsm.Established && Session.state b = Fsm.Established)
 
+(* ------------------------- auto-reconnect ------------------------- *)
+
+let no_jitter_retry =
+  { Fsm.default_retry with Fsm.jitter = 0.; max_retries = 8 }
+
+let retry_pair ?(retry = no_jitter_retry) () =
+  let q = Eq.create () in
+  let a, b =
+    Session.create q ~retry ~a:(cfg 65001 "10.0.0.1") ~b:(cfg 65002 "10.0.0.2") ()
+  in
+  (q, a, b)
+
+let test_session_auto_reconnect () =
+  let q, a, b = retry_pair () in
+  establish q a b;
+  check "established" true (Session.state a = Fsm.Established);
+  (* Transport failure: with retry configured, NO manual restart — the
+     backoff timer must bring the session back by itself. *)
+  Session.drop_connection a;
+  ignore (Eq.run ~max_events:400 q);
+  check "a re-established without manual start" true
+    (Session.state a = Fsm.Established);
+  check "b re-established without manual start" true
+    (Session.state b = Fsm.Established);
+  check "a armed at least one retry" true (Session.retry_count a >= 1)
+
+let test_session_reconnect_repeated () =
+  let q, a, b = retry_pair () in
+  establish q a b;
+  for _ = 1 to 3 do
+    Session.drop_connection a;
+    ignore (Eq.run ~max_events:600 q)
+  done;
+  check "still comes back after repeated drops" true
+    (Session.state a = Fsm.Established && Session.state b = Fsm.Established)
+
+let test_session_reconnect_deterministic () =
+  let run () =
+    let q, a, b =
+      retry_pair ~retry:{ Fsm.default_retry with Fsm.jitter = 0.3; seed = 11 } ()
+    in
+    establish q a b;
+    Session.drop_connection a;
+    ignore (Eq.run ~max_events:400 q);
+    (Eq.now q, Session.retry_count a, Session.retry_count b,
+     Session.messages_sent a)
+  in
+  check "identical seeds replay identically" true (run () = run ())
+
+let test_session_drop_when_idle_is_harmless () =
+  let q, a, b = fresh_pair () in
+  establish q a b;
+  Session.drop_connection a;
+  ignore (Eq.run ~max_events:50 q);
+  check "both idle" true (Session.state a = Fsm.Idle && Session.state b = Fsm.Idle);
+  let sent = Session.messages_sent a + Session.messages_sent b in
+  (* The satellite fix: a failure landing at an endpoint already back in
+     Idle must be swallowed, not re-fired into the FSM. *)
+  Session.drop_connection a;
+  Session.drop_connection b;
+  ignore (Eq.run ~max_events:50 q);
+  check "still idle" true (Session.state a = Fsm.Idle && Session.state b = Fsm.Idle);
+  check_int "no message churn from stale failures" sent
+    (Session.messages_sent a + Session.messages_sent b)
+
+let test_session_chaos_report () =
+  let r = E.Chaos.session_chaos ~pairs:4 ~drops:2 ~seed:3 () in
+  check_int "all pairs re-established" 4 r.E.Chaos.established;
+  check "retries were needed" true (r.E.Chaos.retries > 0);
+  let r' = E.Chaos.session_chaos ~pairs:4 ~drops:2 ~seed:3 () in
+  check "session chaos deterministic" true (r = r')
+
 (* ------------------------- convergence experiments ------------------------- *)
 
 let test_convergence_vs_size () =
@@ -184,6 +256,12 @@ let () =
          Alcotest.test_case "drop and recover" `Quick test_session_drop_and_recover;
          Alcotest.test_case "admin stop" `Quick test_session_admin_stop;
          Alcotest.test_case "keepalives" `Quick test_session_keepalives_maintain ]);
+      ("reconnect",
+       [ Alcotest.test_case "auto reconnect" `Quick test_session_auto_reconnect;
+         Alcotest.test_case "repeated drops" `Quick test_session_reconnect_repeated;
+         Alcotest.test_case "deterministic" `Quick test_session_reconnect_deterministic;
+         Alcotest.test_case "drop when idle" `Quick test_session_drop_when_idle_is_harmless;
+         Alcotest.test_case "session chaos" `Quick test_session_chaos_report ]);
       ("convergence",
        [ Alcotest.test_case "vs size" `Quick test_convergence_vs_size;
          Alcotest.test_case "after failure" `Quick test_convergence_failure;
