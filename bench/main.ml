@@ -258,6 +258,35 @@ let chaos_bench () =
   close_out oc;
   Format.fprintf out "wrote BENCH_chaos.json@."
 
+(* ------------------------------------------------------------------ *)
+(* Observability scenario: one converged dissemination read back out    *)
+(* through the metrics layer, persisted as BENCH_obs.json.  The run is  *)
+(* fully seeded, so the file is byte-reproducible across revisions.     *)
+(* ------------------------------------------------------------------ *)
+
+let obs_bench () =
+  rule "Observability: converged-network snapshot";
+  let o = E.Convergence.observe ~ases:200 ~recent_events:0 ~seed:42 () in
+  Format.fprintf out "%a@." E.Convergence.pp_observed o;
+  let doc =
+    Dbgp_obs.Snapshot.Obj
+      [ ("seed", Dbgp_obs.Snapshot.Int 42);
+        ("ases", Dbgp_obs.Snapshot.Int o.E.Convergence.ases);
+        ("messages", Dbgp_obs.Snapshot.Int o.E.Convergence.messages);
+        ("announce_bytes", Dbgp_obs.Snapshot.Int o.E.Convergence.announce_bytes);
+        ("decision_runs", Dbgp_obs.Snapshot.Int o.E.Convergence.decision_runs);
+        ( "decision_changes",
+          Dbgp_obs.Snapshot.Int o.E.Convergence.decision_changes );
+        ("convergence_p50", Dbgp_obs.Snapshot.Float o.E.Convergence.p50);
+        ("convergence_p90", Dbgp_obs.Snapshot.Float o.E.Convergence.p90);
+        ("convergence_p99", Dbgp_obs.Snapshot.Float o.E.Convergence.p99);
+        ("snapshot", o.E.Convergence.snapshot) ]
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Dbgp_obs.Snapshot.to_json_pretty doc);
+  close_out oc;
+  Format.fprintf out "wrote BENCH_obs.json@."
+
 let () =
   let t0 = Unix.gettimeofday () in
   rule "Table 1: protocol taxonomy";
@@ -368,5 +397,6 @@ let () =
     (E.Empirical_overhead.run ());
   island_id_ablation ();
   chaos_bench ();
+  obs_bench ();
   run_bechamel ();
   Format.fprintf out "total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -223,6 +223,27 @@ let chaos ases seed loss flaps =
   let s = E.Chaos.session_chaos ~seed () in
   Format.fprintf out "%a@." E.Chaos.pp_session_report s
 
+(* ---------- stats ---------- *)
+
+let stats ases seed events =
+  if ases < 2 then (
+    Format.eprintf "dbgp-sim: --stats-ases must be at least 2@.";
+    exit 2 );
+  if events < 0 then (
+    Format.eprintf "dbgp-sim: --events must be non-negative@.";
+    exit 2 );
+  let o = E.Convergence.observe ~ases ~recent_events:events ~seed () in
+  let snapshot =
+    match o.E.Convergence.snapshot with
+    | Dbgp_obs.Snapshot.Obj fields ->
+      Dbgp_obs.Snapshot.Obj
+        (fields
+        @ [ ("ases", Dbgp_obs.Snapshot.Int ases);
+            ("seed", Dbgp_obs.Snapshot.Int seed) ])
+    | other -> other
+  in
+  print_string (Dbgp_obs.Snapshot.to_json_pretty snapshot)
+
 let empirical () =
   Format.fprintf out
     "Empirical validation of the Table 3 size model (measured vs modeled IA bytes):@.@.";
@@ -296,6 +317,14 @@ let loss_arg =
 let flaps_arg =
   Arg.(value & opt int 4 & info [ "flaps" ] ~doc:"Scheduled link flaps")
 
+let stats_ases_arg =
+  Arg.(value & opt int 200 & info [ "stats-ases" ] ~doc:"Stats topology size")
+
+let events_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "events" ] ~doc:"Recent trace events to include (0 to omit)")
+
 let unit_cmd name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
 
 let cmds =
@@ -321,6 +350,13 @@ let cmds =
          ~doc:"Fault-injection run: lossy links, flaps, graceful restart")
       Term.(const chaos $ chaos_ases_arg $ seed_arg $ loss_arg $ flaps_arg);
     unit_cmd "empirical" "Empirical validation of the Table 3 model" empirical;
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Converge a BRITE topology and print the observability snapshot \
+            (metrics registries, convergence percentiles, recent trace) as \
+            JSON")
+      Term.(const stats $ stats_ases_arg $ seed_arg $ events_arg);
     Cmd.v
       (Cmd.info "all" ~doc:"Run every experiment")
       Term.(

@@ -152,8 +152,8 @@ let encode w t =
 
 let decode_segment r =
   match R.u8 r with
-  | 2 -> Seq (R.list r R.asn)
-  | 1 -> Set (R.list r R.asn)
+  | 2 -> Seq (R.list ~min_width:4 r R.asn)
+  | 1 -> Set (R.list ~min_width:4 r R.asn)
   | n -> raise (R.Error (Printf.sprintf "bad AS_PATH segment type %d" n))
 
 let decode r =
@@ -179,7 +179,8 @@ let decode r =
           | 1 -> Egp
           | 2 -> Incomplete
           | n -> raise (R.Error (Printf.sprintf "bad ORIGIN %d" n)) )
-    else if type_code = t_as_path then as_path := R.list br decode_segment
+    else if type_code = t_as_path then
+      as_path := R.list ~min_width:2 br decode_segment
     else if type_code = t_next_hop then next_hop := R.ipv4 br
     else if type_code = t_med then med := Some (R.u32 br)
     else if type_code = t_local_pref then local_pref := Some (R.u32 br)
@@ -189,7 +190,8 @@ let decode r =
       let ip = R.ipv4 br in
       aggregator := Some (a, ip)
     end
-    else if type_code = t_communities then communities := R.list br R.u32
+    else if type_code = t_communities then
+      communities := R.list ~min_width:4 br R.u32
     else
       unknowns :=
         { type_code; transitive = flags land 0x40 <> 0; body } :: !unknowns

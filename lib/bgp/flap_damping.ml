@@ -40,17 +40,31 @@ type t = {
   mutable last : float;
   mutable suppressed : bool;
   mutable flaps : int;
+  mutable suppressions : int;  (* times the route crossed into suppression *)
+  mutable reuses : int;        (* times it decayed back into service *)
 }
 
-let create () = { penalty = 0.; last = 0.; suppressed = false; flaps = 0 }
+let create () =
+  { penalty = 0.; last = 0.; suppressed = false; flaps = 0; suppressions = 0;
+    reuses = 0 }
+
 let flaps st = st.flaps
+let suppressions st = st.suppressions
+let reuses st = st.reuses
+
+let currently_suppressed st = st.suppressed
+(* The suppression flag as of the last decay, without advancing the
+   clock — observability reads that must not perturb damping state. *)
 
 let decay p st ~now =
   if now > st.last then begin
     st.penalty <- st.penalty *. (0.5 ** ((now -. st.last) /. p.half_life));
     st.last <- now
   end;
-  if st.suppressed && st.penalty < p.reuse_threshold then st.suppressed <- false
+  if st.suppressed && st.penalty < p.reuse_threshold then begin
+    st.suppressed <- false;
+    st.reuses <- st.reuses + 1
+  end
 
 let penalty p st ~now =
   decay p st ~now;
@@ -60,7 +74,10 @@ let penalize p st ~now amount =
   decay p st ~now;
   st.penalty <- Float.min p.max_penalty (st.penalty +. amount);
   st.flaps <- st.flaps + 1;
-  if st.penalty >= p.suppress_threshold then st.suppressed <- true
+  if st.penalty >= p.suppress_threshold then begin
+    if not st.suppressed then st.suppressions <- st.suppressions + 1;
+    st.suppressed <- true
+  end
 
 let is_suppressed p st ~now =
   decay p st ~now;

@@ -168,11 +168,11 @@ let handle t ev =
     reset t [ Send (notif 5 0); Close_tcp; Session_down ]
   | Established, (Manual_start | Tcp_established) -> (t, [])
 
-let pp_state ppf st =
-  Format.pp_print_string ppf
-    ( match st with
-      | Idle -> "Idle"
-      | Connect -> "Connect"
-      | Open_sent -> "OpenSent"
-      | Open_confirm -> "OpenConfirm"
-      | Established -> "Established" )
+let state_name = function
+  | Idle -> "Idle"
+  | Connect -> "Connect"
+  | Open_sent -> "OpenSent"
+  | Open_confirm -> "OpenConfirm"
+  | Established -> "Established"
+
+let pp_state ppf st = Format.pp_print_string ppf (state_name st)

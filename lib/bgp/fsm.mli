@@ -76,4 +76,7 @@ val negotiated_hold_time : t -> int option
 
 val handle : t -> event -> t * action list
 
+val state_name : state -> string
+(** Stable name for tracing and display ("Idle", "OpenSent", ...). *)
+
 val pp_state : Format.formatter -> state -> unit

@@ -35,7 +35,7 @@ let decode_elem r =
   match R.u8 r with
   | 0 -> Path_elem.As (R.asn r)
   | 1 -> Path_elem.Island (decode_island r)
-  | 2 -> Path_elem.As_set (R.list r R.asn)
+  | 2 -> Path_elem.As_set (R.list ~min_width:4 r R.asn)
   | n -> raise (R.Error (Printf.sprintf "bad path-elem tag %d" n))
 
 let encode_proto w p = W.delimited w (Protocol_id.name p)
@@ -79,7 +79,7 @@ let encode_membership w (i, members) =
 
 let decode_membership r =
   let i = decode_island r in
-  let members = R.list r R.asn in
+  let members = R.list ~min_width:4 r R.asn in
   (i, members)
 
 let encode (ia : Ia.t) =
@@ -91,13 +91,18 @@ let encode (ia : Ia.t) =
   W.list w encode_id ia.island_descriptors;
   W.contents w
 
+(* Minimum encoded sizes, used to bound hostile list counts before
+   allocation: an element tag plus its smallest body (path elem: tag +
+   island tag + empty name; membership: island + empty member list;
+   path descriptor: empty owners + empty field + value; island
+   descriptor: island + proto + field + value). *)
 let decode s : Ia.t =
   let r = R.of_string s in
   let prefix = R.prefix r in
-  let path_vector = R.list r decode_elem in
-  let membership = R.list r decode_membership in
-  let path_descriptors = R.list r decode_pd in
-  let island_descriptors = R.list r decode_id in
+  let path_vector = R.list ~min_width:2 r decode_elem in
+  let membership = R.list ~min_width:3 r decode_membership in
+  let path_descriptors = R.list ~min_width:4 r decode_pd in
+  let island_descriptors = R.list ~min_width:6 r decode_id in
   { prefix; path_vector; membership; path_descriptors; island_descriptors }
 
 let size ia = String.length (encode ia)

@@ -1,9 +1,7 @@
 open Dbgp_types
 module Trie = Dbgp_trie.Prefix_trie
-
-let log_src = Logs.Src.create "dbgp.speaker" ~doc:"D-BGP speaker pipeline"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
+module Metrics = Dbgp_obs.Metrics
+module Trace = Dbgp_obs.Trace
 
 type msg = Announce of Ia.t | Withdraw of Prefix.t
 
@@ -60,12 +58,21 @@ type t = {
   mutable damping : Damping.params option;
   mutable flap_state : Damping.t Prefix.Map.t Peer.Map.t;
   mutable reuse_events : (Prefix.t * float) list;
+  (* Observability.  Every speaker owns a metrics registry and an event
+     trace; the decision-path instruments are cached here because they
+     are hit on every [process] call. *)
+  obs : Metrics.t;
+  trace : Trace.t;
+  c_runs : Metrics.counter;
+  c_changes : Metrics.counter;
+  g_last_change : Metrics.gauge;
 }
 
 let create cfg =
   let modules = Hashtbl.create 8 in
   let m = Decision_module.bgp () in
   Hashtbl.replace modules (Protocol_id.to_int m.Decision_module.protocol) m;
+  let obs = Metrics.create () in
   { cfg;
     modules;
     active = Trie.empty;
@@ -77,11 +84,21 @@ let create cfg =
     stale = Peer.Map.empty;
     damping = None;
     flap_state = Peer.Map.empty;
-    reuse_events = [] }
+    reuse_events = [];
+    obs;
+    trace = Trace.create ();
+    c_runs = Metrics.counter obs "decision.runs";
+    c_changes = Metrics.counter obs "decision.changes";
+    g_last_change = Metrics.gauge obs "decision.last_change_at" }
 
 let asn t = t.cfg.asn
 let addr t = t.cfg.addr
 let island_of t = t.cfg.island
+let metrics t = t.obs
+let trace t = t.trace
+
+let bump t name = Metrics.incr (Metrics.counter t.obs name)
+let my_asn t = Asn.to_int t.cfg.asn
 
 let add_module t (m : Decision_module.t) =
   Hashtbl.replace t.modules (Protocol_id.to_int m.protocol) m
@@ -203,12 +220,15 @@ let note_flap t ~now peer prefix amount =
     let was = Damping.is_suppressed p st ~now in
     Damping.penalize p st ~now amount;
     if Damping.is_suppressed p st ~now && not was then begin
-      Log.debug (fun m ->
-          m "AS%d: damping suppresses %s via %s" (Asn.to_int t.cfg.asn)
-            (Prefix.to_string prefix)
-            (Asn.to_string peer.Peer.asn));
-      t.reuse_events <-
-        (prefix, now +. Damping.time_to_reuse p st ~now) :: t.reuse_events
+      let reuse_at = now +. Damping.time_to_reuse p st ~now in
+      bump t "damping.suppressed";
+      Trace.emit t.trace ~at:now
+        (Trace.Damping_suppress
+           { asn = my_asn t;
+             peer = Asn.to_int peer.Peer.asn;
+             prefix = Prefix.to_string prefix;
+             reuse_at });
+      t.reuse_events <- (prefix, reuse_at) :: t.reuse_events
     end
 
 let withdraw_penalty t =
@@ -246,7 +266,7 @@ let clear_stale t peer prefix =
    forwarding continues) but mark them stale.  A fresh announcement or
    withdrawal from the returning peer clears the mark; {!flush_stale}
    drops whatever is still stale when the restart window closes. *)
-let peer_down_graceful t peer =
+let peer_down_graceful ?(now = 0.) t peer =
   let ps = Ia_db.prefixes_of t.db ~peer in
   if ps <> [] then begin
     let set =
@@ -256,11 +276,14 @@ let peer_down_graceful t peer =
         ps
     in
     t.stale <- Peer.Map.add peer set t.stale;
-    Log.debug (fun m ->
-        m "AS%d: peer %s down gracefully, %d routes marked stale"
-          (Asn.to_int t.cfg.asn)
-          (Asn.to_string peer.Peer.asn)
-          (Prefix.Set.cardinal set))
+    let routes = Prefix.Set.cardinal set in
+    Metrics.incr ~by:routes (Metrics.counter t.obs "restart.stale_marked");
+    Trace.emit t.trace ~at:now
+      (Trace.Restart_phase
+         { asn = my_asn t;
+           peer = Asn.to_int peer.Peer.asn;
+           phase = "stale-marked";
+           routes })
   end
 
 (* The outgoing IA (if any) for [chosen] toward one neighbor: split-horizon,
@@ -337,6 +360,7 @@ let refresh_peer t peer =
 (* Recompute the best path for [prefix]: stages 2-6 of Figure 5.  [now] is
    the simulation clock, needed only to evaluate flap-damping decay. *)
 let process t ~now prefix =
+  Metrics.incr t.c_runs;
   let active = active_for t prefix in
   let m = module_for t active in
   let raw_candidates =
@@ -410,21 +434,25 @@ let process t ~now prefix =
     | _ -> true
   in
   if changed then begin
-    ( match next with
-      | None ->
-        Log.debug (fun m ->
-            m "AS%d: best path for %s withdrawn" (Asn.to_int t.cfg.asn)
-              (Prefix.to_string prefix));
-        t.best <- Prefix.Map.remove prefix t.best
+    Metrics.incr t.c_changes;
+    Metrics.set t.g_last_change now;
+    let best_via =
+      match next with
+      | None -> None
       | Some c ->
-        Log.debug (fun m ->
-            m "AS%d: best path for %s now via %s (%s)" (Asn.to_int t.cfg.asn)
-              (Prefix.to_string prefix)
-              ( match c.candidate.Decision_module.from_peer with
-                | Some p -> Asn.to_string p.Peer.asn
-                | None -> "local" )
-              (Protocol_id.name active));
-        t.best <- Prefix.Map.add prefix c t.best );
+        Option.map
+          (fun p -> Asn.to_int p.Peer.asn)
+          c.candidate.Decision_module.from_peer
+    in
+    Trace.emit t.trace ~at:now
+      (Trace.Decision_run
+         { asn = my_asn t;
+           prefix = Prefix.to_string prefix;
+           changed = true;
+           best_via });
+    ( match next with
+      | None -> t.best <- Prefix.Map.remove prefix t.best
+      | Some c -> t.best <- Prefix.Map.add prefix c t.best );
     distribute t prefix
   end
   else []
@@ -436,6 +464,7 @@ let originate ?(now = 0.) t (ia : Ia.t) =
 let receive ?(now = 0.) t ~from msg =
   match msg with
   | Withdraw prefix ->
+    bump t "withdrawals.received";
     let had = Option.is_some (Ia_db.find t.db ~peer:from prefix) in
     Ia_db.remove t.db ~peer:from prefix;
     (* Hearing from the peer at all proves it is back: its stale mark for
@@ -444,15 +473,17 @@ let receive ?(now = 0.) t ~from msg =
     if had then note_flap t ~now from prefix (withdraw_penalty t);
     process t ~now prefix
   | Announce ia -> (
+    bump t "updates.received";
     (* Stage 1: global import filtering, loop rejection first. *)
     let ingress = Filters.compose Filters.reject_loops t.cfg.global_import in
     match ingress ia with
     | None ->
-      Log.debug (fun m ->
-          m "AS%d: IA for %s from %s rejected by global import filters"
-            (Asn.to_int t.cfg.asn)
-            (Prefix.to_string ia.Ia.prefix)
-            (Asn.to_string from.Peer.asn));
+      bump t "import.rejected";
+      Trace.emit t.trace ~at:now
+        (Trace.Import_rejected
+           { asn = my_asn t;
+             peer = Asn.to_int from.Peer.asn;
+             prefix = Prefix.to_string ia.Ia.prefix });
       (* A rejected IA acts as an implicit withdrawal of any previous
          route from this peer for the prefix. *)
       if Option.is_some (Ia_db.find t.db ~peer:from ia.Ia.prefix) then begin
@@ -486,13 +517,30 @@ let flush_stale ?(now = 0.) t peer =
   | None -> []
   | Some set ->
     t.stale <- Peer.Map.remove peer t.stale;
+    let routes = Prefix.Set.cardinal set in
+    Metrics.incr ~by:routes (Metrics.counter t.obs "restart.flushed");
+    Trace.emit t.trace ~at:now
+      (Trace.Restart_phase
+         { asn = my_asn t;
+           peer = Asn.to_int peer.Peer.asn;
+           phase = "flushed";
+           routes });
     Prefix.Set.fold
       (fun p acc ->
         Ia_db.remove t.db ~peer p;
         acc @ process t ~now p)
       set []
 
+let any_suppressed t prefix =
+  Peer.Map.exists
+    (fun _peer states ->
+      match Prefix.Map.find_opt prefix states with
+      | Some st -> Damping.currently_suppressed st
+      | None -> false)
+    t.flap_state
+
 let reevaluate ?(now = 0.) t prefix =
+  let was_suppressed = any_suppressed t prefix in
   let out = process t ~now prefix in
   (* A reuse timer is armed when a route first crosses into suppression;
      if the penalty kept accruing afterwards the route can still be
@@ -510,6 +558,14 @@ let reevaluate ?(now = 0.) t prefix =
               :: t.reuse_events
           | _ -> ())
         t.flap_state );
+  (* The loop above decayed every damping state for [prefix]; a route
+     that was suppressed on entry and no longer is has come back into
+     service. *)
+  if was_suppressed && not (any_suppressed t prefix) then begin
+    bump t "damping.reused";
+    Trace.emit t.trace ~at:now
+      (Trace.Damping_reuse { asn = my_asn t; prefix = Prefix.to_string prefix })
+  end;
   out
 
 let best t prefix = Prefix.Map.find_opt prefix t.best

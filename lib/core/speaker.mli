@@ -95,7 +95,7 @@ val peer_down : ?now:float -> t -> Peer.t -> (Peer.t * msg) list
 
 (** {1 Resilience: graceful restart (RFC 4724) and flap damping (RFC 2439)} *)
 
-val peer_down_graceful : t -> Peer.t -> unit
+val peer_down_graceful : ?now:float -> t -> Peer.t -> unit
 (** Session loss with restart capability: the peer's routes stay in the IA
     DB (and stay selectable) but are marked stale.  A fresh announcement
     or withdrawal clears the mark; {!flush_stale} drops the rest. *)
@@ -153,3 +153,17 @@ val candidates_for : t -> Dbgp_types.Prefix.t -> (Peer.t * Ia.t) list
     selected best). *)
 
 val ia_db_size : t -> int
+
+(** {1 Observability} *)
+
+val metrics : t -> Dbgp_obs.Metrics.t
+(** The speaker's own metrics registry.  Counters: [decision.runs],
+    [decision.changes], [updates.received], [withdrawals.received],
+    [import.rejected], [damping.suppressed], [damping.reused],
+    [restart.stale_marked], [restart.flushed].  Gauge:
+    [decision.last_change_at] (simulation time of the last best-path
+    change). *)
+
+val trace : t -> Dbgp_obs.Trace.t
+(** The speaker's event trace (decision runs, damping and restart
+    phases, import rejections). *)

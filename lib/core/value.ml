@@ -95,7 +95,7 @@ let rec decode r =
   | 3 -> Addr (R.ipv4 r)
   | 4 -> Pfx (R.prefix r)
   | 5 -> Asn (R.asn r)
-  | 6 -> List (R.list r decode)
+  | 6 -> List (R.list ~min_width:2 r decode) (* every value is >= tag + 1 byte *)
   | 7 ->
     let a = decode r in
     let b = decode r in

@@ -60,6 +60,11 @@ type report = {
   stale_leaks : int;           (* stale routes surviving past all windows *)
   forwarding_loops : int;      (* ASes whose data-plane walk cycles *)
   sessions_restored : bool;    (* all flapped links are back up *)
+  convergence_p50 : float;     (* per-speaker last-change-time percentiles *)
+  convergence_p90 : float;
+  convergence_p99 : float;
+  churn_per_flap : float;      (* chaos-phase messages per link flap *)
+  obs : Dbgp_obs.Snapshot.t;   (* the full network snapshot, JSON-ready *)
 }
 
 let prefix = Prefix.of_string "99.0.0.0/24"
@@ -162,6 +167,15 @@ let run cfg =
   let forwarding_loops =
     List.length (List.filter (walk_loops net) (Network.asns net))
   in
+  let times = Network.convergence_times net in
+  let pct q = Dbgp_obs.Snapshot.percentile times q in
+  let churn_per_flap =
+    let flaps = List.length flapped in
+    if flaps = 0 then 0.
+    else
+      float_of_int (final.Network.messages - initial.Network.messages)
+      /. float_of_int flaps
+  in
   { config = cfg;
     initial;
     final;
@@ -176,7 +190,12 @@ let run cfg =
     sessions_restored =
       List.for_all
         (fun (a, b) -> Network.link_up net (Asn.of_int a) (Asn.of_int b))
-        flapped }
+        flapped;
+    convergence_p50 = pct 0.5;
+    convergence_p90 = pct 0.9;
+    convergence_p99 = pct 0.99;
+    churn_per_flap;
+    obs = Network.snapshot ~recent_events:20 net }
 
 let healthy r =
   r.reconverged && r.stale_leaks = 0 && r.forwarding_loops = 0
@@ -244,12 +263,14 @@ let pp_report ppf r =
      initial: %d msgs, converged t=%.1f@,\
      final:   %d msgs, %d dropped, quiet t=%.1f@,\
      reconverged=%b unreachable=%d (baseline %d) stale=%d loops=%d \
-     restored=%b@]"
+     restored=%b@,\
+     convergence p50=%.1f p90=%.1f p99=%.1f; churn %.1f msgs/flap@]"
     r.config.seed r.config.ases r.config.loss (List.length r.flapped)
     r.initial.Network.messages r.initial.Network.converged_at
     r.final.Network.messages r.dropped r.final.Network.converged_at
     r.reconverged r.unreachable r.baseline_unreachable r.stale_leaks
     r.forwarding_loops r.sessions_restored
+    r.convergence_p50 r.convergence_p90 r.convergence_p99 r.churn_per_flap
 
 let pp_session_report ppf r =
   Format.fprintf ppf

@@ -33,6 +33,11 @@ type report = {
   stale_leaks : int;           (** stale routes surviving past all windows *)
   forwarding_loops : int;      (** ASes whose data-plane walk cycles *)
   sessions_restored : bool;    (** all flapped links are back up *)
+  convergence_p50 : float;     (** per-speaker last-change-time percentiles *)
+  convergence_p90 : float;
+  convergence_p99 : float;
+  churn_per_flap : float;      (** chaos-phase messages per link flap *)
+  obs : Dbgp_obs.Snapshot.t;   (** the full network snapshot, JSON-ready *)
 }
 
 val run : config -> report

@@ -70,6 +70,39 @@ let vs_size ?(payloads = [ 0; 4096 ]) ?(sizes = [ 50; 100; 200 ]) ~seed () =
         payloads)
     sizes
 
+(* Full observability pass over one dissemination: run a topology to
+   convergence and read the per-speaker registries back out — message and
+   byte totals, decision-process activity, and the distribution of
+   per-speaker convergence times. *)
+type observed = {
+  ases : int;
+  messages : int;
+  announce_bytes : int;
+  decision_runs : int;
+  decision_changes : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  snapshot : Dbgp_obs.Snapshot.t;
+}
+
+let observe ?(ases = 100) ?(recent_events = 20) ~seed () =
+  let g = Brite.generate (Prng.create seed) { Brite.default with Brite.n = ases } in
+  let net = network_of_graph g in
+  Network.originate net (Asn.of_int 1) (origin_ia 1);
+  let stats = Network.run net in
+  let times = Network.convergence_times net in
+  let pct q = Dbgp_obs.Snapshot.percentile times q in
+  { ases;
+    messages = stats.Network.messages;
+    announce_bytes = stats.Network.announce_bytes;
+    decision_runs = Network.counter_total net "decision.runs";
+    decision_changes = Network.counter_total net "decision.changes";
+    p50 = pct 0.5;
+    p90 = pct 0.9;
+    p99 = pct 0.99;
+    snapshot = Network.snapshot ~recent_events net }
+
 type failure = {
   initial_messages : int;
   reconvergence_messages : int;
@@ -154,10 +187,17 @@ let session_reset ?(prefixes = 200) ?(payload_bytes = 0) () =
   { prefixes; payload_bytes; handshake_messages;
     initial_transfer_bytes = initial; reset_transfer_bytes = again }
 
-let pp_dissemination ppf d =
+let pp_dissemination ppf (d : dissemination) =
   Format.fprintf ppf
     "%4d ASes, %5d B payload: %6d msgs, %9d bytes, converged at t=%.1f"
     d.ases d.payload_bytes d.messages d.bytes d.converged_at
+
+let pp_observed ppf o =
+  Format.fprintf ppf
+    "%4d ASes: %6d msgs, %9d bytes, %d runs / %d changes, \
+     convergence p50=%.1f p90=%.1f p99=%.1f"
+    o.ases o.messages o.announce_bytes o.decision_runs o.decision_changes
+    o.p50 o.p90 o.p99
 
 let pp_failure ppf f =
   Format.fprintf ppf

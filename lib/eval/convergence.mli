@@ -27,6 +27,25 @@ val vs_size :
   ?payloads:int list -> ?sizes:int list -> seed:int -> unit -> dissemination list
 (** Defaults: payloads [0; 4096], sizes [50; 100; 200]. *)
 
+type observed = {
+  ases : int;
+  messages : int;
+  announce_bytes : int;
+  decision_runs : int;     (** decision-process executions, all speakers *)
+  decision_changes : int;  (** runs that changed a best path *)
+  p50 : float;             (** convergence-time percentiles across speakers *)
+  p90 : float;
+  p99 : float;
+  snapshot : Dbgp_obs.Snapshot.t;  (** the full network snapshot *)
+}
+
+val observe : ?ases:int -> ?recent_events:int -> seed:int -> unit -> observed
+(** Converge one dissemination (default 100 ASes) and read the
+    observability layer back out: message/byte totals from the network
+    registry, decision-process activity summed over the per-speaker
+    registries, and exact convergence-time percentiles.  [recent_events]
+    (default 20, 0 to omit) bounds the trace section of the snapshot. *)
+
 type failure = {
   initial_messages : int;
   reconvergence_messages : int;
@@ -47,5 +66,6 @@ val session_reset :
   ?prefixes:int -> ?payload_bytes:int -> unit -> reset
 
 val pp_dissemination : Format.formatter -> dissemination -> unit
+val pp_observed : Format.formatter -> observed -> unit
 val pp_failure : Format.formatter -> failure -> unit
 val pp_reset : Format.formatter -> reset -> unit

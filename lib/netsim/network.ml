@@ -1,6 +1,9 @@
 open Dbgp_types
 module Speaker = Dbgp_core.Speaker
 module Peer = Dbgp_core.Peer
+module Metrics = Dbgp_obs.Metrics
+module Trace = Dbgp_obs.Trace
+module Snapshot = Dbgp_obs.Snapshot
 
 type stats = {
   messages : int;
@@ -40,13 +43,20 @@ type t = {
   (* Per (src, dst) directed pair: the latest pending message per prefix
      plus whether a flush is already scheduled. *)
   pending : (int * int, (Prefix.t, Speaker.msg) Hashtbl.t * bool ref) Hashtbl.t;
-  mutable messages : int;
-  mutable announce_bytes : int;
-  mutable withdrawals : int;
-  mutable dropped : int;
+  (* Network-level observability: message accounting lives in a metrics
+     registry (the hot-path counters are cached), wire-level events go to
+     the trace ring. *)
+  obs : Metrics.t;
+  trace : Trace.t;
+  c_messages : Metrics.counter;
+  c_announce_bytes : Metrics.counter;
+  c_withdrawals : Metrics.counter;
+  c_dropped : Metrics.counter;
+  h_msg_bytes : Metrics.histogram;
 }
 
 let create () =
+  let obs = Metrics.create () in
   { q = Event_queue.create ();
     lookup = Lookup_service.create ();
     speakers = Hashtbl.create 64;
@@ -58,13 +68,18 @@ let create () =
     graceful_window = None;
     restart_gen = Hashtbl.create 16;
     pending = Hashtbl.create 64;
-    messages = 0;
-    announce_bytes = 0;
-    withdrawals = 0;
-    dropped = 0 }
+    obs;
+    trace = Trace.create ();
+    c_messages = Metrics.counter obs "net.messages";
+    c_announce_bytes = Metrics.counter obs "net.announce_bytes";
+    c_withdrawals = Metrics.counter obs "net.withdrawals";
+    c_dropped = Metrics.counter obs "net.dropped";
+    h_msg_bytes = Metrics.histogram obs "net.msg_bytes" }
 
 let lookup t = t.lookup
 let queue t = t.q
+let metrics t = t.obs
+let trace t = t.trace
 
 let speaker_addr a =
   let n = Asn.to_int a in
@@ -117,6 +132,16 @@ let prefix_of_msg = function
   | Speaker.Announce ia -> ia.Dbgp_core.Ia.prefix
   | Speaker.Withdraw p -> p
 
+(* Encoded size of a message on the wire.  Withdrawals carry just the
+   prefix (1 length octet + up to 4 address octets). *)
+let msg_bytes = function
+  | Speaker.Announce ia -> Dbgp_core.Codec.size ia
+  | Speaker.Withdraw _ -> 5
+
+let is_withdraw = function
+  | Speaker.Announce _ -> false
+  | Speaker.Withdraw _ -> true
+
 let rec dispatch t ~from outbox =
   List.iter
     (fun ((peer : Peer.t), msg) ->
@@ -125,6 +150,13 @@ let rec dispatch t ~from outbox =
       | Some dst_asn ->
         let dst = Asn.of_int dst_asn in
         if Hashtbl.mem t.latencies (lat_key from dst) then begin
+          Trace.emit t.trace ~at:(Event_queue.now t.q)
+            (Trace.Update_sent
+               { src = Asn.to_int from;
+                 dst = dst_asn;
+                 prefix = Prefix.to_string (prefix_of_msg msg);
+                 bytes = msg_bytes msg;
+                 withdraw = is_withdraw msg });
           let jitter =
             match t.fault with
             | Some f -> Fault_model.jitter f (Asn.to_int from) dst_asn
@@ -152,6 +184,14 @@ let rec dispatch t ~from outbox =
                   scheduled := false;
                   let msgs = Hashtbl.fold (fun _ m acc -> m :: acc) batch [] in
                   Hashtbl.reset batch;
+                  Metrics.incr (Metrics.counter t.obs "net.mrai_flushes");
+                  Metrics.incr ~by:(List.length msgs)
+                    (Metrics.counter t.obs "net.mrai_batched");
+                  Trace.emit t.trace ~at:(Event_queue.now t.q)
+                    (Trace.Mrai_flush
+                       { src = Asn.to_int from;
+                         dst = dst_asn;
+                         batched = List.length msgs });
                   List.iter (fun m -> deliver t ~from ~to_:dst m) msgs)
             end
           end
@@ -162,18 +202,26 @@ and deliver t ~from ~to_ msg =
   let now = Event_queue.now t.q in
   if not (Hashtbl.mem t.latencies (lat_key from to_)) then
     (* The link went down while the message was in flight. *)
-    t.dropped <- t.dropped + 1
+    Metrics.incr t.c_dropped
   else if
     match t.fault with
     | Some f -> Fault_model.drop f ~now (Asn.to_int from) (Asn.to_int to_)
     | None -> false
-  then t.dropped <- t.dropped + 1
+  then Metrics.incr t.c_dropped
   else begin
-    t.messages <- t.messages + 1;
+    let bytes = msg_bytes msg in
+    Metrics.incr t.c_messages;
+    Metrics.observe t.h_msg_bytes (float_of_int bytes);
     ( match msg with
-      | Speaker.Announce ia ->
-        t.announce_bytes <- t.announce_bytes + Dbgp_core.Codec.size ia
-      | Speaker.Withdraw _ -> t.withdrawals <- t.withdrawals + 1 );
+      | Speaker.Announce _ -> Metrics.incr ~by:bytes t.c_announce_bytes
+      | Speaker.Withdraw _ -> Metrics.incr t.c_withdrawals );
+    Trace.emit t.trace ~at:now
+      (Trace.Update_received
+         { src = Asn.to_int from;
+           dst = Asn.to_int to_;
+           prefix = Prefix.to_string (prefix_of_msg msg);
+           bytes;
+           withdraw = is_withdraw msg });
     let s = speaker t to_ in
     let outbox = Speaker.receive ~now s ~from:(peer_of t from) msg in
     drain_reuse t to_ s;
@@ -269,8 +317,9 @@ let fail_link t a b =
     (* Graceful restart: both sides retain the peer's routes as stale and
        keep forwarding; a timer closes the restart window and flushes
        whatever the (possibly returned) peer did not refresh. *)
-    Speaker.peer_down_graceful sa (peer_of t b);
-    Speaker.peer_down_graceful sb (peer_of t a);
+    let now = Event_queue.now t.q in
+    Speaker.peer_down_graceful ~now sa (peer_of t b);
+    Speaker.peer_down_graceful ~now sb (peer_of t a);
     let gen = bump_restart_gen t (lat_key a b) in
     Event_queue.schedule t.q ~delay:window (fun () ->
         if Hashtbl.find_opt t.restart_gen (lat_key a b) = Some gen then begin
@@ -326,7 +375,7 @@ let originate t a ia =
 
 let inject t ~from ~to_ msg =
   Event_queue.schedule t.q ~delay:0. (fun () ->
-      t.messages <- t.messages + 1;
+      Metrics.incr t.c_messages;
       let s = speaker t to_ in
       let outbox =
         Speaker.receive ~now:(Event_queue.now t.q) s ~from msg
@@ -339,11 +388,11 @@ let set_mrai t v =
 
 let run ?max_events t =
   let events = Event_queue.run ?max_events t.q in
-  { messages = t.messages;
-    announce_bytes = t.announce_bytes;
-    withdrawals = t.withdrawals;
+  { messages = Metrics.count t.c_messages;
+    announce_bytes = Metrics.count t.c_announce_bytes;
+    withdrawals = Metrics.count t.c_withdrawals;
     dropped =
-      t.dropped
+      Metrics.count t.c_dropped
       + (match t.fault with Some f -> Fault_model.dropped f | None -> 0);
     events;
     converged_at = Event_queue.now t.q }
@@ -354,3 +403,65 @@ let asns t =
 
 let stale_total t =
   Hashtbl.fold (fun _ s acc -> acc + Speaker.stale_count s) t.speakers 0
+
+(* ------------------------- observability ------------------------- *)
+
+(* Sum one named counter across every speaker's registry. *)
+let counter_total t name =
+  Hashtbl.fold
+    (fun _ s acc ->
+      match Metrics.find_counter (Speaker.metrics s) name with
+      | Some c -> acc + Metrics.count c
+      | None -> acc)
+    t.speakers 0
+
+(* Per-speaker convergence time: the simulation time of the last best-path
+   change, for every speaker whose decision process changed state at least
+   once.  The distribution of these is the network's convergence profile. *)
+let convergence_times t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      let m = Speaker.metrics s in
+      let changed =
+        match Metrics.find_counter m "decision.changes" with
+        | Some c -> Metrics.count c > 0
+        | None -> false
+      in
+      if not changed then acc
+      else
+        match Metrics.find_gauge m "decision.last_change_at" with
+        | Some g -> Metrics.value g :: acc
+        | None -> acc)
+    t.speakers []
+  |> List.sort compare
+
+let speaker_counter_names =
+  [ "decision.runs"; "decision.changes"; "updates.received";
+    "withdrawals.received"; "import.rejected"; "damping.suppressed";
+    "damping.reused"; "restart.stale_marked"; "restart.flushed" ]
+
+let snapshot ?(recent_events = 0) t =
+  let speaker_totals =
+    List.filter_map
+      (fun name ->
+        match counter_total t name with
+        | 0 -> None
+        | v -> Some (name, Snapshot.Int v))
+      speaker_counter_names
+  in
+  let fields =
+    [ ("at", Snapshot.Float (Event_queue.now t.q));
+      ("network", Snapshot.of_metrics t.obs);
+      ( "speakers",
+        Snapshot.Obj
+          (("count", Snapshot.Int (Hashtbl.length t.speakers))
+           :: speaker_totals) );
+      ( "convergence",
+        Snapshot.Obj (Snapshot.percentile_fields (convergence_times t)) ) ]
+  in
+  let fields =
+    if recent_events > 0 then
+      fields @ [ ("trace", Snapshot.of_trace ~last:recent_events t.trace) ]
+    else fields
+  in
+  Snapshot.Obj fields

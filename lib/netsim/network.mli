@@ -132,3 +132,30 @@ val asns : t -> Dbgp_types.Asn.t list
 val stale_total : t -> int
 (** Stale (graceful-restart retained) routes across all speakers —
     should be zero once every restart window has closed. *)
+
+(** {1 Observability}
+
+    The network owns a metrics registry ([net.messages],
+    [net.announce_bytes], [net.withdrawals], [net.dropped],
+    [net.mrai_flushes], [net.mrai_batched], and the [net.msg_bytes]
+    histogram) and a wire-level event trace ({!Dbgp_obs.Trace}:
+    update sent/received, MRAI flushes).  Each speaker additionally owns
+    its own registry and trace (see {!Dbgp_core.Speaker.metrics}). *)
+
+val metrics : t -> Dbgp_obs.Metrics.t
+val trace : t -> Dbgp_obs.Trace.t
+
+val counter_total : t -> string -> int
+(** Sum of one named counter across every speaker's registry (0 when no
+    speaker has it). *)
+
+val convergence_times : t -> float list
+(** Per-speaker time of the last best-path change, sorted ascending, for
+    speakers whose decision process changed at least once — the raw
+    distribution behind convergence-time percentiles. *)
+
+val snapshot : ?recent_events:int -> t -> Dbgp_obs.Snapshot.t
+(** Aggregate JSON-ready snapshot: simulation clock, the network
+    registry, per-speaker counter totals, and convergence-time
+    percentiles.  With [recent_events > 0] the last that many trace
+    events are included under ["trace"]. *)

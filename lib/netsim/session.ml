@@ -1,5 +1,7 @@
 module Fsm = Dbgp_bgp.Fsm
 module Message = Dbgp_bgp.Message
+module Metrics = Dbgp_obs.Metrics
+module Trace = Dbgp_obs.Trace
 
 type callbacks = {
   on_established : Message.open_msg -> unit;
@@ -24,11 +26,30 @@ type endpoint = {
   mutable retries : int;
   mutable bytes_sent : int;
   mutable messages_sent : int;
+  obs : Metrics.t;
+  trace : Trace.t;
 }
 
+let my_asn ep = Dbgp_types.Asn.to_int (Fsm.config ep.fsm).Fsm.my_asn
+
+let peer_asn ep =
+  match Fsm.peer_open ep.fsm with
+  | Some (o : Message.open_msg) -> Dbgp_types.Asn.to_int o.my_asn
+  | None -> 0
+
 let rec handle ep ev =
+  let before = Fsm.state ep.fsm in
   let fsm, actions = Fsm.handle ep.fsm ev in
   ep.fsm <- fsm;
+  let after = Fsm.state fsm in
+  if after <> before then begin
+    Metrics.incr (Metrics.counter ep.obs "fsm.transitions");
+    if after = Fsm.Established then
+      Metrics.incr (Metrics.counter ep.obs "fsm.established");
+    Trace.emit ep.trace ~at:(Event_queue.now ep.q)
+      (Trace.Session_state
+         { asn = my_asn ep; peer = peer_asn ep; state = Fsm.state_name after })
+  end;
   List.iter (perform ep) actions
 
 and perform ep = function
@@ -36,6 +57,9 @@ and perform ep = function
     let wire = Message.encode msg in
     ep.bytes_sent <- ep.bytes_sent + String.length wire;
     ep.messages_sent <- ep.messages_sent + 1;
+    Metrics.observe
+      (Metrics.histogram ep.obs "session.send_bytes")
+      (float_of_int (String.length wire));
     ( match ep.peer with
       | None -> ()
       | Some peer ->
@@ -81,7 +105,8 @@ let create q ?(latency = 1.0) ?retry ~a ~b () =
   let mk ?retry cfg =
     { q; latency; fsm = Fsm.create ?retry cfg; peer = None;
       cbs = null_callbacks; hold_gen = 0; keep_gen = 0; retry_gen = 0;
-      retries = 0; bytes_sent = 0; messages_sent = 0 }
+      retries = 0; bytes_sent = 0; messages_sent = 0;
+      obs = Metrics.create (); trace = Trace.create () }
   in
   (* Offset b's jitter seed so the two sides don't retry in lock-step. *)
   let retry_b =
@@ -120,3 +145,5 @@ let send_ia ep ia = send_update ep (Dbgp_core.Legacy.to_update ia)
 let bytes_sent ep = ep.bytes_sent
 let messages_sent ep = ep.messages_sent
 let retry_count ep = ep.retries
+let metrics ep = ep.obs
+let trace ep = ep.trace

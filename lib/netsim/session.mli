@@ -57,3 +57,11 @@ val messages_sent : endpoint -> int
 
 val retry_count : endpoint -> int
 (** Connect-retry timers armed on this endpoint so far. *)
+
+val metrics : endpoint -> Dbgp_obs.Metrics.t
+(** Per-endpoint registry: [fsm.transitions], [fsm.established] counters
+    and the [session.send_bytes] histogram. *)
+
+val trace : endpoint -> Dbgp_obs.Trace.t
+(** Per-endpoint trace of {!Dbgp_obs.Trace.Session_state} events, one per
+    FSM state change. *)

@@ -1,0 +1,44 @@
+(** JSON snapshots of registries and traces.
+
+    A tiny JSON tree plus a renderer — no external dependency — so the
+    simulator can export its internals ([dbgp-sim stats],
+    [BENCH_obs.json]) and tests can assert on snapshot shape.  Non-finite
+    floats render as [null]; everything else is standard JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_json : t -> string
+(** Compact, single-line. *)
+
+val to_json_pretty : t -> string
+(** Two-space indentation, trailing newline. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] elsewhere. *)
+
+val of_metrics : Metrics.t -> t
+(** [{"counters": {..}, "gauges": {..}, "histograms": {name:
+    {"count","sum","max","p50","p90","p99"}}}].  Instruments appear in
+    name order. *)
+
+val of_trace : ?last:int -> Trace.t -> t
+(** [{"emitted","overwritten","events":[..]}] with at most [last]
+    (default all retained) most-recent events, oldest first.  Each event
+    is an object with ["at"], ["type"] (see {!Trace.label}) and the
+    event's own fields. *)
+
+val percentile : float list -> float -> float
+(** Exact percentile with linear interpolation between order statistics;
+    [nan] on an empty list.  @raise Invalid_argument unless
+    [0 <= q <= 1]. *)
+
+val percentile_fields : float list -> (string * t) list
+(** [["count"; "p50"; "p90"; "p99"; "max"]] fields ready to wrap in an
+    [Obj] — the standard convergence-time summary. *)

@@ -1,0 +1,54 @@
+type event =
+  | Session_state of { asn : int; peer : int; state : string }
+  | Update_sent of { src : int; dst : int; prefix : string; bytes : int; withdraw : bool }
+  | Update_received of { src : int; dst : int; prefix : string; bytes : int; withdraw : bool }
+  | Decision_run of { asn : int; prefix : string; changed : bool; best_via : int option }
+  | Mrai_flush of { src : int; dst : int; batched : int }
+  | Damping_suppress of { asn : int; peer : int; prefix : string; reuse_at : float }
+  | Damping_reuse of { asn : int; prefix : string }
+  | Restart_phase of { asn : int; peer : int; phase : string; routes : int }
+  | Import_rejected of { asn : int; peer : int; prefix : string }
+
+type entry = { at : float; event : event }
+
+type t = {
+  cap : int;
+  buf : entry option array;
+  mutable total : int;  (* events ever emitted; write cursor = total mod cap *)
+}
+
+let create ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive"
+  else { cap = capacity; buf = Array.make capacity None; total = 0 }
+
+let capacity t = t.cap
+
+let emit t ~at event =
+  t.buf.(t.total mod t.cap) <- Some { at; event };
+  t.total <- t.total + 1
+
+let entries t =
+  let kept = min t.total t.cap in
+  let first = t.total - kept in
+  List.init kept (fun i ->
+      match t.buf.((first + i) mod t.cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let emitted t = t.total
+let overwritten t = max 0 (t.total - t.cap)
+
+let clear t =
+  Array.fill t.buf 0 t.cap None;
+  t.total <- 0
+
+let label = function
+  | Session_state _ -> "session_state"
+  | Update_sent _ -> "update_sent"
+  | Update_received _ -> "update_received"
+  | Decision_run _ -> "decision_run"
+  | Mrai_flush _ -> "mrai_flush"
+  | Damping_suppress _ -> "damping_suppress"
+  | Damping_reuse _ -> "damping_reuse"
+  | Restart_phase _ -> "restart_phase"
+  | Import_rejected _ -> "import_rejected"

@@ -1,0 +1,48 @@
+(** Structured event tracing: a bounded ring buffer of typed events.
+
+    Emission is O(1) and never fails; once the buffer is full the oldest
+    entries are overwritten (and counted in {!overwritten}), so a trace
+    can stay attached to a long simulation without growing.  ASNs are
+    carried as plain ints and prefixes as strings to keep this library
+    free of dependencies on the rest of the tree. *)
+
+type event =
+  | Session_state of { asn : int; peer : int; state : string }
+      (** A BGP FSM transition landed in [state] ({!Dbgp_bgp.Fsm} names).
+          [peer] is 0 until the peer's OPEN has been seen. *)
+  | Update_sent of { src : int; dst : int; prefix : string; bytes : int; withdraw : bool }
+  | Update_received of { src : int; dst : int; prefix : string; bytes : int; withdraw : bool }
+  | Decision_run of { asn : int; prefix : string; changed : bool; best_via : int option }
+      (** A decision-process run that changed the best path; [best_via]
+          is [None] when the route was withdrawn or locally originated. *)
+  | Mrai_flush of { src : int; dst : int; batched : int }
+      (** An MRAI batch of [batched] per-prefix messages was delivered. *)
+  | Damping_suppress of { asn : int; peer : int; prefix : string; reuse_at : float }
+  | Damping_reuse of { asn : int; prefix : string }
+  | Restart_phase of { asn : int; peer : int; phase : string; routes : int }
+      (** Graceful restart: [phase] is ["stale-marked"] when routes are
+          retained, ["flushed"] when the window closes. *)
+  | Import_rejected of { asn : int; peer : int; prefix : string }
+
+type entry = { at : float; event : event }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 1024.  @raise Invalid_argument if non-positive. *)
+
+val capacity : t -> int
+val emit : t -> at:float -> event -> unit
+
+val entries : t -> entry list
+(** Retained entries, oldest first (at most [capacity] of them). *)
+
+val emitted : t -> int
+(** Total events ever emitted, including overwritten ones. *)
+
+val overwritten : t -> int
+val clear : t -> unit
+
+val label : event -> string
+(** Stable snake_case tag, e.g. ["update_sent"] — the ["type"] field of
+    the JSON rendering. *)

@@ -26,11 +26,26 @@ let u32 t =
   let lo = u16 t in
   (hi lsl 16) lor lo
 
+(* Canonical LEB128, bounded to OCaml's positive int range.  Two classes
+   of hostile input are rejected rather than silently mangled:
+
+   - overflow: at shift 56 only 6 payload bits remain below the sign bit
+     (a 63-bit int holds 62 value bits), so the 9th byte must be a final
+     byte with payload <= 0x3F — otherwise [(b land 0x7F) lsl 56] would
+     wrap into the sign bit and a "length" would decode negative;
+   - non-canonical zero continuations ([... 0x80 0x00]): a final byte of
+     0 after at least one continuation byte encodes the same value as the
+     shorter form, breaking decode/encode byte-level idempotence. *)
 let varint t =
   let rec go shift acc =
-    if shift > 56 then fail "varint: too long at %d" t.pos
+    let b = u8 t in
+    if b = 0 && shift > 0 then
+      fail "varint: non-canonical trailing zero at %d" (t.pos - 1)
+    else if shift = 56 then
+      if b land 0x80 <> 0 then fail "varint: too long at %d" (t.pos - 1)
+      else if b > 0x3F then fail "varint: overflow at %d" (t.pos - 1)
+      else acc lor (b lsl 56)
     else
-      let b = u8 t in
       let acc = acc lor ((b land 0x7F) lsl shift) in
       if b land 0x80 = 0 then acc else go (shift + 7) acc
   in
@@ -59,12 +74,25 @@ let prefix t =
     for i = 0 to octets - 1 do
       net := !net lor (u8 t lsl (24 - (8 * i)))
     done;
-    Dbgp_types.Prefix.make (Dbgp_types.Ipv4.of_int !net) len
+    (* [Prefix.make] masks stray host bits away, which would let two
+       distinct byte strings decode to the same prefix; canonical-form
+       decoding must reject them instead. *)
+    let mask = if len = 0 then 0 else 0xFFFF_FFFF lsl (32 - len) land 0xFFFF_FFFF in
+    if !net land lnot mask land 0xFFFF_FFFF <> 0 then
+      fail "prefix: stray host bits in /%d encoding" len
+    else Dbgp_types.Prefix.make (Dbgp_types.Ipv4.of_int !net) len
   end
 
 let asn t = Dbgp_types.Asn.of_int (u32 t)
 
-let list t f =
+(* [min_width] is the caller's lower bound on one element's encoding (in
+   bytes); the count is checked against [remaining / min_width] before any
+   allocation, so a hostile count cannot drive a large [List.init] only to
+   fail on the first element. *)
+let list ?(min_width = 1) t f =
+  if min_width < 1 then invalid_arg "Reader.list: min_width must be positive";
   let n = varint t in
-  if n > remaining t then fail "list: count %d exceeds buffer" n
+  if n > remaining t / min_width then
+    fail "list: count %d exceeds buffer (%d bytes, >=%d each)" n (remaining t)
+      min_width
   else List.init n (fun _ -> f t)

@@ -17,9 +17,21 @@ val u8 : t -> int
 val u16 : t -> int
 val u32 : t -> int
 val varint : t -> int
+(** Canonical LEB128.  Rejects encodings longer than 9 bytes, 9-byte
+    encodings whose payload exceeds [max_int] (they would wrap into the
+    sign bit), and non-canonical trailing-zero continuations such as
+    [0x80 0x00]. *)
+
 val bytes : t -> int -> string
 val delimited : t -> string
 val ipv4 : t -> Dbgp_types.Ipv4.t
 val prefix : t -> Dbgp_types.Prefix.t
+(** Rejects non-canonical encodings with stray host bits inside the last
+    octet, keeping decode∘encode byte-level idempotent. *)
+
 val asn : t -> Dbgp_types.Asn.t
-val list : t -> (t -> 'a) -> 'a list
+
+val list : ?min_width:int -> t -> (t -> 'a) -> 'a list
+(** [min_width] (default 1, must be positive) is a lower bound on one
+    element's encoded size; the element count is validated against
+    [remaining / min_width] before any allocation happens. *)

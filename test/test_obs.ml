@@ -1,0 +1,305 @@
+(* The observability layer: metrics registry semantics, trace-ring
+   accounting, snapshot JSON shape, and the instrumented simulator
+   end-to-end. *)
+
+open Dbgp_types
+module Metrics = Dbgp_obs.Metrics
+module Trace = Dbgp_obs.Trace
+module Snapshot = Dbgp_obs.Snapshot
+module Speaker = Dbgp_core.Speaker
+module Network = Dbgp_netsim.Network
+module Session = Dbgp_netsim.Session
+module E = Dbgp_eval
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------- metrics ------------------------- *)
+
+let test_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a.b" in
+  check_int "starts at 0" 0 (Metrics.count c);
+  Metrics.incr c;
+  Metrics.incr ~by:10 c;
+  check_int "accumulates" 11 (Metrics.count c);
+  check "same instrument on re-lookup" true (Metrics.counter m "a.b" == c);
+  check_int "shared state" 11 (Metrics.count (Metrics.counter m "a.b"));
+  Alcotest.check_raises "negative increment"
+    (Invalid_argument "Metrics.incr: negative increment") (fun () ->
+      Metrics.incr ~by:(-1) c);
+  check "find hit" true (Metrics.find_counter m "a.b" <> None);
+  check "find miss" true (Metrics.find_counter m "nope" = None);
+  Alcotest.(check (list (pair string int)))
+    "enumeration is name-sorted"
+    [ ("a.b", 11); ("z", 0) ]
+    ( ignore (Metrics.counter m "z");
+      Metrics.counters m )
+
+let test_gauges () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "clock" in
+  check "initial 0" true (Metrics.value g = 0.);
+  Metrics.set g 42.5;
+  Metrics.set g 17.25;
+  check "last write wins" true (Metrics.value g = 17.25)
+
+let test_histogram_bucketing () =
+  check_int "below 1 -> bucket 0" 0 (Metrics.bucket_of 0.5);
+  check_int "nan -> bucket 0" 0 (Metrics.bucket_of Float.nan);
+  check_int "negative -> bucket 0" 0 (Metrics.bucket_of (-3.));
+  check_int "1 -> bucket 1" 1 (Metrics.bucket_of 1.0);
+  check_int "1.99 -> bucket 1" 1 (Metrics.bucket_of 1.99);
+  check_int "2 -> bucket 2" 2 (Metrics.bucket_of 2.0);
+  check_int "3.99 -> bucket 2" 2 (Metrics.bucket_of 3.99);
+  check_int "4 -> bucket 3" 3 (Metrics.bucket_of 4.0);
+  check_int "huge -> last bucket" (Metrics.nbuckets - 1)
+    (Metrics.bucket_of 1e30);
+  check "upper of 0 is 1" true (Metrics.bucket_upper 0 = 1.);
+  check "upper of 3 is 8" true (Metrics.bucket_upper 3 = 8.);
+  check "last upper is inf" true
+    (Metrics.bucket_upper (Metrics.nbuckets - 1) = Float.infinity)
+
+let test_histogram_observe () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  check "empty quantile is 0" true (Metrics.quantile h 0.5 = 0.);
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 3.0; 3.5; 100. ];
+  check_int "count" 5 (Metrics.observations h);
+  check "sum" true (Metrics.hist_sum h = 108.5);
+  check "max" true (Metrics.hist_max h = 100.);
+  (* Conservative quantiles: the bucket upper bound. 100 lands in
+     [64, 128). *)
+  check "p50 <= 4" true (Metrics.quantile h 0.5 <= 4.);
+  check "p99 is 128" true (Metrics.quantile h 0.99 = 128.);
+  Alcotest.check_raises "quantile range"
+    (Invalid_argument "Metrics.quantile: q outside [0, 1]") (fun () ->
+      ignore (Metrics.quantile h 1.5))
+
+(* ------------------------- trace ------------------------- *)
+
+let ev i = Trace.Damping_reuse { asn = i; prefix = "10.0.0.0/8" }
+
+let test_trace_ring () =
+  let t = Trace.create ~capacity:4 () in
+  check_int "capacity" 4 (Trace.capacity t);
+  check_int "empty" 0 (List.length (Trace.entries t));
+  for i = 1 to 6 do
+    Trace.emit t ~at:(float_of_int i) (ev i)
+  done;
+  check_int "emitted counts all" 6 (Trace.emitted t);
+  check_int "overwritten" 2 (Trace.overwritten t);
+  let es = Trace.entries t in
+  check_int "retains capacity" 4 (List.length es);
+  Alcotest.(check (list int))
+    "oldest first, newest kept" [ 3; 4; 5; 6 ]
+    (List.map
+       (fun (e : Trace.entry) ->
+         match e.Trace.event with
+         | Trace.Damping_reuse { asn; _ } -> asn
+         | _ -> -1)
+       es);
+  Trace.clear t;
+  check_int "clear empties" 0 (List.length (Trace.entries t));
+  check_int "clear resets emitted" 0 (Trace.emitted t);
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Trace.create ~capacity:0 ()))
+
+let test_trace_labels () =
+  check_str "session_state" "session_state"
+    (Trace.label (Trace.Session_state { asn = 1; peer = 2; state = "Idle" }));
+  check_str "update_sent" "update_sent"
+    (Trace.label
+       (Trace.Update_sent
+          { src = 1; dst = 2; prefix = "p"; bytes = 3; withdraw = false }));
+  check_str "mrai_flush" "mrai_flush"
+    (Trace.label (Trace.Mrai_flush { src = 1; dst = 2; batched = 3 }))
+
+(* ------------------------- snapshot ------------------------- *)
+
+let test_json_rendering () =
+  check_str "scalars" "[null,true,42,1.5,\"a\\\"b\"]"
+    (Snapshot.to_json
+       (Snapshot.List
+          [ Snapshot.Null; Snapshot.Bool true; Snapshot.Int 42;
+            Snapshot.Float 1.5; Snapshot.String "a\"b" ]));
+  check_str "nan is null" "null" (Snapshot.to_json (Snapshot.Float Float.nan));
+  check_str "inf is null" "null"
+    (Snapshot.to_json (Snapshot.Float Float.infinity));
+  check_str "integral float" "3" (Snapshot.to_json (Snapshot.Float 3.0));
+  check_str "object" "{\"k\":[]}"
+    (Snapshot.to_json (Snapshot.Obj [ ("k", Snapshot.List []) ]))
+
+let test_snapshot_of_metrics () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:7 (Metrics.counter m "msgs");
+  Metrics.set (Metrics.gauge m "t") 3.5;
+  Metrics.observe (Metrics.histogram m "sz") 10.;
+  let s = Snapshot.of_metrics m in
+  ( match Snapshot.member "counters" s with
+    | Some (Snapshot.Obj [ ("msgs", Snapshot.Int 7) ]) -> ()
+    | _ -> Alcotest.fail "counters section wrong" );
+  ( match Snapshot.member "histograms" s with
+    | Some hs -> (
+      match Snapshot.member "sz" hs with
+      | Some h ->
+        check "hist count" true
+          (Snapshot.member "count" h = Some (Snapshot.Int 1));
+        check "hist p50" true (Snapshot.member "p50" h <> None)
+      | None -> Alcotest.fail "sz histogram missing" )
+    | None -> Alcotest.fail "histograms section missing" );
+  (* The whole thing renders without raising. *)
+  check "renders" true (String.length (Snapshot.to_json_pretty s) > 0)
+
+let test_snapshot_of_trace () =
+  let t = Trace.create ~capacity:8 () in
+  Trace.emit t ~at:1.
+    (Trace.Update_sent
+       { src = 1; dst = 2; prefix = "99.0.0.0/24"; bytes = 64; withdraw = false });
+  Trace.emit t ~at:2. (Trace.Damping_reuse { asn = 3; prefix = "99.0.0.0/24" });
+  let s = Snapshot.of_trace t in
+  check "emitted field" true (Snapshot.member "emitted" s = Some (Snapshot.Int 2));
+  ( match Snapshot.member "events" s with
+    | Some (Snapshot.List [ first; second ]) ->
+      check "first is update_sent" true
+        (Snapshot.member "type" first = Some (Snapshot.String "update_sent"));
+      check "bytes carried" true
+        (Snapshot.member "bytes" first = Some (Snapshot.Int 64));
+      check "second is damping_reuse" true
+        (Snapshot.member "type" second = Some (Snapshot.String "damping_reuse"))
+    | _ -> Alcotest.fail "events list wrong" );
+  ( match Snapshot.member "events" (Snapshot.of_trace ~last:1 t) with
+    | Some (Snapshot.List [ only ]) ->
+      check "last=1 keeps newest" true
+        (Snapshot.member "type" only = Some (Snapshot.String "damping_reuse"))
+    | _ -> Alcotest.fail "last=1 wrong" )
+
+let test_percentile () =
+  let xs = [ 1.; 2.; 3.; 4. ] in
+  check "p0 is min" true (Snapshot.percentile xs 0. = 1.);
+  check "p100 is max" true (Snapshot.percentile xs 1. = 4.);
+  check "p50 interpolates" true (Snapshot.percentile xs 0.5 = 2.5);
+  check "empty is nan" true (Float.is_nan (Snapshot.percentile [] 0.5));
+  check "singleton" true (Snapshot.percentile [ 7. ] 0.9 = 7.)
+
+(* ------------------------- end to end ------------------------- *)
+
+let test_speaker_instruments () =
+  let s =
+    Speaker.create
+      (Speaker.config ~asn:(Asn.of_int 64501)
+         ~addr:(Ipv4.of_string "10.0.0.1") ())
+  in
+  let ia =
+    Dbgp_core.Ia.originate
+      ~prefix:(Prefix.of_string "99.0.0.0/24")
+      ~origin_asn:(Asn.of_int 64501)
+      ~next_hop:(Ipv4.of_string "10.0.0.1")
+      ()
+  in
+  ignore (Speaker.originate ~now:2.5 s ia);
+  let count name =
+    match Metrics.find_counter (Speaker.metrics s) name with
+    | Some c -> Metrics.count c
+    | None -> 0
+  in
+  check_int "one decision run" 1 (count "decision.runs");
+  check_int "one change" 1 (count "decision.changes");
+  ( match Metrics.find_gauge (Speaker.metrics s) "decision.last_change_at" with
+    | Some g -> check "change time recorded" true (Metrics.value g = 2.5)
+    | None -> Alcotest.fail "gauge missing" );
+  check "decision_run traced" true
+    (List.exists
+       (fun (e : Trace.entry) ->
+         match e.Trace.event with
+         | Trace.Decision_run { asn = 64501; changed = true; _ } -> true
+         | _ -> false)
+       (Trace.entries (Speaker.trace s)))
+
+let test_network_snapshot () =
+  let o = E.Convergence.observe ~ases:30 ~recent_events:10 ~seed:7 () in
+  check "messages flowed" true (o.E.Convergence.messages > 0);
+  check "bytes counted" true (o.E.Convergence.announce_bytes > 0);
+  check "decisions ran" true
+    (o.E.Convergence.decision_runs >= o.E.Convergence.decision_changes);
+  check "changes happened" true (o.E.Convergence.decision_changes > 0);
+  check "percentiles ordered" true
+    (o.E.Convergence.p50 <= o.E.Convergence.p90
+    && o.E.Convergence.p90 <= o.E.Convergence.p99);
+  let s = o.E.Convergence.snapshot in
+  ( match Snapshot.member "network" s with
+    | Some net -> (
+      match Snapshot.member "counters" net with
+      | Some (Snapshot.Obj fields) ->
+        check "net.messages present" true (List.mem_assoc "net.messages" fields)
+      | _ -> Alcotest.fail "network counters missing" )
+    | None -> Alcotest.fail "network section missing" );
+  ( match Snapshot.member "convergence" s with
+    | Some c -> check "count positive" true
+        ( match Snapshot.member "count" c with
+          | Some (Snapshot.Int n) -> n > 0
+          | _ -> false )
+    | None -> Alcotest.fail "convergence section missing" );
+  ( match Snapshot.member "trace" s with
+    | Some tr -> (
+      match Snapshot.member "events" tr with
+      | Some (Snapshot.List es) ->
+        check "trace bounded" true (List.length es <= 10)
+      | _ -> Alcotest.fail "trace events missing" )
+    | None -> Alcotest.fail "trace section missing" )
+
+let test_session_instruments () =
+  let q = Dbgp_netsim.Event_queue.create () in
+  let cfg asn id : Dbgp_bgp.Fsm.config =
+    { Dbgp_bgp.Fsm.my_asn = Asn.of_int asn; my_id = Ipv4.of_string id;
+      hold_time = 90;
+      capabilities = [ Dbgp_bgp.Message.capability_dbgp ] }
+  in
+  let a, b =
+    Session.create q ~a:(cfg 64501 "10.0.0.1") ~b:(cfg 64502 "10.0.0.2") ()
+  in
+  Session.start a;
+  Session.start b;
+  ignore (Dbgp_netsim.Event_queue.run ~max_events:100 q);
+  check "established" true (Session.state a = Dbgp_bgp.Fsm.Established);
+  let count ep name =
+    match Metrics.find_counter (Session.metrics ep) name with
+    | Some c -> Metrics.count c
+    | None -> 0
+  in
+  check_int "one establishment" 1 (count a "fsm.established");
+  check "transitions counted" true (count a "fsm.transitions" >= 3);
+  let states =
+    List.filter_map
+      (fun (e : Trace.entry) ->
+        match e.Trace.event with
+        | Trace.Session_state { state; _ } -> Some state
+        | _ -> None)
+      (Trace.entries (Session.trace a))
+  in
+  check "climbed to Established" true
+    (List.exists (( = ) "Established") states);
+  ( match Metrics.histograms (Session.metrics a) with
+    | hs -> check "send bytes observed" true (List.mem_assoc "session.send_bytes" hs) )
+
+let () =
+  Alcotest.run "obs"
+    [ ("metrics",
+       [ Alcotest.test_case "counters" `Quick test_counters;
+         Alcotest.test_case "gauges" `Quick test_gauges;
+         Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
+         Alcotest.test_case "histogram observe/quantile" `Quick test_histogram_observe ]);
+      ("trace",
+       [ Alcotest.test_case "ring buffer" `Quick test_trace_ring;
+         Alcotest.test_case "labels" `Quick test_trace_labels ]);
+      ("snapshot",
+       [ Alcotest.test_case "json rendering" `Quick test_json_rendering;
+         Alcotest.test_case "of_metrics" `Quick test_snapshot_of_metrics;
+         Alcotest.test_case "of_trace" `Quick test_snapshot_of_trace;
+         Alcotest.test_case "percentile" `Quick test_percentile ]);
+      ("end-to-end",
+       [ Alcotest.test_case "speaker instruments" `Quick test_speaker_instruments;
+         Alcotest.test_case "network snapshot" `Quick test_network_snapshot;
+         Alcotest.test_case "session instruments" `Quick test_session_instruments ]) ]

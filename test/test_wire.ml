@@ -86,6 +86,72 @@ let test_errors () =
   check "varint overlong" true
     (truncated R.varint "\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff")
 
+(* Hardening: the 9th varint byte lands at shift 56, where OCaml's int
+   has only 6 value bits left — anything above 0x3F would wrap into the
+   sign bit and come back negative. *)
+let test_varint_overflow () =
+  let rejected s = try ignore (R.varint (R.of_string s)); false with R.Error _ -> true in
+  check_int "max_int roundtrips" max_int (roundtrip W.varint R.varint max_int);
+  check_int "0 roundtrips" 0 (roundtrip W.varint R.varint 0);
+  (* 8 continuation bytes of zero payload then 0x7F: 0x7F lsl 56 would be
+     negative. *)
+  check "9th byte 0x7f rejected" true
+    (rejected "\x80\x80\x80\x80\x80\x80\x80\x80\x7f");
+  check "9th byte 0xff rejected" true
+    (rejected "\xff\xff\xff\xff\xff\xff\xff\xff\xff\x00");
+  (* 0x40 is the first payload that no longer fits (max_int's top byte is
+     0x3F); 0x3F itself is the boundary and must decode. *)
+  check "9th byte 0x40 rejected" true
+    (rejected "\xff\xff\xff\xff\xff\xff\xff\xff\x40");
+  check_int "9th byte 0x3f accepted" max_int
+    (R.varint (R.of_string "\xff\xff\xff\xff\xff\xff\xff\xff\x3f"));
+  (* Non-canonical: a continuation byte followed by zero decodes to the
+     same value as the short form and must be rejected. *)
+  check "0x80 0x00 rejected" true (rejected "\x80\x00");
+  check "0xff 0x00 rejected" true (rejected "\xff\x00");
+  check "0x80 0x80 0x00 rejected" true (rejected "\x80\x80\x00")
+
+(* Hardening: stray bits inside the last prefix octet used to be silently
+   masked off by Prefix.make, so two different byte strings decoded to the
+   same prefix. *)
+let test_prefix_noncanonical () =
+  let rejected s = try ignore (R.prefix (R.of_string s)); false with R.Error _ -> true in
+  check "/4 with host bits" true (rejected "\x04\xff");
+  check "/30 with host bits" true (rejected "\x1e\x01\x02\x03\xff");
+  check "/8 with second octet" false (rejected "\x08\x0a");
+  check "/0 canonical" false (rejected "\x00");
+  check "canonical /4" true
+    (Prefix.equal (Prefix.of_string "240.0.0.0/4") (R.prefix (R.of_string "\x04\xf0")))
+
+(* Hardening: the list-count guard scales with the caller's minimum
+   element width, so a count that fits "1 byte each" no longer passes for
+   4-byte elements. *)
+let test_list_count_bombs () =
+  let rejected ?min_width f s =
+    try ignore (R.list ?min_width (R.of_string s) f); false with R.Error _ -> true
+  in
+  (* count 1000, empty payload *)
+  let bomb =
+    let w = W.create () in
+    W.varint w 1000;
+    W.contents w
+  in
+  check "u8 bomb" true (rejected R.u8 bomb);
+  check "u32 bomb" true (rejected ~min_width:4 R.u32 bomb);
+  (* count 3 with 3 bytes left: passes the default guard, not the 4-byte
+     one. *)
+  let tight =
+    let w = W.create () in
+    W.varint w 3;
+    W.bytes w "abc";
+    W.contents w
+  in
+  check "3 u8s fit" false (rejected R.u8 tight);
+  check "3 u32s cannot fit" true (rejected ~min_width:4 R.u32 tight);
+  Alcotest.check_raises "min_width 0"
+    (Invalid_argument "Reader.list: min_width must be positive") (fun () ->
+      ignore (R.list ~min_width:0 (R.of_string "\x00") R.u8))
+
 let test_reader_positions () =
   let r = R.of_string "abcdef" in
   check_int "pos 0" 0 (R.pos r);
@@ -149,6 +215,16 @@ let qcheck =
         | exception Invalid_argument _ -> true);
     Test.make ~name:"varint roundtrip" ~count:500 (int_bound max_int) (fun n ->
         roundtrip W.varint R.varint n = n);
+    Test.make ~name:"varint edge values roundtrip" ~count:100
+      (oneofl [ 0; 1; 127; 128; max_int - 1; max_int; 1 lsl 56; (1 lsl 56) - 1 ])
+      (fun n -> roundtrip W.varint R.varint n = n);
+    Test.make ~name:"prefix roundtrip (canonicalized)" ~count:300
+      (pair (int_bound 0xFFFF_FFFF) (int_bound 32))
+      (fun (addr, len) ->
+        (* Prefix.make masks host bits, so the written form is canonical
+           and must survive the reader's strictness. *)
+        let p = Prefix.make (Ipv4.of_int addr) len in
+        Prefix.equal p (roundtrip W.prefix R.prefix p));
     Test.make ~name:"delimited roundtrip" ~count:300 string (fun s ->
         roundtrip W.delimited R.delimited s = s);
     Test.make ~name:"u32 roundtrip" ~count:300 (int_bound 0xFFFF_FFFF) (fun n ->
@@ -181,4 +257,8 @@ let () =
        [ Alcotest.test_case "malformed input" `Quick test_errors;
          Alcotest.test_case "positions" `Quick test_reader_positions;
          Alcotest.test_case "reset" `Quick test_writer_reset ]);
+      ("hardening",
+       [ Alcotest.test_case "varint overflow" `Quick test_varint_overflow;
+         Alcotest.test_case "non-canonical prefix" `Quick test_prefix_noncanonical;
+         Alcotest.test_case "list-count bombs" `Quick test_list_count_bombs ]);
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck) ]
