@@ -241,6 +241,12 @@ let chaos_bench () =
     \  \"dropped\": %d,\n\
     \  \"stale_leaks\": %d,\n\
     \  \"forwarding_loops\": %d,\n\
+    \  \"corruption_injected\": %d,\n\
+    \  \"corruption_survived\": %d,\n\
+    \  \"errors_discard_attribute\": %d,\n\
+    \  \"errors_treat_as_withdraw\": %d,\n\
+    \  \"errors_session_reset\": %d,\n\
+    \  \"invariants_ok\": %b,\n\
     \  \"healthy\": %b,\n\
     \  \"session_pairs_restored\": %d,\n\
     \  \"session_retries\": %d\n\
@@ -253,10 +259,30 @@ let chaos_bench () =
     r.E.Chaos.final.Dbgp_netsim.Network.messages
     r.E.Chaos.final.Dbgp_netsim.Network.converged_at reconvergence_time
     message_overhead r.E.Chaos.dropped r.E.Chaos.stale_leaks
-    r.E.Chaos.forwarding_loops (E.Chaos.healthy r) s.E.Chaos.established
-    s.E.Chaos.retries;
+    r.E.Chaos.forwarding_loops r.E.Chaos.corrupted
+    r.E.Chaos.corruption_survived
+    (List.assoc "errors.discard_attribute" r.E.Chaos.error_verdicts)
+    (List.assoc "errors.treat_as_withdraw" r.E.Chaos.error_verdicts)
+    (List.assoc "errors.session_reset" r.E.Chaos.error_verdicts)
+    (E.Invariants.ok r.E.Chaos.invariants)
+    (E.Chaos.healthy r) s.E.Chaos.established s.E.Chaos.retries;
   close_out oc;
   Format.fprintf out "wrote BENCH_chaos.json@."
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz scenario: the seeded adversarial-input run, persisted as        *)
+(* BENCH_fuzz.json.  Every field except cases_per_sec is reproducible   *)
+(* from the seed.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_bench () =
+  rule "Fuzz: adversarial inputs through codec and speaker";
+  let r = E.Fuzz.run E.Fuzz.default in
+  Format.fprintf out "%a@." E.Fuzz.pp_report r;
+  let oc = open_out "BENCH_fuzz.json" in
+  output_string oc (Dbgp_obs.Snapshot.to_json_pretty (E.Fuzz.to_snapshot r));
+  close_out oc;
+  Format.fprintf out "wrote BENCH_fuzz.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Observability scenario: one converged dissemination read back out    *)
@@ -397,6 +423,7 @@ let () =
     (E.Empirical_overhead.run ());
   island_id_ablation ();
   chaos_bench ();
+  fuzz_bench ();
   obs_bench ();
   run_bechamel ();
   Format.fprintf out "total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

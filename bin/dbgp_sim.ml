@@ -204,8 +204,8 @@ let convergence () =
     (E.Convergence.session_reset ~payload_bytes:4096 ())
 
 let chaos ases seed loss flaps =
-  if loss < 0. || loss >= 1. then (
-    Format.eprintf "dbgp-sim: --loss must be in [0, 1)@.";
+  if loss < 0. || loss > 1. then (
+    Format.eprintf "dbgp-sim: --loss must be in [0, 1]@.";
     exit 2 );
   if flaps < 0 then (
     Format.eprintf "dbgp-sim: --flaps must be non-negative@.";
@@ -222,6 +222,23 @@ let chaos ases seed loss flaps =
   Format.fprintf out "healthy: %b@.@." (E.Chaos.healthy r);
   let s = E.Chaos.session_chaos ~seed () in
   Format.fprintf out "%a@." E.Chaos.pp_session_report s
+
+(* ---------- fuzz ---------- *)
+
+let fuzz cases seed json =
+  if cases < 1 then (
+    Format.eprintf "dbgp-sim: --cases must be positive@.";
+    exit 2 );
+  let r = E.Fuzz.run { E.Fuzz.seed; cases } in
+  Format.fprintf out "%a@." E.Fuzz.pp_report r;
+  ( match json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Dbgp_obs.Snapshot.to_json_pretty (E.Fuzz.to_snapshot r));
+      close_out oc;
+      Format.fprintf out "wrote %s@." path );
+  if r.E.Fuzz.escaped > 0 || r.E.Fuzz.roundtrip_failures > 0 then exit 1
 
 (* ---------- stats ---------- *)
 
@@ -317,6 +334,15 @@ let loss_arg =
 let flaps_arg =
   Arg.(value & opt int 4 & info [ "flaps" ] ~doc:"Scheduled link flaps")
 
+let cases_arg =
+  Arg.(value & opt int 10_000 & info [ "cases" ] ~doc:"Fuzz cases to run")
+
+let fuzz_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~doc:"Write the fuzz report as JSON to $(docv)" ~docv:"FILE")
+
 let stats_ases_arg =
   Arg.(value & opt int 200 & info [ "stats-ases" ] ~doc:"Stats topology size")
 
@@ -350,6 +376,12 @@ let cmds =
          ~doc:"Fault-injection run: lossy links, flaps, graceful restart")
       Term.(const chaos $ chaos_ases_arg $ seed_arg $ loss_arg $ flaps_arg);
     unit_cmd "empirical" "Empirical validation of the Table 3 model" empirical;
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:
+           "Seeded deterministic fuzzing of the IA codec and speaker \
+            pipeline (exit 1 if any exception escapes)")
+      Term.(const fuzz $ cases_arg $ seed_arg $ fuzz_json_arg);
     Cmd.v
       (Cmd.info "stats"
          ~doc:

@@ -49,29 +49,57 @@ let decode_proto r =
   | Some p -> p
   | None -> Protocol_id.register name
 
-let encode_pd w (d : Ia.path_descriptor) =
+(* Descriptors are individually length-framed (RFC 7606 style): a
+   malformed body can be skipped without losing sync with the rest of
+   the advertisement, which is what makes the Discard_attribute error
+   class expressible at all.  [framed]/[unframed] add and strip that
+   frame; a frame whose body does not consume it exactly is itself
+   malformed. *)
+let framed enc w x =
+  let inner = W.create ~capacity:64 () in
+  enc inner x;
+  W.delimited w (W.contents inner)
+
+let unframed name dec r =
+  let sub = R.of_string (R.delimited r) in
+  let v = dec sub in
+  if not (R.at_end sub) then
+    raise
+      (R.Error
+         (Printf.sprintf "%s: %d stray bytes inside frame" name
+            (R.remaining sub)));
+  v
+
+let encode_pd_body w (d : Ia.path_descriptor) =
   W.list w encode_proto d.owners;
   W.delimited w d.field;
   Value.encode w d.value
 
-let decode_pd r : Ia.path_descriptor =
+let decode_pd_body r : Ia.path_descriptor =
   let owners = R.list r decode_proto in
+  if owners = [] then raise (R.Error "path descriptor: empty owner set");
   let field = R.delimited r in
   let value = Value.decode r in
   { owners; field; value }
 
-let encode_id w (d : Ia.island_descriptor) =
+let encode_pd w d = framed encode_pd_body w d
+let decode_pd r = unframed "path descriptor" decode_pd_body r
+
+let encode_id_body w (d : Ia.island_descriptor) =
   encode_island w d.island;
   encode_proto w d.proto;
   W.delimited w d.ifield;
   Value.encode w d.ivalue
 
-let decode_id r : Ia.island_descriptor =
+let decode_id_body r : Ia.island_descriptor =
   let island = decode_island r in
   let proto = decode_proto r in
   let ifield = R.delimited r in
   let ivalue = Value.decode r in
   { island; proto; ifield; ivalue }
+
+let encode_id w d = framed encode_id_body w d
+let decode_id r = unframed "island descriptor" decode_id_body r
 
 let encode_membership w (i, members) =
   encode_island w i;
@@ -94,15 +122,89 @@ let encode (ia : Ia.t) =
 (* Minimum encoded sizes, used to bound hostile list counts before
    allocation: an element tag plus its smallest body (path elem: tag +
    island tag + empty name; membership: island + empty member list;
-   path descriptor: empty owners + empty field + value; island
-   descriptor: island + proto + field + value). *)
+   framed descriptors: length byte + the smallest well-formed body). *)
+let pd_min_width = 5
+let id_min_width = 6
+
+exception Fatal of Errors.t
+
+let decode_robust s : (Ia.t * Errors.t list, Errors.t) result =
+  let discards = ref [] in
+  let r = R.of_string s in
+  let guard stage f =
+    try f ()
+    with R.Error m ->
+      raise (Fatal (Errors.make Errors.Treat_as_withdraw stage m))
+  in
+  (* Salvaging list decode: the count and every frame must parse (losing
+     them loses sync with the rest of the message), but a malformed body
+     inside an intact frame is discarded alone and decoding continues. *)
+  let salvage stage ~min_width body =
+    guard stage (fun () ->
+        let n = R.varint r in
+        if n > R.remaining r / min_width then
+          raise
+            (R.Error
+               (Printf.sprintf "list: count %d exceeds buffer (%d bytes)" n
+                  (R.remaining r)));
+        List.filter_map Fun.id
+          (List.init n (fun _ ->
+               let blob = R.delimited r in
+               match
+                 let sub = R.of_string blob in
+                 let v = body sub in
+                 if R.at_end sub then v
+                 else raise (R.Error "stray bytes inside frame")
+               with
+               | v -> Some v
+               | exception R.Error m ->
+                 discards :=
+                   Errors.make Errors.Discard_attribute stage m :: !discards;
+                 None)))
+  in
+  try
+    let prefix =
+      try R.prefix r
+      with R.Error m ->
+        raise (Fatal (Errors.make Errors.Session_reset Errors.Framing m))
+    in
+    let path_vector =
+      guard Errors.Path_vector (fun () -> R.list ~min_width:2 r decode_elem)
+    in
+    let membership =
+      guard Errors.Membership (fun () ->
+          R.list ~min_width:3 r decode_membership)
+    in
+    let path_descriptors =
+      salvage Errors.Path_descriptor ~min_width:pd_min_width decode_pd_body
+    in
+    let island_descriptors =
+      salvage Errors.Island_descriptor ~min_width:id_min_width decode_id_body
+    in
+    if not (R.at_end r) then
+      raise
+        (Fatal
+           (Errors.make Errors.Treat_as_withdraw Errors.Framing
+              (Printf.sprintf "%d trailing bytes after advertisement"
+                 (R.remaining r))));
+    Ok
+      ( { Ia.prefix; path_vector; membership; path_descriptors;
+          island_descriptors },
+        List.rev !discards )
+  with Fatal e -> Error e
+
 let decode s : Ia.t =
   let r = R.of_string s in
   let prefix = R.prefix r in
   let path_vector = R.list ~min_width:2 r decode_elem in
   let membership = R.list ~min_width:3 r decode_membership in
-  let path_descriptors = R.list ~min_width:4 r decode_pd in
-  let island_descriptors = R.list ~min_width:6 r decode_id in
+  let path_descriptors = R.list ~min_width:pd_min_width r decode_pd in
+  let island_descriptors = R.list ~min_width:id_min_width r decode_id in
+  if not (R.at_end r) then
+    raise
+      (R.Error
+         (Printf.sprintf "%d trailing bytes after advertisement"
+            (R.remaining r)));
   { prefix; path_vector; membership; path_descriptors; island_descriptors }
 
 let size ia = String.length (encode ia)

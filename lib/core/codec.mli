@@ -6,8 +6,24 @@
     fixes nearly free to carry (the "+ Sharing" row of Table 3). *)
 
 val encode : Ia.t -> string
+(** Path and island descriptors are individually length-framed, so a
+    decoder can skip a malformed descriptor without losing sync with the
+    rest of the advertisement (the RFC 7606 [Discard_attribute] path). *)
+
 val decode : string -> Ia.t
-(** @raise Dbgp_wire.Reader.Error on malformed input. *)
+(** Strict decode: any malformation — including a malformed descriptor
+    body or trailing bytes — raises.
+    @raise Dbgp_wire.Reader.Error on malformed input. *)
+
+val decode_robust : string -> (Ia.t * Errors.t list, Errors.t) result
+(** RFC 7606-style salvaging decode.  [Ok (ia, discarded)] when the
+    route survives: [discarded] lists the individually-framed
+    descriptors that were malformed and dropped ([Discard_attribute]
+    errors, possibly none).  [Error e] when it does not: [e.cls] is
+    [Treat_as_withdraw] when the prefix decoded but the structure around
+    it (path vector, membership, list framing, trailing bytes) did not,
+    and [Session_reset] when even the prefix is unrecoverable.  Never
+    raises. *)
 
 val size : Ia.t -> int
 (** Exact encoded size in bytes. *)

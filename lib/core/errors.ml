@@ -1,0 +1,39 @@
+type cls =
+  | Discard_attribute
+  | Treat_as_withdraw
+  | Session_reset
+
+let cls_name = function
+  | Discard_attribute -> "discard_attribute"
+  | Treat_as_withdraw -> "treat_as_withdraw"
+  | Session_reset -> "session_reset"
+
+let counter_name c = "errors." ^ cls_name c
+
+type stage =
+  | Framing
+  | Path_vector
+  | Membership
+  | Path_descriptor
+  | Island_descriptor
+  | Semantic
+  | Pipeline
+
+let stage_name = function
+  | Framing -> "framing"
+  | Path_vector -> "path-vector"
+  | Membership -> "membership"
+  | Path_descriptor -> "path-descriptor"
+  | Island_descriptor -> "island-descriptor"
+  | Semantic -> "semantic"
+  | Pipeline -> "pipeline"
+
+type t = { cls : cls; stage : stage; reason : string }
+
+let make cls stage reason = { cls; stage; reason }
+
+let pp ppf t =
+  Format.fprintf ppf "%s at %s: %s" (cls_name t.cls) (stage_name t.stage)
+    t.reason
+
+let all_classes = [ Discard_attribute; Treat_as_withdraw; Session_reset ]

@@ -1,0 +1,58 @@
+(** RFC 7606-style error handling for integrated advertisements.
+
+    Pass-through widens the accident surface: a speaker carries bytes for
+    protocols it does not understand, so a single corrupted advertisement
+    would — under all-or-nothing decoding — either crash the pipeline or
+    propagate island-wide.  Following RFC 7606 ("Revised Error Handling
+    for BGP UPDATE Messages"), every decode or semantic failure is
+    classified by the least destructive action that is still safe:
+
+    - {!Discard_attribute}: one path or island descriptor is malformed
+      but individually framed, so it can be dropped while the route (and
+      every other descriptor) survives;
+    - {!Treat_as_withdraw}: the route's identity (prefix) decoded but
+      something structural — path vector, membership, framing of a
+      descriptor list, a missing mandatory attribute — did not, so the
+      only safe interpretation is that the peer no longer has this route;
+    - {!Session_reset}: the damage reaches the message framing itself
+      (the prefix cannot even be recovered); in classic BGP this tears
+      the session down, here the speaker records the verdict and drops
+      the bytes. *)
+
+type cls =
+  | Discard_attribute
+  | Treat_as_withdraw
+  | Session_reset
+
+val cls_name : cls -> string
+(** ["discard_attribute"], ["treat_as_withdraw"], ["session_reset"] —
+    stable labels used in metric names and trace events. *)
+
+val counter_name : cls -> string
+(** The per-speaker counter charged for the class:
+    ["errors." ^ cls_name]. *)
+
+(** Where in the advertisement the failure was detected. *)
+type stage =
+  | Framing             (** prefix / top-level structure unrecoverable *)
+  | Path_vector
+  | Membership
+  | Path_descriptor
+  | Island_descriptor
+  | Semantic            (** decoded fine but violates an IA invariant *)
+  | Pipeline            (** an exception escaped the processing pipeline *)
+
+val stage_name : stage -> string
+
+type t = {
+  cls : cls;
+  stage : stage;
+  reason : string;  (** human-readable detail, e.g. the codec message *)
+}
+
+val make : cls -> stage -> string -> t
+val pp : Format.formatter -> t -> unit
+
+val all_classes : cls list
+(** Every class, in severity order — for exhaustive metric registration
+    and outcome histograms. *)

@@ -461,7 +461,7 @@ let originate ?(now = 0.) t (ia : Ia.t) =
   t.local <- Prefix.Map.add ia.Ia.prefix ia t.local;
   process t ~now ia.Ia.prefix
 
-let receive ?(now = 0.) t ~from msg =
+let receive_msg t ~now ~from msg =
   match msg with
   | Withdraw prefix ->
     bump t "withdrawals.received";
@@ -493,15 +493,101 @@ let receive ?(now = 0.) t ~from msg =
         process t ~now ia.Ia.prefix
       end
       else []
-    | Some ia ->
-      ( match Ia_db.find t.db ~peer:from ia.Ia.prefix with
-        | Some prev when not (Ia.equal prev ia) ->
-          (* Re-advertisement with changed attributes is a flap too. *)
-          note_flap t ~now from ia.Ia.prefix (attr_change_penalty t)
-        | _ -> () );
-      Ia_db.store t.db ~peer:from ia;
-      clear_stale t from ia.Ia.prefix;
-      process t ~now ia.Ia.prefix )
+    | Some ia -> (
+      match Ia_db.find t.db ~peer:from ia.Ia.prefix with
+      | Some prev when Ia.equal prev ia ->
+        (* Duplicate delivery (session retransmit, route refresh): the
+           stored route is byte-identical, so re-running the decision
+           process or charging a flap penalty would amplify the
+           duplicate.  Refreshing the stale mark is the only effect. *)
+        bump t "updates.duplicate";
+        clear_stale t from ia.Ia.prefix;
+        []
+      | prev ->
+        ( match prev with
+          | Some _ ->
+            (* Re-advertisement with changed attributes is a flap too. *)
+            note_flap t ~now from ia.Ia.prefix (attr_change_penalty t)
+          | None -> () );
+        Ia_db.store t.db ~peer:from ia;
+        clear_stale t from ia.Ia.prefix;
+        process t ~now ia.Ia.prefix ) )
+
+(* The pipeline must never let an exception escape back into the session
+   layer: a malformed or adversarial message can at worst damage its own
+   route (RFC 7606's least-destructive-action principle), not tear down
+   the speaker.  Anything a filter, decision module or factory throws is
+   absorbed here and accounted as an internal error. *)
+let receive ?(now = 0.) t ~from msg =
+  try receive_msg t ~now ~from msg
+  with exn ->
+    bump t "errors.internal";
+    Trace.emit t.trace ~at:now
+      (Trace.Rx_error
+         { asn = my_asn t;
+           peer = Asn.to_int from.Peer.asn;
+           cls = "internal";
+           stage = Errors.stage_name Errors.Pipeline;
+           reason = Printexc.to_string exn });
+    []
+
+(* ---------------- wire-level receive (RFC 7606 ladder) ---------------- *)
+
+type rx_outcome =
+  | Rx_accepted of int
+  | Rx_filtered
+  | Rx_withdrawn
+  | Rx_session_error
+
+let record_error t ~now ~from (e : Errors.t) =
+  bump t (Errors.counter_name e.Errors.cls);
+  Trace.emit t.trace ~at:now
+    (Trace.Rx_error
+       { asn = my_asn t;
+         peer = Asn.to_int from.Peer.asn;
+         cls = Errors.cls_name e.Errors.cls;
+         stage = Errors.stage_name e.Errors.stage;
+         reason = e.Errors.reason })
+
+let treat_as_withdraw t ~now ~from prefix e =
+  record_error t ~now ~from e;
+  (* Withdrawing through [receive] (not [Ia_db.remove] directly) keeps
+     the resilience semantics: the peer's stale mark clears and, if a
+     route existed, the damping penalty clock starts — a corrupted
+     flap is still a flap. *)
+  (Rx_withdrawn, receive ~now t ~from (Withdraw prefix))
+
+let receive_wire ?(now = 0.) t ~from bytes =
+  match Codec.decode_robust bytes with
+  | Error e when e.Errors.cls = Errors.Session_reset ->
+    record_error t ~now ~from e;
+    (Rx_session_error, [])
+  | Error e -> (
+    (* Any non-reset verdict means the prefix itself decoded (only an
+       unreadable prefix escalates to Session_reset), so we can re-read
+       it and scope the damage to that one route. *)
+    match Dbgp_wire.Reader.prefix (Dbgp_wire.Reader.of_string bytes) with
+    | prefix -> treat_as_withdraw t ~now ~from prefix e
+    | exception _ ->
+      record_error t ~now ~from
+        { e with Errors.cls = Errors.Session_reset };
+      (Rx_session_error, []) )
+  | Ok (ia, discarded) ->
+    List.iter (record_error t ~now ~from) discarded;
+    if Ia.next_hop ia = None then
+      (* Structurally valid but semantically unusable: without a BGP
+         next hop the route cannot enter the FIB.  RFC 7606 maps this
+         to treat-as-withdraw, not discard. *)
+      treat_as_withdraw t ~now ~from ia.Ia.prefix
+        (Errors.make Errors.Treat_as_withdraw Errors.Semantic
+           "missing BGP next-hop descriptor")
+    else begin
+      let rejected_before = Metrics.count (Metrics.counter t.obs "import.rejected") in
+      let out = receive ~now t ~from (Announce ia) in
+      if Metrics.count (Metrics.counter t.obs "import.rejected") > rejected_before
+      then (Rx_filtered, out)
+      else (Rx_accepted (List.length discarded), out)
+    end
 
 let peer_down ?(now = 0.) t peer =
   let affected = Ia_db.drop_peer t.db ~peer in

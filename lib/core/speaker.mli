@@ -91,7 +91,42 @@ val originate : ?now:float -> t -> Ia.t -> (Peer.t * msg) list
     [now] is the simulation clock, used only by flap damping. *)
 
 val receive : ?now:float -> t -> from:Peer.t -> msg -> (Peer.t * msg) list
+(** Never raises: an exception thrown anywhere in the pipeline (a filter,
+    a decision module, the factory) is absorbed, counted as
+    [errors.internal] and traced, and the message is dropped — a hostile
+    update cannot tear down the speaker.  Byte-identical duplicate
+    announcements are absorbed without re-running the decision process
+    (counted as [updates.duplicate]). *)
+
 val peer_down : ?now:float -> t -> Peer.t -> (Peer.t * msg) list
+
+(** {1 Wire-level receive: RFC 7606-style error handling}
+
+    {!receive_wire} is the adversarial-input entry point: it decodes raw
+    bytes with {!Codec.decode_robust} and applies the revised-error-handling
+    severity ladder — malformed descriptors are discarded individually,
+    structural damage around a readable prefix becomes a withdrawal of
+    that one route, and only an unreadable prefix is surfaced as a
+    session-level error (the session layer decides whether to reset). *)
+
+type rx_outcome =
+  | Rx_accepted of int
+      (** Route accepted; the int counts descriptors individually
+          discarded as malformed ([Discard_attribute], usually 0). *)
+  | Rx_filtered     (** Decoded fine but rejected by import policy. *)
+  | Rx_withdrawn
+      (** Treat-as-withdraw: the prefix was readable but the rest was
+          not trustworthy, so any previous route from this peer for it
+          was withdrawn (starting the damping penalty clock). *)
+  | Rx_session_error
+      (** Framing damage before the prefix; nothing could be salvaged. *)
+
+val receive_wire :
+  ?now:float -> t -> from:Peer.t -> string -> rx_outcome * (Peer.t * msg) list
+(** Feed one encoded announcement through the full pipeline.  Never
+    raises; every error verdict is counted ([errors.discard_attribute],
+    [errors.treat_as_withdraw], [errors.session_reset]) and traced as an
+    [rx_error] event. *)
 
 (** {1 Resilience: graceful restart (RFC 4724) and flap damping (RFC 2439)} *)
 
@@ -158,11 +193,13 @@ val ia_db_size : t -> int
 
 val metrics : t -> Dbgp_obs.Metrics.t
 (** The speaker's own metrics registry.  Counters: [decision.runs],
-    [decision.changes], [updates.received], [withdrawals.received],
-    [import.rejected], [damping.suppressed], [damping.reused],
-    [restart.stale_marked], [restart.flushed].  Gauge:
-    [decision.last_change_at] (simulation time of the last best-path
-    change). *)
+    [decision.changes], [updates.received], [updates.duplicate],
+    [withdrawals.received], [import.rejected], [damping.suppressed],
+    [damping.reused], [restart.stale_marked], [restart.flushed], and the
+    error-class counters [errors.discard_attribute],
+    [errors.treat_as_withdraw], [errors.session_reset],
+    [errors.internal].  Gauge: [decision.last_change_at] (simulation
+    time of the last best-path change). *)
 
 val trace : t -> Dbgp_obs.Trace.t
 (** The speaker's event trace (decision runs, damping and restart

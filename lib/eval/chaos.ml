@@ -22,6 +22,9 @@ type config = {
   seed : int;
   ases : int;
   loss : float;            (* per-message loss probability during chaos *)
+  corruption : float;      (* per-message wire-corruption probability *)
+  duplicate : float;       (* per-message duplicate-delivery probability *)
+  reorder : float;         (* per-message reorder (extra-delay) probability *)
   latency_jitter : float;  (* max extra per-message latency, seconds *)
   flaps : int;             (* scheduled link flaps *)
   flap_start : float;      (* chaos-phase offset of the first flap *)
@@ -36,6 +39,9 @@ let default =
   { seed = 42;
     ases = 60;
     loss = 0.05;
+    corruption = 0.02;
+    duplicate = 0.02;
+    reorder = 0.05;
     latency_jitter = 0.3;
     flaps = 4;
     flap_start = 50.;
@@ -60,6 +66,11 @@ type report = {
   stale_leaks : int;           (* stale routes surviving past all windows *)
   forwarding_loops : int;      (* ASes whose data-plane walk cycles *)
   sessions_restored : bool;    (* all flapped links are back up *)
+  corrupted : int;             (* wire corruptions injected *)
+  corruption_survived : int;   (* corrupted messages the codec absorbed *)
+  error_verdicts : (string * int) list;
+  (* RFC 7606 error-class counters summed across speakers, by class name *)
+  invariants : Invariants.report;  (* post-chaos safety-invariant check *)
   convergence_p50 : float;     (* per-speaker last-change-time percentiles *)
   convergence_p90 : float;
   convergence_p99 : float;
@@ -148,6 +159,9 @@ let run cfg =
   let fault = Fault_model.create ~seed:(cfg.seed + 1) () in
   Fault_model.set_loss ~from:now ~until:last_up fault cfg.loss;
   Fault_model.set_jitter fault cfg.latency_jitter;
+  Fault_model.set_corruption fault cfg.corruption;
+  Fault_model.set_duplicate fault cfg.duplicate;
+  Fault_model.set_reorder fault cfg.reorder;
   Network.set_fault_model net fault;
   List.iteri
     (fun i (a, b) ->
@@ -155,6 +169,14 @@ let run cfg =
       Network.schedule_flap net ~down_at ~up_at:(down_at +. cfg.down_time)
         (Asn.of_int a) (Asn.of_int b))
     flapped;
+  (* Mid-chaos refresh: flap recovery alone produces a withdrawal-heavy
+     phase, so push a full re-advertisement wave through the still-live
+     fault window — that is where wire corruption, duplicate delivery and
+     reordering meet real announce traffic.  Any treat-as-withdraw
+     casualties are repaired by the post-window sweep below. *)
+  Event_queue.schedule_at (Network.queue net)
+    ~time:(now +. (cfg.flap_start /. 2.))
+    (fun () -> Network.refresh_all net);
   (* Recovery sweep once the loss window has closed: lossy delivery can
      leave adj-out and adj-in views divergent, exactly what a BGP route
      refresh repairs. *)
@@ -176,6 +198,26 @@ let run cfg =
       float_of_int (final.Network.messages - initial.Network.messages)
       /. float_of_int flaps
   in
+  let invariants = Invariants.check ~prefix ~dest net in
+  let net_counter name =
+    match Dbgp_obs.Metrics.find_counter (Network.metrics net) name with
+    | Some c -> Dbgp_obs.Metrics.count c
+    | None -> 0
+  in
+  let error_verdicts =
+    List.map
+      (fun cls ->
+        let name = Dbgp_core.Errors.counter_name cls in
+        (name, Network.counter_total net name))
+      Dbgp_core.Errors.all_classes
+  in
+  let obs =
+    match Network.snapshot ~recent_events:20 net with
+    | Dbgp_obs.Snapshot.Obj fields ->
+      Dbgp_obs.Snapshot.Obj
+        (fields @ [ ("invariants", Invariants.to_snapshot invariants) ])
+    | other -> other
+  in
   { config = cfg;
     initial;
     final;
@@ -195,11 +237,15 @@ let run cfg =
     convergence_p90 = pct 0.9;
     convergence_p99 = pct 0.99;
     churn_per_flap;
-    obs = Network.snapshot ~recent_events:20 net }
+    corrupted = net_counter "net.corruption.injected";
+    corruption_survived = net_counter "net.corruption.survived";
+    error_verdicts;
+    invariants;
+    obs }
 
 let healthy r =
   r.reconverged && r.stale_leaks = 0 && r.forwarding_loops = 0
-  && r.sessions_restored
+  && r.sessions_restored && Invariants.ok r.invariants
 
 (* Session-level chaos: point-to-point FSM sessions with auto-reconnect,
    repeatedly losing their transport.  With retry configured every pair
@@ -264,12 +310,17 @@ let pp_report ppf r =
      final:   %d msgs, %d dropped, quiet t=%.1f@,\
      reconverged=%b unreachable=%d (baseline %d) stale=%d loops=%d \
      restored=%b@,\
+     corruption: %d injected, %d survived; verdicts:%a@,\
+     %a@,\
      convergence p50=%.1f p90=%.1f p99=%.1f; churn %.1f msgs/flap@]"
     r.config.seed r.config.ases r.config.loss (List.length r.flapped)
     r.initial.Network.messages r.initial.Network.converged_at
     r.final.Network.messages r.dropped r.final.Network.converged_at
     r.reconverged r.unreachable r.baseline_unreachable r.stale_leaks
-    r.forwarding_loops r.sessions_restored
+    r.forwarding_loops r.sessions_restored r.corrupted r.corruption_survived
+    (fun ppf vs ->
+      List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) vs)
+    r.error_verdicts Invariants.pp r.invariants
     r.convergence_p50 r.convergence_p90 r.convergence_p99 r.churn_per_flap
 
 let pp_session_report ppf r =

@@ -9,6 +9,9 @@ type config = {
   seed : int;
   ases : int;
   loss : float;            (** per-message loss probability during chaos *)
+  corruption : float;      (** per-message wire-corruption probability *)
+  duplicate : float;       (** per-message duplicate-delivery probability *)
+  reorder : float;         (** per-message reorder (extra-delay) probability *)
   latency_jitter : float;  (** max extra per-message latency, seconds *)
   flaps : int;             (** scheduled link flaps *)
   flap_start : float;      (** chaos-phase offset of the first flap *)
@@ -33,6 +36,13 @@ type report = {
   stale_leaks : int;           (** stale routes surviving past all windows *)
   forwarding_loops : int;      (** ASes whose data-plane walk cycles *)
   sessions_restored : bool;    (** all flapped links are back up *)
+  corrupted : int;             (** wire corruptions injected *)
+  corruption_survived : int;   (** corrupted messages the codec absorbed *)
+  error_verdicts : (string * int) list;
+  (** RFC 7606 error-class counters summed across speakers, by counter
+      name ([errors.discard_attribute], [errors.treat_as_withdraw],
+      [errors.session_reset]) *)
+  invariants : Invariants.report;  (** post-chaos safety-invariant check *)
   convergence_p50 : float;     (** per-speaker last-change-time percentiles *)
   convergence_p90 : float;
   convergence_p99 : float;
@@ -43,7 +53,8 @@ type report = {
 val run : config -> report
 
 val healthy : report -> bool
-(** Reconverged, no stale leaks, loop-free, all flapped links restored. *)
+(** Reconverged, no stale leaks, loop-free, all flapped links restored,
+    and every post-chaos safety invariant holds ({!Invariants.ok}). *)
 
 type session_report = {
   pairs : int;

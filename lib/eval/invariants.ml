@@ -1,0 +1,128 @@
+open Dbgp_types
+module Speaker = Dbgp_core.Speaker
+module Ia = Dbgp_core.Ia
+module Value = Dbgp_core.Value
+module Network = Dbgp_netsim.Network
+module Snapshot = Dbgp_obs.Snapshot
+
+type violation =
+  | Forwarding_loop of int
+  | Route_via_down_link of int * int
+  | Rib_fib_mismatch of int
+  | Passthrough_mutated of int
+  | Stale_leak of int * int
+
+type report = {
+  speakers : int;
+  with_route : int;
+  violations : violation list;
+}
+
+(* Follow FIB next hops from [asn] toward [dest]; a revisited AS means a
+   forwarding loop. *)
+let walk_loops net ~dest asn =
+  let rec go seen a =
+    if List.mem a seen then true
+    else
+      match Speaker.next_hop_of (Network.speaker net a) dest with
+      | None -> false
+      | Some nh ->
+        ( match Network.asn_of_addr net nh with
+          | None -> false
+          | Some next -> go (a :: seen) next )
+  in
+  go [] asn
+
+let check ?expect_descriptor ~prefix ~dest net =
+  let violations = ref [] in
+  let flag v = violations := v :: !violations in
+  let asns = Network.asns net in
+  let with_route = ref 0 in
+  List.iter
+    (fun a ->
+      let s = Network.speaker net a in
+      let ai = Asn.to_int a in
+      if walk_loops net ~dest a then flag (Forwarding_loop ai);
+      let leaked = Speaker.stale_count s in
+      if leaked > 0 then flag (Stale_leak (ai, leaked));
+      match Speaker.best s prefix with
+      | None -> ()
+      | Some chosen ->
+        incr with_route;
+        let from_peer =
+          chosen.Speaker.candidate.Dbgp_core.Decision_module.from_peer
+        in
+        ( match from_peer with
+          | None ->
+            (* Locally originated: nothing to forward through, and the
+               descriptor is the origin's own by construction. *)
+            ()
+          | Some p ->
+            ( match Network.asn_of_addr net p.Dbgp_core.Peer.addr with
+              | Some peer_asn when not (Network.link_up net a peer_asn) ->
+                flag (Route_via_down_link (ai, Asn.to_int peer_asn))
+              | _ -> () );
+            (* The FIB must forward exactly where the RIB decided. *)
+            ( match Speaker.next_hop_of s dest with
+              | Some nh when Ipv4.equal nh p.Dbgp_core.Peer.addr -> ()
+              | _ -> flag (Rib_fib_mismatch ai) );
+            ( match expect_descriptor with
+              | None -> ()
+              | Some (proto, field, value) ->
+                let ia = chosen.Speaker.candidate.Dbgp_core.Decision_module.ia in
+                ( match Ia.find_path_descriptor ~proto ~field ia with
+                  | Some v when Value.equal v value -> ()
+                  | _ -> flag (Passthrough_mutated ai) ) ) ))
+    asns;
+  { speakers = List.length asns;
+    with_route = !with_route;
+    violations = List.rev !violations }
+
+let ok r = r.violations = []
+
+let kind_name = function
+  | Forwarding_loop _ -> "forwarding_loop"
+  | Route_via_down_link _ -> "route_via_down_link"
+  | Rib_fib_mismatch _ -> "rib_fib_mismatch"
+  | Passthrough_mutated _ -> "passthrough_mutated"
+  | Stale_leak _ -> "stale_leak"
+
+let all_kinds =
+  [ "forwarding_loop"; "route_via_down_link"; "rib_fib_mismatch";
+    "passthrough_mutated"; "stale_leak" ]
+
+let pp_violation ppf = function
+  | Forwarding_loop a -> Format.fprintf ppf "forwarding loop at AS%d" a
+  | Route_via_down_link (a, p) ->
+    Format.fprintf ppf "AS%d routes via down link to AS%d" a p
+  | Rib_fib_mismatch a -> Format.fprintf ppf "RIB/FIB mismatch at AS%d" a
+  | Passthrough_mutated a ->
+    Format.fprintf ppf "pass-through descriptor mutated at AS%d" a
+  | Stale_leak (a, n) ->
+    Format.fprintf ppf "%d stale routes leaked at AS%d" n a
+
+let pp ppf r =
+  if ok r then
+    Format.fprintf ppf "invariants: ok (%d speakers, %d with route)"
+      r.speakers r.with_route
+  else
+    Format.fprintf ppf "@[<v>invariants: %d violations:@,%a@]"
+      (List.length r.violations)
+      (Format.pp_print_list pp_violation)
+      r.violations
+
+let to_snapshot r =
+  let count k =
+    List.length (List.filter (fun v -> kind_name v = k) r.violations)
+  in
+  Snapshot.Obj
+    [ ("speakers", Snapshot.Int r.speakers);
+      ("with_route", Snapshot.Int r.with_route);
+      ("ok", Snapshot.Bool (ok r));
+      ( "violations",
+        Snapshot.Obj (List.map (fun k -> (k, Snapshot.Int (count k))) all_kinds) );
+      ( "detail",
+        Snapshot.List
+          (List.map
+             (fun v -> Snapshot.String (Format.asprintf "%a" pp_violation v))
+             r.violations) ) ]

@@ -1,0 +1,55 @@
+(** Post-chaos safety invariants.
+
+    After a fault schedule has run to quiescence, the surviving routing
+    state must still be {e safe}, whatever the faults did to liveness:
+
+    - the data plane is loop-free (following FIB next hops toward the
+      destination never revisits an AS);
+    - no best route points at a peer whose link is down — a cut link can
+      cost reachability, never a route through the cut;
+    - the RIB's chosen best path and the FIB agree on the next hop;
+    - no stale (graceful-restart retained) route outlives every restart
+      window;
+    - pass-through control information survives verbatim: a descriptor
+      of a protocol no transit AS understands must arrive byte-identical
+      at every AS that selected the route (Section 3.2's core promise,
+      which corruption + salvage must not silently break).
+
+    The checker is read-only and runs over a quiesced {!Dbgp_netsim.Network}. *)
+
+type violation =
+  | Forwarding_loop of int
+      (** This AS's data-plane walk toward the destination cycles. *)
+  | Route_via_down_link of int * int
+      (** (asn, peer): the best route points at a peer whose link is down. *)
+  | Rib_fib_mismatch of int
+      (** The FIB next hop disagrees with the RIB's chosen best path. *)
+  | Passthrough_mutated of int
+      (** The expected pass-through descriptor is missing or altered. *)
+  | Stale_leak of int * int
+      (** (asn, routes): stale routes survived past every restart window. *)
+
+type report = {
+  speakers : int;           (** speakers examined *)
+  with_route : int;         (** speakers holding a best route for the prefix *)
+  violations : violation list;
+}
+
+val check :
+  ?expect_descriptor:Dbgp_types.Protocol_id.t * string * Dbgp_core.Value.t ->
+  prefix:Dbgp_types.Prefix.t ->
+  dest:Dbgp_types.Ipv4.t ->
+  Dbgp_netsim.Network.t ->
+  report
+(** [expect_descriptor (proto, field, value)] enables the pass-through
+    check: every speaker whose best route for [prefix] came from a peer
+    must carry that exact descriptor value. *)
+
+val ok : report -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp : Format.formatter -> report -> unit
+
+val to_snapshot : report -> Dbgp_obs.Snapshot.t
+(** JSON-ready: speaker counts, per-kind violation counters, and the
+    violation list rendered as strings. *)

@@ -1,76 +1,171 @@
 (* Fault injection for the simulated control plane.
 
    A fault model owns a seeded PRNG and decides, per message, whether the
-   message is lost and how much latency jitter it picks up.  Loss can be
-   confined to a time window ([from]/[until]) so experiments can run a
-   lossy chaos phase and still assert clean reconvergence afterwards.
-   Per-link overrides shadow the global defaults.
+   message is lost, corrupted in flight, delivered twice, or delayed out
+   of order, and how much latency jitter it picks up.  All fault types
+   share one time window ([from]/[until]) so experiments can run a chaos
+   phase and still assert clean reconvergence afterwards.  Per-link
+   overrides shadow the global defaults.
 
    Determinism: all randomness comes from the seeded PRNG, drawn in event
    order, so the same seed and schedule reproduce the same run. *)
 
 open Dbgp_types
 
-type link_params = { loss : float; jitter : float }
+type link_params = {
+  loss : float;
+  jitter : float;
+  corrupt : float;
+  duplicate : float;
+  reorder : float;
+}
+
+let no_faults = { loss = 0.; jitter = 0.; corrupt = 0.; duplicate = 0.; reorder = 0. }
 
 type t = {
   rng : Prng.t;
-  mutable loss : float;          (* default per-message loss probability *)
-  mutable jitter : float;        (* default max added latency, seconds *)
-  mutable loss_from : float;     (* loss applies while from <= now < until *)
-  mutable loss_until : float;
+  mutable defaults : link_params;
+  mutable from : float;          (* faults apply while from <= now < until *)
+  mutable until : float;
+  mutable reorder_window : float; (* max extra delay for a reordered message *)
   per_link : (int * int, link_params) Hashtbl.t;  (* undirected, a < b *)
   mutable dropped : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable reordered : int;
 }
 
 let create ~seed () =
   { rng = Prng.create seed;
-    loss = 0.;
-    jitter = 0.;
-    loss_from = 0.;
-    loss_until = infinity;
+    defaults = no_faults;
+    from = 0.;
+    until = infinity;
+    reorder_window = 0.5;
     per_link = Hashtbl.create 16;
-    dropped = 0 }
+    dropped = 0;
+    corrupted = 0;
+    duplicated = 0;
+    reordered = 0 }
 
 let key a b = if a < b then (a, b) else (b, a)
 
+(* Probabilities live in the closed interval: 1.0 is a legitimate setting
+   (a blackholed or fully-corrupting link), only values outside [0, 1]
+   are configuration errors. *)
+let check_p name p =
+  if p < 0. || p > 1. then
+    invalid_arg (name ^ ": probability must be in [0, 1]")
+
+let set_window t ~from ~until =
+  t.from <- from;
+  t.until <- until
+
 let set_loss ?(from = 0.) ?(until = infinity) t p =
-  if p < 0. || p >= 1. then
-    invalid_arg "Fault_model.set_loss: probability must be in [0, 1)";
-  t.loss <- p;
-  t.loss_from <- from;
-  t.loss_until <- until
+  check_p "Fault_model.set_loss" p;
+  t.defaults <- { t.defaults with loss = p };
+  set_window t ~from ~until
 
 let set_jitter t j =
   if j < 0. then invalid_arg "Fault_model.set_jitter: negative jitter";
-  t.jitter <- j
+  t.defaults <- { t.defaults with jitter = j }
 
-let set_link t ~a ~b ?(loss = 0.) ?(jitter = 0.) () =
-  if loss < 0. || loss >= 1. then
-    invalid_arg "Fault_model.set_link: loss probability must be in [0, 1)";
+let set_corruption t p =
+  check_p "Fault_model.set_corruption" p;
+  t.defaults <- { t.defaults with corrupt = p }
+
+let set_duplicate t p =
+  check_p "Fault_model.set_duplicate" p;
+  t.defaults <- { t.defaults with duplicate = p }
+
+let set_reorder ?window t p =
+  check_p "Fault_model.set_reorder" p;
+  ( match window with
+    | None -> ()
+    | Some w ->
+      if w <= 0. then invalid_arg "Fault_model.set_reorder: window must be positive";
+      t.reorder_window <- w );
+  t.defaults <- { t.defaults with reorder = p }
+
+let set_link t ~a ~b ?(loss = 0.) ?(jitter = 0.) ?(corrupt = 0.)
+    ?(duplicate = 0.) ?(reorder = 0.) () =
+  check_p "Fault_model.set_link" loss;
+  check_p "Fault_model.set_link" corrupt;
+  check_p "Fault_model.set_link" duplicate;
+  check_p "Fault_model.set_link" reorder;
   if jitter < 0. then invalid_arg "Fault_model.set_link: negative jitter";
-  Hashtbl.replace t.per_link (key a b) { loss; jitter }
+  Hashtbl.replace t.per_link (key a b) { loss; jitter; corrupt; duplicate; reorder }
 
 let params t a b =
   match Hashtbl.find_opt t.per_link (key a b) with
   | Some p -> p
-  | None -> { loss = t.loss; jitter = t.jitter }
+  | None -> t.defaults
 
-(* Should the message travelling a->b at [now] be lost?  Consumes one PRNG
-   draw only when loss is live on the link, keeping quiet phases free. *)
+let in_window t ~now = now >= t.from && now < t.until
+
+(* Each predicate consumes one PRNG draw only when its fault is live on
+   the link, keeping quiet phases free (and draw order stable when a new
+   fault type is left disabled). *)
+let hit t ~now p =
+  p > 0. && in_window t ~now && Prng.float t.rng 1.0 < p
+
 let drop t ~now a b =
-  let ({ loss; _ } : link_params) = params t a b in
-  loss > 0.
-  && now >= t.loss_from
-  && now < t.loss_until
-  &&
-  let hit = Prng.float t.rng 1.0 < loss in
-  if hit then t.dropped <- t.dropped + 1;
-  hit
+  let h = hit t ~now (params t a b).loss in
+  if h then t.dropped <- t.dropped + 1;
+  h
+
+let corrupt t ~now a b =
+  let h = hit t ~now (params t a b).corrupt in
+  if h then t.corrupted <- t.corrupted + 1;
+  h
+
+let duplicate t ~now a b =
+  let h = hit t ~now (params t a b).duplicate in
+  if h then t.duplicated <- t.duplicated + 1;
+  h
+
+(* Extra delay for a reordered message: 0 when delivery stays in order,
+   uniform in (0, reorder_window] when the reorder draw fires. *)
+let reorder_delay t ~now a b =
+  if hit t ~now (params t a b).reorder then begin
+    t.reordered <- t.reordered + 1;
+    t.reorder_window -. Prng.float t.rng t.reorder_window
+  end
+  else 0.
 
 (* Extra latency for a message on link a-b: uniform in [0, jitter). *)
 let jitter t a b =
   let ({ jitter; _ } : link_params) = params t a b in
   if jitter <= 0. then 0. else Prng.float t.rng jitter
 
+(* Wire-level damage to an encoded message: bit flips (the common case —
+   they leave framing mostly intact and exercise body-level validation)
+   or truncation (framing damage).  Deterministic given the PRNG state.
+   The empty string has no bits to flip and passes through. *)
+let mutate t s =
+  let n = String.length s in
+  if n = 0 then s
+  else
+    match Prng.int t.rng 4 with
+    | 0 | 1 ->
+      (* Flip a single bit. *)
+      let b = Bytes.of_string s in
+      let i = Prng.int t.rng n in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Prng.int t.rng 8)));
+      Bytes.to_string b
+    | 2 ->
+      (* Flip a burst of up to 8 bits anywhere in the message. *)
+      let b = Bytes.of_string s in
+      let flips = 1 + Prng.int t.rng 8 in
+      for _ = 1 to flips do
+        let i = Prng.int t.rng n in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Prng.int t.rng 8)))
+      done;
+      Bytes.to_string b
+    | _ ->
+      (* Truncate to a random proper prefix (possibly empty). *)
+      String.sub s 0 (Prng.int t.rng n)
+
 let dropped t = t.dropped
+let corrupted t = t.corrupted
+let duplicated t = t.duplicated
+let reordered t = t.reordered

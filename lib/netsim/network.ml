@@ -157,12 +157,15 @@ let rec dispatch t ~from outbox =
                  prefix = Prefix.to_string (prefix_of_msg msg);
                  bytes = msg_bytes msg;
                  withdraw = is_withdraw msg });
-          let jitter =
+          let jitter, reorder =
             match t.fault with
-            | Some f -> Fault_model.jitter f (Asn.to_int from) dst_asn
-            | None -> 0.
+            | Some f ->
+              ( Fault_model.jitter f (Asn.to_int from) dst_asn,
+                Fault_model.reorder_delay f ~now:(Event_queue.now t.q)
+                  (Asn.to_int from) dst_asn )
+            | None -> (0., 0.)
           in
-          let delay = latency t from dst +. jitter in
+          let delay = latency t from dst +. jitter +. reorder in
           if t.mrai <= 0. then
             Event_queue.schedule t.q ~delay (fun () -> deliver t ~from ~to_:dst msg)
           else begin
@@ -209,24 +212,57 @@ and deliver t ~from ~to_ msg =
     | None -> false
   then Metrics.incr t.c_dropped
   else begin
-    let bytes = msg_bytes msg in
-    Metrics.incr t.c_messages;
-    Metrics.observe t.h_msg_bytes (float_of_int bytes);
-    ( match msg with
-      | Speaker.Announce _ -> Metrics.incr ~by:bytes t.c_announce_bytes
-      | Speaker.Withdraw _ -> Metrics.incr t.c_withdrawals );
-    Trace.emit t.trace ~at:now
-      (Trace.Update_received
-         { src = Asn.to_int from;
-           dst = Asn.to_int to_;
-           prefix = Prefix.to_string (prefix_of_msg msg);
-           bytes;
-           withdraw = is_withdraw msg });
-    let s = speaker t to_ in
-    let outbox = Speaker.receive ~now s ~from:(peer_of t from) msg in
-    drain_reuse t to_ s;
-    dispatch t ~from:to_ outbox
+    (* Duplicate delivery: the session layer hands the same message to
+       the speaker twice (a retransmit).  The second copy draws its own
+       corruption decision, as a real retransmit would. *)
+    let dup =
+      match t.fault with
+      | Some f -> Fault_model.duplicate f ~now (Asn.to_int from) (Asn.to_int to_)
+      | None -> false
+    in
+    deliver_once t ~now ~from ~to_ msg;
+    if dup then deliver_once t ~now ~from ~to_ msg
   end
+
+and deliver_once t ~now ~from ~to_ msg =
+  let bytes = msg_bytes msg in
+  Metrics.incr t.c_messages;
+  Metrics.observe t.h_msg_bytes (float_of_int bytes);
+  ( match msg with
+    | Speaker.Announce _ -> Metrics.incr ~by:bytes t.c_announce_bytes
+    | Speaker.Withdraw _ -> Metrics.incr t.c_withdrawals );
+  Trace.emit t.trace ~at:now
+    (Trace.Update_received
+       { src = Asn.to_int from;
+         dst = Asn.to_int to_;
+         prefix = Prefix.to_string (prefix_of_msg msg);
+         bytes;
+         withdraw = is_withdraw msg });
+  let s = speaker t to_ in
+  let outbox =
+    match (t.fault, msg) with
+    | Some f, Speaker.Announce ia
+      when Fault_model.corrupt f ~now (Asn.to_int from) (Asn.to_int to_) ->
+      (* Wire-level corruption: instead of handing over the in-memory
+         value, encode it, damage the bytes, and push them through the
+         robust decode path — the receiver sees exactly what a damaged
+         TCP stream would carry. *)
+      let wire = Fault_model.mutate f (Dbgp_core.Codec.encode ia) in
+      Metrics.incr (Metrics.counter t.obs "net.corruption.injected");
+      let outcome, out =
+        Speaker.receive_wire ~now s ~from:(peer_of t from) wire
+      in
+      ( match outcome with
+        | Speaker.Rx_accepted _ ->
+          (* The damage hit bits the codec could absorb. *)
+          Metrics.incr (Metrics.counter t.obs "net.corruption.survived")
+        | Speaker.Rx_filtered | Speaker.Rx_withdrawn
+        | Speaker.Rx_session_error -> () );
+      out
+    | _ -> Speaker.receive ~now s ~from:(peer_of t from) msg
+  in
+  drain_reuse t to_ s;
+  dispatch t ~from:to_ outbox
 
 (* Damping reuse obligations: when a speaker suppressed a route it hands
    us (prefix, time) pairs; re-run its decision process at each time so
@@ -437,8 +473,10 @@ let convergence_times t =
 
 let speaker_counter_names =
   [ "decision.runs"; "decision.changes"; "updates.received";
-    "withdrawals.received"; "import.rejected"; "damping.suppressed";
-    "damping.reused"; "restart.stale_marked"; "restart.flushed" ]
+    "updates.duplicate"; "withdrawals.received"; "import.rejected";
+    "damping.suppressed"; "damping.reused"; "restart.stale_marked";
+    "restart.flushed"; "errors.discard_attribute";
+    "errors.treat_as_withdraw"; "errors.session_reset"; "errors.internal" ]
 
 let snapshot ?(recent_events = 0) t =
   let speaker_totals =

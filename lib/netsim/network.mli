@@ -94,8 +94,13 @@ val refresh_all : t -> unit
     a recovery sweep after a lossy phase. *)
 
 val set_fault_model : t -> Fault_model.t -> unit
-(** Attach a fault model; its loss/jitter decisions apply to every
-    subsequently delivered message. *)
+(** Attach a fault model; its loss/jitter/corruption/duplicate/reorder
+    decisions apply to every subsequently delivered message.  A corrupted
+    announcement is encoded, bit-damaged by the model, and fed through
+    {!Dbgp_core.Speaker.receive_wire} (the RFC 7606 path) instead of
+    being delivered as an in-memory value; a duplicated message is handed
+    to the receiving speaker twice; a reordered one picks up extra
+    delivery delay. *)
 
 val fault_model : t -> Fault_model.t option
 
@@ -137,7 +142,8 @@ val stale_total : t -> int
 
     The network owns a metrics registry ([net.messages],
     [net.announce_bytes], [net.withdrawals], [net.dropped],
-    [net.mrai_flushes], [net.mrai_batched], and the [net.msg_bytes]
+    [net.mrai_flushes], [net.mrai_batched], [net.corruption.injected],
+    [net.corruption.survived], and the [net.msg_bytes]
     histogram) and a wire-level event trace ({!Dbgp_obs.Trace}:
     update sent/received, MRAI flushes).  Each speaker additionally owns
     its own registry and trace (see {!Dbgp_core.Speaker.metrics}). *)

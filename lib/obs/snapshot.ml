@@ -124,6 +124,9 @@ let event_fields : Trace.event -> (string * t) list = function
       ("routes", Int routes) ]
   | Trace.Import_rejected { asn; peer; prefix } ->
     [ ("asn", Int asn); ("peer", Int peer); ("prefix", String prefix) ]
+  | Trace.Rx_error { asn; peer; cls; stage; reason } ->
+    [ ("asn", Int asn); ("peer", Int peer); ("cls", String cls);
+      ("stage", String stage); ("reason", String reason) ]
 
 let of_trace ?last tr =
   let entries = Trace.entries tr in

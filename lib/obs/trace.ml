@@ -8,6 +8,7 @@ type event =
   | Damping_reuse of { asn : int; prefix : string }
   | Restart_phase of { asn : int; peer : int; phase : string; routes : int }
   | Import_rejected of { asn : int; peer : int; prefix : string }
+  | Rx_error of { asn : int; peer : int; cls : string; stage : string; reason : string }
 
 type entry = { at : float; event : event }
 
@@ -52,3 +53,4 @@ let label = function
   | Damping_reuse _ -> "damping_reuse"
   | Restart_phase _ -> "restart_phase"
   | Import_rejected _ -> "import_rejected"
+  | Rx_error _ -> "rx_error"

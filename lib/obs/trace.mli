@@ -23,6 +23,11 @@ type event =
       (** Graceful restart: [phase] is ["stale-marked"] when routes are
           retained, ["flushed"] when the window closes. *)
   | Import_rejected of { asn : int; peer : int; prefix : string }
+  | Rx_error of { asn : int; peer : int; cls : string; stage : string; reason : string }
+      (** An RFC 7606-style error verdict on a received advertisement:
+          [cls] is the error class ([discard_attribute],
+          [treat_as_withdraw], [session_reset]), [stage] where decoding
+          or validation failed. *)
 
 type entry = { at : float; event : event }
 

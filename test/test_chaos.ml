@@ -71,9 +71,41 @@ let test_fault_model_per_link () =
 
 let test_fault_model_validation () =
   let f = Fault_model.create ~seed:1 () in
-  Alcotest.check_raises "loss must be < 1"
-    (Invalid_argument "Fault_model.set_loss: probability must be in [0, 1)")
-    (fun () -> Fault_model.set_loss f 1.0)
+  (* The closed interval is legal: 1.0 is a blackholed link, not an error. *)
+  Fault_model.set_loss f 1.0;
+  Fault_model.set_corruption f 1.0;
+  Alcotest.check_raises "loss above 1 rejected"
+    (Invalid_argument "Fault_model.set_loss: probability must be in [0, 1]")
+    (fun () -> Fault_model.set_loss f 1.5);
+  Alcotest.check_raises "negative loss rejected"
+    (Invalid_argument "Fault_model.set_loss: probability must be in [0, 1]")
+    (fun () -> Fault_model.set_loss f (-0.1));
+  Alcotest.check_raises "per-link probability above 1 rejected"
+    (Invalid_argument "Fault_model.set_link: probability must be in [0, 1]")
+    (fun () -> Fault_model.set_link f ~a:1 ~b:2 ~loss:2.0 ())
+
+let test_fault_model_blackhole () =
+  (* loss = 1.0 must drop every message, deterministically. *)
+  let f = Fault_model.create ~seed:3 () in
+  Fault_model.set_loss f 1.0;
+  check "every draw drops" true
+    (List.for_all Fun.id (List.init 100 (fun _ -> Fault_model.drop f ~now:0. 1 2)));
+  let net = chain () in
+  Fault_model.set_loss f 1.0;
+  Network.set_fault_model net f;
+  Network.originate net (asn 1) (origin_ia 1);
+  ignore (Network.run net);
+  check "blackholed link: nothing converges" true (best_at net 2 = None)
+
+let test_fault_model_mutate_deterministic () =
+  let s = String.init 64 (fun i -> Char.chr (i * 3 land 0xFF)) in
+  let muts seed =
+    let f = Fault_model.create ~seed () in
+    List.init 50 (fun _ -> Fault_model.mutate f s)
+  in
+  check "same seed, same mutations" true (muts 7 = muts 7);
+  check "mutations actually damage bytes" true
+    (List.exists (fun m -> m <> s) (muts 7))
 
 (* ------------------------- link failure / recovery ------------------------- *)
 
@@ -220,6 +252,62 @@ let test_network_damping_suppresses_flapping_link () =
     (best_at net 2 <> None && best_at net 3 <> None);
   check_int "no stale leak" 0 (Network.stale_total net)
 
+(* --------------- corrupted triggers (RFC 7606 interplay) --------------- *)
+
+let counter_of sp name =
+  match Dbgp_obs.Metrics.find_counter (Speaker.metrics sp) name with
+  | Some c -> Dbgp_obs.Metrics.count c
+  | None -> 0
+
+let solo_speaker () =
+  let sp =
+    Speaker.create (Speaker.config ~asn:(asn 2) ~addr:(ip "10.0.0.2") ())
+  in
+  let from = Peer.make ~asn:(asn 1) ~addr:(ip "10.0.0.1") in
+  Speaker.add_neighbor sp
+    (Speaker.neighbor ~relationship:Dbgp_bgp.Policy.To_customer from);
+  (sp, from)
+
+let valid_ia () =
+  Ia.originate ~prefix ~origin_asn:(asn 1) ~next_hop:(ip "10.0.0.1") ()
+
+let test_graceful_restart_corrupted_refresh () =
+  (* Peer restarts; its post-restart refresh arrives corrupted.  RFC 7606
+     treat-as-withdraw is still an update for the prefix, so it must clear
+     the stale mark (no leak) and withdraw the route. *)
+  let sp, from = solo_speaker () in
+  let ia = valid_ia () in
+  ignore (Speaker.receive ~now:0. sp ~from (Speaker.Announce ia));
+  Speaker.peer_down_graceful ~now:1. sp from;
+  check "stale marked" true (Speaker.is_stale sp from prefix);
+  let wire = Dbgp_core.Codec.encode ia ^ "\xde\xad" in
+  let outcome, _ = Speaker.receive_wire ~now:2. sp ~from wire in
+  check "treated as withdraw" true (outcome = Speaker.Rx_withdrawn);
+  check "stale mark cleared" false (Speaker.is_stale sp from prefix);
+  check_int "no stale leak" 0 (Speaker.stale_count sp);
+  check "route withdrawn" true (Speaker.best sp prefix = None);
+  check_int "verdict accounted" 1 (counter_of sp "errors.treat_as_withdraw")
+
+let test_corrupted_update_charges_damping () =
+  (* A corrupted flap is still a flap: treat-as-withdraw must start the
+     damping penalty clock exactly like an explicit withdrawal would. *)
+  let sp, from = solo_speaker () in
+  Speaker.set_damping sp (Some damp_params);
+  let ia = valid_ia () in
+  ignore (Speaker.receive ~now:0. sp ~from (Speaker.Announce ia));
+  check "no penalty after clean announce" true
+    (Speaker.flap_penalty sp ~now:0. from prefix = 0.);
+  let wire = Dbgp_core.Codec.encode ia ^ "\x00" in
+  let outcome, _ = Speaker.receive_wire ~now:0.1 sp ~from wire in
+  check "treated as withdraw" true (outcome = Speaker.Rx_withdrawn);
+  check "penalty clock started" true
+    (Speaker.flap_penalty sp ~now:0.1 from prefix > 0.);
+  (* Two more corrupted cycles push the route over the suppress line. *)
+  ignore (Speaker.receive ~now:0.2 sp ~from (Speaker.Announce ia));
+  ignore (Speaker.receive_wire ~now:0.3 sp ~from wire);
+  check "corrupted flaps suppress" true
+    (Speaker.suppressed sp ~now:0.3 from prefix)
+
 (* ------------------------- end-to-end chaos ------------------------- *)
 
 let chaos_cfg = { Chaos.default with Chaos.ases = 50; seed = 9 }
@@ -241,6 +329,22 @@ let test_chaos_run_deterministic () =
     (r1.Chaos.initial = r2.Chaos.initial && r1.Chaos.final = r2.Chaos.final);
   check "same seed, same drop count" true (r1.Chaos.dropped = r2.Chaos.dropped)
 
+let test_chaos_corruption_accounted () =
+  (* Force enough wire corruption that injections certainly occur, and
+     demand the run stays healthy: every verdict counted, invariants hold. *)
+  let r = Chaos.run { chaos_cfg with Chaos.corruption = 0.3 } in
+  check "corruption injected" true (r.Chaos.corrupted > 0);
+  check "verdicts cover every error class" true
+    (List.length r.Chaos.error_verdicts
+    = List.length Dbgp_core.Errors.all_classes);
+  check "verdicts issued for corrupted updates" true
+    (List.fold_left (fun a (_, n) -> a + n) 0 r.Chaos.error_verdicts
+     + r.Chaos.corruption_survived
+    > 0);
+  check "invariants hold under corruption" true
+    (E.Invariants.ok r.Chaos.invariants);
+  check "still healthy" true (Chaos.healthy r)
+
 let test_chaos_seeds_vary () =
   let r1 = Chaos.run chaos_cfg in
   let r2 = Chaos.run { chaos_cfg with Chaos.seed = 10 } in
@@ -257,7 +361,11 @@ let () =
        [ Alcotest.test_case "deterministic" `Quick test_fault_model_deterministic;
          Alcotest.test_case "loss window" `Quick test_fault_model_window;
          Alcotest.test_case "per-link overrides" `Quick test_fault_model_per_link;
-         Alcotest.test_case "validation" `Quick test_fault_model_validation ]);
+         Alcotest.test_case "validation" `Quick test_fault_model_validation;
+         Alcotest.test_case "blackhole at loss 1.0" `Quick
+           test_fault_model_blackhole;
+         Alcotest.test_case "mutate deterministic" `Quick
+           test_fault_model_mutate_deterministic ]);
       ("links",
        [ Alcotest.test_case "self-loop rejected" `Quick test_link_rejects_self_loop;
          Alcotest.test_case "fail clears MRAI batch" `Quick
@@ -277,7 +385,14 @@ let () =
            test_speaker_damping_suppress_and_reuse;
          Alcotest.test_case "flapping link suppressed" `Quick
            test_network_damping_suppresses_flapping_link ]);
+      ("corrupted-triggers",
+       [ Alcotest.test_case "graceful restart, corrupted refresh" `Quick
+           test_graceful_restart_corrupted_refresh;
+         Alcotest.test_case "corrupted update charges damping" `Quick
+           test_corrupted_update_charges_damping ]);
       ("chaos",
        [ Alcotest.test_case "healthy run" `Quick test_chaos_run_healthy;
          Alcotest.test_case "deterministic" `Quick test_chaos_run_deterministic;
+         Alcotest.test_case "corruption accounted" `Quick
+           test_chaos_corruption_accounted;
          Alcotest.test_case "seeds vary" `Quick test_chaos_seeds_vary ]) ]

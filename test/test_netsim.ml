@@ -249,6 +249,32 @@ let test_network_mrai_converges_same_routes () =
   in
   check "same final routes with and without MRAI" true (routes 0. = routes 10.)
 
+let test_network_duplicate_delivery () =
+  (* Session-layer retransmits: every message delivered twice.  The
+     duplicate copies must be absorbed by the speakers (no decision
+     re-runs, no extra advertisements) and the network must converge to
+     exactly the routes of a fault-free run. *)
+  let routes net =
+    match Speaker.best (Network.speaker net (asn 4)) (pfx "99.0.0.0/24") with
+    | Some c -> Ia.asns_on_path c.Speaker.candidate.Dbgp_core.Decision_module.ia
+    | None -> []
+  in
+  let clean = mk_net [ 1; 2; 3; 4 ] in
+  Network.originate clean (asn 1) (origin_ia 1 "99.0.0.0/24");
+  ignore (Network.run clean);
+  let dup = mk_net [ 1; 2; 3; 4 ] in
+  let f = Dbgp_netsim.Fault_model.create ~seed:1 () in
+  Dbgp_netsim.Fault_model.set_duplicate f 1.0;
+  Network.set_fault_model dup f;
+  Network.originate dup (asn 1) (origin_ia 1 "99.0.0.0/24");
+  ignore (Network.run dup);
+  check "duplicates injected" true (Dbgp_netsim.Fault_model.duplicated f > 0);
+  check "duplicate copies absorbed" true
+    (Network.counter_total dup "updates.duplicate" > 0);
+  check "same routes as the fault-free run" true (routes dup = routes clean);
+  check_int "no route flaps from retransmits" 0
+    (Network.counter_total dup "withdrawals.received")
+
 let () =
   Alcotest.run "netsim"
     [ ("event-queue",
@@ -269,4 +295,6 @@ let () =
          Alcotest.test_case "inject" `Quick test_network_inject;
          Alcotest.test_case "withdrawal stats" `Quick test_network_stats_withdrawals;
          Alcotest.test_case "mrai batches" `Quick test_network_mrai_batches;
-         Alcotest.test_case "mrai same routes" `Quick test_network_mrai_converges_same_routes ]) ]
+         Alcotest.test_case "mrai same routes" `Quick test_network_mrai_converges_same_routes;
+         Alcotest.test_case "duplicate delivery absorbed" `Quick
+           test_network_duplicate_delivery ]) ]

@@ -284,6 +284,82 @@ let test_session_instruments () =
   ( match Metrics.histograms (Session.metrics a) with
     | hs -> check "send bytes observed" true (List.mem_assoc "session.send_bytes" hs) )
 
+let test_error_observability () =
+  check_str "rx_error label" "rx_error"
+    (Trace.label
+       (Trace.Rx_error
+          { asn = 1; peer = 2; cls = "treat_as_withdraw"; stage = "framing";
+            reason = "x" }));
+  (* A wire-level error must surface under its pinned names in both the
+     counter registry and the trace snapshot. *)
+  let s =
+    Speaker.create
+      (Speaker.config ~asn:(Asn.of_int 64501)
+         ~addr:(Ipv4.of_string "10.0.0.1") ())
+  in
+  let from =
+    Dbgp_core.Peer.make ~asn:(Asn.of_int 64502)
+      ~addr:(Ipv4.of_string "10.0.0.2")
+  in
+  Speaker.add_neighbor s
+    (Speaker.neighbor ~relationship:Dbgp_bgp.Policy.To_customer from);
+  ignore (Speaker.receive_wire s ~from "\xff");
+  ( match Snapshot.member "counters" (Snapshot.of_metrics (Speaker.metrics s)) with
+    | Some (Snapshot.Obj fields) ->
+      check "errors.session_reset pinned" true
+        (List.mem_assoc "errors.session_reset" fields)
+    | _ -> Alcotest.fail "counters section missing" );
+  ( match Snapshot.member "events" (Snapshot.of_trace (Speaker.trace s)) with
+    | Some (Snapshot.List es) -> (
+      match
+        List.filter
+          (fun e ->
+            Snapshot.member "type" e = Some (Snapshot.String "rx_error"))
+          es
+      with
+      | e :: _ ->
+        check "cls field" true
+          (Snapshot.member "cls" e = Some (Snapshot.String "session_reset"));
+        check "stage field" true
+          (Snapshot.member "stage" e = Some (Snapshot.String "framing"));
+        check "reason field present" true (Snapshot.member "reason" e <> None)
+      | [] -> Alcotest.fail "rx_error not traced" )
+    | _ -> Alcotest.fail "events missing" )
+
+let test_chaos_snapshot_names () =
+  (* The chaos report's JSON snapshot must pin the resilience metric
+     names: corruption counters on the network registry, error-class
+     totals under speakers, and the invariants section. *)
+  let r =
+    E.Chaos.run
+      { E.Chaos.default with E.Chaos.ases = 20; seed = 5; corruption = 0.5 }
+  in
+  let s = r.E.Chaos.obs in
+  ( match Snapshot.member "network" s with
+    | Some net -> (
+      match Snapshot.member "counters" net with
+      | Some (Snapshot.Obj fields) ->
+        check "net.corruption.injected pinned" true
+          (List.mem_assoc "net.corruption.injected" fields)
+      | _ -> Alcotest.fail "network counters missing" )
+    | None -> Alcotest.fail "network section missing" );
+  ( match Snapshot.member "speakers" s with
+    | Some (Snapshot.Obj fields) ->
+      check "errors.treat_as_withdraw pinned" true
+        (List.mem_assoc "errors.treat_as_withdraw" fields)
+    | _ -> Alcotest.fail "speakers section missing" );
+  ( match Snapshot.member "invariants" s with
+    | Some inv ->
+      check "invariants.ok pinned" true
+        (Snapshot.member "ok" inv = Some (Snapshot.Bool true));
+      ( match Snapshot.member "violations" inv with
+        | Some (Snapshot.Obj ks) ->
+          check "per-kind violation counters" true
+            (List.mem_assoc "forwarding_loop" ks
+            && List.mem_assoc "passthrough_mutated" ks)
+        | _ -> Alcotest.fail "violations section missing" )
+    | None -> Alcotest.fail "invariants section missing" )
+
 let () =
   Alcotest.run "obs"
     [ ("metrics",
@@ -302,4 +378,7 @@ let () =
       ("end-to-end",
        [ Alcotest.test_case "speaker instruments" `Quick test_speaker_instruments;
          Alcotest.test_case "network snapshot" `Quick test_network_snapshot;
-         Alcotest.test_case "session instruments" `Quick test_session_instruments ]) ]
+         Alcotest.test_case "session instruments" `Quick test_session_instruments;
+         Alcotest.test_case "error observability" `Quick test_error_observability;
+         Alcotest.test_case "chaos snapshot names" `Quick
+           test_chaos_snapshot_names ]) ]
