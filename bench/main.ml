@@ -285,6 +285,30 @@ let fuzz_bench () =
   Format.fprintf out "wrote BENCH_fuzz.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Pipeline scenario: decision-run coalescing and export-cache hit      *)
+(* rates under MRAI batching, at three BRITE sizes, persisted as        *)
+(* BENCH_pipeline.json.  Deterministic except for the wall-clock        *)
+(* fields.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_bench () =
+  rule "Pipeline: dirty-prefix coalescing and export caching";
+  let rows = E.Pipeline_bench.suite () in
+  List.iter (fun r -> Format.fprintf out "%a@." E.Pipeline_bench.pp r) rows;
+  let doc =
+    Dbgp_obs.Snapshot.Obj
+      [ ("seed", Dbgp_obs.Snapshot.Int 42);
+        ("mrai", Dbgp_obs.Snapshot.Float 2.0);
+        ( "rows",
+          Dbgp_obs.Snapshot.List (List.map E.Pipeline_bench.to_snapshot rows)
+        ) ]
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc (Dbgp_obs.Snapshot.to_json_pretty doc);
+  close_out oc;
+  Format.fprintf out "wrote BENCH_pipeline.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Observability scenario: one converged dissemination read back out    *)
 (* through the metrics layer, persisted as BENCH_obs.json.  The run is  *)
 (* fully seeded, so the file is byte-reproducible across revisions.     *)
@@ -424,6 +448,7 @@ let () =
   island_id_ablation ();
   chaos_bench ();
   fuzz_bench ();
+  pipeline_bench ();
   obs_bench ();
   run_bechamel ();
   Format.fprintf out "total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,95 @@
+open Dbgp_types
+
+type 'r t = {
+  mutable routes : 'r Peer.Map.t Prefix.Map.t;
+  mutable stale : Prefix.Set.t Peer.Map.t;
+}
+
+let create () = { routes = Prefix.Map.empty; stale = Peer.Map.empty }
+
+let set t ~peer prefix r =
+  let m =
+    Option.value (Prefix.Map.find_opt prefix t.routes) ~default:Peer.Map.empty
+  in
+  t.routes <- Prefix.Map.add prefix (Peer.Map.add peer r m) t.routes
+
+let remove t ~peer prefix =
+  match Prefix.Map.find_opt prefix t.routes with
+  | None -> ()
+  | Some m ->
+    let m = Peer.Map.remove peer m in
+    t.routes <-
+      ( if Peer.Map.is_empty m then Prefix.Map.remove prefix t.routes
+        else Prefix.Map.add prefix m t.routes )
+
+let find t ~peer prefix =
+  Option.bind (Prefix.Map.find_opt prefix t.routes) (Peer.Map.find_opt peer)
+
+let candidates t prefix =
+  match Prefix.Map.find_opt prefix t.routes with
+  | None -> []
+  | Some m -> Peer.Map.bindings m
+
+let prefixes_of t ~peer =
+  Prefix.Map.fold
+    (fun p m acc -> if Peer.Map.mem peer m then p :: acc else acc)
+    t.routes []
+  |> List.rev
+
+let has_routes t ~peer =
+  Prefix.Map.exists (fun _ m -> Peer.Map.mem peer m) t.routes
+
+let prefixes t =
+  Prefix.Map.fold (fun p _ acc -> Prefix.Set.add p acc) t.routes Prefix.Set.empty
+
+let size t = Prefix.Map.fold (fun _ m acc -> acc + Peer.Map.cardinal m) t.routes 0
+
+(* ------------------------- stale marks ------------------------- *)
+
+let stale_of t ~peer =
+  Option.value (Peer.Map.find_opt peer t.stale) ~default:Prefix.Set.empty
+
+let is_stale t ~peer prefix = Prefix.Set.mem prefix (stale_of t ~peer)
+
+let stale_count t =
+  Peer.Map.fold (fun _ s acc -> acc + Prefix.Set.cardinal s) t.stale 0
+
+let has_stale t ~peer = not (Prefix.Set.is_empty (stale_of t ~peer))
+
+let mark_stale t ~peer =
+  let ps = prefixes_of t ~peer in
+  if ps = [] then 0
+  else begin
+    let set =
+      List.fold_left (fun s p -> Prefix.Set.add p s) (stale_of t ~peer) ps
+    in
+    t.stale <- Peer.Map.add peer set t.stale;
+    Prefix.Set.cardinal set
+  end
+
+let clear_stale t ~peer prefix =
+  t.stale <-
+    Peer.Map.update peer
+      (function
+        | None -> None
+        | Some s ->
+          let s = Prefix.Set.remove prefix s in
+          if Prefix.Set.is_empty s then None else Some s)
+      t.stale
+
+let take_stale t ~peer =
+  match Peer.Map.find_opt peer t.stale with
+  | None -> Prefix.Set.empty
+  | Some set ->
+    t.stale <- Peer.Map.remove peer t.stale;
+    set
+
+let drop_peer t ~peer =
+  let affected =
+    Prefix.Map.fold
+      (fun p m acc -> if Peer.Map.mem peer m then p :: acc else acc)
+      t.routes []
+  in
+  List.iter (fun p -> remove t ~peer p) affected;
+  t.stale <- Peer.Map.remove peer t.stale;
+  List.rev affected

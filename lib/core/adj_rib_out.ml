@@ -1,0 +1,151 @@
+open Dbgp_types
+
+type group_key = {
+  relationship : Dbgp_bgp.Policy.relationship;
+  dbgp_capable : bool;
+  same_island : bool;
+  export : Filters.t;
+}
+
+type group = { id : int; key : group_key; mutable members : int }
+
+type cache_entry = { src : Ia.t; out : Ia.t option }
+
+type t = {
+  mutable advertised : Ia.t Prefix.Map.t Peer.Map.t;
+  mutable groups : group list; (* newest first; ids never reused *)
+  mutable by_peer : int Peer.Map.t;
+  mutable next_id : int;
+  cache : (int * Prefix.t, cache_entry) Hashtbl.t;
+}
+
+let create () =
+  { advertised = Peer.Map.empty;
+    groups = [];
+    by_peer = Peer.Map.empty;
+    next_id = 0;
+    cache = Hashtbl.create 64 }
+
+(* ------------------------- peer groups ------------------------- *)
+
+(* Export filters are closures, so group identity compares them
+   physically: two neighbors share a group only when they share the
+   *same* filter value.  (Filters must be pure for caching to be sound;
+   every filter in {!Filters} is.) *)
+let same_key a b =
+  a.relationship = b.relationship
+  && a.dbgp_capable = b.dbgp_capable
+  && a.same_island = b.same_island
+  && a.export == b.export
+
+let evict_group t id =
+  let doomed =
+    Hashtbl.fold
+      (fun ((gid, _) as k) _ acc -> if gid = id then k :: acc else acc)
+      t.cache []
+  in
+  List.iter (Hashtbl.remove t.cache) doomed
+
+let group_of t ~peer = Peer.Map.find_opt peer t.by_peer
+
+let leave t ~peer =
+  match group_of t ~peer with
+  | None -> ()
+  | Some id ->
+    t.by_peer <- Peer.Map.remove peer t.by_peer;
+    List.iter
+      (fun g ->
+        if g.id = id then begin
+          g.members <- g.members - 1;
+          if g.members <= 0 then begin
+            evict_group t id;
+            t.groups <- List.filter (fun g' -> g'.id <> id) t.groups
+          end
+        end)
+      t.groups
+
+let join t ~peer key =
+  let target =
+    match List.find_opt (fun g -> same_key g.key key) t.groups with
+    | Some g -> g
+    | None ->
+      let g = { id = t.next_id; key; members = 0 } in
+      t.next_id <- t.next_id + 1;
+      t.groups <- g :: t.groups;
+      g
+  in
+  ( match group_of t ~peer with
+    | Some old when old = target.id -> ()
+    | old ->
+      (* A changed egress identity (new filter, relationship or
+         capability) evicts only the departed group's cached exports;
+         entries of the group being joined stay valid — they depend on
+         the group key and source IA alone, never on membership. *)
+      ( match old with
+        | Some old_id ->
+          evict_group t old_id;
+          leave t ~peer
+        | None -> () );
+      target.members <- target.members + 1;
+      t.by_peer <- Peer.Map.add peer target.id t.by_peer );
+  target.id
+
+let group_count t = List.length t.groups
+
+let group_members t id =
+  Peer.Map.fold
+    (fun peer gid acc -> if gid = id then peer :: acc else acc)
+    t.by_peer []
+  |> List.rev
+
+(* ------------------------- export cache ------------------------- *)
+
+(* A cached egress result is valid while the source IA is unchanged:
+   physical equality is the fast path (the common case — the chosen
+   outgoing IA is the same value across a drain), [Ia.equal] the slow
+   one. *)
+let egress t ~group ~prefix ~src ~compute =
+  match group with
+  | None -> (compute (), false)
+  | Some gid -> (
+    let key = (gid, prefix) in
+    match Hashtbl.find_opt t.cache key with
+    | Some e when e.src == src || Ia.equal e.src src -> (e.out, true)
+    | _ ->
+      let out = compute () in
+      Hashtbl.replace t.cache key { src; out };
+      (out, false) )
+
+let cache_size t = Hashtbl.length t.cache
+
+(* ------------------------- advertised state ------------------------- *)
+
+let record t ~peer prefix = function
+  | None ->
+    t.advertised <-
+      Peer.Map.update peer
+        (fun m ->
+          match Option.map (Prefix.Map.remove prefix) m with
+          | Some m when Prefix.Map.is_empty m -> None
+          | other -> other)
+        t.advertised
+  | Some ia ->
+    let m =
+      Option.value (Peer.Map.find_opt peer t.advertised)
+        ~default:Prefix.Map.empty
+    in
+    t.advertised <- Peer.Map.add peer (Prefix.Map.add prefix ia m) t.advertised
+
+let advertised t ~peer prefix =
+  match Peer.Map.find_opt peer t.advertised with
+  | None -> false
+  | Some m -> Prefix.Map.mem prefix m
+
+let bindings t ~peer =
+  match Peer.Map.find_opt peer t.advertised with
+  | None -> []
+  | Some m -> Prefix.Map.bindings m
+
+let peers t = List.map fst (Peer.Map.bindings t.advertised)
+
+let drop_peer t ~peer = t.advertised <- Peer.Map.remove peer t.advertised

@@ -1,0 +1,78 @@
+(** Adj-RIB-Out: stage 3 of the RIB pipeline.
+
+    Three concerns of the egress edge:
+
+    - the per-peer advertised state — what was last announced to each
+      neighbor, so withdrawals are sent only for routes actually
+      advertised;
+    - {e peer groups}: neighbors with identical egress identity
+      (relationship, capability, island class and — physically — the
+      same export filter) share a group id;
+    - the {e export cache}: the egress computation (island processing,
+      global + per-neighbor export filters, legacy downgrade) depends
+      only on the group key and the source IA, so its result is computed
+      once per (group, prefix) and fanned out to every member.
+
+    A cached entry is valid while the source IA is unchanged (physical
+    equality, then [Ia.equal]); a peer changing egress identity evicts
+    only its departed group's entries.  Caching is sound only for pure
+    export filters — every filter in {!Filters} is. *)
+
+type group_key = {
+  relationship : Dbgp_bgp.Policy.relationship;
+  dbgp_capable : bool;
+  same_island : bool;
+  export : Filters.t;  (** compared by physical identity *)
+}
+
+type t
+
+val create : unit -> t
+
+(** {1 Peer groups} *)
+
+val join : t -> peer:Peer.t -> group_key -> int
+(** Put the peer in the group matching [key] (creating it if needed) and
+    return the group id.  Re-joining with an unchanged key is a no-op;
+    a changed key leaves the old group, evicting only that group's
+    cached exports. *)
+
+val leave : t -> peer:Peer.t -> unit
+(** Remove the peer from its group; a group left empty is dropped along
+    with its cache entries. *)
+
+val group_of : t -> peer:Peer.t -> int option
+val group_count : t -> int
+val group_members : t -> int -> Peer.t list
+
+(** {1 Export cache} *)
+
+val egress :
+  t ->
+  group:int option ->
+  prefix:Dbgp_types.Prefix.t ->
+  src:Ia.t ->
+  compute:(unit -> Ia.t option) ->
+  Ia.t option * bool
+(** [egress t ~group ~prefix ~src ~compute] returns the egress result
+    for [src] toward the group, and whether it was served from cache.
+    On a miss, [compute] runs and its result is stored.  [group = None]
+    (an unknown peer) bypasses the cache. *)
+
+val evict_group : t -> int -> unit
+val cache_size : t -> int
+
+(** {1 Advertised state} *)
+
+val record : t -> peer:Peer.t -> Dbgp_types.Prefix.t -> Ia.t option -> unit
+(** [Some ia]: we announced [ia]; [None]: we withdrew (or never had
+    anything advertised — the entry is removed). *)
+
+val advertised : t -> peer:Peer.t -> Dbgp_types.Prefix.t -> bool
+val bindings : t -> peer:Peer.t -> (Dbgp_types.Prefix.t * Ia.t) list
+val peers : t -> Peer.t list
+(** Peers with at least one advertised route, ascending. *)
+
+val drop_peer : t -> peer:Peer.t -> unit
+(** Forget everything advertised to the peer (session teardown); group
+    membership is handled separately by {!leave}. *)

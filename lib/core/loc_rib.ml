@@ -1,0 +1,31 @@
+open Dbgp_types
+module Trie = Dbgp_trie.Prefix_trie
+
+type 'c t = {
+  mutable best : 'c Prefix.Map.t;
+  mutable by_addr : 'c Trie.t; (* LPM over chosen routes *)
+  mutable fib : Ipv4.t Trie.t; (* prefix -> next hop; learned routes only *)
+}
+
+let create () = { best = Prefix.Map.empty; by_addr = Trie.empty; fib = Trie.empty }
+
+let set t prefix c ~next_hop =
+  t.best <- Prefix.Map.add prefix c t.best;
+  t.by_addr <- Trie.add prefix c t.by_addr;
+  t.fib <-
+    ( match next_hop with
+      | Some nh -> Trie.add prefix nh t.fib
+      | None -> Trie.remove prefix t.fib )
+
+let remove t prefix =
+  t.best <- Prefix.Map.remove prefix t.best;
+  t.by_addr <- Trie.remove prefix t.by_addr;
+  t.fib <- Trie.remove prefix t.fib
+
+let find t prefix = Prefix.Map.find_opt prefix t.best
+let mem t prefix = Prefix.Map.mem prefix t.best
+let bindings t = Prefix.Map.bindings t.best
+let fold f t acc = Prefix.Map.fold f t.best acc
+let cardinal t = Prefix.Map.cardinal t.best
+let next_hop t dest = Option.map snd (Trie.longest_match dest t.fib)
+let lookup t dest = Trie.longest_match dest t.by_addr

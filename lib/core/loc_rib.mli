@@ -1,0 +1,36 @@
+(** Loc-RIB: stage 2 of the RIB pipeline.
+
+    The per-prefix selected best routes plus an incrementally maintained
+    forwarding view: a next-hop FIB trie (longest-prefix match to the
+    chosen neighbor address) and an LPM trie over the chosen routes
+    themselves.  Both tries are updated on {!set}/{!remove}, so lookups
+    are O(prefix length) with no per-call rebuild.
+
+    Polymorphic in the chosen-route type; a route selected without a
+    next hop (locally originated) is held in the best map but absent
+    from the FIB. *)
+
+type 'c t
+
+val create : unit -> 'c t
+
+val set : 'c t -> Dbgp_types.Prefix.t -> 'c -> next_hop:Dbgp_types.Ipv4.t option -> unit
+(** Install (or replace) the chosen route for a prefix.  [next_hop] is
+    the neighbor address the FIB should forward to; [None] (a locally
+    originated route) removes the prefix from the FIB. *)
+
+val remove : 'c t -> Dbgp_types.Prefix.t -> unit
+val find : 'c t -> Dbgp_types.Prefix.t -> 'c option
+val mem : 'c t -> Dbgp_types.Prefix.t -> bool
+
+val bindings : 'c t -> (Dbgp_types.Prefix.t * 'c) list
+(** Ascending by prefix. *)
+
+val fold : (Dbgp_types.Prefix.t -> 'c -> 'a -> 'a) -> 'c t -> 'a -> 'a
+val cardinal : 'c t -> int
+
+val next_hop : 'c t -> Dbgp_types.Ipv4.t -> Dbgp_types.Ipv4.t option
+(** Longest-prefix-match FIB lookup. *)
+
+val lookup : 'c t -> Dbgp_types.Ipv4.t -> (Dbgp_types.Prefix.t * 'c) option
+(** Longest-prefix match over the chosen routes. *)

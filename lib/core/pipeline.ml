@@ -1,0 +1,37 @@
+open Dbgp_types
+module Metrics = Dbgp_obs.Metrics
+
+type t = {
+  mutable dirty : Prefix.Set.t;
+  c_marks : Metrics.counter;
+  c_saved : Metrics.counter;
+  c_drains : Metrics.counter;
+}
+
+let create obs =
+  { dirty = Prefix.Set.empty;
+    c_marks = Metrics.counter obs "pipeline.dirty_marks";
+    c_saved = Metrics.counter obs "pipeline.runs_saved";
+    c_drains = Metrics.counter obs "pipeline.drains" }
+
+let mark t prefix =
+  Metrics.incr t.c_marks;
+  if Prefix.Set.mem prefix t.dirty then
+    (* Coalesced: this update will share the prefix's next decision run
+       with the mark already queued — one run saved. *)
+    Metrics.incr t.c_saved
+  else t.dirty <- Prefix.Set.add prefix t.dirty
+
+let pending t = Prefix.Set.cardinal t.dirty
+let dirty t = Prefix.Set.elements t.dirty
+
+let drain t ~f =
+  if Prefix.Set.is_empty t.dirty then []
+  else begin
+    Metrics.incr t.c_drains;
+    let batch = t.dirty in
+    t.dirty <- Prefix.Set.empty;
+    (* Ascending prefix order: deterministic, and identical to the
+       pre-pipeline speaker's per-event processing order. *)
+    Prefix.Set.fold (fun p acc -> acc @ f p) batch []
+  end

@@ -44,17 +44,21 @@ type t = {
   modules : (int, Decision_module.t) Hashtbl.t; (* by Protocol_id.to_int *)
   mutable active : Protocol_id.t Trie.t;
   mutable nbrs : neighbor Peer.Map.t;
-  db : Ia_db.t;                       (* post-global-import incoming IAs *)
+  (* The three-stage RIB pipeline of Figure 5.  [rib_in]: per-(prefix,
+     peer) post-global-import IAs plus graceful-restart stale marks.
+     [loc]: selected best routes with an incrementally maintained FIB.
+     [rib_out]: per-peer advertised state, peer groups and the export
+     cache.  [sched]: the dirty-prefix work queue between stages —
+     ingest marks, {!flush} drains. *)
+  rib_in : Ia.t Adj_rib_in.t;
+  loc : chosen Loc_rib.t;
+  rib_out : Adj_rib_out.t;
+  sched : Pipeline.t;
   mutable local : Ia.t Prefix.Map.t;  (* locally originated routes *)
-  mutable best : chosen Prefix.Map.t;
-  mutable adj_out : Ia.t Prefix.Map.t Peer.Map.t;
-  (* Resilience state.  [stale]: routes retained through a graceful
-     restart, per RFC 4724; flushed if the peer does not refresh them
-     within the restart window.  [flap_state]: RFC 2439 per-(peer,prefix)
+  (* Resilience state.  [flap_state]: RFC 2439 per-(peer,prefix)
      damping penalties; suppressed routes are excluded from selection.
-     [reuse_events]: (prefix, time) pairs the runtime must re-evaluate at,
-     drained via {!take_reuse_events}. *)
-  mutable stale : Prefix.Set.t Peer.Map.t;
+     [reuse_events]: (prefix, time) pairs the runtime must re-evaluate
+     at, drained via {!take_reuse_events}. *)
   mutable damping : Damping.params option;
   mutable flap_state : Damping.t Prefix.Map.t Peer.Map.t;
   mutable reuse_events : (Prefix.t * float) list;
@@ -65,6 +69,8 @@ type t = {
   trace : Trace.t;
   c_runs : Metrics.counter;
   c_changes : Metrics.counter;
+  c_export_hits : Metrics.counter;
+  c_export_misses : Metrics.counter;
   g_last_change : Metrics.gauge;
 }
 
@@ -77,11 +83,11 @@ let create cfg =
     modules;
     active = Trie.empty;
     nbrs = Peer.Map.empty;
-    db = Ia_db.create ();
+    rib_in = Adj_rib_in.create ();
+    loc = Loc_rib.create ();
+    rib_out = Adj_rib_out.create ();
+    sched = Pipeline.create obs;
     local = Prefix.Map.empty;
-    best = Prefix.Map.empty;
-    adj_out = Peer.Map.empty;
-    stale = Peer.Map.empty;
     damping = None;
     flap_state = Peer.Map.empty;
     reuse_events = [];
@@ -89,6 +95,8 @@ let create cfg =
     trace = Trace.create ();
     c_runs = Metrics.counter obs "decision.runs";
     c_changes = Metrics.counter obs "decision.changes";
+    c_export_hits = Metrics.counter obs "pipeline.export_cache.hits";
+    c_export_misses = Metrics.counter obs "pipeline.export_cache.misses";
     g_last_change = Metrics.gauge obs "decision.last_change_at" }
 
 let asn t = t.cfg.asn
@@ -118,8 +126,20 @@ let active_for t prefix =
   | Some (p, proto) when Prefix.subsumes p prefix -> proto
   | _ -> Protocol_id.bgp
 
-let add_neighbor t n = t.nbrs <- Peer.Map.add n.peer n t.nbrs
+let group_key_of (n : neighbor) =
+  { Adj_rib_out.relationship = n.relationship;
+    dbgp_capable = n.dbgp_capable;
+    same_island = n.same_island;
+    export = n.export }
+
+let add_neighbor t n =
+  t.nbrs <- Peer.Map.add n.peer n t.nbrs;
+  ignore (Adj_rib_out.join t.rib_out ~peer:n.peer (group_key_of n))
+
 let neighbors t = List.map snd (Peer.Map.bindings t.nbrs)
+let has_neighbor t peer = Peer.Map.mem peer t.nbrs
+let export_group_of t peer = Adj_rib_out.group_of t.rib_out ~peer
+let export_group_count t = Adj_rib_out.group_count t.rib_out
 
 let module_for t proto =
   match Hashtbl.find_opt t.modules (Protocol_id.to_int proto) with
@@ -140,7 +160,10 @@ let learned_relationship t (c : Decision_module.candidate) =
   | Some p ->
     Option.map (fun n -> n.relationship) (Peer.Map.find_opt p t.nbrs)
 
-(* Build the per-neighbor outgoing message for an already-factory-built IA. *)
+(* Build the per-neighbor outgoing message for an already-factory-built
+   IA.  Depends only on the neighbor's group key (same_island, export,
+   dbgp_capable) and per-speaker constants — which is exactly what makes
+   the per-group export cache sound. *)
 let egress_for_neighbor t (n : neighbor) (ia : Ia.t) =
   let island_egress : Filters.t =
     match t.cfg.island with
@@ -161,20 +184,22 @@ let egress_for_neighbor t (n : neighbor) (ia : Ia.t) =
   in
   Filters.chain [ island_egress; t.cfg.global_export; n.export; downgrade ] ia
 
-let record_adj_out t peer prefix = function
-  | None ->
-    t.adj_out <-
-      Peer.Map.update peer
-        (fun m -> Option.map (Prefix.Map.remove prefix) m)
-        t.adj_out
-  | Some ia ->
-    let m = Option.value (Peer.Map.find_opt peer t.adj_out) ~default:Prefix.Map.empty in
-    t.adj_out <- Peer.Map.add peer (Prefix.Map.add prefix ia m) t.adj_out
+(* Stage-3 egress through the per-group export cache: computed once per
+   (group, source IA, prefix), fanned out to every group member. *)
+let cached_egress t (n : neighbor) (ia : Ia.t) =
+  let out, hit =
+    Adj_rib_out.egress t.rib_out
+      ~group:(Adj_rib_out.group_of t.rib_out ~peer:n.peer)
+      ~prefix:ia.Ia.prefix ~src:ia
+      ~compute:(fun () -> egress_for_neighbor t n ia)
+  in
+  if hit then Metrics.incr t.c_export_hits else Metrics.incr t.c_export_misses;
+  out
 
 let previously_announced t peer prefix =
-  match Peer.Map.find_opt peer t.adj_out with
-  | None -> false
-  | Some m -> Prefix.Map.mem prefix m
+  Adj_rib_out.advertised t.rib_out ~peer prefix
+
+let record_adj_out t peer prefix out = Adj_rib_out.record t.rib_out ~peer prefix out
 
 (* ------------------------- flap damping ------------------------- *)
 
@@ -189,6 +214,8 @@ let take_reuse_events t =
 
 let flap_state_of t peer prefix =
   Option.bind (Peer.Map.find_opt peer t.flap_state) (Prefix.Map.find_opt prefix)
+
+let has_flap_state t peer = Peer.Map.mem peer t.flap_state
 
 let suppressed t ~now peer prefix =
   match t.damping with
@@ -244,39 +271,17 @@ let flap_penalty t ~now peer prefix =
 
 (* ------------------------- graceful restart ------------------------- *)
 
-let stale_count t =
-  Peer.Map.fold (fun _ s acc -> acc + Prefix.Set.cardinal s) t.stale 0
-
-let is_stale t peer prefix =
-  match Peer.Map.find_opt peer t.stale with
-  | None -> false
-  | Some s -> Prefix.Set.mem prefix s
-
-let clear_stale t peer prefix =
-  t.stale <-
-    Peer.Map.update peer
-      (function
-        | None -> None
-        | Some s ->
-          let s = Prefix.Set.remove prefix s in
-          if Prefix.Set.is_empty s then None else Some s)
-      t.stale
+let stale_count t = Adj_rib_in.stale_count t.rib_in
+let is_stale t peer prefix = Adj_rib_in.is_stale t.rib_in ~peer prefix
+let has_stale t peer = Adj_rib_in.has_stale t.rib_in ~peer
 
 (* RFC 4724-style restart: keep the peer's routes (still candidates, so
    forwarding continues) but mark them stale.  A fresh announcement or
    withdrawal from the returning peer clears the mark; {!flush_stale}
    drops whatever is still stale when the restart window closes. *)
 let peer_down_graceful ?(now = 0.) t peer =
-  let ps = Ia_db.prefixes_of t.db ~peer in
-  if ps <> [] then begin
-    let set =
-      List.fold_left
-        (fun s p -> Prefix.Set.add p s)
-        (Option.value (Peer.Map.find_opt peer t.stale) ~default:Prefix.Set.empty)
-        ps
-    in
-    t.stale <- Peer.Map.add peer set t.stale;
-    let routes = Prefix.Set.cardinal set in
+  let routes = Adj_rib_in.mark_stale t.rib_in ~peer in
+  if routes > 0 then begin
     Metrics.incr ~by:routes (Metrics.counter t.obs "restart.stale_marked");
     Trace.emit t.trace ~at:now
       (Trace.Restart_phase
@@ -286,8 +291,10 @@ let peer_down_graceful ?(now = 0.) t peer =
            routes })
   end
 
-(* The outgoing IA (if any) for [chosen] toward one neighbor: split-horizon,
-   loop avoidance, valley-free export, then per-neighbor egress filters. *)
+(* The outgoing IA (if any) for [chosen] toward one neighbor:
+   split-horizon, loop avoidance and valley-free export are evaluated
+   per neighbor; the egress filter chain itself comes from the per-group
+   cache. *)
 let emission_for t (chosen : chosen) (n : neighbor) =
   let learned = learned_relationship t chosen.candidate in
   let is_sender =
@@ -305,13 +312,13 @@ let emission_for t (chosen : chosen) (n : neighbor) =
     (not is_sender) && (not on_path)
     && export_allowed ~learned ~to_:n.relationship
   in
-  if eligible then egress_for_neighbor t n chosen.outgoing else None
+  if eligible then cached_egress t n chosen.outgoing else None
 
 (* Announce / withdraw the current best for [prefix] to all neighbors. *)
 let distribute t prefix =
   let out = ref [] in
   let emit peer m = out := (peer, m) :: !out in
-  ( match Prefix.Map.find_opt prefix t.best with
+  ( match Loc_rib.find t.loc prefix with
     | None ->
       Peer.Map.iter
         (fun peer _ ->
@@ -337,12 +344,12 @@ let distribute t prefix =
 
 (* Re-advertise the full current state to one neighbor (route refresh):
    used when a failed link recovers, so the returning peer resynchronizes
-   without a Manual full-table reset.  Idempotent at the receiver. *)
+   without a manual full-table reset.  Idempotent at the receiver. *)
 let refresh_peer t peer =
   match Peer.Map.find_opt peer t.nbrs with
   | None -> []
   | Some n ->
-    Prefix.Map.fold
+    Loc_rib.fold
       (fun prefix chosen acc ->
         match emission_for t chosen n with
         | Some ia ->
@@ -354,7 +361,7 @@ let refresh_peer t peer =
             (peer, Withdraw prefix) :: acc
           end
           else acc)
-      t.best []
+      t.loc []
     |> List.rev
 
 (* Recompute the best path for [prefix]: stages 2-6 of Figure 5.  [now] is
@@ -372,7 +379,7 @@ let process t ~now prefix =
     local
     @ List.filter_map
         (fun (peer, ia) ->
-          (* Damping: suppressed routes stay in the IA DB but are
+          (* Damping: suppressed routes stay in the Adj-RIB-In but are
              invisible to selection until their penalty decays. *)
           if suppressed t ~now peer prefix then None
           else
@@ -385,7 +392,7 @@ let process t ~now prefix =
             match Filters.compose nbr_import m.Decision_module.import_filter ia with
             | None -> None
             | Some ia -> Some { Decision_module.from_peer = Some peer; ia })
-        (Ia_db.candidates t.db prefix)
+        (Adj_rib_in.candidates t.rib_in prefix)
   in
   let selected = m.Decision_module.select ~prefix raw_candidates in
   let next =
@@ -424,7 +431,7 @@ let process t ~now prefix =
         | Some outgoing -> Some { candidate; outgoing } )
   in
   let changed =
-    match (Prefix.Map.find_opt prefix t.best, next) with
+    match (Loc_rib.find t.loc prefix, next) with
     | None, None -> false
     | Some a, Some b ->
       not
@@ -451,27 +458,36 @@ let process t ~now prefix =
            changed = true;
            best_via });
     ( match next with
-      | None -> t.best <- Prefix.Map.remove prefix t.best
-      | Some c -> t.best <- Prefix.Map.add prefix c t.best );
+      | None -> Loc_rib.remove t.loc prefix
+      | Some c ->
+        let next_hop =
+          Option.map
+            (fun p -> p.Peer.addr)
+            c.candidate.Decision_module.from_peer
+        in
+        Loc_rib.set t.loc prefix c ~next_hop );
     distribute t prefix
   end
   else []
 
-let originate ?(now = 0.) t (ia : Ia.t) =
-  t.local <- Prefix.Map.add ia.Ia.prefix ia t.local;
-  process t ~now ia.Ia.prefix
+(* --------------- stage 1: ingest, mark dirty, drain --------------- *)
 
-let receive_msg t ~now ~from msg =
+(* Absorb an update into the Adj-RIB-In and mark its prefix dirty when
+   selection could be affected.  Returns nothing; the decision process
+   runs at the next {!flush}.  Accounting (received/duplicate/rejected
+   counters, stale-mark clearing, flap penalties) happens here, at
+   arrival time — exactly as the eager speaker did. *)
+let ingest_msg t ~now ~from msg =
   match msg with
   | Withdraw prefix ->
     bump t "withdrawals.received";
-    let had = Option.is_some (Ia_db.find t.db ~peer:from prefix) in
-    Ia_db.remove t.db ~peer:from prefix;
+    let had = Option.is_some (Adj_rib_in.find t.rib_in ~peer:from prefix) in
+    Adj_rib_in.remove t.rib_in ~peer:from prefix;
     (* Hearing from the peer at all proves it is back: its stale mark for
        this prefix is resolved (by removal). *)
-    clear_stale t from prefix;
+    Adj_rib_in.clear_stale t.rib_in ~peer:from prefix;
     if had then note_flap t ~now from prefix (withdraw_penalty t);
-    process t ~now prefix
+    Pipeline.mark t.sched prefix
   | Announce ia -> (
     bump t "updates.received";
     (* Stage 1: global import filtering, loop rejection first. *)
@@ -486,32 +502,48 @@ let receive_msg t ~now ~from msg =
              prefix = Prefix.to_string ia.Ia.prefix });
       (* A rejected IA acts as an implicit withdrawal of any previous
          route from this peer for the prefix. *)
-      if Option.is_some (Ia_db.find t.db ~peer:from ia.Ia.prefix) then begin
-        Ia_db.remove t.db ~peer:from ia.Ia.prefix;
-        clear_stale t from ia.Ia.prefix;
+      if Option.is_some (Adj_rib_in.find t.rib_in ~peer:from ia.Ia.prefix)
+      then begin
+        Adj_rib_in.remove t.rib_in ~peer:from ia.Ia.prefix;
+        Adj_rib_in.clear_stale t.rib_in ~peer:from ia.Ia.prefix;
         note_flap t ~now from ia.Ia.prefix (withdraw_penalty t);
-        process t ~now ia.Ia.prefix
+        Pipeline.mark t.sched ia.Ia.prefix
       end
-      else []
     | Some ia -> (
-      match Ia_db.find t.db ~peer:from ia.Ia.prefix with
+      match Adj_rib_in.find t.rib_in ~peer:from ia.Ia.prefix with
       | Some prev when Ia.equal prev ia ->
         (* Duplicate delivery (session retransmit, route refresh): the
            stored route is byte-identical, so re-running the decision
            process or charging a flap penalty would amplify the
            duplicate.  Refreshing the stale mark is the only effect. *)
         bump t "updates.duplicate";
-        clear_stale t from ia.Ia.prefix;
-        []
+        Adj_rib_in.clear_stale t.rib_in ~peer:from ia.Ia.prefix
       | prev ->
         ( match prev with
           | Some _ ->
             (* Re-advertisement with changed attributes is a flap too. *)
             note_flap t ~now from ia.Ia.prefix (attr_change_penalty t)
           | None -> () );
-        Ia_db.store t.db ~peer:from ia;
-        clear_stale t from ia.Ia.prefix;
-        process t ~now ia.Ia.prefix ) )
+        Adj_rib_in.set t.rib_in ~peer:from ia.Ia.prefix ia;
+        Adj_rib_in.clear_stale t.rib_in ~peer:from ia.Ia.prefix;
+        Pipeline.mark t.sched ia.Ia.prefix ) )
+
+let absorb t ~now ~from exn =
+  bump t "errors.internal";
+  Trace.emit t.trace ~at:now
+    (Trace.Rx_error
+       { asn = my_asn t;
+         peer = Asn.to_int from.Peer.asn;
+         cls = "internal";
+         stage = Errors.stage_name Errors.Pipeline;
+         reason = Printexc.to_string exn })
+
+let ingest ?(now = 0.) t ~from msg =
+  try ingest_msg t ~now ~from msg with exn -> absorb t ~now ~from exn
+
+let pending t = Pipeline.pending t.sched
+
+let flush ?(now = 0.) t = Pipeline.drain t.sched ~f:(process t ~now)
 
 (* The pipeline must never let an exception escape back into the session
    layer: a malformed or adversarial message can at worst damage its own
@@ -519,17 +551,17 @@ let receive_msg t ~now ~from msg =
    the speaker.  Anything a filter, decision module or factory throws is
    absorbed here and accounted as an internal error. *)
 let receive ?(now = 0.) t ~from msg =
-  try receive_msg t ~now ~from msg
+  try
+    ingest_msg t ~now ~from msg;
+    flush ~now t
   with exn ->
-    bump t "errors.internal";
-    Trace.emit t.trace ~at:now
-      (Trace.Rx_error
-         { asn = my_asn t;
-           peer = Asn.to_int from.Peer.asn;
-           cls = "internal";
-           stage = Errors.stage_name Errors.Pipeline;
-           reason = Printexc.to_string exn });
+    absorb t ~now ~from exn;
     []
+
+let originate ?(now = 0.) t (ia : Ia.t) =
+  t.local <- Prefix.Map.add ia.Ia.prefix ia t.local;
+  Pipeline.mark t.sched ia.Ia.prefix;
+  flush ~now t
 
 (* ---------------- wire-level receive (RFC 7606 ladder) ---------------- *)
 
@@ -549,15 +581,24 @@ let record_error t ~now ~from (e : Errors.t) =
          stage = Errors.stage_name e.Errors.stage;
          reason = e.Errors.reason })
 
-let treat_as_withdraw t ~now ~from prefix e =
-  record_error t ~now ~from e;
-  (* Withdrawing through [receive] (not [Ia_db.remove] directly) keeps
-     the resilience semantics: the peer's stale mark clears and, if a
-     route existed, the damping penalty clock starts — a corrupted
-     flap is still a flap. *)
-  (Rx_withdrawn, receive ~now t ~from (Withdraw prefix))
-
-let receive_wire ?(now = 0.) t ~from bytes =
+let receive_wire ?(now = 0.) ?(defer = false) t ~from bytes =
+  (* [defer]: buffer into the pipeline instead of draining immediately —
+     the batched network path flushes at MRAI boundaries. *)
+  let rx msg =
+    if defer then begin
+      ingest ~now t ~from msg;
+      []
+    end
+    else receive ~now t ~from msg
+  in
+  let treat_as_withdraw prefix e =
+    record_error t ~now ~from e;
+    (* Withdrawing through the ingest path (not [Adj_rib_in.remove]
+       directly) keeps the resilience semantics: the peer's stale mark
+       clears and, if a route existed, the damping penalty clock starts
+       — a corrupted flap is still a flap. *)
+    (Rx_withdrawn, rx (Withdraw prefix))
+  in
   match Codec.decode_robust bytes with
   | Error e when e.Errors.cls = Errors.Session_reset ->
     record_error t ~now ~from e;
@@ -567,7 +608,7 @@ let receive_wire ?(now = 0.) t ~from bytes =
        unreadable prefix escalates to Session_reset), so we can re-read
        it and scope the damage to that one route. *)
     match Dbgp_wire.Reader.prefix (Dbgp_wire.Reader.of_string bytes) with
-    | prefix -> treat_as_withdraw t ~now ~from prefix e
+    | prefix -> treat_as_withdraw prefix e
     | exception _ ->
       record_error t ~now ~from
         { e with Errors.cls = Errors.Session_reset };
@@ -578,31 +619,43 @@ let receive_wire ?(now = 0.) t ~from bytes =
       (* Structurally valid but semantically unusable: without a BGP
          next hop the route cannot enter the FIB.  RFC 7606 maps this
          to treat-as-withdraw, not discard. *)
-      treat_as_withdraw t ~now ~from ia.Ia.prefix
+      treat_as_withdraw ia.Ia.prefix
         (Errors.make Errors.Treat_as_withdraw Errors.Semantic
            "missing BGP next-hop descriptor")
     else begin
       let rejected_before = Metrics.count (Metrics.counter t.obs "import.rejected") in
-      let out = receive ~now t ~from (Announce ia) in
+      let out = rx (Announce ia) in
       if Metrics.count (Metrics.counter t.obs "import.rejected") > rejected_before
       then (Rx_filtered, out)
       else (Rx_accepted (List.length discarded), out)
     end
 
-let peer_down ?(now = 0.) t peer =
-  let affected = Ia_db.drop_peer t.db ~peer in
-  t.adj_out <- Peer.Map.remove peer t.adj_out;
+(* ---------------- session teardown ---------------- *)
+
+(* Shared teardown: drop the peer's pipeline state and recompute the
+   affected prefixes.  [forget_flaps] distinguishes a link-level session
+   loss (damping memory survives — a flapping link must not reset its
+   own penalties) from administrative removal (everything goes). *)
+let teardown ~forget_flaps ~now t peer =
+  let affected = Adj_rib_in.drop_peer t.rib_in ~peer in
+  Adj_rib_out.drop_peer t.rib_out ~peer;
+  Adj_rib_out.leave t.rib_out ~peer;
   t.nbrs <- Peer.Map.remove peer t.nbrs;
-  t.stale <- Peer.Map.remove peer t.stale;
-  List.concat_map (process t ~now) affected
+  if forget_flaps then t.flap_state <- Peer.Map.remove peer t.flap_state;
+  List.iter (Pipeline.mark t.sched) affected;
+  flush ~now t
+
+let peer_down ?(now = 0.) t peer = teardown ~forget_flaps:false ~now t peer
+
+let remove_neighbor ?(now = 0.) t peer =
+  teardown ~forget_flaps:true ~now t peer
 
 (* Close a graceful-restart window: drop every route from [peer] that is
    still stale (never refreshed) and recompute the affected prefixes. *)
 let flush_stale ?(now = 0.) t peer =
-  match Peer.Map.find_opt peer t.stale with
-  | None -> []
-  | Some set ->
-    t.stale <- Peer.Map.remove peer t.stale;
+  let set = Adj_rib_in.take_stale t.rib_in ~peer in
+  if Prefix.Set.is_empty set then []
+  else begin
     let routes = Prefix.Set.cardinal set in
     Metrics.incr ~by:routes (Metrics.counter t.obs "restart.flushed");
     Trace.emit t.trace ~at:now
@@ -611,11 +664,13 @@ let flush_stale ?(now = 0.) t peer =
            peer = Asn.to_int peer.Peer.asn;
            phase = "flushed";
            routes });
-    Prefix.Set.fold
-      (fun p acc ->
-        Ia_db.remove t.db ~peer p;
-        acc @ process t ~now p)
-      set []
+    Prefix.Set.iter
+      (fun p ->
+        Adj_rib_in.remove t.rib_in ~peer p;
+        Pipeline.mark t.sched p)
+      set;
+    flush ~now t
+  end
 
 let any_suppressed t prefix =
   Peer.Map.exists
@@ -654,24 +709,11 @@ let reevaluate ?(now = 0.) t prefix =
   end;
   out
 
-let best t prefix = Prefix.Map.find_opt prefix t.best
-let best_routes t = Prefix.Map.bindings t.best
-
-let next_hop_of t dest =
-  let fib =
-    Prefix.Map.fold
-      (fun prefix chosen acc ->
-        match chosen.candidate.Decision_module.from_peer with
-        | Some p -> Trie.add prefix p.Peer.addr acc
-        | None -> acc)
-      t.best Trie.empty
-  in
-  Option.map snd (Trie.longest_match dest fib)
-
-let adj_out t peer =
-  match Peer.Map.find_opt peer t.adj_out with
-  | None -> []
-  | Some m -> Prefix.Map.bindings m
-
-let candidates_for t prefix = Ia_db.candidates t.db prefix
-let ia_db_size t = Ia_db.size t.db
+let best t prefix = Loc_rib.find t.loc prefix
+let best_routes t = Loc_rib.bindings t.loc
+let next_hop_of t dest = Loc_rib.next_hop t.loc dest
+let adj_out t peer = Adj_rib_out.bindings t.rib_out ~peer
+let adj_out_peers t = Adj_rib_out.peers t.rib_out
+let has_adj_in t peer = Adj_rib_in.has_routes t.rib_in ~peer
+let candidates_for t prefix = Adj_rib_in.candidates t.rib_in prefix
+let ia_db_size t = Adj_rib_in.size t.rib_in

@@ -13,6 +13,14 @@
       and global export filters — island abstraction or membership
       declaration, legacy downgrade — run per neighbor (stage 7).
 
+    Internally the speaker is an explicit three-stage RIB pipeline —
+    {!Adj_rib_in} (per-peer post-import routes + stale marks), {!Loc_rib}
+    (selected best + FIB), {!Adj_rib_out} (advertised state, peer groups,
+    export cache) — connected by a dirty-prefix scheduler ({!Pipeline}).
+    {!receive} ingests and drains immediately (eager, the historical
+    behaviour); {!ingest} + {!flush} split the two so the session layer
+    can batch many updates into one decision run per prefix.
+
     Speakers are pure with respect to I/O: {!receive}, {!originate} and
     {!peer_down} return the messages to transmit; the netsim session
     layer owns delivery. *)
@@ -83,7 +91,17 @@ val set_active : t -> Dbgp_types.Prefix.t -> Dbgp_types.Protocol_id.t -> unit
 
 val active_for : t -> Dbgp_types.Prefix.t -> Dbgp_types.Protocol_id.t
 val add_neighbor : t -> neighbor -> unit
+(** Also places the neighbor in the peer group matching its egress
+    identity (relationship, capability, island class, export filter). *)
+
 val neighbors : t -> neighbor list
+val has_neighbor : t -> Peer.t -> bool
+
+val remove_neighbor : ?now:float -> t -> Peer.t -> (Peer.t * msg) list
+(** Administrative removal: {!peer_down} plus erasure of the peer's
+    flap-damping state.  Leaves no Adj-RIB-In routes, stale marks,
+    Adj-RIB-Out state, group membership or damping memory behind
+    (asserted by [Dbgp_eval.Invariants.peer_clean]). *)
 
 val originate : ?now:float -> t -> Ia.t -> (Peer.t * msg) list
 (** Injects a locally originated route (the IA as built by
@@ -99,6 +117,31 @@ val receive : ?now:float -> t -> from:Peer.t -> msg -> (Peer.t * msg) list
     (counted as [updates.duplicate]). *)
 
 val peer_down : ?now:float -> t -> Peer.t -> (Peer.t * msg) list
+(** Session loss: drops the peer's pipeline state but — deliberately —
+    retains its flap-damping memory, so a flapping link cannot reset its
+    own penalties.  {!remove_neighbor} also forgets the damping state. *)
+
+(** {1 Batched ingestion: the dirty-prefix pipeline}
+
+    {!receive} = {!ingest} + {!flush}.  The batched network path defers
+    the flush to MRAI boundaries: every update between two flushes only
+    marks its prefix dirty, and {!flush} runs the decision process once
+    per dirty prefix — coalescing redundant runs (counted as
+    [pipeline.runs_saved]). *)
+
+val ingest : ?now:float -> t -> from:Peer.t -> msg -> unit
+(** Absorb one update into the Adj-RIB-In and mark its prefix dirty,
+    without running the decision process.  Never raises (same absorption
+    contract as {!receive}).  All arrival-time accounting — received /
+    duplicate / rejected counters, stale-mark clearing, flap penalties —
+    happens here. *)
+
+val flush : ?now:float -> t -> (Peer.t * msg) list
+(** Drain the dirty set: run best-path selection once per dirty prefix
+    (ascending) and return every resulting emission. *)
+
+val pending : t -> int
+(** Dirty prefixes awaiting a {!flush}. *)
 
 (** {1 Wire-level receive: RFC 7606-style error handling}
 
@@ -122,11 +165,19 @@ type rx_outcome =
       (** Framing damage before the prefix; nothing could be salvaged. *)
 
 val receive_wire :
-  ?now:float -> t -> from:Peer.t -> string -> rx_outcome * (Peer.t * msg) list
+  ?now:float ->
+  ?defer:bool ->
+  t ->
+  from:Peer.t ->
+  string ->
+  rx_outcome * (Peer.t * msg) list
 (** Feed one encoded announcement through the full pipeline.  Never
     raises; every error verdict is counted ([errors.discard_attribute],
     [errors.treat_as_withdraw], [errors.session_reset]) and traced as an
-    [rx_error] event. *)
+    [rx_error] event.  [defer] (default false) buffers into the
+    dirty-prefix pipeline instead of draining immediately — the emission
+    list is then always empty and the update takes effect at the next
+    {!flush}. *)
 
 (** {1 Resilience: graceful restart (RFC 4724) and flap damping (RFC 2439)} *)
 
@@ -147,6 +198,7 @@ val stale_count : t -> int
 (** Routes currently retained as stale across all peers. *)
 
 val is_stale : t -> Peer.t -> Dbgp_types.Prefix.t -> bool
+val has_stale : t -> Peer.t -> bool
 
 val set_damping : t -> Dbgp_bgp.Flap_damping.params option -> unit
 (** Enable (or disable, with [None]) route-flap damping in the decision
@@ -163,6 +215,18 @@ val reevaluate : ?now:float -> t -> Dbgp_types.Prefix.t -> (Peer.t * msg) list
 
 val suppressed : t -> now:float -> Peer.t -> Dbgp_types.Prefix.t -> bool
 val flap_penalty : t -> now:float -> Peer.t -> Dbgp_types.Prefix.t -> float
+val has_flap_state : t -> Peer.t -> bool
+
+(** {1 Peer groups and the export cache}
+
+    Neighbors with identical egress identity — relationship, capability,
+    island class and (physically) the same export filter — share a peer
+    group; the egress filter chain for a given source IA is computed once
+    per group and fanned out ([pipeline.export_cache.hits] /
+    [.misses]). *)
+
+val export_group_of : t -> Peer.t -> int option
+val export_group_count : t -> int
 
 (** {1 Introspection} *)
 
@@ -181,6 +245,12 @@ val next_hop_of : t -> Dbgp_types.Ipv4.t -> Dbgp_types.Ipv4.t option
 val adj_out : t -> Peer.t -> (Dbgp_types.Prefix.t * Ia.t) list
 (** What we last announced to the peer. *)
 
+val adj_out_peers : t -> Peer.t list
+(** Peers with at least one currently advertised route. *)
+
+val has_adj_in : t -> Peer.t -> bool
+(** Whether the Adj-RIB-In still holds any route from the peer. *)
+
 val candidates_for : t -> Dbgp_types.Prefix.t -> (Peer.t * Ia.t) list
 (** Every received (post-global-import) IA for the prefix — the raw
     material replacement protocols' ingress translation modules consume
@@ -198,8 +268,11 @@ val metrics : t -> Dbgp_obs.Metrics.t
     [damping.reused], [restart.stale_marked], [restart.flushed], and the
     error-class counters [errors.discard_attribute],
     [errors.treat_as_withdraw], [errors.session_reset],
-    [errors.internal].  Gauge: [decision.last_change_at] (simulation
-    time of the last best-path change). *)
+    [errors.internal].  Pipeline counters: [pipeline.dirty_marks],
+    [pipeline.runs_saved], [pipeline.drains],
+    [pipeline.export_cache.hits], [pipeline.export_cache.misses].
+    Gauge: [decision.last_change_at] (simulation time of the last
+    best-path change). *)
 
 val trace : t -> Dbgp_obs.Trace.t
 (** The speaker's event trace (decision runs, damping and restart

@@ -130,7 +130,7 @@ let unreachable_set net =
       && Speaker.best (Network.speaker net a) prefix = None)
     (Network.asns net)
 
-let run cfg =
+let run_with_net cfg =
   let net, edges, rng = build cfg in
   Network.set_mrai net cfg.mrai;
   Network.set_graceful_restart net cfg.graceful_window;
@@ -241,7 +241,10 @@ let run cfg =
     corruption_survived = net_counter "net.corruption.survived";
     error_verdicts;
     invariants;
-    obs }
+    obs },
+  net
+
+let run cfg = fst (run_with_net cfg)
 
 let healthy r =
   r.reconverged && r.stale_leaks = 0 && r.forwarding_loops = 0

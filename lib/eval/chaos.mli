@@ -52,6 +52,11 @@ type report = {
 
 val run : config -> report
 
+val run_with_net : config -> report * Dbgp_netsim.Network.t
+(** Like {!run} but also returns the (quiesced) network, so callers can
+    fingerprint or inspect final per-speaker state — the differential
+    harness uses this to prove change-equivalence across refactors. *)
+
 val healthy : report -> bool
 (** Reconverged, no stale leaks, loop-free, all flapped links restored,
     and every post-chaos safety invariant holds ({!Invariants.ok}). *)

@@ -1,0 +1,429 @@
+(* Differential test harness: seeded workloads with golden fingerprints.
+
+   Each scenario drives speakers through a deterministic, seeded workload
+   and folds everything observable — the ordered message transcript, the
+   final best routes, the FIB and the Adj-RIB-Out views — into MD5
+   digests.  The digests recorded against the pre-pipeline speaker are
+   committed as golden transcripts (test/golden_differential.txt); the
+   refactored speaker must reproduce them byte for byte, proving the
+   staged RIB pipeline is change-equivalent: same best paths, same
+   emitted messages.
+
+   The transcript digest covers the *ordered* message sequence, which is
+   strictly stronger than the message-multiset equivalence the
+   acceptance criteria ask for. *)
+
+open Dbgp_types
+module Speaker = Dbgp_core.Speaker
+module Peer = Dbgp_core.Peer
+module Codec = Dbgp_core.Codec
+module Ia = Dbgp_core.Ia
+module Filters = Dbgp_core.Filters
+module Damping = Dbgp_bgp.Flap_damping
+
+type digest = {
+  scenario : string;
+  steps : int;      (* workload steps executed *)
+  messages : int;   (* messages recorded in the transcript *)
+  transcript_md5 : string;
+  state_md5 : string;
+}
+
+let scenarios = [ "relay-line"; "hub-policy"; "chaos-30" ]
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprinting                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let addr_of a = Ipv4.of_octets 10 0 ((a lsr 8) land 0xFF) (a land 0xFF)
+let peer_of a = Peer.make ~asn:(Asn.of_int a) ~addr:(addr_of a)
+
+let msg_enc = function
+  | Speaker.Announce ia -> "A" ^ Codec.encode ia
+  | Speaker.Withdraw p -> "W" ^ Prefix.to_string p
+
+(* Everything the refactor must preserve about final speaker state:
+   best routes (candidate and outgoing IAs, byte-encoded), the FIB next
+   hop for every workload prefix, and the per-neighbor Adj-RIB-Out. *)
+let state_digest speakers prefixes =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (ai, s) ->
+      Buffer.add_string b (Printf.sprintf "AS%d\n" ai);
+      List.iter
+        (fun (p, (c : Speaker.chosen)) ->
+          let via =
+            match c.Speaker.candidate.Dbgp_core.Decision_module.from_peer with
+            | None -> -1
+            | Some pr -> Asn.to_int pr.Peer.asn
+          in
+          Buffer.add_string b (Printf.sprintf "B %s %d " (Prefix.to_string p) via);
+          Buffer.add_string b
+            (Codec.encode c.Speaker.candidate.Dbgp_core.Decision_module.ia);
+          Buffer.add_string b (Codec.encode c.Speaker.outgoing);
+          Buffer.add_char b '\n')
+        (Speaker.best_routes s);
+      List.iter
+        (fun p ->
+          let nh =
+            match Speaker.next_hop_of s (Prefix.network p) with
+            | None -> "-"
+            | Some a -> Ipv4.to_string a
+          in
+          Buffer.add_string b
+            (Printf.sprintf "F %s %s\n" (Prefix.to_string p) nh))
+        prefixes;
+      List.iter
+        (fun (n : Speaker.neighbor) ->
+          List.iter
+            (fun (p, ia) ->
+              Buffer.add_string b
+                (Printf.sprintf "O %d %s "
+                   (Asn.to_int n.Speaker.peer.Peer.asn)
+                   (Prefix.to_string p));
+              Buffer.add_string b (Codec.encode ia);
+              Buffer.add_char b '\n')
+            (Speaker.adj_out s n.Speaker.peer))
+        (Speaker.neighbors s))
+    speakers;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ------------------------------------------------------------------ *)
+(* A miniature relay network at the speaker level: FIFO delivery, no    *)
+(* latency model, every hand-off recorded in the transcript.            *)
+(* ------------------------------------------------------------------ *)
+
+type mini = {
+  mutable clock : float;
+  speakers : (int * Speaker.t) list; (* by ASN, ascending *)
+  mutable links : (int * int) list;  (* normalized, a < b *)
+  q : (int * int * Speaker.msg) Queue.t;
+  buf : Buffer.t;
+  mutable messages : int;
+}
+
+let norm a b = if a < b then (a, b) else (b, a)
+let linked m a b = List.mem (norm a b) m.links
+let speaker_of m a = List.assoc a m.speakers
+
+let log_msg m tag ~from ~to_ msg =
+  Buffer.add_string m.buf (Printf.sprintf "%s %d>%d %s\n" tag from to_ (msg_enc msg));
+  m.messages <- m.messages + 1
+
+let enqueue m ~from outbox =
+  List.iter
+    (fun ((peer : Peer.t), msg) ->
+      let to_ = Asn.to_int peer.Peer.asn in
+      if linked m from to_ then begin
+        log_msg m "tx" ~from ~to_ msg;
+        (* Peers without a simulated speaker (the hub scenario's synthetic
+           neighbors) still appear in the transcript; only simulated ones
+           get the message delivered. *)
+        if List.mem_assoc to_ m.speakers then Queue.add (from, to_, msg) m.q
+      end)
+    outbox
+
+let relay m =
+  let budget = ref 200_000 in
+  while not (Queue.is_empty m.q) do
+    decr budget;
+    if !budget < 0 then failwith "Differential.relay: no quiescence";
+    let from, to_, msg = Queue.pop m.q in
+    log_msg m "rx" ~from ~to_ msg;
+    let s = speaker_of m to_ in
+    let out = Speaker.receive ~now:m.clock s ~from:(peer_of from) msg in
+    enqueue m ~from:to_ out
+  done
+
+(* Drain damping reuse obligations to quiescence, reevaluating each
+   suppressed prefix at its scheduled reuse time (ordered). *)
+let drain_reuse m =
+  List.iter
+    (fun (ai, s) ->
+      let budget = ref 1_000 in
+      let rec go () =
+        decr budget;
+        if !budget < 0 then failwith "Differential.drain_reuse: no quiescence";
+        match
+          List.sort compare
+            (List.map (fun (p, at) -> (at, p)) (Speaker.take_reuse_events s))
+        with
+        | [] -> ()
+        | evs ->
+          List.iter
+            (fun (at, p) ->
+              let now = Float.max at m.clock in
+              enqueue m ~from:ai (Speaker.reevaluate ~now s p))
+            evs;
+          relay m;
+          go ()
+      in
+      go ())
+    m.speakers
+
+let mk_speaker ?(damping = None) a =
+  let s =
+    Speaker.create
+      (Speaker.config ~asn:(Asn.of_int a) ~addr:(addr_of a) ())
+  in
+  Speaker.set_damping s damping;
+  s
+
+(* Install both neighbor entries for an AS pair.  [rel_of_b] is b's
+   relationship as seen from a (To_customer = b is a's customer). *)
+let connect m ?(a_export = Filters.accept) ?(b_export = Filters.accept)
+    ?(b_dbgp = true) a b rel_of_b =
+  let inv : Dbgp_bgp.Policy.relationship -> Dbgp_bgp.Policy.relationship =
+    function
+    | Dbgp_bgp.Policy.To_customer -> Dbgp_bgp.Policy.To_provider
+    | Dbgp_bgp.Policy.To_provider -> Dbgp_bgp.Policy.To_customer
+    | Dbgp_bgp.Policy.To_peer -> Dbgp_bgp.Policy.To_peer
+  in
+  Speaker.add_neighbor (speaker_of m a)
+    (Speaker.neighbor ~export:a_export ~dbgp_capable:b_dbgp
+       ~relationship:rel_of_b (peer_of b));
+  Speaker.add_neighbor (speaker_of m b)
+    (Speaker.neighbor ~export:b_export ~relationship:(inv rel_of_b)
+       (peer_of a));
+  m.links <- norm a b :: m.links
+
+let disconnect m a b =
+  m.links <- List.filter (fun l -> l <> norm a b) m.links
+
+let finish name ~steps ~prefixes m =
+  { scenario = name;
+    steps;
+    messages = m.messages;
+    transcript_md5 = Digest.to_hex (Digest.string (Buffer.contents m.buf));
+    state_md5 = state_digest m.speakers prefixes }
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 1: a 6-AS line with a mid-line link cut and recovery.       *)
+(* Multi-hop dissemination, valley-free policy, a legacy (BGP-only)     *)
+(* edge and a membership-stripping export filter all on the path.       *)
+(* ------------------------------------------------------------------ *)
+
+let run_relay_line seed =
+  let rng = Prng.create seed in
+  let ases = [ 1; 2; 3; 4; 5; 6 ] in
+  let m =
+    { clock = 0.;
+      speakers = List.map (fun a -> (a, mk_speaker a)) ases;
+      links = [];
+      q = Queue.create ();
+      buf = Buffer.create 4096;
+      messages = 0 }
+  in
+  let strip_membership ia = Some { ia with Ia.membership = [] } in
+  connect m 1 2 Dbgp_bgp.Policy.To_provider;
+  connect m 2 3 Dbgp_bgp.Policy.To_provider ~a_export:strip_membership;
+  connect m 3 4 Dbgp_bgp.Policy.To_peer;
+  connect m 4 5 Dbgp_bgp.Policy.To_customer;
+  connect m 5 6 Dbgp_bgp.Policy.To_customer ~b_dbgp:false;
+  let originations =
+    List.map (fun i -> (1, Printf.sprintf "10.1.%d.0/24" i)) [ 0; 1; 2; 3 ]
+    @ List.map (fun i -> (6, Printf.sprintf "10.6.%d.0/24" i)) [ 0; 1 ]
+  in
+  let order = Array.of_list originations in
+  Prng.shuffle rng order;
+  let steps = ref 0 in
+  Array.iter
+    (fun (origin, p) ->
+      incr steps;
+      m.clock <- m.clock +. 1.;
+      let prefix = Prefix.of_string p in
+      let ia =
+        Ia.originate ~prefix ~origin_asn:(Asn.of_int origin)
+          ~next_hop:(addr_of origin) ()
+      in
+      Buffer.add_string m.buf (Printf.sprintf "originate %d %s\n" origin p);
+      enqueue m ~from:origin (Speaker.originate ~now:m.clock (speaker_of m origin) ia);
+      relay m)
+    order;
+  (* Cut the mid-line peering link: both sides lose the session and the
+     withdrawal wave propagates outward. *)
+  incr steps;
+  m.clock <- m.clock +. 1.;
+  Buffer.add_string m.buf "cut 3-4\n";
+  disconnect m 3 4;
+  let out3 = Speaker.peer_down ~now:m.clock (speaker_of m 3) (peer_of 4) in
+  let out4 = Speaker.peer_down ~now:m.clock (speaker_of m 4) (peer_of 3) in
+  enqueue m ~from:3 out3;
+  enqueue m ~from:4 out4;
+  relay m;
+  (* Recover it and resynchronize route-refresh style. *)
+  incr steps;
+  m.clock <- m.clock +. 1.;
+  Buffer.add_string m.buf "recover 3-4\n";
+  connect m 3 4 Dbgp_bgp.Policy.To_peer;
+  enqueue m ~from:3 (Speaker.refresh_peer (speaker_of m 3) (peer_of 4));
+  enqueue m ~from:4 (Speaker.refresh_peer (speaker_of m 4) (peer_of 3));
+  relay m;
+  finish "relay-line" ~steps:!steps
+    ~prefixes:(List.map (fun (_, p) -> Prefix.of_string p) originations)
+    m
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 2: a policy-rich hub under seeded announce/withdraw churn   *)
+(* with flap damping, graceful restart and a route refresh.  Exercises  *)
+(* duplicate absorption, import rejection (loops), suppression and      *)
+(* reuse, and the per-neighbor egress matrix.                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_hub_policy seed =
+  let rng = Prng.create (seed + 1) in
+  let hub = 100 in
+  let damping = Some { Damping.default with Damping.half_life = 5. } in
+  let m =
+    { clock = 0.;
+      speakers = [ (hub, mk_speaker ~damping hub) ];
+      links = [];
+      q = Queue.create ();
+      buf = Buffer.create 4096;
+      messages = 0 }
+  in
+  let s = speaker_of m hub in
+  let nbr ?import ?export ?dbgp_capable rel a =
+    m.links <- norm hub a :: m.links;
+    Speaker.add_neighbor s
+      (Speaker.neighbor ?import ?export ?dbgp_capable ~relationship:rel
+         (peer_of a))
+  in
+  let drop_big = Filters.max_size 90 in
+  nbr Dbgp_bgp.Policy.To_customer 11;
+  nbr Dbgp_bgp.Policy.To_customer 12;
+  nbr Dbgp_bgp.Policy.To_provider 13;
+  nbr Dbgp_bgp.Policy.To_peer 14;
+  nbr Dbgp_bgp.Policy.To_customer ~dbgp_capable:false 15;
+  nbr Dbgp_bgp.Policy.To_customer ~export:drop_big 16;
+  let peers = [| 11; 12; 13; 14; 15; 16 |] in
+  let pool =
+    Array.init 12 (fun i -> Prefix.of_string (Printf.sprintf "20.0.%d.0/24" i))
+  in
+  let mk_ia from prefix =
+    let ia =
+      Ia.originate ~prefix ~origin_asn:(Asn.of_int from)
+        ~next_hop:(addr_of from) ()
+    in
+    (* Vary the path length (selection pressure) and occasionally make
+       the path loop through the hub (import rejection). *)
+    let hops = Prng.int rng 3 in
+    let ia = ref ia in
+    for h = 1 to hops do
+      ia := Ia.prepend_as (Asn.of_int (200 + (10 * from) + h)) !ia
+    done;
+    if Prng.int rng 10 = 0 then ia := Ia.prepend_as (Asn.of_int hub) !ia;
+    if Prng.int rng 4 = 0 then
+      ia :=
+        Ia.set_path_descriptor ~owners:[ Protocol_id.wiser ] ~field:"cost"
+          (Dbgp_core.Value.Int (Prng.int rng 100))
+          !ia;
+    !ia
+  in
+  let steps = 400 in
+  for _ = 1 to steps do
+    m.clock <- m.clock +. 1.;
+    let from = peers.(Prng.int rng (Array.length peers)) in
+    let prefix = pool.(Prng.int rng (Array.length pool)) in
+    let msg =
+      if Prng.int rng 4 = 0 then Speaker.Withdraw prefix
+      else Speaker.Announce (mk_ia from prefix)
+    in
+    log_msg m "inject" ~from ~to_:hub msg;
+    enqueue m ~from:hub (Speaker.receive ~now:m.clock s ~from:(peer_of from) msg)
+  done;
+  (* Graceful restart on one customer: stale-mark, partial refresh from
+     the peer, then the window closes and flushes the rest. *)
+  m.clock <- m.clock +. 1.;
+  Buffer.add_string m.buf "graceful 11\n";
+  Speaker.peer_down_graceful ~now:m.clock s (peer_of 11);
+  m.clock <- m.clock +. 1.;
+  let refresh_msg = Speaker.Announce (mk_ia 11 pool.(0)) in
+  log_msg m "inject" ~from:11 ~to_:hub refresh_msg;
+  enqueue m ~from:hub (Speaker.receive ~now:m.clock s ~from:(peer_of 11) refresh_msg);
+  m.clock <- m.clock +. 10.;
+  Buffer.add_string m.buf "flush 11\n";
+  enqueue m ~from:hub (Speaker.flush_stale ~now:m.clock s (peer_of 11));
+  (* Route refresh toward another customer. *)
+  Buffer.add_string m.buf "refresh 12\n";
+  enqueue m ~from:hub (Speaker.refresh_peer s (peer_of 12));
+  m.clock <- m.clock +. 100.;
+  drain_reuse m;
+  finish "hub-policy" ~steps:(steps + 4) ~prefixes:(Array.to_list pool) m
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 3: a full seeded chaos run (faults, flaps, graceful restart *)
+(* and damping over a BRITE topology), fingerprinting the report and    *)
+(* the final per-speaker state.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_prefix = Prefix.of_string "99.0.0.0/24"
+
+let run_chaos seed =
+  let cfg = { Chaos.default with Chaos.seed; ases = 30; flaps = 3 } in
+  let r, net = Chaos.run_with_net cfg in
+  let b = Buffer.create 1024 in
+  let stats tag (s : Dbgp_netsim.Network.stats) =
+    Buffer.add_string b
+      (Printf.sprintf "%s %d %d %d %d %.6f\n" tag s.Dbgp_netsim.Network.messages
+         s.Dbgp_netsim.Network.withdrawals s.Dbgp_netsim.Network.dropped
+         s.Dbgp_netsim.Network.events s.Dbgp_netsim.Network.converged_at)
+  in
+  stats "initial" r.Chaos.initial;
+  stats "final" r.Chaos.final;
+  List.iter
+    (fun (a, bb) -> Buffer.add_string b (Printf.sprintf "flap %d-%d\n" a bb))
+    r.Chaos.flapped;
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "err %s %d\n" k v))
+    r.Chaos.error_verdicts;
+  Buffer.add_string b
+    (Printf.sprintf "stale %d loops %d healthy %b\n" r.Chaos.stale_leaks
+       r.Chaos.forwarding_loops (Chaos.healthy r));
+  let speakers =
+    List.map
+      (fun a -> (Asn.to_int a, Dbgp_netsim.Network.speaker net a))
+      (Dbgp_netsim.Network.asns net)
+  in
+  { scenario = "chaos-30";
+    steps = cfg.Chaos.flaps;
+    messages = r.Chaos.final.Dbgp_netsim.Network.messages;
+    transcript_md5 = Digest.to_hex (Digest.string (Buffer.contents b));
+    state_md5 = state_digest speakers [ chaos_prefix ] }
+
+let run ?(seed = 42) name =
+  match name with
+  | "relay-line" -> run_relay_line seed
+  | "hub-policy" -> run_hub_policy seed
+  | "chaos-30" -> run_chaos seed
+  | _ -> invalid_arg ("Differential.run: unknown scenario " ^ name)
+
+let run_all ?seed () = List.map (fun n -> run ?seed n) scenarios
+
+(* ------------------------------------------------------------------ *)
+(* Golden-file format: one tab-separated line per digest.               *)
+(* ------------------------------------------------------------------ *)
+
+let to_line d =
+  Printf.sprintf "%s\t%d\t%d\t%s\t%s" d.scenario d.steps d.messages
+    d.transcript_md5 d.state_md5
+
+let of_line line =
+  match String.split_on_char '\t' (String.trim line) with
+  | [ scenario; steps; messages; transcript_md5; state_md5 ] ->
+    Some
+      { scenario;
+        steps = int_of_string steps;
+        messages = int_of_string messages;
+        transcript_md5;
+        state_md5 }
+  | _ -> None
+
+let equal a b =
+  a.scenario = b.scenario && a.steps = b.steps && a.messages = b.messages
+  && a.transcript_md5 = b.transcript_md5
+  && a.state_md5 = b.state_md5
+
+let pp ppf d =
+  Format.fprintf ppf "%-12s steps=%d msgs=%d transcript=%s state=%s" d.scenario
+    d.steps d.messages d.transcript_md5 d.state_md5

@@ -1,0 +1,44 @@
+(** Differential test harness: seeded workloads with golden fingerprints.
+
+    Each scenario drives speakers through a deterministic seeded workload
+    and folds the observable behaviour into MD5 digests: the ordered
+    message transcript (every injected, received and transmitted message,
+    byte-encoded) and the final state (best routes, FIB next hops,
+    Adj-RIB-Out views).  Digests recorded against the pre-pipeline
+    speaker live in [test/golden_differential.txt]; the staged-RIB
+    speaker must reproduce them byte for byte, proving the refactor is
+    change-equivalent — identical best paths and an identical (ordered,
+    hence multiset-) message sequence.
+
+    Scenarios: ["relay-line"] (6-AS line, mid-line cut + recovery,
+    legacy edge, membership-stripping export), ["hub-policy"] (policy-
+    rich hub under 400 steps of seeded churn with damping, graceful
+    restart, refresh), ["chaos-30"] (full seeded chaos run over a BRITE
+    topology). *)
+
+type digest = {
+  scenario : string;
+  steps : int;            (** workload steps executed *)
+  messages : int;         (** messages recorded in the transcript *)
+  transcript_md5 : string;
+  state_md5 : string;
+}
+
+val scenarios : string list
+
+val run : ?seed:int -> string -> digest
+(** Run one scenario (default seed 42).
+    @raise Invalid_argument on an unknown scenario name. *)
+
+val run_all : ?seed:int -> unit -> digest list
+(** Every scenario, in {!scenarios} order. *)
+
+val equal : digest -> digest -> bool
+
+val to_line : digest -> string
+(** One tab-separated golden-file line. *)
+
+val of_line : string -> digest option
+(** Parse a golden-file line ([None] on malformed input). *)
+
+val pp : Format.formatter -> digest -> unit

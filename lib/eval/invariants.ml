@@ -11,6 +11,10 @@ type violation =
   | Rib_fib_mismatch of int
   | Passthrough_mutated of int
   | Stale_leak of int * int
+  | Orphan_adj_out of int * int
+  | Orphan_adj_in of int * int
+  | Orphan_flap of int * int
+  | Orphan_stale of int * int
 
 type report = {
   speakers : int;
@@ -45,6 +49,16 @@ let check ?expect_descriptor ~prefix ~dest net =
       if walk_loops net ~dest a then flag (Forwarding_loop ai);
       let leaked = Speaker.stale_count s in
       if leaked > 0 then flag (Stale_leak (ai, leaked));
+      (* Adj-RIB-Out state toward someone who is not a neighbor is never
+         legitimate: every teardown path must erase it.  (Flap-damping
+         state toward an ex-neighbor IS legitimate after a session loss —
+         damping memory survives link flaps — so it is not flagged here;
+         {!peer_clean} checks it after administrative removal.) *)
+      List.iter
+        (fun p ->
+          if not (Speaker.has_neighbor s p) then
+            flag (Orphan_adj_out (ai, Asn.to_int p.Dbgp_core.Peer.asn)))
+        (Speaker.adj_out_peers s);
       match Speaker.best s prefix with
       | None -> ()
       | Some chosen ->
@@ -80,16 +94,37 @@ let check ?expect_descriptor ~prefix ~dest net =
 
 let ok r = r.violations = []
 
+(* Post-teardown cleanliness for one (speaker, ex-peer) pair: after
+   [Speaker.remove_neighbor] nothing of the peer may remain in any
+   pipeline stage or in the damping memory. *)
+let peer_clean s peer =
+  let ai = Asn.to_int (Speaker.asn s) in
+  let pi = Asn.to_int peer.Dbgp_core.Peer.asn in
+  let violations = ref [] in
+  let flag v = violations := v :: !violations in
+  if Speaker.has_adj_in s peer then flag (Orphan_adj_in (ai, pi));
+  if List.exists (Dbgp_core.Peer.equal peer) (Speaker.adj_out_peers s) then
+    flag (Orphan_adj_out (ai, pi));
+  if Speaker.has_stale s peer then flag (Orphan_stale (ai, pi));
+  if Speaker.has_flap_state s peer then flag (Orphan_flap (ai, pi));
+  if Speaker.export_group_of s peer <> None then flag (Orphan_adj_out (ai, pi));
+  List.rev !violations
+
 let kind_name = function
   | Forwarding_loop _ -> "forwarding_loop"
   | Route_via_down_link _ -> "route_via_down_link"
   | Rib_fib_mismatch _ -> "rib_fib_mismatch"
   | Passthrough_mutated _ -> "passthrough_mutated"
   | Stale_leak _ -> "stale_leak"
+  | Orphan_adj_out _ -> "orphan_adj_out"
+  | Orphan_adj_in _ -> "orphan_adj_in"
+  | Orphan_flap _ -> "orphan_flap"
+  | Orphan_stale _ -> "orphan_stale"
 
 let all_kinds =
   [ "forwarding_loop"; "route_via_down_link"; "rib_fib_mismatch";
-    "passthrough_mutated"; "stale_leak" ]
+    "passthrough_mutated"; "stale_leak"; "orphan_adj_out"; "orphan_adj_in";
+    "orphan_flap"; "orphan_stale" ]
 
 let pp_violation ppf = function
   | Forwarding_loop a -> Format.fprintf ppf "forwarding loop at AS%d" a
@@ -100,6 +135,15 @@ let pp_violation ppf = function
     Format.fprintf ppf "pass-through descriptor mutated at AS%d" a
   | Stale_leak (a, n) ->
     Format.fprintf ppf "%d stale routes leaked at AS%d" n a
+  | Orphan_adj_out (a, p) ->
+    Format.fprintf ppf "AS%d retains Adj-RIB-Out state toward non-neighbor AS%d"
+      a p
+  | Orphan_adj_in (a, p) ->
+    Format.fprintf ppf "AS%d retains Adj-RIB-In routes from removed AS%d" a p
+  | Orphan_flap (a, p) ->
+    Format.fprintf ppf "AS%d retains flap-damping state for removed AS%d" a p
+  | Orphan_stale (a, p) ->
+    Format.fprintf ppf "AS%d retains stale marks for removed AS%d" a p
 
 let pp ppf r =
   if ok r then

@@ -28,6 +28,17 @@ type violation =
       (** The expected pass-through descriptor is missing or altered. *)
   | Stale_leak of int * int
       (** (asn, routes): stale routes survived past every restart window. *)
+  | Orphan_adj_out of int * int
+      (** (asn, peer): Adj-RIB-Out state (advertised routes or group
+          membership) toward someone who is not a neighbor. *)
+  | Orphan_adj_in of int * int
+      (** (asn, peer): Adj-RIB-In routes from a removed peer. *)
+  | Orphan_flap of int * int
+      (** (asn, peer): flap-damping memory for an administratively
+          removed peer (legitimate after a mere session loss, so only
+          {!peer_clean} reports it). *)
+  | Orphan_stale of int * int
+      (** (asn, peer): stale marks for a removed peer. *)
 
 type report = {
   speakers : int;           (** speakers examined *)
@@ -46,6 +57,13 @@ val check :
     must carry that exact descriptor value. *)
 
 val ok : report -> bool
+
+val peer_clean : Dbgp_core.Speaker.t -> Dbgp_core.Peer.t -> violation list
+(** Post-teardown cleanliness for one (speaker, ex-peer) pair: after
+    {!Dbgp_core.Speaker.remove_neighbor} nothing of the peer may remain
+    in any pipeline stage — Adj-RIB-In routes, stale marks, Adj-RIB-Out
+    state, peer-group membership — nor in the flap-damping memory.
+    Empty = clean. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 val pp : Format.formatter -> report -> unit

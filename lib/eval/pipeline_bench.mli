@@ -1,0 +1,41 @@
+(** Pipeline benchmark: what the staged RIB pipeline saves.
+
+    Converges seeded BRITE topologies under a positive MRAI — so arriving
+    updates are batched into each speaker's dirty-prefix scheduler and
+    drained once per interval — and reports, from the speakers' own
+    [pipeline.*] counters:
+
+    - {e decision runs per delivered update}: below 1.0 whenever
+      coalescing beats the eager run-per-message speaker;
+    - the {e export-cache hit rate}: how often a per-neighbor egress
+      computation was served from the per-group cache instead of being
+      recomputed.
+
+    Deterministic for a given seed except for the wall-clock fields. *)
+
+type row = {
+  ases : int;
+  prefixes : int;
+  messages : int;          (** wire messages delivered network-wide *)
+  updates : int;           (** announcements + withdrawals handed to speakers *)
+  decision_runs : int;
+  runs_per_update : float; (** < 1.0 means coalescing beat run-per-message *)
+  dirty_marks : int;
+  runs_saved : int;
+  drains : int;
+  export_hits : int;
+  export_misses : int;
+  export_hit_rate : float;
+  elapsed_s : float;
+  updates_per_s : float;
+}
+
+val run : ?seed:int -> ?prefixes:int -> ?mrai:float -> ases:int -> unit -> row
+(** Defaults: seed 42, 4 prefixes (originated from distinct low ASNs),
+    MRAI 2.0 s. *)
+
+val suite : ?sizes:int list -> unit -> row list
+(** One {!run} per topology size; default sizes 100, 500 and 1000 ASes. *)
+
+val to_snapshot : row -> Dbgp_obs.Snapshot.t
+val pp : Format.formatter -> row -> unit

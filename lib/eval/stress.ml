@@ -34,8 +34,15 @@ let run_quagga_equivalent ?(peers = 6) ~advertisements () =
     |> List.map (fun u -> Dbgp_bgp.Message.encode (Dbgp_bgp.Message.Update u))
   in
   let total_bytes = List.fold_left (fun a m -> a + String.length m) 0 wire in
-  let rib = Dbgp_bgp.Rib.create () in
-  let peer_addr i = Ipv4.of_octets 192 168 0 (1 + (i mod peers)) in
+  (* The same RIB stages the D-BGP speaker uses, with plain-BGP attribute
+     candidates as the route type. *)
+  let rib_in = Dbgp_core.Adj_rib_in.create () in
+  let loc = Dbgp_core.Loc_rib.create () in
+  let peer_of i =
+    Peer.make
+      ~asn:(Asn.of_int (65001 + (i mod peers)))
+      ~addr:(Ipv4.of_octets 192 168 0 (1 + (i mod peers)))
+  in
   let (), elapsed =
     time (fun () ->
         List.iteri
@@ -44,23 +51,25 @@ let run_quagga_equivalent ?(peers = 6) ~advertisements () =
             | Dbgp_bgp.Message.Update { attrs = Some attrs; nlri; _ } ->
               List.iter
                 (fun prefix ->
-                  let peer = peer_addr i in
+                  let peer = peer_of i in
                   let cand =
                     { Dbgp_bgp.Decision.attrs;
-                      from_peer = peer;
+                      from_peer = peer.Peer.addr;
                       from_asn =
                         ( match Dbgp_bgp.Attr.as_path_asns attrs.Dbgp_bgp.Attr.as_path with
                           | a :: _ -> a
                           | [] -> Asn.of_int 65000 );
                       ebgp = true }
                   in
-                  Dbgp_bgp.Rib.adj_in_set rib ~peer prefix cand;
+                  Dbgp_core.Adj_rib_in.set rib_in ~peer prefix cand;
                   let cands =
-                    List.map snd (Dbgp_bgp.Rib.adj_in_candidates rib prefix)
+                    List.map snd (Dbgp_core.Adj_rib_in.candidates rib_in prefix)
                   in
                   match Dbgp_bgp.Decision.best cands with
-                  | Some best -> Dbgp_bgp.Rib.loc_set rib prefix best
-                  | None -> Dbgp_bgp.Rib.loc_del rib prefix)
+                  | Some best ->
+                    Dbgp_core.Loc_rib.set loc prefix best
+                      ~next_hop:(Some best.Dbgp_bgp.Decision.from_peer)
+                  | None -> Dbgp_core.Loc_rib.remove loc prefix)
                 nlri
             | _ -> ())
           wire)
@@ -110,11 +119,59 @@ let run_beagle ?(peers = 6) ?(payload_bytes = 0) ~advertisements () =
   in
   mk_result label ~advertisements ~peers ~total_bytes elapsed
 
+let run_beagle_batched ?(peers = 6) ?(payload_bytes = 0) ?(batch = 32)
+    ~advertisements () =
+  let s = Workload.spec ~payload_bytes ~advertisements () in
+  let wire = List.map Dbgp_core.Codec.encode (Workload.generate s) in
+  let total_bytes = List.fold_left (fun a m -> a + String.length m) 0 wire in
+  let speaker =
+    Speaker.create
+      (Speaker.config ~asn:(Asn.of_int 64512)
+         ~addr:(Ipv4.of_octets 192 168 1 1) ())
+  in
+  let peer_of i =
+    Peer.make
+      ~asn:(Asn.of_int (65001 + (i mod peers)))
+      ~addr:(Ipv4.of_octets 192 168 0 (1 + (i mod peers)))
+  in
+  for i = 0 to peers - 1 do
+    Speaker.add_neighbor speaker
+      (Speaker.neighbor ~relationship:Dbgp_bgp.Policy.To_peer (peer_of i))
+  done;
+  let emit_outbox outbox =
+    List.iter
+      (fun (_, out) ->
+        match out with
+        | Speaker.Announce ia -> ignore (Dbgp_core.Codec.encode ia)
+        | Speaker.Withdraw _ -> ())
+      outbox
+  in
+  let (), elapsed =
+    time (fun () ->
+        List.iteri
+          (fun i msg ->
+            let ia = Dbgp_core.Codec.decode msg in
+            Speaker.ingest speaker ~from:(peer_of i) (Speaker.Announce ia);
+            (* Drain once per [batch] arrivals — the MRAI-style receive
+               path, where colliding prefixes share one decision run. *)
+            if (i + 1) mod batch = 0 then emit_outbox (Speaker.flush speaker))
+          wire;
+        emit_outbox (Speaker.flush speaker))
+  in
+  let label =
+    if payload_bytes = 0 then
+      Printf.sprintf "Beagle batched/%d (BGP-only)" batch
+    else
+      Printf.sprintf "Beagle batched/%d (%d KB IAs)" batch (payload_bytes / 1024)
+  in
+  mk_result label ~advertisements ~peers ~total_bytes elapsed
+
 let suite ?(advertisements = 2_000) () =
   (* Every arm replays the same number of advertisements so RIB-size
      effects cancel and only the serialization cost differs. *)
   [ run_quagga_equivalent ~advertisements ();
     run_beagle ~advertisements ();
+    run_beagle_batched ~advertisements ();
     run_beagle ~payload_bytes:(32 * 1024) ~advertisements ();
     run_beagle ~payload_bytes:(256 * 1024) ~advertisements () ]
 

@@ -26,10 +26,18 @@ type result = {
 val run_quagga_equivalent : ?peers:int -> advertisements:int -> unit -> result
 val run_beagle : ?peers:int -> ?payload_bytes:int -> advertisements:int -> unit -> result
 
+val run_beagle_batched :
+  ?peers:int -> ?payload_bytes:int -> ?batch:int -> advertisements:int ->
+  unit -> result
+(** The MRAI-style receive path: updates are only ingested into the
+    speaker's dirty-prefix pipeline and a drain runs once per [batch]
+    arrivals (default 32), so colliding prefixes share one decision
+    run. *)
+
 val suite : ?advertisements:int -> unit -> result list
-(** The paper's four points: Quagga BGP-only, Beagle BGP-only, Beagle
-    32 KB IAs, Beagle 256 KB IAs, every arm replaying the same number of
-    advertisements.  The default of 2,000 (the paper used 150,000/peer)
+(** The paper's comparison: Quagga BGP-only, Beagle BGP-only (eager and
+    batched), Beagle 32 KB IAs, Beagle 256 KB IAs, every arm replaying
+    the same number of advertisements.  The default of 2,000 (the paper used 150,000/peer)
     keeps the benchmark under half a minute while preserving the
     comparison; scale up with [advertisements] for steadier rates. *)
 

@@ -43,6 +43,9 @@ type t = {
   (* Per (src, dst) directed pair: the latest pending message per prefix
      plus whether a flush is already scheduled. *)
   pending : (int * int, (Prefix.t, Speaker.msg) Hashtbl.t * bool ref) Hashtbl.t;
+  (* Receive-side batching (MRAI mode): per-ASN flag marking an already
+     scheduled pipeline drain, so a burst of arrivals buys one drain. *)
+  drain_scheduled : (int, bool ref) Hashtbl.t;
   (* Network-level observability: message accounting lives in a metrics
      registry (the hot-path counters are cached), wire-level events go to
      the trace ring. *)
@@ -68,6 +71,7 @@ let create () =
     graceful_window = None;
     restart_gen = Hashtbl.create 16;
     pending = Hashtbl.create 64;
+    drain_scheduled = Hashtbl.create 64;
     obs;
     trace = Trace.create ();
     c_messages = Metrics.counter obs "net.messages";
@@ -239,6 +243,10 @@ and deliver_once t ~now ~from ~to_ msg =
          bytes;
          withdraw = is_withdraw msg });
   let s = speaker t to_ in
+  (* With MRAI batching on, receipt only ingests (marks the prefix dirty
+     in the speaker's pipeline); the decision process runs once per dirty
+     prefix when the scheduled drain fires. *)
+  let batched = t.mrai > 0. in
   let outbox =
     match (t.fault, msg) with
     | Some f, Speaker.Announce ia
@@ -250,7 +258,7 @@ and deliver_once t ~now ~from ~to_ msg =
       let wire = Fault_model.mutate f (Dbgp_core.Codec.encode ia) in
       Metrics.incr (Metrics.counter t.obs "net.corruption.injected");
       let outcome, out =
-        Speaker.receive_wire ~now s ~from:(peer_of t from) wire
+        Speaker.receive_wire ~now ~defer:batched s ~from:(peer_of t from) wire
       in
       ( match outcome with
         | Speaker.Rx_accepted _ ->
@@ -259,10 +267,43 @@ and deliver_once t ~now ~from ~to_ msg =
         | Speaker.Rx_filtered | Speaker.Rx_withdrawn
         | Speaker.Rx_session_error -> () );
       out
-    | _ -> Speaker.receive ~now s ~from:(peer_of t from) msg
+    | _ ->
+      if batched then begin
+        Speaker.ingest ~now s ~from:(peer_of t from) msg;
+        []
+      end
+      else Speaker.receive ~now s ~from:(peer_of t from) msg
   in
   drain_reuse t to_ s;
-  dispatch t ~from:to_ outbox
+  dispatch t ~from:to_ outbox;
+  if batched then schedule_drain t to_ s
+
+(* One pending drain per speaker: the first arrival in a batch schedules
+   it, everything landing within the MRAI window coalesces into the same
+   flush. *)
+and schedule_drain t asn s =
+  if Speaker.pending s > 0 then begin
+    let flag =
+      match Hashtbl.find_opt t.drain_scheduled (Asn.to_int asn) with
+      | Some f -> f
+      | None ->
+        let f = ref false in
+        Hashtbl.replace t.drain_scheduled (Asn.to_int asn) f;
+        f
+    in
+    if not !flag then begin
+      flag := true;
+      Event_queue.schedule t.q ~delay:t.mrai (fun () ->
+          flag := false;
+          let outbox = Speaker.flush ~now:(Event_queue.now t.q) s in
+          Metrics.incr (Metrics.counter t.obs "net.pipeline_drains");
+          drain_reuse t asn s;
+          dispatch t ~from:asn outbox;
+          (* A drain can dirty further prefixes (e.g. a decision change
+             marked by a concurrent ingest); keep draining until clean. *)
+          schedule_drain t asn s)
+    end
+  end
 
 (* Damping reuse obligations: when a speaker suppressed a route it hands
    us (prefix, time) pairs; re-run its decision process at each time so
@@ -392,6 +433,26 @@ let recover_link t a b =
       refresh_link t a b
     end
 
+(* Permanent administrative teardown, as opposed to [fail_link]'s
+   session loss: the configuration is forgotten (no [recover_link]), and
+   both speakers run {!Speaker.remove_neighbor} — erasing Adj-RIB-In,
+   Adj-RIB-Out, stale marks, group membership and flap-damping state for
+   the peer. *)
+let unlink t a b =
+  match Hashtbl.find_opt t.links (lat_key a b) with
+  | None -> invalid_arg "Network.unlink: link was never configured"
+  | Some _ ->
+    Hashtbl.remove t.latencies (lat_key a b);
+    Hashtbl.remove t.links (lat_key a b);
+    clear_pending t a b;
+    ignore (bump_restart_gen t (lat_key a b));
+    let sa = speaker t a and sb = speaker t b in
+    let now = Event_queue.now t.q in
+    let out_a = Speaker.remove_neighbor ~now sa (peer_of t b) in
+    let out_b = Speaker.remove_neighbor ~now sb (peer_of t a) in
+    Event_queue.schedule t.q ~delay:0. (fun () -> dispatch t ~from:a out_a);
+    Event_queue.schedule t.q ~delay:0. (fun () -> dispatch t ~from:b out_b)
+
 let refresh_all t =
   Hashtbl.iter
     (fun (a, b) _ -> refresh_link t (Asn.of_int a) (Asn.of_int b))
@@ -476,7 +537,9 @@ let speaker_counter_names =
     "updates.duplicate"; "withdrawals.received"; "import.rejected";
     "damping.suppressed"; "damping.reused"; "restart.stale_marked";
     "restart.flushed"; "errors.discard_attribute";
-    "errors.treat_as_withdraw"; "errors.session_reset"; "errors.internal" ]
+    "errors.treat_as_withdraw"; "errors.session_reset"; "errors.internal";
+    "pipeline.dirty_marks"; "pipeline.runs_saved"; "pipeline.drains";
+    "pipeline.export_cache.hits"; "pipeline.export_cache.misses" ]
 
 let snapshot ?(recent_events = 0) t =
   let speaker_totals =

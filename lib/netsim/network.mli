@@ -82,6 +82,15 @@ val recover_link : t -> Dbgp_types.Asn.t -> Dbgp_types.Asn.t -> unit
     already up.
     @raise Invalid_argument if the pair was never linked. *)
 
+val unlink : t -> Dbgp_types.Asn.t -> Dbgp_types.Asn.t -> unit
+(** Permanent administrative teardown, as opposed to {!fail_link}'s
+    session loss: the stored configuration is forgotten (the link cannot
+    be {!recover_link}ed) and both speakers run
+    {!Dbgp_core.Speaker.remove_neighbor}, leaving no Adj-RIB-In routes,
+    Adj-RIB-Out state, stale marks, group membership or flap-damping
+    memory for the peer.
+    @raise Invalid_argument if the pair was never linked. *)
+
 val schedule_flap :
   t -> down_at:float -> up_at:float ->
   Dbgp_types.Asn.t -> Dbgp_types.Asn.t -> unit
@@ -119,6 +128,12 @@ val set_mrai : t -> float -> unit
     delivered every interval — BGP's standard churn dampener, and the
     "flexibility in choosing the rate at which to disseminate
     advertisements" Section 3.5 leans on.  Default 0 (immediate).
+
+    A positive MRAI also batches on the receive side: arriving updates
+    are only ingested into the speaker's dirty-prefix pipeline, and one
+    drain per speaker per interval runs the decision process once per
+    dirty prefix — however many updates arrived in between (the saving is
+    visible as the speakers' [pipeline.runs_saved] counter).
     @raise Invalid_argument on negative values. *)
 
 val originate : t -> Dbgp_types.Asn.t -> Dbgp_core.Ia.t -> unit

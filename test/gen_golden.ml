@@ -1,0 +1,12 @@
+(* Regenerate the differential golden transcripts.
+
+   Usage: dune exec test/gen_golden.exe > test/golden_differential.txt
+
+   The committed golden file was produced by the pre-pipeline speaker;
+   regenerating it only makes sense when an *intentional* behaviour
+   change has been reviewed and the new fingerprints accepted. *)
+
+let () =
+  List.iter
+    (fun d -> print_endline (Dbgp_eval.Differential.to_line d))
+    (Dbgp_eval.Differential.run_all ())

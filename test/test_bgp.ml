@@ -2,7 +2,6 @@ open Dbgp_types
 module Attr = Dbgp_bgp.Attr
 module Message = Dbgp_bgp.Message
 module Decision = Dbgp_bgp.Decision
-module Rib = Dbgp_bgp.Rib
 module Policy = Dbgp_bgp.Policy
 module Fsm = Dbgp_bgp.Fsm
 module W = Dbgp_wire.Writer
@@ -165,44 +164,6 @@ let test_decision_best_rank () =
   check "empty none" true (Decision.best [] = None);
   let ranked = Decision.rank [ c1; c2; c3 ] in
   check "rank order" true (ranked = [ c3; c2; c1 ])
-
-(* ------------------------- Rib ------------------------- *)
-
-let test_rib_adj_in () =
-  let rib = Rib.create () in
-  let p1 = ip "10.0.0.1" and p2 = ip "10.0.0.2" in
-  Rib.adj_in_set rib ~peer:p1 (pfx "1.0.0.0/8") "r1";
-  Rib.adj_in_set rib ~peer:p2 (pfx "1.0.0.0/8") "r2";
-  check_int "two candidates" 2 (List.length (Rib.adj_in_candidates rib (pfx "1.0.0.0/8")));
-  Rib.adj_in_del rib ~peer:p1 (pfx "1.0.0.0/8");
-  check "deleted" true (Rib.adj_in_get rib ~peer:p1 (pfx "1.0.0.0/8") = None);
-  check "other kept" true (Rib.adj_in_get rib ~peer:p2 (pfx "1.0.0.0/8") = Some "r2")
-
-let test_rib_loc () =
-  let rib = Rib.create () in
-  Rib.loc_set rib (pfx "10.0.0.0/8") "wide";
-  Rib.loc_set rib (pfx "10.1.0.0/16") "narrow";
-  check "lpm" true
-    (Rib.loc_lookup rib (ip "10.1.2.3") = Some (pfx "10.1.0.0/16", "narrow"));
-  check_int "size" 2 (Rib.loc_size rib);
-  Rib.loc_del rib (pfx "10.1.0.0/16");
-  check "fallback" true (Rib.loc_lookup rib (ip "10.1.2.3") = Some (pfx "10.0.0.0/8", "wide"))
-
-let test_rib_drop_peer () =
-  let rib = Rib.create () in
-  let p1 = ip "10.0.0.1" in
-  Rib.adj_in_set rib ~peer:p1 (pfx "1.0.0.0/8") "a";
-  Rib.adj_in_set rib ~peer:p1 (pfx "2.0.0.0/8") "b";
-  Rib.adj_out_set rib ~peer:p1 (pfx "3.0.0.0/8") "c";
-  let affected = Rib.drop_peer rib ~peer:p1 in
-  check_int "two prefixes affected" 2 (List.length affected);
-  check "adj out cleared" true (Rib.adj_out_get rib ~peer:p1 (pfx "3.0.0.0/8") = None)
-
-let test_rib_prefixes () =
-  let rib = Rib.create () in
-  Rib.adj_in_set rib ~peer:(ip "10.0.0.1") (pfx "1.0.0.0/8") "a";
-  Rib.loc_set rib (pfx "2.0.0.0/8") "b";
-  check_int "union" 2 (Prefix.Set.cardinal (Rib.prefixes rib))
 
 (* ------------------------- Policy ------------------------- *)
 
@@ -592,11 +553,6 @@ let () =
          Alcotest.test_case "med" `Quick test_decision_med;
          Alcotest.test_case "ebgp/peer id" `Quick test_decision_ebgp_peer;
          Alcotest.test_case "best/rank" `Quick test_decision_best_rank ]);
-      ("rib",
-       [ Alcotest.test_case "adj-in" `Quick test_rib_adj_in;
-         Alcotest.test_case "loc-rib" `Quick test_rib_loc;
-         Alcotest.test_case "drop peer" `Quick test_rib_drop_peer;
-         Alcotest.test_case "prefixes" `Quick test_rib_prefixes ]);
       ("policy",
        [ Alcotest.test_case "first match" `Quick test_policy_first_match;
          Alcotest.test_case "matchers" `Quick test_policy_matchers;

@@ -4,7 +4,7 @@ module Value = Dbgp_core.Value
 module Codec = Dbgp_core.Codec
 module Filters = Dbgp_core.Filters
 module Dm = Dbgp_core.Decision_module
-module Ia_db = Dbgp_core.Ia_db
+module Adj_rib_in = Dbgp_core.Adj_rib_in
 module Factory = Dbgp_core.Factory
 module Speaker = Dbgp_core.Speaker
 module Peer = Dbgp_core.Peer
@@ -251,18 +251,20 @@ let test_bgp_module_select () =
   check "tie lowest peer" true (m.Dm.select ~prefix:(pfx "99.0.0.0/24") [ p2; p1 ] = Some p1)
 
 let test_ia_db () =
-  let db = Ia_db.create () in
+  let db = Adj_rib_in.create () in
   let ia = base_ia () in
-  Ia_db.store db ~peer:(peer 1) ia;
-  Ia_db.store db ~peer:(peer 2) (Ia.prepend_as (asn 7) ia);
-  check_int "two candidates" 2 (List.length (Ia_db.candidates db (pfx "99.0.0.0/24")));
-  check "find" true (Ia_db.find db ~peer:(peer 1) (pfx "99.0.0.0/24") = Some ia);
-  Ia_db.remove db ~peer:(peer 1) (pfx "99.0.0.0/24");
-  check_int "one left" 1 (List.length (Ia_db.candidates db (pfx "99.0.0.0/24")));
-  Ia_db.store db ~peer:(peer 2) (base_ia ~prefix:"98.0.0.0/24" ());
-  let affected = Ia_db.drop_peer db ~peer:(peer 2) in
+  Adj_rib_in.set db ~peer:(peer 1) ia.Ia.prefix ia;
+  let ia7 = Ia.prepend_as (asn 7) ia in
+  Adj_rib_in.set db ~peer:(peer 2) ia7.Ia.prefix ia7;
+  check_int "two candidates" 2 (List.length (Adj_rib_in.candidates db (pfx "99.0.0.0/24")));
+  check "find" true (Adj_rib_in.find db ~peer:(peer 1) (pfx "99.0.0.0/24") = Some ia);
+  Adj_rib_in.remove db ~peer:(peer 1) (pfx "99.0.0.0/24");
+  check_int "one left" 1 (List.length (Adj_rib_in.candidates db (pfx "99.0.0.0/24")));
+  let ia98 = base_ia ~prefix:"98.0.0.0/24" () in
+  Adj_rib_in.set db ~peer:(peer 2) ia98.Ia.prefix ia98;
+  let affected = Adj_rib_in.drop_peer db ~peer:(peer 2) in
   check_int "both prefixes affected" 2 (List.length affected);
-  check_int "empty" 0 (Ia_db.size db)
+  check_int "empty" 0 (Adj_rib_in.size db)
 
 let test_factory_passthrough () =
   let incoming =
@@ -662,7 +664,7 @@ let () =
          Alcotest.test_case "when" `Quick test_filters_when ]);
       ("decision-module",
        [ Alcotest.test_case "bgp select" `Quick test_bgp_module_select ]);
-      ("ia-db", [ Alcotest.test_case "store/candidates/drop" `Quick test_ia_db ]);
+      ("adj-rib-in", [ Alcotest.test_case "set/candidates/drop" `Quick test_ia_db ]);
       ("factory",
        [ Alcotest.test_case "passthrough" `Quick test_factory_passthrough;
          Alcotest.test_case "contribution order" `Quick test_factory_contributions_order ]);

@@ -360,6 +360,44 @@ let test_chaos_snapshot_names () =
         | _ -> Alcotest.fail "violations section missing" )
     | None -> Alcotest.fail "invariants section missing" )
 
+(* BENCH_pipeline.json schema: the row shape emitted by the pipeline
+   benchmark is consumed downstream, so every field name and JSON type is
+   pinned here against a small (fast) run. *)
+let test_pipeline_bench_schema () =
+  let r = E.Pipeline_bench.run ~ases:25 () in
+  let s = E.Pipeline_bench.to_snapshot r in
+  let int_fields =
+    [ "ases"; "prefixes"; "messages"; "updates"; "decision_runs";
+      "dirty_marks"; "runs_saved"; "drains"; "export_hits"; "export_misses" ]
+  in
+  let float_fields =
+    [ "runs_per_update"; "export_hit_rate"; "elapsed_s"; "updates_per_s" ]
+  in
+  List.iter
+    (fun f ->
+      match Snapshot.member f s with
+      | Some (Snapshot.Int _) -> ()
+      | _ -> Alcotest.fail (f ^ ": expected Int field"))
+    int_fields;
+  List.iter
+    (fun f ->
+      match Snapshot.member f s with
+      | Some (Snapshot.Float _) | Some (Snapshot.Int _) -> ()
+      | _ -> Alcotest.fail (f ^ ": expected numeric field"))
+    float_fields;
+  ( match Snapshot.member "ases" s with
+    | Some (Snapshot.Int 25) -> ()
+    | _ -> Alcotest.fail "ases must echo the topology size" );
+  (* The two headline claims, pinned where the schema is: coalescing
+     beats run-per-message and the export cache is doing work. *)
+  check "runs per update < 1.0" true (r.E.Pipeline_bench.runs_per_update < 1.0);
+  check "export cache hits > 0" true (r.E.Pipeline_bench.export_hits > 0);
+  check "marks = runs + saved" true
+    (r.E.Pipeline_bench.dirty_marks
+     >= r.E.Pipeline_bench.runs_saved);
+  check "json renders" true
+    (String.length (Snapshot.to_json_pretty s) > 0)
+
 let () =
   Alcotest.run "obs"
     [ ("metrics",
@@ -381,4 +419,6 @@ let () =
          Alcotest.test_case "session instruments" `Quick test_session_instruments;
          Alcotest.test_case "error observability" `Quick test_error_observability;
          Alcotest.test_case "chaos snapshot names" `Quick
-           test_chaos_snapshot_names ]) ]
+           test_chaos_snapshot_names;
+         Alcotest.test_case "pipeline bench schema" `Quick
+           test_pipeline_bench_schema ]) ]

@@ -1,0 +1,486 @@
+(* The staged RIB pipeline: stage-module unit tests (Adj-RIB-In,
+   Loc-RIB, Adj-RIB-Out peer groups + export cache, the dirty-prefix
+   scheduler), speaker-level batched ingestion, and teardown
+   cleanliness ([remove_neighbor] / [Network.unlink] leaving no state
+   behind, asserted through [Invariants.peer_clean]). *)
+
+open Dbgp_types
+module Ia = Dbgp_core.Ia
+module Filters = Dbgp_core.Filters
+module Adj_rib_in = Dbgp_core.Adj_rib_in
+module Loc_rib = Dbgp_core.Loc_rib
+module Adj_rib_out = Dbgp_core.Adj_rib_out
+module Pipeline = Dbgp_core.Pipeline
+module Speaker = Dbgp_core.Speaker
+module Peer = Dbgp_core.Peer
+module Policy = Dbgp_bgp.Policy
+module Damping = Dbgp_bgp.Flap_damping
+module Metrics = Dbgp_obs.Metrics
+module Network = Dbgp_netsim.Network
+module Graph = Dbgp_topology.As_graph
+module Brite = Dbgp_topology.Brite
+module Invariants = Dbgp_eval.Invariants
+module Harness = Dbgp_eval.Harness
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let asn = Asn.of_int
+let ip = Ipv4.of_string
+let pfx = Prefix.of_string
+let peer n = Peer.make ~asn:(asn n) ~addr:(Ipv4.of_octets 10 0 0 n)
+
+let base_ia ?(prefix = "99.0.0.0/24") ?(origin = 1) () =
+  Ia.originate ~prefix:(pfx prefix) ~origin_asn:(asn origin)
+    ~next_hop:(Ipv4.of_octets 10 0 0 origin) ()
+
+let counter_of s name =
+  match Metrics.find_counter (Speaker.metrics s) name with
+  | Some c -> Metrics.count c
+  | None -> 0
+
+(* ------------------------- Adj-RIB-In ------------------------- *)
+
+let test_adj_rib_in_stale () =
+  let db = Adj_rib_in.create () in
+  let p1 = peer 1 and p2 = peer 2 in
+  Adj_rib_in.set db ~peer:p1 (pfx "1.0.0.0/8") "a";
+  Adj_rib_in.set db ~peer:p1 (pfx "2.0.0.0/8") "b";
+  Adj_rib_in.set db ~peer:p2 (pfx "1.0.0.0/8") "c";
+  check_int "mark_stale returns set size" 2 (Adj_rib_in.mark_stale db ~peer:p1);
+  check "marked" true (Adj_rib_in.is_stale db ~peer:p1 (pfx "1.0.0.0/8"));
+  check "other peer untouched" false
+    (Adj_rib_in.is_stale db ~peer:p2 (pfx "1.0.0.0/8"));
+  Adj_rib_in.clear_stale db ~peer:p1 (pfx "1.0.0.0/8");
+  check_int "one left" 1 (Adj_rib_in.stale_count db);
+  let taken = Adj_rib_in.take_stale db ~peer:p1 in
+  check_int "take drains" 1 (Prefix.Set.cardinal taken);
+  check_int "nothing stale after take" 0 (Adj_rib_in.stale_count db);
+  check_int "routeless peer marks nothing" 0
+    (Adj_rib_in.mark_stale db ~peer:(peer 9))
+
+let test_adj_rib_in_drop_clears_stale () =
+  let db = Adj_rib_in.create () in
+  let p1 = peer 1 in
+  Adj_rib_in.set db ~peer:p1 (pfx "2.0.0.0/8") "b";
+  Adj_rib_in.set db ~peer:p1 (pfx "1.0.0.0/8") "a";
+  ignore (Adj_rib_in.mark_stale db ~peer:p1);
+  let affected = Adj_rib_in.drop_peer db ~peer:p1 in
+  check "affected ascending" true
+    (affected = [ pfx "1.0.0.0/8"; pfx "2.0.0.0/8" ]);
+  check_int "stale erased with routes" 0 (Adj_rib_in.stale_count db);
+  check "no routes left" false (Adj_rib_in.has_routes db ~peer:p1)
+
+(* ------------------------- Loc-RIB ------------------------- *)
+
+let test_loc_rib_lpm_fib () =
+  let loc = Loc_rib.create () in
+  Loc_rib.set loc (pfx "10.0.0.0/8") "wide" ~next_hop:(Some (ip "10.0.0.1"));
+  Loc_rib.set loc (pfx "10.1.0.0/16") "narrow" ~next_hop:(Some (ip "10.0.0.2"));
+  check "lpm" true
+    (Loc_rib.lookup loc (ip "10.1.2.3") = Some (pfx "10.1.0.0/16", "narrow"));
+  check "fib follows lpm" true
+    (Loc_rib.next_hop loc (ip "10.1.2.3") = Some (ip "10.0.0.2"));
+  check_int "cardinal" 2 (Loc_rib.cardinal loc);
+  Loc_rib.remove loc (pfx "10.1.0.0/16");
+  check "fallback" true
+    (Loc_rib.lookup loc (ip "10.1.2.3") = Some (pfx "10.0.0.0/8", "wide"));
+  check "fib fallback" true
+    (Loc_rib.next_hop loc (ip "10.1.2.3") = Some (ip "10.0.0.1"));
+  (* A locally originated route (no next hop) is selectable but not
+     forwardable. *)
+  Loc_rib.set loc (pfx "10.0.0.0/8") "local" ~next_hop:None;
+  check "still selected" true
+    (Loc_rib.find loc (pfx "10.0.0.0/8") = Some "local");
+  check "absent from fib" true (Loc_rib.next_hop loc (ip "10.1.2.3") = None)
+
+(* ------------------ dirty-prefix scheduler ------------------ *)
+
+let test_pipeline_coalescing () =
+  let obs = Metrics.create () in
+  let sched = Pipeline.create obs in
+  let count name = Metrics.count (Metrics.counter obs name) in
+  Pipeline.mark sched (pfx "2.0.0.0/8");
+  Pipeline.mark sched (pfx "1.0.0.0/8");
+  Pipeline.mark sched (pfx "2.0.0.0/8");
+  Pipeline.mark sched (pfx "2.0.0.0/8");
+  check_int "coalesced to two" 2 (Pipeline.pending sched);
+  check_int "marks counted" 4 (count "pipeline.dirty_marks");
+  check_int "two runs saved" 2 (count "pipeline.runs_saved");
+  let out = Pipeline.drain sched ~f:(fun p -> [ Prefix.to_string p ]) in
+  check "ascending drain order" true (out = [ "1.0.0.0/8"; "2.0.0.0/8" ]);
+  check_int "drained" 0 (Pipeline.pending sched);
+  check_int "one nonempty drain" 1 (count "pipeline.drains");
+  ignore (Pipeline.drain sched ~f:(fun _ -> []));
+  check_int "empty drain not counted" 1 (count "pipeline.drains")
+
+let test_pipeline_remark_during_drain () =
+  let obs = Metrics.create () in
+  let sched = Pipeline.create obs in
+  Pipeline.mark sched (pfx "1.0.0.0/8");
+  let out =
+    Pipeline.drain sched ~f:(fun p ->
+        (* A prefix dirtied by the drain itself lands in the NEXT drain,
+           not this one — no livelock. *)
+        Pipeline.mark sched (pfx "2.0.0.0/8");
+        [ Prefix.to_string p ])
+  in
+  check "only first prefix this drain" true (out = [ "1.0.0.0/8" ]);
+  check_int "re-mark pending" 1 (Pipeline.pending sched)
+
+(* ------------- peer groups + export cache ------------- *)
+
+let key rel =
+  { Adj_rib_out.relationship = rel;
+    dbgp_capable = true;
+    same_island = false;
+    export = Filters.accept }
+
+let test_groups_membership () =
+  let out = Adj_rib_out.create () in
+  let g1 = Adj_rib_out.join out ~peer:(peer 1) (key Policy.To_customer) in
+  let g2 = Adj_rib_out.join out ~peer:(peer 2) (key Policy.To_customer) in
+  let g3 = Adj_rib_out.join out ~peer:(peer 3) (key Policy.To_peer) in
+  check_int "same egress identity shares a group" g1 g2;
+  check "different relationship splits" true (g3 <> g1);
+  check_int "two groups" 2 (Adj_rib_out.group_count out);
+  (* Export filters compare physically: an identical-behaviour closure is
+     still a different group. *)
+  let f : Filters.t = fun ia -> Some ia in
+  let g4 =
+    Adj_rib_out.join out ~peer:(peer 4)
+      { (key Policy.To_customer) with Adj_rib_out.export = f }
+  in
+  check "fresh closure, fresh group" true (g4 <> g1);
+  check_int "members" 2 (List.length (Adj_rib_out.group_members out g1));
+  Adj_rib_out.leave out ~peer:(peer 4);
+  check_int "empty group dropped" 2 (Adj_rib_out.group_count out);
+  check "membership gone" true (Adj_rib_out.group_of out ~peer:(peer 4) = None)
+
+let test_export_cache_scoped_eviction () =
+  let out = Adj_rib_out.create () in
+  let g1 = Adj_rib_out.join out ~peer:(peer 1) (key Policy.To_customer) in
+  let g2 = Adj_rib_out.join out ~peer:(peer 2) (key Policy.To_peer) in
+  let src = base_ia () in
+  let computes = ref 0 in
+  let compute () =
+    incr computes;
+    Some src
+  in
+  let run g =
+    Adj_rib_out.egress out ~group:(Some g) ~prefix:src.Ia.prefix ~src ~compute
+  in
+  check "first call misses" true (snd (run g1) = false);
+  check "second call hits" true (snd (run g1) = true);
+  check "other group misses independently" true (snd (run g2) = false);
+  check_int "computed once per group" 2 !computes;
+  (* Peer 1 changes its export filter: it moves group, and only its
+     DEPARTED group's cache entries are evicted. *)
+  let f : Filters.t = fun ia -> Some ia in
+  let g1' =
+    Adj_rib_out.join out ~peer:(peer 1)
+      { (key Policy.To_customer) with Adj_rib_out.export = f }
+  in
+  check "moved group" true (g1' <> g1);
+  check "departed group's entry evicted" true (snd (run g1) = false);
+  check "unrelated group's entry survives" true (snd (run g2) = true);
+  (* A changed source IA invalidates the entry (no stale fanout). *)
+  let src2 = Ia.prepend_as (asn 7) src in
+  check "new src misses" true
+    (snd
+       (Adj_rib_out.egress out ~group:(Some g2) ~prefix:src2.Ia.prefix
+          ~src:src2 ~compute)
+     = false);
+  (* No group (unknown peer) bypasses the cache entirely. *)
+  let before = !computes in
+  ignore
+    (Adj_rib_out.egress out ~group:None ~prefix:src.Ia.prefix ~src ~compute);
+  check_int "groupless always computes" (before + 1) !computes
+
+(* Speaker-level: same-group neighbors receive structurally identical
+   IAs, computed once and fanned out. *)
+let test_speaker_export_fanout () =
+  let s =
+    Speaker.create
+      (Speaker.config ~asn:(asn 100) ~addr:(Ipv4.of_octets 10 0 0 100) ())
+  in
+  List.iter
+    (fun n ->
+      Speaker.add_neighbor s
+        (Speaker.neighbor ~relationship:Policy.To_customer (peer n)))
+    [ 1; 2; 3 ];
+  Speaker.add_neighbor s
+    (Speaker.neighbor ~relationship:Policy.To_peer (peer 4));
+  check "customers share a group" true
+    (Speaker.export_group_of s (peer 1) = Speaker.export_group_of s (peer 2)
+    && Speaker.export_group_of s (peer 2) = Speaker.export_group_of s (peer 3));
+  check "peer relationship splits" true
+    (Speaker.export_group_of s (peer 4) <> Speaker.export_group_of s (peer 1));
+  check_int "two groups" 2 (Speaker.export_group_count s);
+  let out = Speaker.originate s (base_ia ~origin:100 ()) in
+  (* Local origination exports everywhere (valley-free allows it). *)
+  check_int "all four neighbors served" 4 (List.length out);
+  let ia_for n =
+    match List.assoc_opt (peer n) out with
+    | Some (Speaker.Announce ia) -> ia
+    | _ -> Alcotest.fail "expected an announcement"
+  in
+  check "same-group IAs structurally identical" true
+    (Ia.equal (ia_for 1) (ia_for 2) && Ia.equal (ia_for 2) (ia_for 3));
+  (* One egress computation per group, fanned out to the members. *)
+  check_int "two cache hits" 2 (counter_of s "pipeline.export_cache.hits");
+  check_int "one miss per group" 2 (counter_of s "pipeline.export_cache.misses");
+  (* Re-binding one customer with a private export filter moves it out of
+     the group without disturbing the others' membership. *)
+  let f : Filters.t = fun ia -> Some ia in
+  Speaker.add_neighbor s
+    (Speaker.neighbor ~export:f ~relationship:Policy.To_customer (peer 3));
+  check "filtered customer left the group" true
+    (Speaker.export_group_of s (peer 3) <> Speaker.export_group_of s (peer 1));
+  check_int "three groups now" 3 (Speaker.export_group_count s);
+  check "remaining pair intact" true
+    (Speaker.export_group_of s (peer 1) = Speaker.export_group_of s (peer 2))
+
+(* ------------------- batched ingestion ------------------- *)
+
+let customers_speaker () =
+  let s =
+    Speaker.create
+      (Speaker.config ~asn:(asn 100) ~addr:(Ipv4.of_octets 10 0 0 100) ())
+  in
+  List.iter
+    (fun n ->
+      Speaker.add_neighbor s
+        (Speaker.neighbor ~relationship:Policy.To_customer (peer n)))
+    [ 1; 2; 3 ];
+  s
+
+let test_ingest_flush_coalesces () =
+  let s = customers_speaker () in
+  (* Three announcements for the same prefix arrive within one batch:
+     one decision run at the drain, two runs saved. *)
+  List.iter
+    (fun n ->
+      Speaker.ingest s ~from:(peer n)
+        (Speaker.Announce (base_ia ~origin:n ())))
+    [ 1; 2; 3 ];
+  check_int "one dirty prefix" 1 (Speaker.pending s);
+  check_int "no decision yet" 0 (counter_of s "decision.runs");
+  let out = Speaker.flush s in
+  check_int "single decision run" 1 (counter_of s "decision.runs");
+  check_int "two runs saved" 2 (counter_of s "pipeline.runs_saved");
+  check_int "drained" 0 (Speaker.pending s);
+  check "best chosen" true (Speaker.best s (pfx "99.0.0.0/24") <> None);
+  check "emitted" true (out <> []);
+  (* The equivalent eager replay runs the decision process thrice but
+     lands on the same best route. *)
+  let e = customers_speaker () in
+  List.iter
+    (fun n ->
+      ignore
+        (Speaker.receive e ~from:(peer n)
+           (Speaker.Announce (base_ia ~origin:n ()))))
+    [ 1; 2; 3 ];
+  check_int "eager runs thrice" 3 (counter_of e "decision.runs");
+  check "same final best" true
+    (match
+       ( Speaker.best s (pfx "99.0.0.0/24"),
+         Speaker.best e (pfx "99.0.0.0/24") )
+     with
+    | Some a, Some b ->
+      Ia.equal a.Speaker.outgoing b.Speaker.outgoing
+      && a.Speaker.candidate.Dbgp_core.Decision_module.from_peer
+         = b.Speaker.candidate.Dbgp_core.Decision_module.from_peer
+    | _ -> false)
+
+(* ------------------- teardown cleanliness ------------------- *)
+
+let damp_params =
+  { Damping.half_life = 1.;
+    suppress_threshold = 1500.;
+    reuse_threshold = 500.;
+    withdraw_penalty = 1000.;
+    attr_change_penalty = 500.;
+    max_penalty = 4000. }
+
+(* One noisy neighbor leaving fingerprints in every stage: Adj-RIB-In
+   routes, Adj-RIB-Out advertisements, stale marks (graceful down) and
+   flap-damping memory (one withdraw). *)
+let noisy_speaker () =
+  let s =
+    Speaker.create
+      (Speaker.config ~asn:(asn 100) ~addr:(Ipv4.of_octets 10 0 0 100) ())
+  in
+  Speaker.set_damping s (Some damp_params);
+  Speaker.add_neighbor s
+    (Speaker.neighbor ~relationship:Policy.To_customer (peer 1));
+  Speaker.add_neighbor s
+    (Speaker.neighbor ~relationship:Policy.To_customer (peer 2));
+  let ia n p = base_ia ~prefix:p ~origin:n () in
+  ignore
+    (Speaker.receive ~now:0. s ~from:(peer 1)
+       (Speaker.Announce (ia 1 "20.0.0.0/24")));
+  ignore
+    (Speaker.receive ~now:0.1 s ~from:(peer 1)
+       (Speaker.Withdraw (pfx "20.0.0.0/24")));
+  ignore
+    (Speaker.receive ~now:5. s ~from:(peer 1)
+       (Speaker.Announce (ia 1 "20.0.0.0/24")));
+  ignore
+    (Speaker.receive ~now:5. s ~from:(peer 2)
+       (Speaker.Announce (ia 2 "21.0.0.0/24")));
+  Speaker.peer_down_graceful ~now:6. s (peer 1);
+  s
+
+let test_remove_neighbor_clean () =
+  let s = noisy_speaker () in
+  check "flap state built" true (Speaker.has_flap_state s (peer 1));
+  check "stale marks built" true (Speaker.has_stale s (peer 1));
+  check "still advertised meanwhile" true (Speaker.has_adj_in s (peer 1));
+  let out = Speaker.remove_neighbor ~now:7. s (peer 1) in
+  (* The removed peer's route was advertised to peer 2; removal must
+     withdraw it there. *)
+  check "withdrawal emitted" true
+    (List.exists
+       (fun (p, m) ->
+         Peer.equal p (peer 2) && m = Speaker.Withdraw (pfx "20.0.0.0/24"))
+       out);
+  check "peer fully erased" true (Invariants.peer_clean s (peer 1) = []);
+  check "survivor untouched" true
+    (Speaker.best s (pfx "21.0.0.0/24") <> None
+    && Speaker.has_neighbor s (peer 2));
+  check "removed route gone" true (Speaker.best s (pfx "20.0.0.0/24") = None)
+
+let test_peer_down_keeps_damping () =
+  let s = noisy_speaker () in
+  ignore (Speaker.peer_down ~now:7. s (peer 1));
+  (* Session loss: damping memory deliberately survives — a flapping link
+     must not reset its own penalties... *)
+  check "flap state retained" true (Speaker.has_flap_state s (peer 1));
+  check "routes gone" false (Speaker.has_adj_in s (peer 1));
+  check "only the flap orphan remains" true
+    (Invariants.peer_clean s (peer 1) = [ Invariants.Orphan_flap (100, 1) ]);
+  (* ...and only administrative removal erases it. *)
+  ignore (Speaker.remove_neighbor ~now:8. s (peer 1));
+  check "clean after removal" true (Invariants.peer_clean s (peer 1) = [])
+
+let test_network_unlink_clean () =
+  let net = Network.create () in
+  List.iter (fun n -> ignore (Harness.add_as net n)) [ 1; 2; 3 ];
+  Network.link net ~a:(asn 1) ~b:(asn 2) ~b_is:Policy.To_provider ();
+  Network.link net ~a:(asn 2) ~b:(asn 3) ~b_is:Policy.To_customer ();
+  Network.originate net (asn 1)
+    (Ia.originate ~prefix:(pfx "99.0.0.0/24") ~origin_asn:(asn 1)
+       ~next_hop:(Network.speaker_addr (asn 1)) ());
+  ignore (Network.run net);
+  check "3 learned via 2" true
+    (Speaker.best (Network.speaker net (asn 3)) (pfx "99.0.0.0/24") <> None);
+  Network.unlink net (asn 2) (asn 3);
+  ignore (Network.run net);
+  let s2 = Network.speaker net (asn 2) and s3 = Network.speaker net (asn 3) in
+  check "both sides clean" true
+    (Invariants.peer_clean s2 (Network.peer_of net (asn 3)) = []
+    && Invariants.peer_clean s3 (Network.peer_of net (asn 2)) = []);
+  check "route gone at 3" true
+    (Speaker.best s3 (pfx "99.0.0.0/24") = None);
+  check "no orphans network-wide" true
+    (Invariants.ok
+       (Invariants.check ~prefix:(pfx "99.0.0.0/24") ~dest:(ip "99.0.0.1")
+          net));
+  check "unlink is permanent" true
+    (match Network.recover_link net (asn 2) (asn 3) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------------- batched network path ---------------- *)
+
+(* The same seeded topology converged eagerly (MRAI 0) and batched
+   (MRAI 2) must agree on every speaker's best route and FIB next hop,
+   while the batched run demonstrably coalesces decision work. *)
+let test_batched_network_equivalence () =
+  let build () =
+    let rng = Prng.create 7 in
+    let g = Brite.generate rng { Brite.default with Brite.n = 40 } in
+    let net = Network.create () in
+    for i = 0 to Graph.size g - 1 do
+      ignore (Harness.add_as net (i + 1))
+    done;
+    Graph.fold_edges
+      (fun a b view () ->
+        let rel =
+          match view with
+          | Graph.Customer_of_me -> Policy.To_customer
+          | Graph.Provider_of_me -> Policy.To_provider
+          | Graph.Peer_of_me -> Policy.To_peer
+        in
+        Network.link net ~a:(asn (a + 1)) ~b:(asn (b + 1)) ~b_is:rel ())
+      g ();
+    net
+  in
+  let converge mrai =
+    let net = build () in
+    Network.set_mrai net mrai;
+    for i = 0 to 2 do
+      let prefix = pfx (Printf.sprintf "99.%d.0.0/24" i) in
+      Network.originate net
+        (asn (1 + i))
+        (Ia.originate ~prefix ~origin_asn:(asn (1 + i))
+           ~next_hop:(Network.speaker_addr (asn (1 + i))) ())
+    done;
+    ignore (Network.run net);
+    net
+  in
+  let eager = converge 0. and batched = converge 2.0 in
+  let state net =
+    List.map
+      (fun a ->
+        let s = Network.speaker net a in
+        List.map
+          (fun (p, (c : Speaker.chosen)) ->
+            ( Prefix.to_string p,
+              c.Speaker.candidate.Dbgp_core.Decision_module.from_peer,
+              Speaker.next_hop_of s (Prefix.network p) ))
+          (Speaker.best_routes s))
+      (Network.asns net)
+  in
+  check "identical best routes and FIB" true (state eager = state batched);
+  let total net name = Network.counter_total net name in
+  let updates net =
+    total net "updates.received" + total net "withdrawals.received"
+  in
+  check "batched saved runs" true (total batched "pipeline.runs_saved" > 0);
+  check_int "eager saved none" 0 (total eager "pipeline.runs_saved");
+  check "batched coalesced below run-per-update" true
+    (total batched "decision.runs" < updates batched);
+  check "batched cache hit" true
+    (total batched "pipeline.export_cache.hits" > 0)
+
+let () =
+  Alcotest.run "pipeline"
+    [ ( "adj-rib-in",
+        [ Alcotest.test_case "stale marks" `Quick test_adj_rib_in_stale;
+          Alcotest.test_case "drop clears stale" `Quick
+            test_adj_rib_in_drop_clears_stale ] );
+      ( "loc-rib",
+        [ Alcotest.test_case "lpm + fib" `Quick test_loc_rib_lpm_fib ] );
+      ( "scheduler",
+        [ Alcotest.test_case "coalescing" `Quick test_pipeline_coalescing;
+          Alcotest.test_case "re-mark during drain" `Quick
+            test_pipeline_remark_during_drain ] );
+      ( "peer-groups",
+        [ Alcotest.test_case "membership" `Quick test_groups_membership;
+          Alcotest.test_case "scoped eviction" `Quick
+            test_export_cache_scoped_eviction;
+          Alcotest.test_case "speaker fanout" `Quick
+            test_speaker_export_fanout ] );
+      ( "batching",
+        [ Alcotest.test_case "ingest/flush coalesces" `Quick
+            test_ingest_flush_coalesces;
+          Alcotest.test_case "network equivalence" `Quick
+            test_batched_network_equivalence ] );
+      ( "teardown",
+        [ Alcotest.test_case "remove_neighbor clean" `Quick
+            test_remove_neighbor_clean;
+          Alcotest.test_case "peer_down keeps damping" `Quick
+            test_peer_down_keeps_damping;
+          Alcotest.test_case "network unlink clean" `Quick
+            test_network_unlink_clean ] ) ]
