@@ -309,6 +309,37 @@ let pipeline_bench () =
   Format.fprintf out "wrote BENCH_pipeline.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Hot-path scenario: updates/s, GC words per update and wire-cache hit *)
+(* rates at three BRITE sizes in both delivery modes, compared against  *)
+(* the recorded pre-change baseline, persisted as BENCH_perf.json.      *)
+(* Message counts are deterministic; timing and GC fields are not.      *)
+(* ------------------------------------------------------------------ *)
+
+let perf_bench () =
+  rule "Hot path: throughput, allocation and wire caches";
+  let rows = E.Perf_bench.suite () in
+  List.iter (fun r -> Format.fprintf out "%a@." E.Perf_bench.pp r) rows;
+  let headline = E.Perf_bench.headline rows in
+  ( match headline with
+    | Some h -> Format.fprintf out "%a@." E.Perf_bench.pp_headline h
+    | None -> () );
+  let doc =
+    Dbgp_obs.Snapshot.Obj
+      [ ("seed", Dbgp_obs.Snapshot.Int 42);
+        ("mrai", Dbgp_obs.Snapshot.Float 2.0);
+        ( "rows",
+          Dbgp_obs.Snapshot.List (List.map E.Perf_bench.to_snapshot rows) );
+        ( "headline",
+          match headline with
+          | Some h -> E.Perf_bench.headline_to_snapshot h
+          | None -> Dbgp_obs.Snapshot.Null ) ]
+  in
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc (Dbgp_obs.Snapshot.to_json_pretty doc);
+  close_out oc;
+  Format.fprintf out "wrote BENCH_perf.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Observability scenario: one converged dissemination read back out    *)
 (* through the metrics layer, persisted as BENCH_obs.json.  The run is  *)
 (* fully seeded, so the file is byte-reproducible across revisions.     *)
@@ -449,6 +480,7 @@ let () =
   chaos_bench ();
   fuzz_bench ();
   pipeline_bench ();
+  perf_bench ();
   obs_bench ();
   run_bechamel ();
   Format.fprintf out "total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

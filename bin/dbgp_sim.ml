@@ -118,8 +118,20 @@ let stress advertisements =
   List.iter
     (fun r -> Format.fprintf out "%a@." E.Stress.pp_result r)
     (E.Stress.suite ~advertisements ());
+  Format.fprintf out "@.%a@." E.Stress.pp_budget_probe (E.Stress.run_budget_probe ());
   Format.fprintf out
     "@.(paper: 40,700 vs 40,900 prefixes/s BGP-only; 7,073 at 32 KB; 926 at 256 KB)@."
+
+(* ---------- perf (hot-path throughput / allocation / wire caches) ---------- *)
+
+let perf () =
+  Format.fprintf out
+    "Hot-path benchmark (updates/s, GC words/update, wire cache hit rates)@.@.";
+  let rows = E.Perf_bench.suite () in
+  List.iter (fun r -> Format.fprintf out "%a@." E.Perf_bench.pp r) rows;
+  match E.Perf_bench.headline rows with
+  | Some h -> Format.fprintf out "@.%a@." E.Perf_bench.pp_headline h
+  | None -> ()
 
 (* ---------- deploy (Figure 8 + motivating scenarios) ---------- *)
 
@@ -366,6 +378,8 @@ let cmds =
     Cmd.v
       (Cmd.info "stress" ~doc:"Section 5 stress test")
       Term.(const stress $ advs_arg);
+    unit_cmd "perf"
+      "Hot-path benchmark: throughput, allocation and wire caches" perf;
     unit_cmd "deploy" "Figure 8 deployment experiments" deploy;
     unit_cmd "motivate" "Figures 1-3 motivating scenarios" motivate;
     unit_cmd "fig7" "Figures 6-7 rich-world IA" fig7;

@@ -1,48 +1,53 @@
 open Dbgp_types
 
+(* The outer per-prefix table is a hashtable so {!set} — run once per
+   delivered announcement — replaces its bucket in place instead of
+   rebuilding a functional-map spine.  The inner per-peer maps stay
+   ordered so {!candidates} keeps its deterministic ascending order.
+   Cold readers that need ordered output sort on the way out. *)
 type 'r t = {
-  mutable routes : 'r Peer.Map.t Prefix.Map.t;
+  routes : (Prefix.t, 'r Peer.Map.t) Hashtbl.t;
   mutable stale : Prefix.Set.t Peer.Map.t;
 }
 
-let create () = { routes = Prefix.Map.empty; stale = Peer.Map.empty }
+let create () = { routes = Hashtbl.create 64; stale = Peer.Map.empty }
 
 let set t ~peer prefix r =
   let m =
-    Option.value (Prefix.Map.find_opt prefix t.routes) ~default:Peer.Map.empty
+    Option.value (Hashtbl.find_opt t.routes prefix) ~default:Peer.Map.empty
   in
-  t.routes <- Prefix.Map.add prefix (Peer.Map.add peer r m) t.routes
+  Hashtbl.replace t.routes prefix (Peer.Map.add peer r m)
 
 let remove t ~peer prefix =
-  match Prefix.Map.find_opt prefix t.routes with
+  match Hashtbl.find_opt t.routes prefix with
   | None -> ()
   | Some m ->
     let m = Peer.Map.remove peer m in
-    t.routes <-
-      ( if Peer.Map.is_empty m then Prefix.Map.remove prefix t.routes
-        else Prefix.Map.add prefix m t.routes )
+    if Peer.Map.is_empty m then Hashtbl.remove t.routes prefix
+    else Hashtbl.replace t.routes prefix m
 
 let find t ~peer prefix =
-  Option.bind (Prefix.Map.find_opt prefix t.routes) (Peer.Map.find_opt peer)
+  Option.bind (Hashtbl.find_opt t.routes prefix) (Peer.Map.find_opt peer)
 
 let candidates t prefix =
-  match Prefix.Map.find_opt prefix t.routes with
+  match Hashtbl.find_opt t.routes prefix with
   | None -> []
   | Some m -> Peer.Map.bindings m
 
 let prefixes_of t ~peer =
-  Prefix.Map.fold
+  Hashtbl.fold
     (fun p m acc -> if Peer.Map.mem peer m then p :: acc else acc)
     t.routes []
-  |> List.rev
+  |> List.sort Prefix.compare
 
 let has_routes t ~peer =
-  Prefix.Map.exists (fun _ m -> Peer.Map.mem peer m) t.routes
+  Hashtbl.fold (fun _ m acc -> acc || Peer.Map.mem peer m) t.routes false
 
 let prefixes t =
-  Prefix.Map.fold (fun p _ acc -> Prefix.Set.add p acc) t.routes Prefix.Set.empty
+  Hashtbl.fold (fun p _ acc -> Prefix.Set.add p acc) t.routes Prefix.Set.empty
 
-let size t = Prefix.Map.fold (fun _ m acc -> acc + Peer.Map.cardinal m) t.routes 0
+let size t =
+  Hashtbl.fold (fun _ m acc -> acc + Peer.Map.cardinal m) t.routes 0
 
 (* ------------------------- stale marks ------------------------- *)
 
@@ -85,11 +90,7 @@ let take_stale t ~peer =
     set
 
 let drop_peer t ~peer =
-  let affected =
-    Prefix.Map.fold
-      (fun p m acc -> if Peer.Map.mem peer m then p :: acc else acc)
-      t.routes []
-  in
+  let affected = prefixes_of t ~peer in
   List.iter (fun p -> remove t ~peer p) affected;
   t.stale <- Peer.Map.remove peer t.stale;
-  List.rev affected
+  affected

@@ -11,16 +11,28 @@ type group = { id : int; key : group_key; mutable members : int }
 
 type cache_entry = { src : Ia.t; out : Ia.t option }
 
+(* Advertised state is a hashtable of hashtables so that the very hot
+   {!record} path mutates buckets in place instead of rebuilding nested
+   functional maps on every announcement; the read accessors that need
+   determinism ({!bindings}, {!peers}) sort on the way out. *)
 type t = {
-  mutable advertised : Ia.t Prefix.Map.t Peer.Map.t;
+  advertised : (Peer.t, (Prefix.t, Ia.t) Hashtbl.t) Hashtbl.t;
   mutable groups : group list; (* newest first; ids never reused *)
   mutable by_peer : int Peer.Map.t;
   mutable next_id : int;
-  cache : (int * Prefix.t, cache_entry) Hashtbl.t;
+  (* Key: group id and prefix packed into one int (gid lsl 38 | net
+     lsl 6 | len) — an int-keyed table avoids allocating a tuple key
+     and generic-hashing it on every egress probe. *)
+  cache : (int, cache_entry) Hashtbl.t;
 }
 
+let cache_key gid prefix =
+  (gid lsl 38)
+  lor (Ipv4.to_int (Prefix.network prefix) lsl 6)
+  lor Prefix.length prefix
+
 let create () =
-  { advertised = Peer.Map.empty;
+  { advertised = Hashtbl.create 16;
     groups = [];
     by_peer = Peer.Map.empty;
     next_id = 0;
@@ -41,7 +53,7 @@ let same_key a b =
 let evict_group t id =
   let doomed =
     Hashtbl.fold
-      (fun ((gid, _) as k) _ acc -> if gid = id then k :: acc else acc)
+      (fun k _ acc -> if k lsr 38 = id then k :: acc else acc)
       t.cache []
   in
   List.iter (Hashtbl.remove t.cache) doomed
@@ -108,7 +120,7 @@ let egress t ~group ~prefix ~src ~compute =
   match group with
   | None -> (compute (), false)
   | Some gid -> (
-    let key = (gid, prefix) in
+    let key = cache_key gid prefix in
     match Hashtbl.find_opt t.cache key with
     | Some e when e.src == src || Ia.equal e.src src -> (e.out, true)
     | _ ->
@@ -121,31 +133,34 @@ let cache_size t = Hashtbl.length t.cache
 (* ------------------------- advertised state ------------------------- *)
 
 let record t ~peer prefix = function
-  | None ->
-    t.advertised <-
-      Peer.Map.update peer
-        (fun m ->
-          match Option.map (Prefix.Map.remove prefix) m with
-          | Some m when Prefix.Map.is_empty m -> None
-          | other -> other)
-        t.advertised
-  | Some ia ->
-    let m =
-      Option.value (Peer.Map.find_opt peer t.advertised)
-        ~default:Prefix.Map.empty
-    in
-    t.advertised <- Peer.Map.add peer (Prefix.Map.add prefix ia m) t.advertised
+  | None -> (
+    match Hashtbl.find_opt t.advertised peer with
+    | None -> ()
+    | Some m ->
+      Hashtbl.remove m prefix;
+      if Hashtbl.length m = 0 then Hashtbl.remove t.advertised peer )
+  | Some ia -> (
+    match Hashtbl.find_opt t.advertised peer with
+    | Some m -> Hashtbl.replace m prefix ia
+    | None ->
+      let m = Hashtbl.create 16 in
+      Hashtbl.replace m prefix ia;
+      Hashtbl.replace t.advertised peer m )
 
 let advertised t ~peer prefix =
-  match Peer.Map.find_opt peer t.advertised with
+  match Hashtbl.find_opt t.advertised peer with
   | None -> false
-  | Some m -> Prefix.Map.mem prefix m
+  | Some m -> Hashtbl.mem m prefix
 
 let bindings t ~peer =
-  match Peer.Map.find_opt peer t.advertised with
+  match Hashtbl.find_opt t.advertised peer with
   | None -> []
-  | Some m -> Prefix.Map.bindings m
+  | Some m ->
+    Hashtbl.fold (fun p ia acc -> (p, ia) :: acc) m []
+    |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)
 
-let peers t = List.map fst (Peer.Map.bindings t.advertised)
+let peers t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.advertised []
+  |> List.sort Peer.compare
 
-let drop_peer t ~peer = t.advertised <- Peer.Map.remove peer t.advertised
+let drop_peer t ~peer = Hashtbl.remove t.advertised peer

@@ -75,11 +75,25 @@ let encode_pd_body w (d : Ia.path_descriptor) =
   W.delimited w d.field;
   Value.encode w d.value
 
+(* Descriptor values repeat across advertisements (the same next-hop,
+   cost, or island metadata fans out everywhere); interning them makes
+   later structural comparisons pointer comparisons. *)
+module Value_tbl = Intern.Make (struct
+  type t = Value.t
+
+  let equal a b = a == b || Value.equal a b
+  let hash = Hashtbl.hash
+end)
+
+let values = Value_tbl.create 256
+let intern_value v = Value_tbl.intern values v
+let value_intern_stats () = Value_tbl.stats values
+
 let decode_pd_body r : Ia.path_descriptor =
   let owners = R.list r decode_proto in
   if owners = [] then raise (R.Error "path descriptor: empty owner set");
-  let field = R.delimited r in
-  let value = Value.decode r in
+  let field = Intern.string (R.delimited r) in
+  let value = intern_value (Value.decode r) in
   { owners; field; value }
 
 let encode_pd w d = framed encode_pd_body w d
@@ -94,8 +108,8 @@ let encode_id_body w (d : Ia.island_descriptor) =
 let decode_id_body r : Ia.island_descriptor =
   let island = decode_island r in
   let proto = decode_proto r in
-  let ifield = R.delimited r in
-  let ivalue = Value.decode r in
+  let ifield = Intern.string (R.delimited r) in
+  let ivalue = intern_value (Value.decode r) in
   { island; proto; ifield; ivalue }
 
 let encode_id w d = framed encode_id_body w d
@@ -119,6 +133,41 @@ let encode (ia : Ia.t) =
   W.list w encode_id ia.island_descriptors;
   W.contents w
 
+(* ------------------------------------------------------------------ *)
+(* Encode-once wire sharing.
+
+   The export cache (Adj_rib_out) already fans one physically-shared
+   outgoing IA to every member of a peer group, and the network layer
+   sizes (= encodes) each Announce at least twice per delivery.  A
+   direct-mapped identity cache therefore turns "encode per delivery"
+   into "encode once per distinct outgoing IA": same physical IA, same
+   immutable wire string.  Direct-mapped means bounded by construction
+   — a slot collision just overwrites, costing one re-encode later,
+   never correctness (the IA is immutable, the slot key is compared by
+   pointer). *)
+
+let wire_obs = Dbgp_obs.Metrics.create ()
+let wire_metrics () = wire_obs
+let c_enc_hits = Dbgp_obs.Metrics.counter wire_obs "wire.encode_cache.hits"
+let c_enc_misses = Dbgp_obs.Metrics.counter wire_obs "wire.encode_cache.misses"
+let c_dec_hits = Dbgp_obs.Metrics.counter wire_obs "wire.decode_memo.hits"
+let c_dec_misses = Dbgp_obs.Metrics.counter wire_obs "wire.decode_memo.misses"
+
+let enc_slots = 16384
+let enc_cache : (Ia.t * string) option array = Array.make enc_slots None
+
+let encode_cached ia =
+  let slot = Hashtbl.hash_param 32 128 ia land (enc_slots - 1) in
+  match Array.unsafe_get enc_cache slot with
+  | Some (ia', wire) when ia' == ia ->
+    Dbgp_obs.Metrics.incr c_enc_hits;
+    wire
+  | _ ->
+    Dbgp_obs.Metrics.incr c_enc_misses;
+    let wire = encode ia in
+    Array.unsafe_set enc_cache slot (Some (ia, wire));
+    wire
+
 (* Minimum encoded sizes, used to bound hostile list counts before
    allocation: an element tag plus its smallest body (path elem: tag +
    island tag + empty name; membership: island + empty member list;
@@ -128,7 +177,7 @@ let id_min_width = 6
 
 exception Fatal of Errors.t
 
-let decode_robust s : (Ia.t * Errors.t list, Errors.t) result =
+let decode_robust_uncached s : (Ia.t * Errors.t list, Errors.t) result =
   let discards = ref [] in
   let r = R.of_string s in
   let guard stage f =
@@ -169,7 +218,8 @@ let decode_robust s : (Ia.t * Errors.t list, Errors.t) result =
         raise (Fatal (Errors.make Errors.Session_reset Errors.Framing m))
     in
     let path_vector =
-      guard Errors.Path_vector (fun () -> R.list ~min_width:2 r decode_elem)
+      guard Errors.Path_vector (fun () ->
+          Intern.path_vector (R.list ~min_width:2 r decode_elem))
     in
     let membership =
       guard Errors.Membership (fun () ->
@@ -193,10 +243,49 @@ let decode_robust s : (Ia.t * Errors.t list, Errors.t) result =
         List.rev !discards )
   with Fatal e -> Error e
 
+(* Bounded decode memo: byte-identical deliveries (MRAI
+   re-advertisements, refresh waves, fault-model duplicates, peer-group
+   fan-out over a wire transport) decode once.  Direct-mapped on the
+   wire string's hash, so growth is bounded by construction — hostile
+   or fuzzed input can only churn slots, never expand the table — and
+   an overwrite ("eviction") costs one re-decode.  Only clean decodes
+   (no discarded descriptors) are memoized so the error counters and
+   rx traces replay identically on every malformed delivery. *)
+
+let dec_slots = 1024
+let dec_memo_max_wire = 4096
+let dec_memo : (string * Ia.t) option array = Array.make dec_slots None
+let decode_memo_capacity = dec_slots
+
+let decode_robust s : (Ia.t * Errors.t list, Errors.t) result =
+  if String.length s > dec_memo_max_wire then begin
+    Dbgp_obs.Metrics.incr c_dec_misses;
+    decode_robust_uncached s
+  end
+  else begin
+    let slot = Hashtbl.hash s land (dec_slots - 1) in
+    match Array.unsafe_get dec_memo slot with
+    | Some (s', ia) when String.equal s' s ->
+      Dbgp_obs.Metrics.incr c_dec_hits;
+      Ok (ia, [])
+    | _ ->
+      Dbgp_obs.Metrics.incr c_dec_misses;
+      let result = decode_robust_uncached s in
+      ( match result with
+        | Ok (ia, []) -> Array.unsafe_set dec_memo slot (Some (s, ia))
+        | Ok (_, _ :: _) | Error _ -> () );
+      result
+  end
+
+let decode_memo_reset () = Array.fill dec_memo 0 dec_slots None
+
+let decode_memo_residency () =
+  Array.fold_left (fun n e -> if e = None then n else n + 1) 0 dec_memo
+
 let decode s : Ia.t =
   let r = R.of_string s in
   let prefix = R.prefix r in
-  let path_vector = R.list ~min_width:2 r decode_elem in
+  let path_vector = Intern.path_vector (R.list ~min_width:2 r decode_elem) in
   let membership = R.list ~min_width:3 r decode_membership in
   let path_descriptors = R.list ~min_width:pd_min_width r decode_pd in
   let island_descriptors = R.list ~min_width:id_min_width r decode_id in
@@ -207,7 +296,7 @@ let decode s : Ia.t =
             (R.remaining r)));
   { prefix; path_vector; membership; path_descriptors; island_descriptors }
 
-let size ia = String.length (encode ia)
+let size ia = String.length (encode_cached ia)
 let encode_compressed ia = Dbgp_wire.Compress.compress (encode ia)
 let decode_compressed s = decode (Dbgp_wire.Compress.decompress s)
 let compressed_size ia = String.length (encode_compressed ia)

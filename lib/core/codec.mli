@@ -23,10 +23,45 @@ val decode_robust : string -> (Ia.t * Errors.t list, Errors.t) result
     [Treat_as_withdraw] when the prefix decoded but the structure around
     it (path vector, membership, list framing, trailing bytes) did not,
     and [Session_reset] when even the prefix is unrecoverable.  Never
-    raises. *)
+    raises.
+
+    Byte-identical wires that previously decoded cleanly are answered
+    from a bounded decode memo (see [wire.decode_memo.*] in
+    {!wire_metrics}); malformed or salvaged wires are never memoized, so
+    error accounting replays on every delivery. *)
 
 val size : Ia.t -> int
-(** Exact encoded size in bytes. *)
+(** Exact encoded size in bytes (served from the encode cache). *)
+
+(** {1 Encode-once wire sharing}
+
+    One distinct (physical) IA encodes once; every fan-out delivery
+    shares the same immutable wire string.  Both caches are
+    direct-mapped and bounded by construction: a slot collision
+    overwrites and merely costs a later re-encode/re-decode. *)
+
+val encode_cached : Ia.t -> string
+(** Same bytes as {!encode}; served from an identity-keyed cache.  The
+    export cache hands every peer-group member the same physical
+    outgoing IA, so this is effectively one encode per (IA, peer
+    group). *)
+
+val wire_metrics : unit -> Dbgp_obs.Metrics.t
+(** Global registry holding [wire.encode_cache.hits]/[.misses] and
+    [wire.decode_memo.hits]/[.misses]. *)
+
+val value_intern_stats : unit -> Dbgp_types.Intern.stats
+(** Interning statistics for decoded descriptor values. *)
+
+val decode_memo_capacity : int
+(** Hard slot bound of the decode memo — residency can never exceed
+    this regardless of input. *)
+
+val decode_memo_residency : unit -> int
+(** Occupied decode-memo slots (tests: bounded under fuzz input). *)
+
+val decode_memo_reset : unit -> unit
+(** Drop all memoized decodes (tests). *)
 
 val encode_compressed : Ia.t -> string
 (** LZSS-compressed encoding (Section 3.2: "IAs can be compressed to

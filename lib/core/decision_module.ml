@@ -25,14 +25,31 @@ let best_by cmp cands =
   | c :: rest ->
     Some (List.fold_left (fun acc x -> if cmp x acc > 0 then x else acc) c rest)
 
+(* [origin_of] walks the IA's path descriptors, and [select] evaluates
+   it O(candidates) times per run on path-length ties — the common case
+   in a mesh of equal-length routes.  IAs are hash-consed, so a small
+   direct-mapped identity memo turns the repeat walks into one array
+   probe. *)
+let origin_slots = 512
+let origin_memo : (Ia.t * int) option array = Array.make origin_slots None
+
+let origin_of_ia ia =
+  let slot = Hashtbl.hash ia land (origin_slots - 1) in
+  match Array.unsafe_get origin_memo slot with
+  | Some (ia', o) when ia' == ia -> o
+  | _ ->
+    let o =
+      match
+        Ia.find_path_descriptor ~proto:Protocol_id.bgp ~field:Ia.field_origin ia
+      with
+      | Some v -> Option.value (Value.as_int v) ~default:2
+      | None -> 2
+    in
+    Array.unsafe_set origin_memo slot (Some (ia, o));
+    o
+
 let bgp () =
-  let origin_of c =
-    match
-      Ia.find_path_descriptor ~proto:Protocol_id.bgp ~field:Ia.field_origin c.ia
-    with
-    | Some v -> Option.value (Value.as_int v) ~default:2
-    | None -> 2
-  in
+  let origin_of c = origin_of_ia c.ia in
   let compare_bgp a b =
     match Int.compare (candidate_path_length b) (candidate_path_length a) with
     | 0 -> (

@@ -78,7 +78,7 @@ let prepend_as a t = { t with path_vector = Path_elem.As a :: t.path_vector }
 let prepend_island i t =
   { t with path_vector = Path_elem.Island i :: t.path_vector }
 
-let has_loop t = Path_elem.has_loop t.path_vector
+let has_loop t = Intern.has_loop t.path_vector
 let path_length t = Path_elem.path_length t.path_vector
 
 let asns_on_path t =
@@ -196,7 +196,7 @@ let with_next_hop nh t =
   in
   set_path_descriptor ~owners ~field:field_next_hop (Value.Addr nh) t
 
-let equal a b = a = b
+let equal a b = a == b || a = b
 
 let pp_owner_list ppf owners =
   Format.pp_print_list

@@ -1,31 +1,57 @@
 open Dbgp_types
 module Trie = Dbgp_trie.Prefix_trie
 
+(* The best-route map is the authoritative store; the two tries exist
+   only for data-plane queries ({!lookup}, {!next_hop}), which run after
+   convergence, not inside the update hot path.  Rebuilding a /24 path
+   in a functional trie touches ~24 nodes, so doing it twice per
+   decision change dominated allocation — instead the tries are marked
+   stale on every write and rebuilt from the maps on the next query. *)
 type 'c t = {
   mutable best : 'c Prefix.Map.t;
-  mutable by_addr : 'c Trie.t; (* LPM over chosen routes *)
-  mutable fib : Ipv4.t Trie.t; (* prefix -> next hop; learned routes only *)
+  mutable nhs : Ipv4.t Prefix.Map.t; (* prefix -> next hop; learned only *)
+  mutable by_addr : 'c Trie.t; (* LPM over chosen routes; lazy *)
+  mutable fib : Ipv4.t Trie.t; (* lazy, derived from [nhs] *)
+  mutable tries_stale : bool;
 }
 
-let create () = { best = Prefix.Map.empty; by_addr = Trie.empty; fib = Trie.empty }
+let create () =
+  { best = Prefix.Map.empty;
+    nhs = Prefix.Map.empty;
+    by_addr = Trie.empty;
+    fib = Trie.empty;
+    tries_stale = false }
 
 let set t prefix c ~next_hop =
   t.best <- Prefix.Map.add prefix c t.best;
-  t.by_addr <- Trie.add prefix c t.by_addr;
-  t.fib <-
+  t.nhs <-
     ( match next_hop with
-      | Some nh -> Trie.add prefix nh t.fib
-      | None -> Trie.remove prefix t.fib )
+      | Some nh -> Prefix.Map.add prefix nh t.nhs
+      | None -> Prefix.Map.remove prefix t.nhs );
+  t.tries_stale <- true
 
 let remove t prefix =
   t.best <- Prefix.Map.remove prefix t.best;
-  t.by_addr <- Trie.remove prefix t.by_addr;
-  t.fib <- Trie.remove prefix t.fib
+  t.nhs <- Prefix.Map.remove prefix t.nhs;
+  t.tries_stale <- true
+
+let refresh t =
+  if t.tries_stale then begin
+    t.by_addr <- Prefix.Map.fold Trie.add t.best Trie.empty;
+    t.fib <- Prefix.Map.fold Trie.add t.nhs Trie.empty;
+    t.tries_stale <- false
+  end
 
 let find t prefix = Prefix.Map.find_opt prefix t.best
 let mem t prefix = Prefix.Map.mem prefix t.best
 let bindings t = Prefix.Map.bindings t.best
 let fold f t acc = Prefix.Map.fold f t.best acc
 let cardinal t = Prefix.Map.cardinal t.best
-let next_hop t dest = Option.map snd (Trie.longest_match dest t.fib)
-let lookup t dest = Trie.longest_match dest t.by_addr
+
+let next_hop t dest =
+  refresh t;
+  Option.map snd (Trie.longest_match dest t.fib)
+
+let lookup t dest =
+  refresh t;
+  Trie.longest_match dest t.by_addr

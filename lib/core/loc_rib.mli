@@ -1,10 +1,13 @@
 (** Loc-RIB: stage 2 of the RIB pipeline.
 
-    The per-prefix selected best routes plus an incrementally maintained
-    forwarding view: a next-hop FIB trie (longest-prefix match to the
-    chosen neighbor address) and an LPM trie over the chosen routes
-    themselves.  Both tries are updated on {!set}/{!remove}, so lookups
-    are O(prefix length) with no per-call rebuild.
+    The per-prefix selected best routes plus a forwarding view: a
+    next-hop FIB trie (longest-prefix match to the chosen neighbor
+    address) and an LPM trie over the chosen routes themselves.  The
+    tries are rebuilt lazily — {!set}/{!remove} only touch the route
+    maps and mark the tries stale; the first {!next_hop}/{!lookup}
+    after a write rebuilds them.  This keeps trie maintenance out of
+    the decision hot path while individual lookups stay O(prefix
+    length) once refreshed.
 
     Polymorphic in the chosen-route type; a route selected without a
     next hop (locally originated) is held in the best map but absent

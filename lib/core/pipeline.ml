@@ -1,37 +1,50 @@
 open Dbgp_types
 module Metrics = Dbgp_obs.Metrics
 
+(* The dirty set is a hashtable: {!mark} runs once per delivered update
+   and must not pay a functional-set rebuild; {!drain} sorts the (small)
+   batch so processing order stays ascending and deterministic. *)
 type t = {
-  mutable dirty : Prefix.Set.t;
+  dirty : (Prefix.t, unit) Hashtbl.t;
   c_marks : Metrics.counter;
   c_saved : Metrics.counter;
   c_drains : Metrics.counter;
 }
 
 let create obs =
-  { dirty = Prefix.Set.empty;
+  { dirty = Hashtbl.create 64;
     c_marks = Metrics.counter obs "pipeline.dirty_marks";
     c_saved = Metrics.counter obs "pipeline.runs_saved";
     c_drains = Metrics.counter obs "pipeline.drains" }
 
 let mark t prefix =
   Metrics.incr t.c_marks;
-  if Prefix.Set.mem prefix t.dirty then
+  if Hashtbl.mem t.dirty prefix then
     (* Coalesced: this update will share the prefix's next decision run
        with the mark already queued — one run saved. *)
     Metrics.incr t.c_saved
-  else t.dirty <- Prefix.Set.add prefix t.dirty
+  else Hashtbl.replace t.dirty prefix ()
 
-let pending t = Prefix.Set.cardinal t.dirty
-let dirty t = Prefix.Set.elements t.dirty
+let pending t = Hashtbl.length t.dirty
+
+let sorted_batch t =
+  Hashtbl.fold (fun p () acc -> p :: acc) t.dirty []
+  |> List.sort Prefix.compare
+
+let dirty t = sorted_batch t
 
 let drain t ~f =
-  if Prefix.Set.is_empty t.dirty then []
+  if Hashtbl.length t.dirty = 0 then []
   else begin
     Metrics.incr t.c_drains;
-    let batch = t.dirty in
-    t.dirty <- Prefix.Set.empty;
     (* Ascending prefix order: deterministic, and identical to the
-       pre-pipeline speaker's per-event processing order. *)
-    Prefix.Set.fold (fun p acc -> acc @ f p) batch []
+       pre-pipeline speaker's per-event processing order.  Chunks are
+       collected and concatenated once — folding with [acc @ f p]
+       re-copied the accumulator per prefix (quadratic in drain
+       output).  Prefixes marked dirty *by* [f] land in the next
+       drain: the batch is snapshotted and cleared before [f] runs. *)
+    let batch = sorted_batch t in
+    Hashtbl.reset t.dirty;
+    let chunks = List.rev_map f batch in
+    List.concat (List.rev chunks)
   end

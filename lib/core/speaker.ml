@@ -35,7 +35,22 @@ let config ?island ?(island_members = []) ?(hide_island_interior = false)
   { asn; addr; island; island_members; hide_island_interior; passthrough;
     global_import; global_export }
 
-type chosen = { candidate : Decision_module.candidate; outgoing : Ia.t }
+type chosen = {
+  candidate : Decision_module.candidate;
+  outgoing : Ia.t;
+  built_gen : int;
+      (* Module-configuration generation the outgoing IA was built
+         under; lets [process] reuse it (skipping the factory) when the
+         same candidate wins again and no module/active change could
+         have altered the build. *)
+  built_from : Decision_module.candidate list;
+      (* The full post-import candidate list the build saw.  Reuse must
+         compare against all of it, not just the winner: a module's
+         [contribute] may read state its [select] derived from the
+         losers (R-BGP records the runner-up as the backup path), so a
+         changed loser can change the outgoing IA even when the winner
+         is untouched. *)
+}
 
 module Damping = Dbgp_bgp.Flap_damping
 
@@ -72,6 +87,20 @@ type t = {
   c_export_hits : Metrics.counter;
   c_export_misses : Metrics.counter;
   g_last_change : Metrics.gauge;
+  c_updates_rx : Metrics.counter;
+  c_withdrawals_rx : Metrics.counter;
+  c_duplicates : Metrics.counter;
+  (* Stage-1 ingress chain (loop rejection then global import), fixed at
+     construction — composing it per message allocated a closure on
+     every announce. *)
+  ingress : Filters.t;
+  (* Generation counter for anything that changes how outgoing IAs are
+     built (module set, per-prefix active protocol).  Bumped by
+     {!add_module}/{!set_active}; lets [process] trust memoized builds
+     and the caches below. *)
+  mutable gen : int;
+  mutable contrib_cache : (int * Protocol_id.t * (Ia.t -> Ia.t) list) option;
+  mutable supported_cache : (int * Protocol_id.Set.t) option;
 }
 
 let create cfg =
@@ -97,7 +126,14 @@ let create cfg =
     c_changes = Metrics.counter obs "decision.changes";
     c_export_hits = Metrics.counter obs "pipeline.export_cache.hits";
     c_export_misses = Metrics.counter obs "pipeline.export_cache.misses";
-    g_last_change = Metrics.gauge obs "decision.last_change_at" }
+    g_last_change = Metrics.gauge obs "decision.last_change_at";
+    c_updates_rx = Metrics.counter obs "updates.received";
+    c_withdrawals_rx = Metrics.counter obs "withdrawals.received";
+    c_duplicates = Metrics.counter obs "updates.duplicate";
+    ingress = Filters.compose Filters.reject_loops cfg.global_import;
+    gen = 0;
+    contrib_cache = None;
+    supported_cache = None }
 
 let asn t = t.cfg.asn
 let addr t = t.cfg.addr
@@ -106,20 +142,32 @@ let metrics t = t.obs
 let trace t = t.trace
 
 let bump t name = Metrics.incr (Metrics.counter t.obs name)
+
 let my_asn t = Asn.to_int t.cfg.asn
 
 let add_module t (m : Decision_module.t) =
-  Hashtbl.replace t.modules (Protocol_id.to_int m.protocol) m
+  Hashtbl.replace t.modules (Protocol_id.to_int m.protocol) m;
+  t.gen <- t.gen + 1
 
 let supported t =
-  Hashtbl.fold
-    (fun _ (m : Decision_module.t) acc -> Protocol_id.Set.add m.protocol acc)
-    t.modules Protocol_id.Set.empty
+  match t.supported_cache with
+  | Some (g, s) when g = t.gen -> s
+  | _ ->
+    let s =
+      Hashtbl.fold
+        (fun _ (m : Decision_module.t) acc -> Protocol_id.Set.add m.protocol acc)
+        t.modules Protocol_id.Set.empty
+    in
+    t.supported_cache <- Some (t.gen, s);
+    s
 
 let set_active t prefix proto =
   if not (Hashtbl.mem t.modules (Protocol_id.to_int proto)) then
     invalid_arg "Speaker.set_active: no module registered for protocol"
-  else t.active <- Trie.add prefix proto t.active
+  else begin
+    t.active <- Trie.add prefix proto t.active;
+    t.gen <- t.gen + 1
+  end
 
 let active_for t prefix =
   match Trie.longest_match (Prefix.network prefix) t.active with
@@ -295,8 +343,7 @@ let peer_down_graceful ?(now = 0.) t peer =
    split-horizon, loop avoidance and valley-free export are evaluated
    per neighbor; the egress filter chain itself comes from the per-group
    cache. *)
-let emission_for t (chosen : chosen) (n : neighbor) =
-  let learned = learned_relationship t chosen.candidate in
+let emission_with t ~learned (chosen : chosen) (n : neighbor) =
   let is_sender =
     match chosen.candidate.Decision_module.from_peer with
     | Some p -> Peer.equal p n.peer
@@ -314,6 +361,11 @@ let emission_for t (chosen : chosen) (n : neighbor) =
   in
   if eligible then cached_egress t n chosen.outgoing else None
 
+(* The learned relationship depends only on the chosen route, so
+   callers fanning one route out to many neighbors resolve it once. *)
+let emission_for t (chosen : chosen) (n : neighbor) =
+  emission_with t ~learned:(learned_relationship t chosen.candidate) chosen n
+
 (* Announce / withdraw the current best for [prefix] to all neighbors. *)
 let distribute t prefix =
   let out = ref [] in
@@ -328,9 +380,10 @@ let distribute t prefix =
           end)
         t.nbrs
     | Some chosen ->
+      let learned = learned_relationship t chosen.candidate in
       Peer.Map.iter
         (fun peer n ->
-          match emission_for t chosen n with
+          match emission_with t ~learned chosen n with
           | Some ia ->
             record_adj_out t peer prefix (Some ia);
             emit peer (Announce ia)
@@ -383,55 +436,108 @@ let process t ~now prefix =
              invisible to selection until their penalty decays. *)
           if suppressed t ~now peer prefix then None
           else
-            (* Per-neighbor then protocol-specific import filters. *)
+            (* Per-neighbor then protocol-specific import filters,
+               applied directly — [Filters.compose] would allocate a
+               closure per candidate per run. *)
             let nbr_import =
               match Peer.Map.find_opt peer t.nbrs with
               | Some n -> n.import
               | None -> Filters.accept
             in
-            match Filters.compose nbr_import m.Decision_module.import_filter ia with
+            match nbr_import ia with
             | None -> None
-            | Some ia -> Some { Decision_module.from_peer = Some peer; ia })
+            | Some ia ->
+              ( match m.Decision_module.import_filter ia with
+                | None -> None
+                | Some ia ->
+                  Some { Decision_module.from_peer = Some peer; ia } ))
         (Adj_rib_in.candidates t.rib_in prefix)
   in
   let selected = m.Decision_module.select ~prefix raw_candidates in
+  let prev = Loc_rib.find t.loc prefix in
+  (* Memoized build: when the same stored candidate wins again under the
+     same module configuration, the factory is a pure function of inputs
+     that have not changed — reuse the previous outgoing IA wholesale.
+     Physical equality is exact here: candidates carry the Adj-RIB-In /
+     local-map values themselves, so an unchanged winner is the same
+     pointer. *)
+  let same_candidate (a : Decision_module.candidate)
+      (b : Decision_module.candidate) =
+    a.Decision_module.ia == b.Decision_module.ia
+    && ( match (a.Decision_module.from_peer, b.Decision_module.from_peer) with
+       | None, None -> true
+       | Some a, Some b -> a == b || Peer.equal a b
+       | _ -> false )
+  in
+  let reused =
+    match (prev, selected) with
+    | Some p, Some c when p.built_gen = t.gen ->
+      same_candidate p.candidate c
+      (* The whole input set must be unchanged, not just the winner:
+         [contribute] may depend on the losers (see [built_from]).
+         Candidate records are rebuilt each run but their IAs are
+         physically stable when nothing arrived, so pairwise [==] on
+         the IAs is exact. *)
+      && List.compare_lengths p.built_from raw_candidates = 0
+      && List.for_all2 same_candidate p.built_from raw_candidates
+    | _ -> false
+  in
   let next =
-    match selected with
-    | None -> None
-    | Some candidate ->
-      (* Local origination advertises the IA as-is (the origin's own ASN is
-         already its path vector); learned routes go through the factory. *)
-      let outgoing =
-        match candidate.Decision_module.from_peer with
-        | None -> candidate.Decision_module.ia
-        | Some _ ->
-          let contributions =
-            let mods =
-              Hashtbl.fold (fun _ dm acc -> dm :: acc) t.modules []
-              |> List.sort (fun (a : Decision_module.t) b ->
-                     Protocol_id.compare a.protocol b.protocol)
+    if reused then prev
+    else
+      match selected with
+      | None -> None
+      | Some candidate ->
+        (* Local origination advertises the IA as-is (the origin's own ASN is
+           already its path vector); learned routes go through the factory. *)
+        let outgoing =
+          match candidate.Decision_module.from_peer with
+          | None -> candidate.Decision_module.ia
+          | Some _ ->
+            let contributions =
+              match t.contrib_cache with
+              | Some (g, a, cs) when g = t.gen && Protocol_id.equal a active ->
+                cs
+              | _ ->
+                let mods =
+                  Hashtbl.fold (fun _ dm acc -> dm :: acc) t.modules []
+                  |> List.sort (fun (a : Decision_module.t) b ->
+                         Protocol_id.compare a.protocol b.protocol)
+                in
+                (* Active module contributes first, then other supported
+                   ones. *)
+                let actives, others =
+                  List.partition
+                    (fun (dm : Decision_module.t) ->
+                      Protocol_id.equal dm.protocol active)
+                    mods
+                in
+                let cs =
+                  List.map
+                    (fun (dm : Decision_module.t) ia ->
+                      dm.contribute ~me:t.cfg.asn ia)
+                    (actives @ others)
+                in
+                t.contrib_cache <- Some (t.gen, active, cs);
+                cs
             in
-            (* Active module contributes first, then other supported ones. *)
-            let actives, others =
-              List.partition
-                (fun (dm : Decision_module.t) ->
-                  Protocol_id.equal dm.protocol active)
-                mods
-            in
-            List.map
-              (fun (dm : Decision_module.t) ia -> dm.contribute ~me:t.cfg.asn ia)
-              (actives @ others)
-          in
-          Factory.build ~passthrough:t.cfg.passthrough ~supported:(supported t)
-            ~me:t.cfg.asn ~my_addr:t.cfg.addr ~contributions
-            candidate.Decision_module.ia
-      in
-      ( match m.Decision_module.export_filter outgoing with
-        | None -> None
-        | Some outgoing -> Some { candidate; outgoing } )
+            Factory.build ~passthrough:t.cfg.passthrough
+              ~supported:(supported t) ~me:t.cfg.asn ~my_addr:t.cfg.addr
+              ~contributions candidate.Decision_module.ia
+        in
+        ( match m.Decision_module.export_filter outgoing with
+          | None -> None
+          | Some outgoing ->
+            Some
+              { candidate;
+                outgoing;
+                built_gen = t.gen;
+                built_from = raw_candidates } )
   in
   let changed =
-    match (Loc_rib.find t.loc prefix, next) with
+    (not reused)
+    &&
+    match (prev, next) with
     | None, None -> false
     | Some a, Some b ->
       not
@@ -480,7 +586,7 @@ let process t ~now prefix =
 let ingest_msg t ~now ~from msg =
   match msg with
   | Withdraw prefix ->
-    bump t "withdrawals.received";
+    Metrics.incr t.c_withdrawals_rx;
     let had = Option.is_some (Adj_rib_in.find t.rib_in ~peer:from prefix) in
     Adj_rib_in.remove t.rib_in ~peer:from prefix;
     (* Hearing from the peer at all proves it is back: its stale mark for
@@ -489,10 +595,9 @@ let ingest_msg t ~now ~from msg =
     if had then note_flap t ~now from prefix (withdraw_penalty t);
     Pipeline.mark t.sched prefix
   | Announce ia -> (
-    bump t "updates.received";
+    Metrics.incr t.c_updates_rx;
     (* Stage 1: global import filtering, loop rejection first. *)
-    let ingress = Filters.compose Filters.reject_loops t.cfg.global_import in
-    match ingress ia with
+    match t.ingress ia with
     | None ->
       bump t "import.rejected";
       Trace.emit t.trace ~at:now
@@ -516,7 +621,7 @@ let ingest_msg t ~now ~from msg =
            stored route is byte-identical, so re-running the decision
            process or charging a flap penalty would amplify the
            duplicate.  Refreshing the stale mark is the only effect. *)
-        bump t "updates.duplicate";
+        Metrics.incr t.c_duplicates;
         Adj_rib_in.clear_stale t.rib_in ~peer:from ia.Ia.prefix
       | prev ->
         ( match prev with

@@ -233,6 +233,13 @@ val export_group_count : t -> int
 type chosen = {
   candidate : Decision_module.candidate;  (** the selected incoming route *)
   outgoing : Ia.t;  (** the IA built for re-advertisement (pre per-neighbor filters) *)
+  built_gen : int;
+      (** module-configuration generation the outgoing IA was built under
+          (internal build-memoization token) *)
+  built_from : Decision_module.candidate list;
+      (** the full post-import candidate list the build saw (internal
+          build-memoization token: a module's [contribute] may depend on
+          the losers, so reuse requires the whole set unchanged) *)
 }
 
 val best : t -> Dbgp_types.Prefix.t -> chosen option
@@ -277,3 +284,4 @@ val metrics : t -> Dbgp_obs.Metrics.t
 val trace : t -> Dbgp_obs.Trace.t
 (** The speaker's event trace (decision runs, damping and restart
     phases, import rejections). *)
+

@@ -259,6 +259,9 @@ type session_report = {
   drops : int;
   established : int;  (* pairs fully Established at the end *)
   retries : int;      (* connect-retry timers armed across all endpoints *)
+  budget_exhausted : bool;
+  (* the bounded run stopped on its event budget with work still queued
+     (expected here: keepalive timers re-arm forever) *)
 }
 
 let session_chaos ?(pairs = 8) ?(drops = 3) ~seed () =
@@ -291,6 +294,7 @@ let session_chaos ?(pairs = 8) ?(drops = 3) ~seed () =
   done;
   (* Keepalive timers re-arm forever; bound the run instead of draining. *)
   ignore (Event_queue.run ~max_events:(pairs * drops * 400) q);
+  let budget_exhausted = Event_queue.budget_exhausted q in
   let established =
     List.length
       (List.filter
@@ -304,7 +308,7 @@ let session_chaos ?(pairs = 8) ?(drops = 3) ~seed () =
       (fun acc (a, b) -> acc + Session.retry_count a + Session.retry_count b)
       0 endpoints
   in
-  { pairs; drops; established; retries }
+  { pairs; drops; established; retries; budget_exhausted }
 
 let pp_report ppf r =
   Format.fprintf ppf
@@ -312,7 +316,7 @@ let pp_report ppf r =
      initial: %d msgs, converged t=%.1f@,\
      final:   %d msgs, %d dropped, quiet t=%.1f@,\
      reconverged=%b unreachable=%d (baseline %d) stale=%d loops=%d \
-     restored=%b@,\
+     restored=%b budget_exhausted=%b@,\
      corruption: %d injected, %d survived; verdicts:%a@,\
      %a@,\
      convergence p50=%.1f p90=%.1f p99=%.1f; churn %.1f msgs/flap@]"
@@ -320,7 +324,9 @@ let pp_report ppf r =
     r.initial.Network.messages r.initial.Network.converged_at
     r.final.Network.messages r.dropped r.final.Network.converged_at
     r.reconverged r.unreachable r.baseline_unreachable r.stale_leaks
-    r.forwarding_loops r.sessions_restored r.corrupted r.corruption_survived
+    r.forwarding_loops r.sessions_restored
+    (r.initial.Network.exhausted || r.final.Network.exhausted)
+    r.corrupted r.corruption_survived
     (fun ppf vs ->
       List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) vs)
     r.error_verdicts Invariants.pp r.invariants
@@ -328,5 +334,6 @@ let pp_report ppf r =
 
 let pp_session_report ppf r =
   Format.fprintf ppf
-    "session chaos: %d pairs, %d drops -> %d re-established, %d retries"
+    "session chaos: %d pairs, %d drops -> %d re-established, %d retries%s"
     r.pairs r.drops r.established r.retries
+    (if r.budget_exhausted then " (event budget exhausted)" else "")

@@ -66,6 +66,9 @@ type session_report = {
   drops : int;
   established : int;  (** pairs fully Established at the end *)
   retries : int;      (** connect-retry timers armed across all endpoints *)
+  budget_exhausted : bool;
+  (** the bounded run stopped on its event budget with work still queued
+      (expected here: keepalive timers re-arm forever) *)
 }
 
 val session_chaos : ?pairs:int -> ?drops:int -> seed:int -> unit -> session_report

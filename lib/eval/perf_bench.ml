@@ -1,0 +1,229 @@
+(* Hot-path performance benchmark: the numbers behind the
+   allocation-elimination work.
+
+   Converges seeded BRITE topologies (same generator and policy wiring
+   as {!Pipeline_bench}) at 64+ originated prefixes under MRAI batching
+   and reports, per topology size:
+
+   - sustained updates/s (wall and CPU) over the full convergence run;
+   - GC allocation per delivered update ([Gc] minor/major word deltas);
+   - encode-cache and decode-memo hit rates from
+     {!Dbgp_core.Codec.wire_metrics} counter deltas around the run.
+
+   Each size runs twice: once with in-memory delivery (the headline
+   throughput mode, comparable to the recorded pre-change baseline) and
+   once with {!Dbgp_netsim.Network.set_wire_delivery} on, where every
+   clean announcement crosses a real serialization boundary — encode on
+   the sender (amortised by the encode cache), robust decode on the
+   receiver (amortised by the decode memo).
+
+   The pre-change baseline constants below were measured on this
+   machine at 1000 ASes / 64 prefixes / MRAI 2.0 immediately before the
+   interning + encode-once + heap-scheduler changes landed; [headline]
+   reports the current run against them. *)
+
+open Dbgp_types
+module Network = Dbgp_netsim.Network
+module Graph = Dbgp_topology.As_graph
+module Brite = Dbgp_topology.Brite
+module Metrics = Dbgp_obs.Metrics
+module Snapshot = Dbgp_obs.Snapshot
+
+type row = {
+  ases : int;
+  prefixes : int;
+  wire : bool;
+  messages : int;
+  updates : int;
+  events : int;
+  elapsed_s : float;
+  cpu_s : float;
+  updates_per_s : float;
+  updates_per_cpu_s : float;
+  minor_words_per_update : float;
+  major_words_per_update : float;
+  enc_hits : int;
+  enc_misses : int;
+  enc_hit_rate : float;
+  dec_hits : int;
+  dec_misses : int;
+  dec_hit_rate : float;
+}
+
+type headline = {
+  row : row;
+  baseline_updates_per_s : float;
+  baseline_minor_words_per_update : float;
+  speedup : float;
+  minor_words_reduction : float;
+}
+
+(* Recorded on this machine at 1000 ASes / 64 prefixes / MRAI 2.0,
+   in-memory delivery, at the commit preceding the hot-path work
+   ("Restructure speaker into staged RIB pipeline..."). *)
+let baseline_updates_per_s = 57_572.
+let baseline_minor_words_per_update = 1487.3
+
+let build ~seed ~ases =
+  let rng = Prng.create seed in
+  let g = Brite.generate rng { Brite.default with Brite.n = ases } in
+  let net = Network.create () in
+  for i = 0 to Graph.size g - 1 do
+    ignore (Harness.add_as net (i + 1))
+  done;
+  Graph.fold_edges
+    (fun a b view () ->
+      let rel =
+        match view with
+        | Graph.Customer_of_me -> Dbgp_bgp.Policy.To_customer
+        | Graph.Provider_of_me -> Dbgp_bgp.Policy.To_provider
+        | Graph.Peer_of_me -> Dbgp_bgp.Policy.To_peer
+      in
+      Network.link net ~a:(Asn.of_int (a + 1)) ~b:(Asn.of_int (b + 1))
+        ~b_is:rel ())
+    g ();
+  net
+
+let wire_count name =
+  Metrics.count (Metrics.counter (Dbgp_core.Codec.wire_metrics ()) name)
+
+let rate hits misses =
+  if hits + misses = 0 then 0.
+  else float_of_int hits /. float_of_int (hits + misses)
+
+let run ?(seed = 42) ?(prefixes = 64) ?(mrai = 2.0) ?(wire = false) ~ases () =
+  let net = build ~seed ~ases in
+  Network.set_mrai net mrai;
+  Network.set_wire_delivery net wire;
+  for i = 0 to prefixes - 1 do
+    let prefix = Prefix.of_string (Printf.sprintf "99.%d.0.0/24" i) in
+    let origin = Asn.of_int (1 + (i mod ases)) in
+    Network.originate net origin
+      (Dbgp_core.Ia.originate ~prefix ~origin_asn:origin
+         ~next_hop:(Network.speaker_addr origin) ())
+  done;
+  Gc.compact ();
+  let enc_hits0 = wire_count "wire.encode_cache.hits" in
+  let enc_misses0 = wire_count "wire.encode_cache.misses" in
+  let dec_hits0 = wire_count "wire.decode_memo.hits" in
+  let dec_misses0 = wire_count "wire.decode_memo.misses" in
+  let g0 = Gc.quick_stat () in
+  let tm0 = Unix.times () in
+  let t0 = Unix.gettimeofday () in
+  let stats = Network.run net in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let tm1 = Unix.times () in
+  let g1 = Gc.quick_stat () in
+  let cpu =
+    tm1.Unix.tms_utime -. tm0.Unix.tms_utime
+    +. (tm1.Unix.tms_stime -. tm0.Unix.tms_stime)
+  in
+  let c = Network.counter_total net in
+  let updates = c "updates.received" + c "withdrawals.received" in
+  let per_update w = if updates = 0 then 0. else w /. float_of_int updates in
+  let enc_hits = wire_count "wire.encode_cache.hits" - enc_hits0 in
+  let enc_misses = wire_count "wire.encode_cache.misses" - enc_misses0 in
+  let dec_hits = wire_count "wire.decode_memo.hits" - dec_hits0 in
+  let dec_misses = wire_count "wire.decode_memo.misses" - dec_misses0 in
+  { ases;
+    prefixes;
+    wire;
+    messages = stats.Network.messages;
+    updates;
+    events = stats.Network.events;
+    elapsed_s = elapsed;
+    cpu_s = cpu;
+    updates_per_s =
+      (if elapsed > 0. then float_of_int updates /. elapsed else 0.);
+    updates_per_cpu_s = (if cpu > 0. then float_of_int updates /. cpu else 0.);
+    minor_words_per_update = per_update (g1.Gc.minor_words -. g0.Gc.minor_words);
+    major_words_per_update = per_update (g1.Gc.major_words -. g0.Gc.major_words);
+    enc_hits;
+    enc_misses;
+    enc_hit_rate = rate enc_hits enc_misses;
+    dec_hits;
+    dec_misses;
+    dec_hit_rate = rate dec_hits dec_misses }
+
+let suite ?(sizes = [ 100; 500; 1000 ]) ?(prefixes = 64) () =
+  List.concat_map
+    (fun ases ->
+      [ run ~ases ~prefixes (); run ~ases ~prefixes ~wire:true () ])
+    sizes
+
+let headline rows =
+  let pick =
+    List.fold_left
+      (fun acc r ->
+        if r.wire then acc
+        else
+          match acc with
+          | Some best when best.ases >= r.ases -> acc
+          | _ -> Some r)
+      None rows
+  in
+  match pick with
+  | None -> None
+  | Some row ->
+    Some
+      { row;
+        baseline_updates_per_s;
+        baseline_minor_words_per_update;
+        speedup = row.updates_per_s /. baseline_updates_per_s;
+        minor_words_reduction =
+          1. -. (row.minor_words_per_update /. baseline_minor_words_per_update)
+      }
+
+let to_snapshot r =
+  Snapshot.Obj
+    [ ("ases", Snapshot.Int r.ases);
+      ("prefixes", Snapshot.Int r.prefixes);
+      ("wire", Snapshot.Bool r.wire);
+      ("messages", Snapshot.Int r.messages);
+      ("updates", Snapshot.Int r.updates);
+      ("events", Snapshot.Int r.events);
+      ("elapsed_s", Snapshot.Float r.elapsed_s);
+      ("cpu_s", Snapshot.Float r.cpu_s);
+      ("updates_per_s", Snapshot.Float r.updates_per_s);
+      ("updates_per_cpu_s", Snapshot.Float r.updates_per_cpu_s);
+      ("minor_words_per_update", Snapshot.Float r.minor_words_per_update);
+      ("major_words_per_update", Snapshot.Float r.major_words_per_update);
+      ("encode_cache_hits", Snapshot.Int r.enc_hits);
+      ("encode_cache_misses", Snapshot.Int r.enc_misses);
+      ("encode_cache_hit_rate", Snapshot.Float r.enc_hit_rate);
+      ("decode_memo_hits", Snapshot.Int r.dec_hits);
+      ("decode_memo_misses", Snapshot.Int r.dec_misses);
+      ("decode_memo_hit_rate", Snapshot.Float r.dec_hit_rate) ]
+
+let headline_to_snapshot h =
+  Snapshot.Obj
+    [ ("ases", Snapshot.Int h.row.ases);
+      ("prefixes", Snapshot.Int h.row.prefixes);
+      ("updates_per_s", Snapshot.Float h.row.updates_per_s);
+      ("baseline_updates_per_s", Snapshot.Float h.baseline_updates_per_s);
+      ("speedup", Snapshot.Float h.speedup);
+      ("minor_words_per_update", Snapshot.Float h.row.minor_words_per_update);
+      ( "baseline_minor_words_per_update",
+        Snapshot.Float h.baseline_minor_words_per_update );
+      ("minor_words_reduction", Snapshot.Float h.minor_words_reduction) ]
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%4d ASes %3d pfx %-6s %6d updates  %7.0f up/s (%7.0f cpu)  \
+     %6.0f minor w/up  enc %d/%d (%.0f%%)  dec %d/%d (%.0f%%)"
+    r.ases r.prefixes
+    (if r.wire then "wire" else "memory")
+    r.updates r.updates_per_s r.updates_per_cpu_s r.minor_words_per_update
+    r.enc_hits
+    (r.enc_hits + r.enc_misses)
+    (100. *. r.enc_hit_rate) r.dec_hits
+    (r.dec_hits + r.dec_misses)
+    (100. *. r.dec_hit_rate)
+
+let pp_headline ppf h =
+  Format.fprintf ppf
+    "%d ASes / %d prefixes (in-memory): %.0f updates/s vs %.0f baseline \
+     (%.2fx); %.0f minor words/update vs %.1f baseline (%.0f%% less)"
+    h.row.ases h.row.prefixes h.row.updates_per_s h.baseline_updates_per_s
+    h.speedup h.row.minor_words_per_update h.baseline_minor_words_per_update
+    (100. *. h.minor_words_reduction)

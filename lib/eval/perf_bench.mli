@@ -1,0 +1,68 @@
+(** Hot-path performance benchmark: the numbers behind the
+    allocation-elimination work (interned IAs, encode-once wire sharing,
+    heap-backed event queue).
+
+    Converges seeded BRITE topologies at 64+ originated prefixes under
+    MRAI batching and reports sustained updates/s (wall and CPU), GC
+    words allocated per delivered update, and the
+    [wire.encode_cache.*] / [wire.decode_memo.*] hit rates from
+    {!Dbgp_core.Codec.wire_metrics} counter deltas around the run.
+
+    Each size runs in two delivery modes: {e memory} (announcements
+    handed over as in-memory values — the headline throughput mode,
+    comparable to the recorded pre-change baseline) and {e wire}
+    ({!Dbgp_netsim.Network.set_wire_delivery}: every clean announcement
+    is encoded by the sender and robustly decoded by the receiver, so
+    both wire caches face real fan-out traffic).
+
+    Topology and message counts are deterministic for a given seed; the
+    timing and GC fields are machine-dependent. *)
+
+type row = {
+  ases : int;
+  prefixes : int;
+  wire : bool;             (** wire-faithful delivery was enabled *)
+  messages : int;          (** wire messages delivered network-wide *)
+  updates : int;           (** announcements + withdrawals handed to speakers *)
+  events : int;            (** simulator events executed *)
+  elapsed_s : float;
+  cpu_s : float;           (** user + system CPU time ([Unix.times]) *)
+  updates_per_s : float;   (** wall-clock *)
+  updates_per_cpu_s : float;
+  minor_words_per_update : float;
+  major_words_per_update : float;
+  enc_hits : int;          (** [wire.encode_cache.hits] delta *)
+  enc_misses : int;
+  enc_hit_rate : float;
+  dec_hits : int;          (** [wire.decode_memo.hits] delta *)
+  dec_misses : int;
+  dec_hit_rate : float;
+}
+
+type headline = {
+  row : row;               (** largest in-memory row of the suite *)
+  baseline_updates_per_s : float;
+  baseline_minor_words_per_update : float;
+  speedup : float;         (** row vs recorded pre-change baseline *)
+  minor_words_reduction : float;  (** 1 - current/baseline *)
+}
+
+val run :
+  ?seed:int -> ?prefixes:int -> ?mrai:float -> ?wire:bool -> ases:int ->
+  unit -> row
+(** Defaults: seed 42, 64 prefixes, MRAI 2.0 s, in-memory delivery. *)
+
+val suite : ?sizes:int list -> ?prefixes:int -> unit -> row list
+(** Two {!run}s (memory then wire) per topology size; default sizes
+    100, 500 and 1000 ASes at 64 prefixes. *)
+
+val headline : row list -> headline option
+(** The largest in-memory row compared against the recorded pre-change
+    baseline (57,572 updates/s and 1487.3 minor words/update at
+    1000 ASes / 64 prefixes on the reference machine).  [None] if the
+    list holds no in-memory row. *)
+
+val to_snapshot : row -> Dbgp_obs.Snapshot.t
+val headline_to_snapshot : headline -> Dbgp_obs.Snapshot.t
+val pp : Format.formatter -> row -> unit
+val pp_headline : Format.formatter -> headline -> unit

@@ -166,6 +166,51 @@ let run_beagle_batched ?(peers = 6) ?(payload_bytes = 0) ?(batch = 32)
   in
   mk_result label ~advertisements ~peers ~total_bytes elapsed
 
+(* ------------------- event-budget probe ------------------- *)
+
+type budget_probe = {
+  ases : int;
+  budget : int;
+  events_run : int;
+  budget_exhausted : bool;
+}
+
+(* Drive a provider chain under a deliberately insufficient event budget
+   to prove truncation is reported, then the same topology unbounded to
+   prove a quiescent run is not flagged.  Exercises the
+   {!Dbgp_netsim.Event_queue} budget-exhaustion signal end to end
+   through [Network.run]. *)
+let run_budget_probe ?(ases = 20) ?(budget = 10) () =
+  let module Network = Dbgp_netsim.Network in
+  let build () =
+    let net = Network.create () in
+    for i = 1 to ases do
+      ignore (Harness.add_as net i)
+    done;
+    for i = 1 to ases - 1 do
+      Harness.cust net i (i + 1)
+    done;
+    let origin = Asn.of_int 1 in
+    Network.originate net origin
+      (Dbgp_core.Ia.originate
+         ~prefix:(Prefix.of_string "99.77.0.0/24")
+         ~origin_asn:origin
+         ~next_hop:(Network.speaker_addr origin) ());
+    net
+  in
+  let bounded = Network.run ~max_events:budget (build ()) in
+  let free = Network.run (build ()) in
+  { ases;
+    budget;
+    events_run = bounded.Network.events;
+    budget_exhausted =
+      bounded.Network.exhausted && not free.Network.exhausted }
+
+let pp_budget_probe ppf r =
+  Format.fprintf ppf
+    "budget probe: %d ASes, %d-event budget -> ran %d, exhausted=%b"
+    r.ases r.budget r.events_run r.budget_exhausted
+
 let suite ?(advertisements = 2_000) () =
   (* Every arm replays the same number of advertisements so RIB-size
      effects cancel and only the serialization cost differs. *)

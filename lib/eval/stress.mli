@@ -34,6 +34,23 @@ val run_beagle_batched :
     arrivals (default 32), so colliding prefixes share one decision
     run. *)
 
+type budget_probe = {
+  ases : int;
+  budget : int;
+  events_run : int;         (** events executed under the bounded run *)
+  budget_exhausted : bool;
+  (** the bounded run reported exhaustion AND the unbounded control run
+      did not — the {!Dbgp_netsim.Event_queue} budget signal observed
+      end to end *)
+}
+
+val run_budget_probe : ?ases:int -> ?budget:int -> unit -> budget_probe
+(** Run a provider chain under a deliberately insufficient [budget] of
+    simulator events, plus an unbounded control, and report whether
+    truncation was correctly surfaced via [Network.stats.exhausted]. *)
+
+val pp_budget_probe : Format.formatter -> budget_probe -> unit
+
 val suite : ?advertisements:int -> unit -> result list
 (** The paper's comparison: Quagga BGP-only, Beagle BGP-only (eager and
     batched), Beagle 32 KB IAs, Beagle 256 KB IAs, every arm replaying

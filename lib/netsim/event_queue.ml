@@ -1,47 +1,108 @@
-module Key = struct
-  type t = float * int
+(* Array-backed binary min-heap ordered by (time, seq).  The previous
+   implementation was a [Map.Make] over the same key, which allocated
+   an O(log n) node spine per schedule *and* per pop; the heap touches
+   one 3-field record per schedule and sifts in place.  [seq] preserves
+   FIFO order among same-time events, so replay stays deterministic. *)
 
-  let compare (t1, s1) (t2, s2) =
-    match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
-end
+type entry = { time : float; seq : int; f : unit -> unit }
 
-module M = Map.Make (Key)
+let nil = { time = neg_infinity; seq = -1; f = ignore }
 
 type t = {
-  mutable events : (unit -> unit) M.t;
+  mutable heap : entry array;
+  mutable size : int;
   mutable clock : float;
   mutable seq : int;
+  mutable exhausted : bool;
 }
 
-let create () = { events = M.empty; clock = 0.; seq = 0 }
+let create () =
+  { heap = Array.make 256 nil; size = 0; clock = 0.; seq = 0;
+    exhausted = false }
+
 let now t = t.clock
+
+(* e1 strictly before e2 in dequeue order. *)
+let before e1 e2 =
+  e1.time < e2.time || (e1.time = e2.time && e1.seq < e2.seq)
+
+let grow t =
+  let h = Array.make (2 * Array.length t.heap) nil in
+  Array.blit t.heap 0 h 0 t.size;
+  t.heap <- h
 
 let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Event_queue.schedule_at: time in the past"
   else begin
-    t.events <- M.add (time, t.seq) f t.events;
-    t.seq <- t.seq + 1
+    if t.size = Array.length t.heap then grow t;
+    let e = { time; seq = t.seq; f } in
+    t.seq <- t.seq + 1;
+    (* Sift up. *)
+    let h = t.heap in
+    let i = ref t.size in
+    t.size <- t.size + 1;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if before e h.(parent) then begin
+        h.(!i) <- h.(parent);
+        i := parent
+      end
+      else continue := false
+    done;
+    h.(!i) <- e
   end
 
 let schedule t ~delay f =
   if delay < 0. then invalid_arg "Event_queue.schedule: negative delay"
   else schedule_at t ~time:(t.clock +. delay) f
 
-let is_empty t = M.is_empty t.events
-let pending t = M.cardinal t.events
+let is_empty t = t.size = 0
+let pending t = t.size
+
+let pop t =
+  let h = t.heap in
+  let top = h.(0) in
+  let n = t.size - 1 in
+  t.size <- n;
+  let e = h.(n) in
+  h.(n) <- nil;
+  if n > 0 then begin
+    (* Sift the displaced last element down from the root. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c = if r < n && before h.(r) h.(l) then r else l in
+        if before h.(c) e then begin
+          h.(!i) <- h.(c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    h.(!i) <- e
+  end;
+  top
 
 let step t =
-  match M.min_binding_opt t.events with
-  | None -> false
-  | Some (((time, _) as key), f) ->
-    t.events <- M.remove key t.events;
-    t.clock <- time;
-    f ();
+  if t.size = 0 then false
+  else begin
+    let e = pop t in
+    t.clock <- e.time;
+    e.f ();
     true
+  end
 
 let run ?(max_events = 10_000_000) t =
   let executed = ref 0 in
   while !executed < max_events && step t do
     incr executed
   done;
+  t.exhausted <- !executed >= max_events && t.size > 0;
   !executed
+
+let budget_exhausted t = t.exhausted

@@ -22,5 +22,11 @@ val run : ?max_events:int -> t -> int
 (** Pops and executes events until the queue drains or the budget is
     hit; returns the number executed. *)
 
+val budget_exhausted : t -> bool
+(** Whether the most recent {!run} stopped because [max_events] was
+    reached while events were still pending — i.e. the run did NOT
+    drain the queue and any "converged" reading of the result is
+    suspect. *)
+
 val step : t -> bool
 (** Execute one event; [false] if the queue was empty. *)

@@ -12,6 +12,7 @@ type stats = {
   dropped : int;
   events : int;
   converged_at : float;
+  exhausted : bool;
 }
 
 (* Everything needed to re-create both directions of a link after a
@@ -34,18 +35,21 @@ type t = {
   lookup : Lookup_service.t;
   speakers : (int, Speaker.t) Hashtbl.t;     (* by ASN *)
   by_addr : (int, int) Hashtbl.t;            (* speaker addr -> ASN *)
-  latencies : (int * int, float) Hashtbl.t;  (* by ASN pair, a < b; presence = link up *)
-  links : (int * int, link_cfg) Hashtbl.t;   (* config for every link ever made *)
+  latencies : (int, float) Hashtbl.t;  (* by packed ASN pair, a < b; presence = link up *)
+  links : (int, link_cfg) Hashtbl.t;   (* config for every link ever made *)
   mutable mrai : float;
+  mutable wire_delivery : bool;
   mutable fault : Fault_model.t option;
   mutable graceful_window : float option;    (* restart window; None = flush at once *)
-  restart_gen : (int * int, int) Hashtbl.t;  (* invalidates superseded flush timers *)
+  restart_gen : (int, int) Hashtbl.t;  (* invalidates superseded flush timers *)
   (* Per (src, dst) directed pair: the latest pending message per prefix
      plus whether a flush is already scheduled. *)
-  pending : (int * int, (Prefix.t, Speaker.msg) Hashtbl.t * bool ref) Hashtbl.t;
+  pending : (int, (Prefix.t, Speaker.msg) Hashtbl.t * bool ref) Hashtbl.t;
   (* Receive-side batching (MRAI mode): per-ASN flag marking an already
      scheduled pipeline drain, so a burst of arrivals buys one drain. *)
   drain_scheduled : (int, bool ref) Hashtbl.t;
+  (* ASN -> shared Peer.t handed to speakers on every delivery. *)
+  peer_memo : (int, Peer.t) Hashtbl.t;
   (* Network-level observability: message accounting lives in a metrics
      registry (the hot-path counters are cached), wire-level events go to
      the trace ring. *)
@@ -67,11 +71,13 @@ let create () =
     latencies = Hashtbl.create 64;
     links = Hashtbl.create 64;
     mrai = 0.;
+    wire_delivery = false;
     fault = None;
     graceful_window = None;
     restart_gen = Hashtbl.create 16;
     pending = Hashtbl.create 64;
     drain_scheduled = Hashtbl.create 64;
+    peer_memo = Hashtbl.create 64;
     obs;
     trace = Trace.create ();
     c_messages = Metrics.counter obs "net.messages";
@@ -95,7 +101,8 @@ let add_speaker t s =
     invalid_arg "Network.add_speaker: duplicate speaker address"
   else begin
     Hashtbl.replace t.speakers (Asn.to_int (Speaker.asn s)) s;
-    Hashtbl.replace t.by_addr addr (Asn.to_int (Speaker.asn s))
+    Hashtbl.replace t.by_addr addr (Asn.to_int (Speaker.asn s));
+    Hashtbl.remove t.peer_memo (Asn.to_int (Speaker.asn s))
   end
 
 let speaker t a =
@@ -103,16 +110,31 @@ let speaker t a =
   | Some s -> s
   | None -> raise Not_found
 
+(* One Peer.t per simulated speaker, built on first use: [peer_of] runs
+   once per delivered message, and sharing the value also lets the
+   receiving speaker's identity-first comparisons hit.  Invalidated
+   when a speaker is (re-)registered under the ASN. *)
 let peer_of t a =
-  let s = speaker t a in
-  Peer.make ~asn:(Speaker.asn s) ~addr:(Speaker.addr s)
+  let key = Asn.to_int a in
+  match Hashtbl.find_opt t.peer_memo key with
+  | Some p -> p
+  | None ->
+    let s = speaker t a in
+    let p = Peer.make ~asn:(Speaker.asn s) ~addr:(Speaker.addr s) in
+    Hashtbl.replace t.peer_memo key p;
+    p
 
 let asn_of_addr t addr =
   Option.map Asn.of_int (Hashtbl.find_opt t.by_addr (Ipv4.to_int addr))
 
+(* ASN pairs are packed into a single int ((lo lsl 31) lor hi) so the
+   per-message link and MRAI-batch lookups probe int-keyed tables
+   instead of allocating and generic-hashing a tuple each time. *)
+let pack_pair a b = (a lsl 31) lor b
+
 let lat_key a b =
   let a = Asn.to_int a and b = Asn.to_int b in
-  if a < b then (a, b) else (b, a)
+  if a < b then pack_pair a b else pack_pair b a
 
 let latency t a b =
   Option.value (Hashtbl.find_opt t.latencies (lat_key a b)) ~default:1.0
@@ -132,13 +154,15 @@ let set_graceful_restart t w =
 let set_damping t params =
   Hashtbl.iter (fun _ s -> Speaker.set_damping s params) t.speakers
 
+
 let prefix_of_msg = function
   | Speaker.Announce ia -> ia.Dbgp_core.Ia.prefix
   | Speaker.Withdraw p -> p
 
 (* Encoded size of a message on the wire.  Withdrawals carry just the
    prefix (1 length octet + up to 4 address octets). *)
-let msg_bytes = function
+let msg_bytes m =
+  match m with
   | Speaker.Announce ia -> Dbgp_core.Codec.size ia
   | Speaker.Withdraw _ -> 5
 
@@ -175,7 +199,7 @@ let rec dispatch t ~from outbox =
           else begin
             (* MRAI batching: keep only the latest state per prefix and
                flush the whole batch once per interval. *)
-            let key = (Asn.to_int from, dst_asn) in
+            let key = pack_pair (Asn.to_int from) dst_asn in
             let batch, scheduled =
               match Hashtbl.find_opt t.pending key with
               | Some entry -> entry
@@ -267,6 +291,16 @@ and deliver_once t ~now ~from ~to_ msg =
         | Speaker.Rx_filtered | Speaker.Rx_withdrawn
         | Speaker.Rx_session_error -> () );
       out
+    | _, Speaker.Announce ia when t.wire_delivery ->
+      (* Wire-faithful delivery (opt-in, see {!set_wire_delivery}):
+         encode the announcement — the sender-side cache makes repeats
+         cheap — and hand the receiver the bytes through the robust
+         decode path, where the receive-side memo recognises wire
+         strings it has already decoded.  Clean bytes round-trip to an
+         equal IA, so routing behavior is unchanged; only the
+         serialization boundary becomes real. *)
+      let wire = Dbgp_core.Codec.encode_cached ia in
+      snd (Speaker.receive_wire ~now ~defer:batched s ~from:(peer_of t from) wire)
     | _ ->
       if batched then begin
         Speaker.ingest ~now s ~from:(peer_of t from) msg;
@@ -378,7 +412,8 @@ let clear_pending t a b =
         Hashtbl.reset batch;
         Hashtbl.remove t.pending key
       | None -> ())
-    [ (Asn.to_int a, Asn.to_int b); (Asn.to_int b, Asn.to_int a) ]
+    [ pack_pair (Asn.to_int a) (Asn.to_int b);
+      pack_pair (Asn.to_int b) (Asn.to_int a) ]
 
 let bump_restart_gen t key =
   let g = 1 + Option.value (Hashtbl.find_opt t.restart_gen key) ~default:0 in
@@ -455,7 +490,8 @@ let unlink t a b =
 
 let refresh_all t =
   Hashtbl.iter
-    (fun (a, b) _ -> refresh_link t (Asn.of_int a) (Asn.of_int b))
+    (fun key _ ->
+      refresh_link t (Asn.of_int (key lsr 31)) (Asn.of_int (key land 0x7FFF_FFFF)))
     t.latencies
 
 let schedule_flap t ~down_at ~up_at a b =
@@ -483,6 +519,8 @@ let inject t ~from ~to_ msg =
 let set_mrai t v =
   if v < 0. then invalid_arg "Network.set_mrai: negative interval" else t.mrai <- v
 
+let set_wire_delivery t v = t.wire_delivery <- v
+
 let run ?max_events t =
   let events = Event_queue.run ?max_events t.q in
   { messages = Metrics.count t.c_messages;
@@ -492,7 +530,8 @@ let run ?max_events t =
       Metrics.count t.c_dropped
       + (match t.fault with Some f -> Fault_model.dropped f | None -> 0);
     events;
-    converged_at = Event_queue.now t.q }
+    converged_at = Event_queue.now t.q;
+    exhausted = Event_queue.budget_exhausted t.q }
 
 let asns t =
   Hashtbl.fold (fun a _ acc -> Asn.of_int a :: acc) t.speakers []

@@ -24,6 +24,10 @@ type stats = {
   dropped : int;         (** messages lost to faults or cut links *)
   events : int;          (** total simulator events executed *)
   converged_at : float;  (** simulated time the network went quiet *)
+  exhausted : bool;
+      (** the run stopped because it hit its [max_events] budget with
+          work still queued — [converged_at] is a truncation point, not
+          a quiescent state *)
 }
 
 val create : unit -> t
@@ -136,6 +140,16 @@ val set_mrai : t -> float -> unit
     visible as the speakers' [pipeline.runs_saved] counter).
     @raise Invalid_argument on negative values. *)
 
+val set_wire_delivery : t -> bool -> unit
+(** When enabled, clean announcements are delivered as encoded bytes
+    through {!Dbgp_core.Speaker.receive_wire} instead of as in-memory
+    values: the sender pays {!Dbgp_core.Codec.encode} (amortised by the
+    encode cache) and the receiver pays {!Dbgp_core.Codec.decode_robust}
+    (amortised by the decode memo).  Clean bytes round-trip to an equal
+    IA, so routing outcomes are unchanged — this mode exists to make the
+    serialization boundary real for wire-path benchmarks
+    ({!Dbgp_eval.Perf_bench}).  Default off. *)
+
 val originate : t -> Dbgp_types.Asn.t -> Dbgp_core.Ia.t -> unit
 (** Locally originate a route at the AS and schedule its announcements. *)
 
@@ -180,3 +194,4 @@ val snapshot : ?recent_events:int -> t -> Dbgp_obs.Snapshot.t
     registry, per-speaker counter totals, and convergence-time
     percentiles.  With [recent_events > 0] the last that many trace
     events are included under ["trace"]. *)
+

@@ -1,0 +1,64 @@
+(** Hash-consed interning for hot-path values.
+
+    Maps structurally equal values to one physical representative so
+    equality checks short-circuit on [==] and fanned-out announces
+    share storage.  Tables are bounded (reset wholesale at capacity);
+    every interned value stays valid after a reset — only future
+    sharing is lost — so callers never need to care about residency.
+
+    The global tables below are what the codec and speaker use; the
+    {!Make} functor builds additional per-type tables. *)
+
+type stats = { hits : int; misses : int; size : int; clears : int }
+
+module type HashedType = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module type S = sig
+  type value
+  type t
+
+  val create : ?max_size:int -> int -> t
+  (** [create ?max_size n] makes a table with initial capacity [n];
+      when [max_size] (default 65536) entries are reached the table is
+      reset wholesale. *)
+
+  val intern : t -> value -> value
+  (** Canonical representative: two structurally equal arguments return
+      the same physical value while the table retains the first. *)
+
+  val length : t -> int
+  val clear : t -> unit
+  val stats : t -> stats
+end
+
+module Make (H : HashedType) : S with type value = H.t
+
+val path_elem : Path_elem.t -> Path_elem.t
+(** Canonical representative of one path element. *)
+
+val path_vector : Path_elem.t list -> Path_elem.t list
+(** Canonical representative of a whole vector, hash-consed cell by
+    cell: vectors sharing a structural tail share it physically, so
+    prepending onto an interned vector only adds one fresh cell. *)
+
+val string : string -> string
+(** Canonical representative for small repeated strings (descriptor
+    field names, protocol names). *)
+
+val has_loop : Path_elem.t list -> bool
+(** [Path_elem.has_loop] behind a direct-mapped identity memo —
+    repeated checks of the same (physically) vector are O(1).  Sound
+    for any argument, fast for interned ones. *)
+
+val path_elem_stats : unit -> stats
+val path_vector_stats : unit -> stats
+val string_stats : unit -> stats
+
+val clear_all : unit -> unit
+(** Reset every global table and the loop memo (tests, and leak-proof
+    teardown paths). *)

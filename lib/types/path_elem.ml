@@ -23,7 +23,7 @@ let compare x y =
   | _, Island _ -> 1
   | As_set a, As_set b -> List.compare Asn.compare a b
 
-let equal x y = compare x y = 0
+let equal x y = x == y || compare x y = 0
 
 let to_string = function
   | As a -> Asn.to_string a

@@ -25,7 +25,25 @@ let of_string s =
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Prefix.of_string: %S" s)
 
-let to_string p = Printf.sprintf "%s/%d" (Ipv4.to_string p.net) p.len
+(* Rendered on every trace emit (twice per delivered update), so the
+   Printf cost is memoized behind a small direct-mapped cache; a slot
+   holds the prefix whose string it stores, compared structurally (two
+   int fields). *)
+let ts_slots = 512
+let ts_memo : (t * string) array = Array.make ts_slots ({ net = Ipv4.any; len = -1 }, "")
+
+let to_string p =
+  let slot =
+    (Ipv4.to_int p.net lxor (p.len * 0x9E37_79B1)) land (ts_slots - 1)
+  in
+  let (p', s) = Array.unsafe_get ts_memo slot in
+  if p'.len = p.len && Ipv4.to_int p'.net = Ipv4.to_int p.net then s
+  else begin
+    let s = Printf.sprintf "%s/%d" (Ipv4.to_string p.net) p.len in
+    Array.unsafe_set ts_memo slot (p, s);
+    s
+  end
+
 let pp ppf p = Format.pp_print_string ppf (to_string p)
 
 let mem addr p = Ipv4.to_int addr land mask p.len = Ipv4.to_int p.net

@@ -47,11 +47,39 @@ let prefix b p =
   let octets = (len + 7) / 8 in
   let net = Dbgp_types.Ipv4.to_int (Dbgp_types.Prefix.network p) in
   for i = 0 to octets - 1 do
-    u8 b ((net lsr (24 - (8 * i))) land 0xFF)
+    (* Shifted-and-masked octets are always in range; skip u8's check. *)
+    Buffer.add_char b (Char.unsafe_chr ((net lsr (24 - (8 * i))) land 0xFF))
   done
 
 let asn b a = u32 b (Dbgp_types.Asn.to_int a)
 
-let list b f xs =
-  varint b (List.length xs);
-  List.iter (f b) xs
+(* Scratch buffers for single-pass [list]: elements are encoded while
+   being counted, then blitted after the varint count.  A pool (stack)
+   rather than one global buffer because element encoders recurse into
+   [list] (nested Value lists). *)
+let scratch_pool : Buffer.t list ref = ref []
+
+let with_scratch f =
+  let b =
+    match !scratch_pool with
+    | [] -> Buffer.create 128
+    | b :: tl ->
+      scratch_pool := tl;
+      b
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Buffer.clear b;
+      scratch_pool := b :: !scratch_pool)
+    (fun () -> f b)
+
+let list b f = function
+  | [] -> varint b 0
+  | [ x ] ->
+    varint b 1;
+    f b x
+  | xs ->
+    with_scratch (fun scratch ->
+        let n = List.fold_left (fun n x -> f scratch x; n + 1) 0 xs in
+        varint b n;
+        Buffer.add_buffer b scratch)

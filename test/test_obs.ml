@@ -398,6 +398,56 @@ let test_pipeline_bench_schema () =
   check "json renders" true
     (String.length (Snapshot.to_json_pretty s) > 0)
 
+(* BENCH_perf.json rows come straight from [Perf_bench.to_snapshot]; pin
+   the schema here so the bench artifact cannot drift silently.  A small
+   wire-mode run doubles as an end-to-end check that the decode memo
+   sees real receive-side traffic. *)
+let test_perf_bench_schema () =
+  let r = E.Perf_bench.run ~ases:25 ~prefixes:8 ~wire:true () in
+  let s = E.Perf_bench.to_snapshot r in
+  let int_fields =
+    [ "ases"; "prefixes"; "messages"; "updates"; "events";
+      "encode_cache_hits"; "encode_cache_misses"; "decode_memo_hits";
+      "decode_memo_misses" ]
+  in
+  let float_fields =
+    [ "elapsed_s"; "cpu_s"; "updates_per_s"; "updates_per_cpu_s";
+      "minor_words_per_update"; "major_words_per_update";
+      "encode_cache_hit_rate"; "decode_memo_hit_rate" ]
+  in
+  List.iter
+    (fun f ->
+      match Snapshot.member f s with
+      | Some (Snapshot.Int _) -> ()
+      | _ -> Alcotest.fail (f ^ ": expected Int field"))
+    int_fields;
+  List.iter
+    (fun f ->
+      match Snapshot.member f s with
+      | Some (Snapshot.Float _) | Some (Snapshot.Int _) -> ()
+      | _ -> Alcotest.fail (f ^ ": expected numeric field"))
+    float_fields;
+  ( match Snapshot.member "wire" s with
+    | Some (Snapshot.Bool true) -> ()
+    | _ -> Alcotest.fail "wire must echo the delivery mode" );
+  (* Wire mode means both caches saw the convergence traffic. *)
+  check "encode cache hits > 0" true (r.E.Perf_bench.enc_hits > 0);
+  check "decode memo hits > 0" true (r.E.Perf_bench.dec_hits > 0);
+  ( match E.Perf_bench.headline [ { r with E.Perf_bench.wire = false } ] with
+    | Some h ->
+      let hs = E.Perf_bench.headline_to_snapshot h in
+      List.iter
+        (fun f ->
+          match Snapshot.member f hs with
+          | Some (Snapshot.Float _) -> ()
+          | _ -> Alcotest.fail (f ^ ": expected Float headline field"))
+        [ "updates_per_s"; "baseline_updates_per_s"; "speedup";
+          "minor_words_per_update"; "baseline_minor_words_per_update";
+          "minor_words_reduction" ]
+    | None -> Alcotest.fail "headline must pick the in-memory row" );
+  check "json renders" true
+    (String.length (Snapshot.to_json_pretty s) > 0)
+
 let () =
   Alcotest.run "obs"
     [ ("metrics",
@@ -421,4 +471,6 @@ let () =
          Alcotest.test_case "chaos snapshot names" `Quick
            test_chaos_snapshot_names;
          Alcotest.test_case "pipeline bench schema" `Quick
-           test_pipeline_bench_schema ]) ]
+           test_pipeline_bench_schema;
+         Alcotest.test_case "perf bench schema" `Quick
+           test_perf_bench_schema ]) ]
