@@ -247,6 +247,7 @@ let chaos_bench () =
     \  \"errors_treat_as_withdraw\": %d,\n\
     \  \"errors_session_reset\": %d,\n\
     \  \"invariants_ok\": %b,\n\
+    \  \"censored\": %b,\n\
     \  \"healthy\": %b,\n\
     \  \"session_pairs_restored\": %d,\n\
     \  \"session_retries\": %d\n\
@@ -265,6 +266,7 @@ let chaos_bench () =
     (List.assoc "errors.treat_as_withdraw" r.E.Chaos.error_verdicts)
     (List.assoc "errors.session_reset" r.E.Chaos.error_verdicts)
     (E.Invariants.ok r.E.Chaos.invariants)
+    r.E.Chaos.censored
     (E.Chaos.healthy r) s.E.Chaos.established s.E.Chaos.retries;
   close_out oc;
   Format.fprintf out "wrote BENCH_chaos.json@."
@@ -353,6 +355,7 @@ let obs_bench () =
     Dbgp_obs.Snapshot.Obj
       [ ("seed", Dbgp_obs.Snapshot.Int 42);
         ("ases", Dbgp_obs.Snapshot.Int o.E.Convergence.ases);
+        ("censored", Dbgp_obs.Snapshot.Bool o.E.Convergence.censored);
         ("messages", Dbgp_obs.Snapshot.Int o.E.Convergence.messages);
         ("announce_bytes", Dbgp_obs.Snapshot.Int o.E.Convergence.announce_bytes);
         ("decision_runs", Dbgp_obs.Snapshot.Int o.E.Convergence.decision_runs);
@@ -367,6 +370,22 @@ let obs_bench () =
   output_string oc (Dbgp_obs.Snapshot.to_json_pretty doc);
   close_out oc;
   Format.fprintf out "wrote BENCH_obs.json@."
+
+(* ------------------------------------------------------------------ *)
+(* Stability scenario: the divergence lab — known-divergent gadgets     *)
+(* and converged controls, flap damping off and on, persisted as        *)
+(* BENCH_stability.json.  Fully seeded, so the file is reproducible.    *)
+(* ------------------------------------------------------------------ *)
+
+let stability_bench () =
+  rule "Stability: divergence lab (gadgets vs controls, damping off/on)";
+  let cases = E.Scenarios.divergence_cases ~seed:42 ~control_ases:30 () in
+  let r = E.Stability.run_cases ~budget:20_000 cases in
+  Format.fprintf out "%a@." E.Stability.pp_report r;
+  let oc = open_out "BENCH_stability.json" in
+  output_string oc (Dbgp_obs.Snapshot.to_json_pretty (E.Stability.to_snapshot r));
+  close_out oc;
+  Format.fprintf out "wrote BENCH_stability.json@."
 
 let () =
   let t0 = Unix.gettimeofday () in
@@ -482,5 +501,6 @@ let () =
   pipeline_bench ();
   perf_bench ();
   obs_bench ();
+  stability_bench ();
   run_bechamel ();
   Format.fprintf out "total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

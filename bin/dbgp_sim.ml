@@ -252,6 +252,52 @@ let fuzz cases seed json =
       Format.fprintf out "wrote %s@." path );
   if r.E.Fuzz.escaped > 0 || r.E.Fuzz.roundtrip_failures > 0 then exit 1
 
+(* ---------- stability ---------- *)
+
+let stability budget seed control_ases json =
+  if budget < 1 then (
+    Format.eprintf "dbgp-sim: --budget must be positive@.";
+    exit 2 );
+  Format.fprintf out
+    "Divergence lab: known-divergent gadgets and converged controls,@.\
+     flap damping off and on (safety report for decision-process changes)@.@.";
+  let cases = E.Scenarios.divergence_cases ~seed ~control_ases () in
+  let r = E.Stability.run_cases ~budget cases in
+  Format.fprintf out "%a@." E.Stability.pp_report r;
+  ( match json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Dbgp_obs.Snapshot.to_json_pretty (E.Stability.to_snapshot r));
+      close_out oc;
+      Format.fprintf out "wrote %s@." path );
+  (* Safety gate: every known-divergent gadget must be caught (oscillating
+     or at least censored), every control must converge, and the static
+     wheel check must agree with the spec's expectation. *)
+  let expected = Hashtbl.create 8 in
+  List.iter
+    (fun (c : E.Stability.case) ->
+      Hashtbl.replace expected c.E.Stability.name c.E.Stability.expect_divergence)
+    cases;
+  let ok =
+    List.for_all
+      (fun (row : E.Stability.row) ->
+        match Hashtbl.find_opt expected row.E.Stability.scenario with
+        | None -> true
+        | Some divergent ->
+          ( match row.E.Stability.verdict with
+            | E.Stability.Converged _ -> not divergent
+            | E.Stability.Oscillating _ -> divergent
+            | E.Stability.Censored _ ->
+              (* An exhausted budget is an honest "could not prove
+                 convergence" — acceptable only for divergent cases. *)
+              divergent ))
+      r.E.Stability.rows
+  in
+  Format.fprintf out "verdicts match expectations: %b@." ok;
+  if not ok then exit 1
+
 (* ---------- stats ---------- *)
 
 let stats ases seed events =
@@ -355,6 +401,23 @@ let fuzz_json_arg =
     & opt (some string) None
     & info [ "json" ] ~doc:"Write the fuzz report as JSON to $(docv)" ~docv:"FILE")
 
+let budget_arg =
+  Arg.(
+    value & opt int E.Stability.default_budget
+    & info [ "budget" ] ~doc:"Event budget per stability run")
+
+let control_ases_arg =
+  Arg.(
+    value & opt int 30
+    & info [ "control-ases" ] ~doc:"Size of the BRITE converged control")
+
+let stability_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ]
+        ~doc:"Write the stability report as JSON to $(docv)" ~docv:"FILE")
+
 let stats_ases_arg =
   Arg.(value & opt int 200 & info [ "stats-ases" ] ~doc:"Stats topology size")
 
@@ -396,6 +459,15 @@ let cmds =
            "Seeded deterministic fuzzing of the IA codec and speaker \
             pipeline (exit 1 if any exception escapes)")
       Term.(const fuzz $ cases_arg $ seed_arg $ fuzz_json_arg);
+    Cmd.v
+      (Cmd.info "stability"
+         ~doc:
+           "Divergence lab: classify known-divergent gadgets and converged \
+            controls as converged / oscillating / censored, with flap \
+            damping off and on (exit 1 on unexpected verdicts)")
+      Term.(
+        const stability $ budget_arg $ seed_arg $ control_ases_arg
+        $ stability_json_arg);
     Cmd.v
       (Cmd.info "stats"
          ~doc:

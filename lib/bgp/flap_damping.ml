@@ -61,7 +61,14 @@ let decay p st ~now =
     st.penalty <- st.penalty *. (0.5 ** ((now -. st.last) /. p.half_life));
     st.last <- now
   end;
-  if st.suppressed && st.penalty < p.reuse_threshold then begin
+  (* Tolerant [<=]: {!time_to_reuse} solves for the instant the penalty
+     decays to exactly the reuse threshold and the reuse timer fires at
+     precisely that time, but [0.5 ** x] rounds — the recomputed penalty
+     can land a few ulps above the threshold, leaving a residual
+     time-to-reuse too small to advance the simulator clock and pinning
+     the reuse timer at a fixed instant.  A 1e-9 relative tolerance
+     (sub-microunit on realistic thresholds) absorbs the rounding. *)
+  if st.suppressed && st.penalty <= p.reuse_threshold *. (1. +. 1e-9) then begin
     st.suppressed <- false;
     st.reuses <- st.reuses + 1
   end

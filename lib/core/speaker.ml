@@ -101,6 +101,10 @@ type t = {
   mutable gen : int;
   mutable contrib_cache : (int * Protocol_id.t * (Ia.t -> Ia.t) list) option;
   mutable supported_cache : (int * Protocol_id.Set.t) option;
+  (* Fired from [process] whenever the Loc-RIB entry for a prefix
+     actually changes — the stability detector's per-prefix change
+     feed. *)
+  mutable change_hook : (now:float -> Prefix.t -> unit) option;
 }
 
 let create cfg =
@@ -133,7 +137,8 @@ let create cfg =
     ingress = Filters.compose Filters.reject_loops cfg.global_import;
     gen = 0;
     contrib_cache = None;
-    supported_cache = None }
+    supported_cache = None;
+    change_hook = None }
 
 let asn t = t.cfg.asn
 let addr t = t.cfg.addr
@@ -572,6 +577,7 @@ let process t ~now prefix =
             c.candidate.Decision_module.from_peer
         in
         Loc_rib.set t.loc prefix c ~next_hop );
+    (match t.change_hook with Some f -> f ~now prefix | None -> ());
     distribute t prefix
   end
   else []
@@ -791,19 +797,28 @@ let reevaluate ?(now = 0.) t prefix =
   (* A reuse timer is armed when a route first crosses into suppression;
      if the penalty kept accruing afterwards the route can still be
      suppressed when that timer fires — re-arm it for the updated reuse
-     time so the route is never suppressed forever. *)
+     time so the route is never suppressed forever.  One event at the
+     earliest reuse time covers every still-suppressed peer state for
+     the prefix (the reevaluate it triggers re-arms again if needed);
+     arming one per peer state multiplies events exponentially under
+     sustained churn, when several states stay suppressed across
+     firings. *)
   ( match t.damping with
     | None -> ()
     | Some p ->
-      Peer.Map.iter
-        (fun _peer states ->
-          match Prefix.Map.find_opt prefix states with
-          | Some st when Damping.is_suppressed p st ~now ->
-            t.reuse_events <-
-              (prefix, now +. Damping.time_to_reuse p st ~now)
-              :: t.reuse_events
-          | _ -> ())
-        t.flap_state );
+      let earliest =
+        Peer.Map.fold
+          (fun _peer states acc ->
+            match Prefix.Map.find_opt prefix states with
+            | Some st when Damping.is_suppressed p st ~now ->
+              let at = now +. Damping.time_to_reuse p st ~now in
+              (match acc with Some e -> Some (Float.min e at) | None -> Some at)
+            | _ -> acc)
+          t.flap_state None
+      in
+      match earliest with
+      | Some at -> t.reuse_events <- (prefix, at) :: t.reuse_events
+      | None -> () );
   (* The loop above decayed every damping state for [prefix]; a route
      that was suppressed on entry and no longer is has come back into
      service. *)
@@ -816,6 +831,27 @@ let reevaluate ?(now = 0.) t prefix =
 
 let best t prefix = Loc_rib.find t.loc prefix
 let best_routes t = Loc_rib.bindings t.loc
+
+let set_change_hook t hook = t.change_hook <- hook
+
+(* A compact digest of the current Loc-RIB state for one prefix: the
+   identity of the chosen route (selecting peer's ASN) mixed with the
+   encoded bytes of the outgoing IA.  [Codec.encode_cached] makes this
+   nearly free on the hot path — the same physical IA hits the encode
+   cache — and hashing the wire bytes (OCaml hashes strings in full)
+   means any attribute difference a receiver could observe changes the
+   fingerprint.  No route maps to 0. *)
+let loc_fingerprint t prefix =
+  match Loc_rib.find t.loc prefix with
+  | None -> 0
+  | Some c ->
+    let via =
+      match c.candidate.Decision_module.from_peer with
+      | None -> -1
+      | Some p -> Asn.to_int p.Peer.asn
+    in
+    let h = Hashtbl.hash (via, Codec.encode_cached c.outgoing) in
+    if h = 0 then 1 else h
 let next_hop_of t dest = Loc_rib.next_hop t.loc dest
 let adj_out t peer = Adj_rib_out.bindings t.rib_out ~peer
 let adj_out_peers t = Adj_rib_out.peers t.rib_out

@@ -244,6 +244,19 @@ type chosen = {
 
 val best : t -> Dbgp_types.Prefix.t -> chosen option
 val best_routes : t -> (Dbgp_types.Prefix.t * chosen) list
+
+val set_change_hook : t -> (now:float -> Dbgp_types.Prefix.t -> unit) option -> unit
+(** Install (or clear) a callback fired from [process] each time the
+    Loc-RIB entry for a prefix actually changes — after the new state is
+    committed, before redistribution.  The stability detector
+    ({!Dbgp_eval.Stability}) subscribes through
+    {!Dbgp_netsim.Network.set_change_feed}. *)
+
+val loc_fingerprint : t -> Dbgp_types.Prefix.t -> int
+(** Order-insensitive digest of the current Loc-RIB state for the
+    prefix: hashes the selecting peer plus the encoded outgoing IA
+    (cheap via the encode cache).  0 iff no route is installed. *)
+
 val next_hop_of : t -> Dbgp_types.Ipv4.t -> Dbgp_types.Ipv4.t option
 (** Longest-prefix-match FIB lookup: the neighbor address traffic to this
     destination should be forwarded to ([None] at the origin AS or when

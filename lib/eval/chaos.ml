@@ -33,6 +33,7 @@ type config = {
   mrai : float;
   graceful_window : float option;
   damping : Damping.params option;
+  budget : int option;     (* per-phase event budget; None = run to quiescence *)
 }
 
 let default =
@@ -52,7 +53,8 @@ let default =
     damping =
       (* A fast-decaying profile so suppression and reuse both happen
          within the run's time scale. *)
-      Some { Damping.default with Damping.half_life = 5. } }
+      Some { Damping.default with Damping.half_life = 5. };
+    budget = None }
 
 type report = {
   config : config;
@@ -71,6 +73,9 @@ type report = {
   error_verdicts : (string * int) list;
   (* RFC 7606 error-class counters summed across speakers, by class name *)
   invariants : Invariants.report;  (* post-chaos safety-invariant check *)
+  censored : bool;
+  (* a phase stopped on its event budget with work still queued — every
+     "final" number below is a truncation point, not a quiescent state *)
   convergence_p50 : float;     (* per-speaker last-change-time percentiles *)
   convergence_p90 : float;
   convergence_p99 : float;
@@ -136,7 +141,7 @@ let run_with_net cfg =
   Network.set_graceful_restart net cfg.graceful_window;
   Network.set_damping net cfg.damping;
   Network.originate net (Asn.of_int 1) (origin_ia ());
-  let initial = Network.run net in
+  let initial = Network.run ?max_events:cfg.budget net in
   (* Valley-free policy can leave some stub ASes without a route even in
      a fault-free world; they are the baseline the post-chaos state is
      measured against, not a chaos casualty. *)
@@ -183,7 +188,7 @@ let run_with_net cfg =
   Event_queue.schedule_at (Network.queue net)
     ~time:(last_up +. (2. *. cfg.flap_spacing))
     (fun () -> Network.refresh_all net);
-  let final = Network.run net in
+  let final = Network.run ?max_events:cfg.budget net in
 
   let unreachable = unreachable_set net in
   let forwarding_loops =
@@ -237,6 +242,7 @@ let run_with_net cfg =
     convergence_p90 = pct 0.9;
     convergence_p99 = pct 0.99;
     churn_per_flap;
+    censored = initial.Network.exhausted || final.Network.exhausted;
     corrupted = net_counter "net.corruption.injected";
     corruption_survived = net_counter "net.corruption.survived";
     error_verdicts;
@@ -247,8 +253,11 @@ let run_with_net cfg =
 let run cfg = fst (run_with_net cfg)
 
 let healthy r =
-  r.reconverged && r.stale_leaks = 0 && r.forwarding_loops = 0
-  && r.sessions_restored && Invariants.ok r.invariants
+  (* A censored run proves nothing: the invariants were checked against a
+     truncation point, not a quiescent network. *)
+  (not r.censored) && r.reconverged && r.stale_leaks = 0
+  && r.forwarding_loops = 0 && r.sessions_restored
+  && Invariants.ok r.invariants
 
 (* Session-level chaos: point-to-point FSM sessions with auto-reconnect,
    repeatedly losing their transport.  With retry configured every pair
@@ -316,7 +325,7 @@ let pp_report ppf r =
      initial: %d msgs, converged t=%.1f@,\
      final:   %d msgs, %d dropped, quiet t=%.1f@,\
      reconverged=%b unreachable=%d (baseline %d) stale=%d loops=%d \
-     restored=%b budget_exhausted=%b@,\
+     restored=%b censored=%b@,\
      corruption: %d injected, %d survived; verdicts:%a@,\
      %a@,\
      convergence p50=%.1f p90=%.1f p99=%.1f; churn %.1f msgs/flap@]"
@@ -324,8 +333,7 @@ let pp_report ppf r =
     r.initial.Network.messages r.initial.Network.converged_at
     r.final.Network.messages r.dropped r.final.Network.converged_at
     r.reconverged r.unreachable r.baseline_unreachable r.stale_leaks
-    r.forwarding_loops r.sessions_restored
-    (r.initial.Network.exhausted || r.final.Network.exhausted)
+    r.forwarding_loops r.sessions_restored r.censored
     r.corrupted r.corruption_survived
     (fun ppf vs ->
       List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) vs)

@@ -20,6 +20,11 @@ type config = {
   mrai : float;
   graceful_window : float option;
   damping : Dbgp_bgp.Flap_damping.params option;
+  budget : int option;
+      (** per-phase event budget; [None] (the default) runs each phase to
+          quiescence.  A run that hits the budget is {e censored}: its
+          report carries [censored = true] and {!healthy} is false, since
+          the invariants were checked against a truncation point. *)
 }
 
 val default : config
@@ -43,6 +48,9 @@ type report = {
       name ([errors.discard_attribute], [errors.treat_as_withdraw],
       [errors.session_reset]) *)
   invariants : Invariants.report;  (** post-chaos safety-invariant check *)
+  censored : bool;
+  (** a phase stopped on its event budget with work still queued — the
+      final stats are a truncation point, not a quiescent state *)
   convergence_p50 : float;     (** per-speaker last-change-time percentiles *)
   convergence_p90 : float;
   convergence_p99 : float;
@@ -58,8 +66,10 @@ val run_with_net : config -> report * Dbgp_netsim.Network.t
     harness uses this to prove change-equivalence across refactors. *)
 
 val healthy : report -> bool
-(** Reconverged, no stale leaks, loop-free, all flapped links restored,
-    and every post-chaos safety invariant holds ({!Invariants.ok}). *)
+(** Not censored, reconverged, no stale leaks, loop-free, all flapped
+    links restored, and every post-chaos safety invariant holds
+    ({!Invariants.ok}).  A censored run is never healthy: exhausting the
+    budget mid-run proves nothing about the quiescent state. *)
 
 type session_report = {
   pairs : int;

@@ -76,6 +76,7 @@ let vs_size ?(payloads = [ 0; 4096 ]) ?(sizes = [ 50; 100; 200 ]) ~seed () =
    per-speaker convergence times. *)
 type observed = {
   ases : int;
+  censored : bool;
   messages : int;
   announce_bytes : int;
   decision_runs : int;
@@ -86,14 +87,15 @@ type observed = {
   snapshot : Dbgp_obs.Snapshot.t;
 }
 
-let observe ?(ases = 100) ?(recent_events = 20) ~seed () =
+let observe ?(ases = 100) ?(recent_events = 20) ?budget ~seed () =
   let g = Brite.generate (Prng.create seed) { Brite.default with Brite.n = ases } in
   let net = network_of_graph g in
   Network.originate net (Asn.of_int 1) (origin_ia 1);
-  let stats = Network.run net in
+  let stats = Network.run ?max_events:budget net in
   let times = Network.convergence_times net in
   let pct q = Dbgp_obs.Snapshot.percentile times q in
   { ases;
+    censored = stats.Network.exhausted;
     messages = stats.Network.messages;
     announce_bytes = stats.Network.announce_bytes;
     decision_runs = Network.counter_total net "decision.runs";
@@ -195,9 +197,10 @@ let pp_dissemination ppf (d : dissemination) =
 let pp_observed ppf o =
   Format.fprintf ppf
     "%4d ASes: %6d msgs, %9d bytes, %d runs / %d changes, \
-     convergence p50=%.1f p90=%.1f p99=%.1f"
+     convergence p50=%.1f p90=%.1f p99=%.1f%s"
     o.ases o.messages o.announce_bytes o.decision_runs o.decision_changes
     o.p50 o.p90 o.p99
+    (if o.censored then " [censored: event budget exhausted]" else "")
 
 let pp_failure ppf f =
   Format.fprintf ppf

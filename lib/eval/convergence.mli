@@ -15,6 +15,11 @@
       session, BGP-only vs with IA payloads — the wire-byte
       amplification of resets. *)
 
+val network_of_graph : Dbgp_topology.As_graph.t -> Dbgp_netsim.Network.t
+(** Build a simulated network mirroring an As_graph: node [i] becomes
+    AS [i+1], relationships preserved.  Shared with the stability
+    controls. *)
+
 type dissemination = {
   ases : int;
   payload_bytes : int;
@@ -29,6 +34,9 @@ val vs_size :
 
 type observed = {
   ases : int;
+  censored : bool;
+  (** the run stopped on its event budget with work still queued — every
+      number below is a truncation point, not a converged state *)
   messages : int;
   announce_bytes : int;
   decision_runs : int;     (** decision-process executions, all speakers *)
@@ -39,12 +47,15 @@ type observed = {
   snapshot : Dbgp_obs.Snapshot.t;  (** the full network snapshot *)
 }
 
-val observe : ?ases:int -> ?recent_events:int -> seed:int -> unit -> observed
+val observe :
+  ?ases:int -> ?recent_events:int -> ?budget:int -> seed:int -> unit -> observed
 (** Converge one dissemination (default 100 ASes) and read the
     observability layer back out: message/byte totals from the network
     registry, decision-process activity summed over the per-speaker
     registries, and exact convergence-time percentiles.  [recent_events]
-    (default 20, 0 to omit) bounds the trace section of the snapshot. *)
+    (default 20, 0 to omit) bounds the trace section of the snapshot.
+    [budget] (default unbounded) caps simulator events; a capped run that
+    stops early is reported with [censored = true]. *)
 
 type failure = {
   initial_messages : int;

@@ -331,6 +331,273 @@ let run_scion ~passthrough_gulf =
       (Scion.extract ~island:island_a
          chosen.Speaker.candidate.Dbgp_core.Decision_module.ia)
 
+(* ------------------------------------------------------------------ *)
+(* The divergence lab: known-divergent gadget topologies                *)
+(* ------------------------------------------------------------------ *)
+
+(* Every gadget advertises the same prefix so the stability report's
+   per-prefix columns line up across scenarios. *)
+let gadget_prefix = Prefix.of_string "66.6.0.0/24"
+
+let originate_gadget net asn_int =
+  let asn = Asn.of_int asn_int in
+  Network.originate net asn
+    (Ia.originate ~prefix:gadget_prefix ~origin_asn:asn
+       ~next_hop:(Network.speaker_addr asn) ())
+
+(* BAD GADGET (Griffin/Shepherd/Wilfong): origin d=10 in the middle of
+   a 3-ring; each ring AS prefers the route through its clockwise
+   neighbor over its own direct route.  The preference cycle is a
+   dispute wheel with no stable assignment at all, so the simulation
+   can never quiesce.  [flip] reverses every preference, yielding the
+   wheel-free (provably safe) GOOD GADGET control on the identical
+   topology.
+
+   Relationships: d is every ring member's customer (so d-learned routes
+   export everywhere under valley-free); ring links are peer-peer, which
+   makes a ring AS silently withdraw its direct route from its
+   counter-clockwise neighbor whenever it switches to the ring route —
+   exactly the coupling the gadget needs. *)
+let ring_gadget ~flip () =
+  let net = Network.create () in
+  let d = 10 and ring = [ 1; 2; 3 ] in
+  ignore (add_as net d);
+  List.iter (fun i -> ignore (add_as net i)) ring;
+  List.iter (fun i -> cust net d i) ring;
+  let peer_link a b =
+    Network.link net ~a:(Asn.of_int a) ~b:(Asn.of_int b) ~b_is:P.To_peer ()
+  in
+  peer_link 1 2;
+  peer_link 2 3;
+  peer_link 3 1;
+  List.iter2
+    (fun i next ->
+      let ranked =
+        if flip then [ [ d ]; [ next; d ] ] else [ [ next; d ]; [ d ] ]
+      in
+      let sp = Network.speaker net (Asn.of_int i) in
+      Speaker.add_module sp (Stability.spvp_module ~ranked);
+      Speaker.set_active sp gadget_prefix Stability.spvp_protocol)
+    ring [ 2; 3; 1 ];
+  originate_gadget net d;
+  net
+
+let bad_gadget () = ring_gadget ~flip:false ()
+let good_gadget () = ring_gadget ~flip:true ()
+
+let ring_spec ~flip =
+  let d = 10 in
+  { Stability.origin = d;
+    prefs =
+      List.map2
+        (fun i next ->
+          ( i,
+            if flip then [ [ i; d ]; [ i; next; d ] ]
+            else [ [ i; next; d ]; [ i; d ] ] ))
+        [ 1; 2; 3 ] [ 2; 3; 1 ] }
+
+let bad_gadget_spec = ring_spec ~flip:false
+let good_gadget_spec = ring_spec ~flip:true
+
+(* MED oscillation (RFC 3345 Type I churn): cluster routers A=11 and
+   B=12 act as one AS with partial visibility (each advertises only its
+   best to the other).  AS 2 multihomes to both and steers with MEDs
+   (10 toward A, 20 toward B); AS 3 single-homes to B with no MED.
+   B's IGP prefers its own AS2 exit to its AS3 exit, but A's MED-10
+   route eliminates B's own AS2 route from the MED comparison — and
+   once B falls back to AS3, A prefers that route and withdraws the
+   MED-10 one.  No joint state is a fixed point; the cluster churns
+   forever. *)
+let med_oscillation () =
+  let net = Network.create () in
+  let origin = 9 and as2 = 2 and as3 = 3 and ra = 11 and rb = 12 in
+  List.iter (fun i -> ignore (add_as net i)) [ origin; as2; as3; ra; rb ];
+  cust net origin as2;
+  cust net origin as3;
+  let set_med m ia =
+    Some
+      (Ia.set_path_descriptor ~owners:[ Protocol_id.bgp ] ~field:Ia.field_med
+         (Value.Int m) ia)
+  in
+  (* AS2 is a customer of both cluster routers and tags each session
+     with a different MED; AS3 is B's customer, untagged. *)
+  Network.link net ~a:(Asn.of_int as2) ~b:(Asn.of_int ra)
+    ~a_export:(set_med 10) ~b_is:P.To_provider ();
+  Network.link net ~a:(Asn.of_int as2) ~b:(Asn.of_int rb)
+    ~a_export:(set_med 20) ~b_is:P.To_provider ();
+  cust net as3 rb;
+  (* Inside the cluster B is A's customer, so both directions export
+     freely under valley-free. *)
+  Network.link net ~a:(Asn.of_int ra) ~b:(Asn.of_int rb) ~b_is:P.To_customer ();
+  let cluster = [ ra; rb ] in
+  let attach r igp =
+    let sp = Network.speaker net (Asn.of_int r) in
+    Speaker.add_module sp (Stability.med_module ~me:r ~cluster ~igp);
+    Speaker.set_active sp gadget_prefix Stability.med_protocol
+  in
+  (* (exit router, exit AS) -> IGP cost, per cluster router. *)
+  attach ra [ ((ra, as2), 5); ((rb, as3), 1); ((rb, as2), 1) ];
+  attach rb [ ((rb, as2), 1); ((rb, as3), 2); ((ra, as2), 10) ];
+  originate_gadget net origin;
+  net
+
+(* The MED preference relation is partial (IGP order between exit ASes
+   is not monotone under candidate removal); this spec is the linear
+   extension the oscillation actually walks, enough for the static
+   detector to expose the wheel between the two cluster routers. *)
+let med_oscillation_spec =
+  { Stability.origin = 9;
+    prefs =
+      [ (11, [ [ 11; 12; 3; 9 ]; [ 11; 2; 9 ]; [ 11; 12; 2; 9 ] ]);
+        (12, [ [ 12; 3; 9 ]; [ 12; 11; 2; 9 ]; [ 12; 2; 9 ] ]) ] }
+
+(* Wiser cost-feedback loop across gossip islands: two load-sensitive
+   Wiser egresses (islands W1/W2, equal static cost) reach source S
+   through disjoint plain-BGP gulfs.  Every gossip tick S posts the
+   demand it currently routes through an egress at that egress's portal
+   (out-of-band, via the lookup service); the loaded egress's advertised
+   cost jumps by demand * sensitivity, S flips to the other egress, and
+   the demand — hence the cost — follows it.  The control loop closes
+   through the gossip channel, so no amount of BGP-message analysis
+   shows a cause for the churn. *)
+let wiser_feedback_period = 5.0
+
+let wiser_feedback () =
+  let net = Network.create () in
+  let io = io_of net in
+  let d = 1 and e1 = 2 and e2 = 3 and g1 = 4 and g2 = 5 and s = 10 in
+  let island_w1 = Island_id.named "W1"
+  and island_w2 = Island_id.named "W2"
+  and island_b = Island_id.named "B" in
+  let portal1 = Ipv4.of_string "172.16.2.1"
+  and portal2 = Ipv4.of_string "172.16.2.2"
+  and portal_b = Ipv4.of_string "172.16.2.9" in
+  ignore (add_as net d);
+  let sp_e1 = add_as net ~island:island_w1 e1 in
+  let sp_e2 = add_as net ~island:island_w2 e2 in
+  ignore (add_as net g1);
+  ignore (add_as net g2);
+  let sp_s = add_as net ~island:island_b s in
+  let wiser_at island portal cost =
+    Wiser.create { Wiser.my_island = island; internal_cost = cost; portal; io }
+  in
+  let w_e1 = wiser_at island_w1 portal1 10 in
+  let w_e2 = wiser_at island_w2 portal2 10 in
+  let w_s = wiser_at island_b portal_b 0 in
+  Wiser.set_demand_sensitivity w_e1 25;
+  Wiser.set_demand_sensitivity w_e2 25;
+  List.iter
+    (fun (sp, w) ->
+      Speaker.add_module sp (Wiser.decision_module w);
+      Speaker.set_active sp gadget_prefix Wiser.protocol)
+    [ (sp_e1, w_e1); (sp_e2, w_e2); (sp_s, w_s) ];
+  cust net d e1;
+  cust net d e2;
+  cust net e1 g1;
+  cust net e2 g2;
+  cust net g1 s;
+  cust net g2 s;
+  originate_gadget net d;
+  (* The gossip tick: S publishes where its demand currently flows; each
+     egress polls its portal and re-advertises when its effective cost
+     changed.  Self-rescheduling, so the event queue never drains — the
+     stability budget bounds the run. *)
+  let q = Network.queue net in
+  let egresses =
+    [ (Asn.of_int e1, w_e1, portal1); (Asn.of_int e2, w_e2, portal2) ]
+  in
+  let rec tick () =
+    let used =
+      match Speaker.best sp_s gadget_prefix with
+      | None -> None
+      | Some chosen ->
+        Wiser.upstream_portal ~my_island:island_b
+          chosen.Speaker.candidate.Dbgp_core.Decision_module.ia
+    in
+    List.iter
+      (fun (_, w, portal) ->
+        let demand =
+          match used with
+          | Some p when Ipv4.compare p portal = 0 -> 1
+          | _ -> 0
+        in
+        Wiser.post_demand w ~portal demand)
+      egresses;
+    List.iter
+      (fun (asn, w, _) ->
+        if Wiser.poll_demand w then begin
+          (* Re-registering the module bumps the speaker's build
+             generation so the memoized outgoing IA is rebuilt with the
+             new cost. *)
+          Speaker.add_module (Network.speaker net asn) (Wiser.decision_module w);
+          Network.reevaluate net asn gadget_prefix
+        end)
+      egresses;
+    Dbgp_netsim.Event_queue.schedule q ~delay:wiser_feedback_period tick
+  in
+  Dbgp_netsim.Event_queue.schedule q ~delay:wiser_feedback_period tick;
+  net
+
+(* Converged controls: Network-level equivalents of the golden
+   differential workloads (relay-line and the chaos BRITE-30 topology)
+   plus GOOD GADGET above.  The stability report must classify all of
+   them as converged — the detector's false-positive guard. *)
+let relay_line () =
+  let net = Network.create () in
+  let n = 6 in
+  for i = 1 to n do
+    ignore (add_as net i)
+  done;
+  for i = 1 to n - 1 do
+    cust net i (i + 1)
+  done;
+  originate_gadget net 1;
+  net
+
+let brite_control ~seed ~ases () =
+  let g =
+    Dbgp_topology.Brite.generate (Prng.create seed)
+      { Dbgp_topology.Brite.default with Dbgp_topology.Brite.n = ases }
+  in
+  let net = Convergence.network_of_graph g in
+  let asn = Asn.of_int 1 in
+  Network.originate net asn
+    (Ia.originate ~prefix:gadget_prefix ~origin_asn:asn
+       ~next_hop:(Network.speaker_addr asn) ());
+  net
+
+let divergence_cases ?(seed = 42) ?(control_ases = 30) () =
+  [ { Stability.name = "bad-gadget";
+      prefix = gadget_prefix;
+      build = bad_gadget;
+      spec = Some bad_gadget_spec;
+      expect_divergence = true };
+    { Stability.name = "med-oscillation";
+      prefix = gadget_prefix;
+      build = med_oscillation;
+      spec = Some med_oscillation_spec;
+      expect_divergence = true };
+    { Stability.name = "wiser-feedback";
+      prefix = gadget_prefix;
+      build = wiser_feedback;
+      spec = None;
+      expect_divergence = true };
+    { Stability.name = "good-gadget";
+      prefix = gadget_prefix;
+      build = good_gadget;
+      spec = Some good_gadget_spec;
+      expect_divergence = false };
+    { Stability.name = "relay-line";
+      prefix = gadget_prefix;
+      build = relay_line;
+      spec = None;
+      expect_divergence = false };
+    { Stability.name = "brite-30";
+      prefix = gadget_prefix;
+      build = brite_control ~seed ~ases:control_ases;
+      spec = None;
+      expect_divergence = false } ]
+
 let scion_multipath () =
   let paths_seen = run_scion ~passthrough_gulf:true in
   let paths_seen_bgp = run_scion ~passthrough_gulf:false in

@@ -154,6 +154,20 @@ let set_graceful_restart t w =
 let set_damping t params =
   Hashtbl.iter (fun _ s -> Speaker.set_damping s params) t.speakers
 
+let set_change_feed t feed =
+  Hashtbl.iter
+    (fun a s ->
+      match feed with
+      | None -> Speaker.set_change_hook s None
+      | Some f ->
+        let asn = Asn.of_int a in
+        Speaker.set_change_hook s
+          (Some
+             (fun ~now prefix ->
+               f ~asn ~prefix ~at:now
+                 ~fingerprint:(Speaker.loc_fingerprint s prefix))))
+    t.speakers
+
 
 let prefix_of_msg = function
   | Speaker.Announce ia -> ia.Dbgp_core.Ia.prefix
@@ -515,6 +529,13 @@ let inject t ~from ~to_ msg =
       in
       drain_reuse t (Speaker.asn s) s;
       dispatch t ~from:(Speaker.asn s) outbox)
+
+let reevaluate t a prefix =
+  Event_queue.schedule t.q ~delay:0. (fun () ->
+      let s = speaker t a in
+      let outbox = Speaker.reevaluate ~now:(Event_queue.now t.q) s prefix in
+      drain_reuse t a s;
+      dispatch t ~from:a outbox)
 
 let set_mrai t v =
   if v < 0. then invalid_arg "Network.set_mrai: negative interval" else t.mrai <- v

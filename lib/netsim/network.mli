@@ -126,6 +126,30 @@ val set_damping : t -> Dbgp_bgp.Flap_damping.params option -> unit
 (** Enable route-flap damping (RFC 2439) on every registered speaker.
     Reuse timers are serviced automatically through the event queue. *)
 
+val set_change_feed :
+  t ->
+  (asn:Dbgp_types.Asn.t ->
+  prefix:Dbgp_types.Prefix.t ->
+  at:float ->
+  fingerprint:int ->
+  unit)
+  option ->
+  unit
+(** Subscribe to every Loc-RIB change across the network: the callback
+    fires (synchronously, from inside the deciding speaker's [process])
+    each time any speaker's best route for a prefix changes, carrying the
+    simulator timestamp and the speaker's new
+    {!Dbgp_core.Speaker.loc_fingerprint} for that prefix.  The
+    oscillation detector ({!Dbgp_eval.Stability}) is built on this feed.
+    Only speakers registered at call time are wired; [None] unsubscribes.
+    *)
+
+val reevaluate : t -> Dbgp_types.Asn.t -> Dbgp_types.Prefix.t -> unit
+(** Schedule a decision-process re-run for one prefix at one AS (delay
+    0), redistributing any resulting updates.  Used by out-of-band
+    control loops — e.g. the Wiser load-feedback gadget re-advertising
+    after a cost change that no BGP message carried. *)
+
 val set_mrai : t -> float -> unit
 (** Minimum route-advertisement interval: with a positive MRAI, messages
     to each neighbor are batched per prefix and only the latest state is

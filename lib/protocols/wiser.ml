@@ -20,10 +20,19 @@ type t = {
   received : (int, int * int) Hashtbl.t;   (* portal -> (sum, count) of raw costs *)
   mutable advertised : int * int;          (* (sum, count) of costs I advertise *)
   factors : (int, float) Hashtbl.t;
+  (* Load feedback (the divergence-lab gadget): downstream observers
+     post the demand they send through this egress at its portal; the
+     egress folds [demand * demand_sensitivity] into the cost it
+     advertises.  With a high enough sensitivity the cost signal chases
+     the traffic it attracts — a control loop through the out-of-band
+     gossip channel rather than through BGP messages. *)
+  mutable demand : int;
+  mutable demand_sensitivity : int;
 }
 
 let create cfg =
-  { cfg; received = Hashtbl.create 8; advertised = (0, 0); factors = Hashtbl.create 8 }
+  { cfg; received = Hashtbl.create 8; advertised = (0, 0);
+    factors = Hashtbl.create 8; demand = 0; demand_sensitivity = 0 }
 
 let cost_of ia =
   Option.bind (Ia.find_path_descriptor ~proto:protocol ~field:field_cost ia)
@@ -121,9 +130,27 @@ let select ~prefix:_ cands =
     Some
       (List.fold_left (fun acc x -> if better x acc > 0 then x else acc) c rest)
 
+let set_demand_sensitivity t s = t.demand_sensitivity <- s
+let demand t = t.demand
+
+let post_demand t ~portal d =
+  t.cfg.io.Portal_io.post ~portal ~service ~key:"demand" (Value.Int d)
+
+let poll_demand t =
+  let fetched =
+    match
+      t.cfg.io.Portal_io.fetch ~portal:t.cfg.portal ~service ~key:"demand"
+    with
+    | Some (Value.Int d) -> d
+    | _ -> 0
+  in
+  let changed = fetched * t.demand_sensitivity <> t.demand * t.demand_sensitivity in
+  t.demand <- fetched;
+  changed
+
 let contribute t ~me:_ ia =
   let base = Option.value (cost_of ia) ~default:0 in
-  let cost = base + t.cfg.internal_cost in
+  let cost = base + t.cfg.internal_cost + (t.demand * t.demand_sensitivity) in
   let sum, count = t.advertised in
   t.advertised <- (sum + cost, count + 1);
   ia

@@ -59,4 +59,31 @@ val exchange_costs : t -> unit
 val scaling_factor : t -> portal:Dbgp_types.Ipv4.t -> float
 (** Current factor for a neighbor portal (1.0 when unknown). *)
 
+(** {1 Load feedback}
+
+    The divergence-lab gadget ({!Dbgp_eval.Stability}): downstream
+    observers post the demand they currently route through an egress at
+    that egress's portal; a load-sensitive egress folds
+    [demand * sensitivity] into the cost it advertises.  When the
+    sensitivity is large relative to the static cost gap between two
+    egresses, the advertised costs chase the traffic they attract and
+    the island's egress choice oscillates — a control loop closed
+    through the out-of-band gossip channel, invisible to any BGP-message
+    analysis. *)
+
+val set_demand_sensitivity : t -> int -> unit
+(** Cost added per unit of posted demand (default 0 = classic Wiser). *)
+
+val demand : t -> int
+(** Demand last observed by {!poll_demand}. *)
+
+val post_demand : t -> portal:Dbgp_types.Ipv4.t -> int -> unit
+(** Post an observed demand figure at [portal] (an egress's portal). *)
+
+val poll_demand : t -> bool
+(** Fetch the demand posted at my own portal and adopt it; [true] when
+    the adopted value changes the cost this instance would advertise
+    (i.e. the caller should re-run the decision process and
+    re-advertise). *)
+
 val observed_portals : t -> Dbgp_types.Ipv4.t list

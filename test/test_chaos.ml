@@ -345,6 +345,34 @@ let test_chaos_corruption_accounted () =
     (E.Invariants.ok r.Chaos.invariants);
   check "still healthy" true (Chaos.healthy r)
 
+let test_chaos_budget_censors () =
+  (* A full run needs thousands of events; 50 cannot even converge the
+     initial dissemination.  The report must say so — censored, never
+     healthy — rather than presenting the truncation point as a verdict. *)
+  let r = Chaos.run { chaos_cfg with Chaos.budget = Some 50 } in
+  check "initial phase exhausted its budget" true
+    r.Chaos.initial.Network.exhausted;
+  check "report censored" true r.Chaos.censored;
+  check "censored run is never healthy" false (Chaos.healthy r);
+  (* The same config without the cap quiesces and is healthy — the
+     verdict flip is attributable to the budget alone. *)
+  let full = Chaos.run chaos_cfg in
+  check "uncapped run not censored" false full.Chaos.censored;
+  check "uncapped run healthy" true (Chaos.healthy full)
+
+let test_convergence_budget_censors () =
+  let capped = E.Convergence.observe ~ases:40 ~budget:25 ~seed:7 () in
+  check "capped observe censored" true capped.E.Convergence.censored;
+  let full = E.Convergence.observe ~ases:40 ~seed:7 () in
+  check "uncapped observe not censored" false full.E.Convergence.censored;
+  check "censoring visibly truncates the run" true
+    (capped.E.Convergence.messages < full.E.Convergence.messages);
+  (* A budget generous enough to reach quiescence must not censor. *)
+  let roomy = E.Convergence.observe ~ases:40 ~budget:1_000_000 ~seed:7 () in
+  check "roomy budget not censored" false roomy.E.Convergence.censored;
+  check "roomy budget matches the uncapped run" true
+    (roomy.E.Convergence.messages = full.E.Convergence.messages)
+
 let test_chaos_seeds_vary () =
   let r1 = Chaos.run chaos_cfg in
   let r2 = Chaos.run { chaos_cfg with Chaos.seed = 10 } in
@@ -395,4 +423,8 @@ let () =
          Alcotest.test_case "deterministic" `Quick test_chaos_run_deterministic;
          Alcotest.test_case "corruption accounted" `Quick
            test_chaos_corruption_accounted;
+         Alcotest.test_case "budget exhaustion censors" `Quick
+           test_chaos_budget_censors;
+         Alcotest.test_case "convergence budget censors" `Quick
+           test_convergence_budget_censors;
          Alcotest.test_case "seeds vary" `Quick test_chaos_seeds_vary ]) ]

@@ -182,7 +182,23 @@ let test_percentile () =
   check "p100 is max" true (Snapshot.percentile xs 1. = 4.);
   check "p50 interpolates" true (Snapshot.percentile xs 0.5 = 2.5);
   check "empty is nan" true (Float.is_nan (Snapshot.percentile [] 0.5));
-  check "singleton" true (Snapshot.percentile [ 7. ] 0.9 = 7.)
+  check "singleton" true (Snapshot.percentile [ 7. ] 0.9 = 7.);
+  (* The consumers (Convergence.observe, Chaos) feed unsorted
+     last-change times and can produce empty or one-element samples on
+     censored runs — pin the whole edge-case surface. *)
+  check "input need not be sorted" true
+    (Snapshot.percentile [ 3.; 1.; 4.; 2. ] 0.5 = 2.5);
+  check "two samples interpolate" true
+    (Snapshot.percentile [ 10.; 20. ] 0.25 = 12.5);
+  check "singleton at p0" true (Snapshot.percentile [ 7. ] 0. = 7.);
+  check_str "empty-sample nan renders as JSON null" "null"
+    (Snapshot.to_json (Snapshot.Float (Snapshot.percentile [] 0.9)));
+  Alcotest.check_raises "q above 1 rejected"
+    (Invalid_argument "Snapshot.percentile: q outside [0, 1]") (fun () ->
+      ignore (Snapshot.percentile [ 1. ] 1.5));
+  Alcotest.check_raises "q below 0 rejected even on empty input"
+    (Invalid_argument "Snapshot.percentile: q outside [0, 1]") (fun () ->
+      ignore (Snapshot.percentile [] (-0.1)))
 
 (* ------------------------- end to end ------------------------- *)
 
@@ -448,6 +464,81 @@ let test_perf_bench_schema () =
   check "json renders" true
     (String.length (Snapshot.to_json_pretty s) > 0)
 
+(* BENCH_stability.json schema: the divergence-lab report shape, pinned
+   against a two-case run (one divergent gadget, one converged control),
+   each classified with damping off and on. *)
+let test_stability_bench_schema () =
+  let cases =
+    List.filter
+      (fun (c : E.Stability.case) ->
+        List.mem c.E.Stability.name [ "bad-gadget"; "good-gadget" ])
+      (E.Scenarios.divergence_cases ())
+  in
+  let r = E.Stability.run_cases ~budget:4_000 cases in
+  let s = E.Stability.to_snapshot r in
+  ( match Snapshot.member "budget" s with
+    | Some (Snapshot.Int 4000) -> ()
+    | _ -> Alcotest.fail "budget must echo the event budget" );
+  let rows =
+    match Snapshot.member "rows" s with
+    | Some (Snapshot.List rows) -> rows
+    | _ -> Alcotest.fail "rows must be a list"
+  in
+  check_int "two cases x two damping arms" 4 (List.length rows);
+  List.iter
+    (fun row ->
+      List.iter
+        (fun f ->
+          match Snapshot.member f row with
+          | Some (Snapshot.Int _) -> ()
+          | _ -> Alcotest.fail (f ^ ": expected Int field"))
+        [ "events"; "messages"; "decision_changes"; "withdrawals";
+          "suppressions"; "reuses"; "suppressed_at_end" ];
+      ( match Snapshot.member "scenario" row with
+        | Some (Snapshot.String _) -> ()
+        | _ -> Alcotest.fail "scenario: expected String field" );
+      ( match Snapshot.member "verdict" row with
+        | Some (Snapshot.String ("converged" | "oscillating" | "censored")) ->
+          ()
+        | _ -> Alcotest.fail "verdict: expected one of the three labels" );
+      match (Snapshot.member "damping" row, Snapshot.member "censored" row) with
+      | Some (Snapshot.Bool _), Some (Snapshot.Bool _) -> ()
+      | _ -> Alcotest.fail "damping/censored: expected Bool fields")
+    rows;
+  let row scenario damping =
+    List.find
+      (fun row ->
+        Snapshot.member "scenario" row = Some (Snapshot.String scenario)
+        && Snapshot.member "damping" row = Some (Snapshot.Bool damping))
+      rows
+  in
+  (* Verdict-dependent shape: an oscillating row carries the measured
+     period and affected prefixes; a converged row the quiescence time. *)
+  let bad = row "bad-gadget" false in
+  ( match Snapshot.member "verdict" bad with
+    | Some (Snapshot.String "oscillating") -> ()
+    | _ -> Alcotest.fail "bad-gadget (no damping) must oscillate" );
+  ( match Snapshot.member "period" bad with
+    | Some (Snapshot.Int p) when p > 0 -> ()
+    | _ -> Alcotest.fail "oscillating row needs a positive period" );
+  ( match Snapshot.member "prefixes" bad with
+    | Some (Snapshot.List (_ :: _)) -> ()
+    | _ -> Alcotest.fail "oscillating row needs non-empty prefixes" );
+  ( match Snapshot.member "dispute_wheel" bad with
+    | Some (Snapshot.List (_ :: _)) -> ()
+    | _ -> Alcotest.fail "bad-gadget row must carry its dispute wheel" );
+  let good = row "good-gadget" false in
+  ( match Snapshot.member "verdict" good with
+    | Some (Snapshot.String "converged") -> ()
+    | _ -> Alcotest.fail "good-gadget must converge" );
+  ( match Snapshot.member "converged_at" good with
+    | Some (Snapshot.Float _) | Some (Snapshot.Int _) -> ()
+    | _ -> Alcotest.fail "converged row needs a numeric converged_at" );
+  ( match Snapshot.member "period" good with
+    | Some Snapshot.Null -> ()
+    | _ -> Alcotest.fail "converged row has a null period" );
+  check "json renders" true (String.length (Snapshot.to_json_pretty s) > 0)
+
 let () =
   Alcotest.run "obs"
     [ ("metrics",
@@ -473,4 +564,6 @@ let () =
          Alcotest.test_case "pipeline bench schema" `Quick
            test_pipeline_bench_schema;
          Alcotest.test_case "perf bench schema" `Quick
-           test_perf_bench_schema ]) ]
+           test_perf_bench_schema;
+         Alcotest.test_case "stability bench schema" `Quick
+           test_stability_bench_schema ]) ]
