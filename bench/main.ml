@@ -342,6 +342,30 @@ let perf_bench () =
   Format.fprintf out "wrote BENCH_perf.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Internet-scale scenario: CAIDA-style topologies, full-table feed     *)
+(* load, words/route, and the three-way table-transfer comparison       *)
+(* (legacy storm vs clean incremental sync vs churned sync), persisted  *)
+(* as BENCH_scale.json.  Message and skip counts are deterministic;     *)
+(* timing and GC fields are not.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let scale_bench () =
+  rule "Internet scale: table transfer and RIB footprint";
+  let rows = E.Scale_bench.suite () in
+  List.iter (fun r -> Format.fprintf out "%a@." E.Scale_bench.pp r) rows;
+  let doc =
+    Dbgp_obs.Snapshot.Obj
+      [ ("seed", Dbgp_obs.Snapshot.Int 42);
+        ("mrai", Dbgp_obs.Snapshot.Float 0.5);
+        ( "rows",
+          Dbgp_obs.Snapshot.List (List.map E.Scale_bench.to_snapshot rows) ) ]
+  in
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc (Dbgp_obs.Snapshot.to_json_pretty doc);
+  close_out oc;
+  Format.fprintf out "wrote BENCH_scale.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Observability scenario: one converged dissemination read back out    *)
 (* through the metrics layer, persisted as BENCH_obs.json.  The run is  *)
 (* fully seeded, so the file is byte-reproducible across revisions.     *)
@@ -500,6 +524,7 @@ let () =
   fuzz_bench ();
   pipeline_bench ();
   perf_bench ();
+  scale_bench ();
   obs_bench ();
   stability_bench ();
   run_bechamel ();

@@ -133,6 +133,42 @@ let perf () =
   | Some h -> Format.fprintf out "@.%a@." E.Perf_bench.pp_headline h
   | None -> ()
 
+(* ---------- scale (Internet-scale table transfer / RIB footprint) ---------- *)
+
+let scale ases prefixes bg seed grid json =
+  if ases < 20 then (
+    Format.eprintf "dbgp-sim: --ases must be at least 20@.";
+    exit 2 );
+  if prefixes < 1 then (
+    Format.eprintf "dbgp-sim: --prefixes must be positive@.";
+    exit 2 );
+  if bg < 1 then (
+    Format.eprintf "dbgp-sim: --bg must be positive@.";
+    exit 2 );
+  Format.fprintf out
+    "Internet-scale benchmark: CAIDA-style topology, full-table feed,@.\
+     session-bounce table transfer (legacy storm vs streamed incremental \
+     sync)@.@.";
+  let rows =
+    if grid then E.Scale_bench.suite ~seed ()
+    else [ E.Scale_bench.run ~seed ~bg ~ases ~prefixes () ]
+  in
+  List.iter (fun r -> Format.fprintf out "%a@." E.Scale_bench.pp r) rows;
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc
+      (Dbgp_obs.Snapshot.to_json_pretty
+         (Dbgp_obs.Snapshot.Obj
+            [ ("seed", Dbgp_obs.Snapshot.Int seed);
+              ("mrai", Dbgp_obs.Snapshot.Float 0.5);
+              ( "rows",
+                Dbgp_obs.Snapshot.List
+                  (List.map E.Scale_bench.to_snapshot rows) ) ]));
+    close_out oc;
+    Format.fprintf out "wrote %s@." path
+
 (* ---------- deploy (Figure 8 + motivating scenarios) ---------- *)
 
 let deploy () =
@@ -426,6 +462,30 @@ let events_arg =
     value & opt int 20
     & info [ "events" ] ~doc:"Recent trace events to include (0 to omit)")
 
+let scale_ases_arg =
+  Arg.(value & opt int 1_000 & info [ "scale-ases" ] ~doc:"Scale topology size")
+
+let prefixes_arg =
+  Arg.(value & opt int 100_000 & info [ "prefixes" ] ~doc:"Feed table size")
+
+let bg_arg =
+  Arg.(value & opt int 32 & info [ "bg" ] ~doc:"Background prefixes")
+
+let grid_arg =
+  Arg.(
+    value & flag
+    & info [ "grid" ]
+        ~doc:
+          "Run the full {1k, 10k} ASes x {1k, 100k} prefixes grid (as \
+           committed in BENCH_scale.json) instead of one cell")
+
+let scale_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ]
+        ~doc:"Write the scale report as JSON to $(docv)" ~docv:"FILE")
+
 let unit_cmd name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
 
 let cmds =
@@ -443,6 +503,16 @@ let cmds =
       Term.(const stress $ advs_arg);
     unit_cmd "perf"
       "Hot-path benchmark: throughput, allocation and wire caches" perf;
+    Cmd.v
+      (Cmd.info "scale"
+         ~doc:
+           "Internet-scale benchmark: load a full-size table at a stub feed \
+            of a CAIDA-style topology and compare session-bounce table \
+            transfer (legacy re-announce storm vs streamed incremental \
+            sync), with words/route and updates/s")
+      Term.(
+        const scale $ scale_ases_arg $ prefixes_arg $ bg_arg $ seed_arg
+        $ grid_arg $ scale_json_arg);
     unit_cmd "deploy" "Figure 8 deployment experiments" deploy;
     unit_cmd "motivate" "Figures 1-3 motivating scenarios" motivate;
     unit_cmd "fig7" "Figures 6-7 rich-world IA" fig7;

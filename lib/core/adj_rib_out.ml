@@ -11,12 +11,22 @@ type group = { id : int; key : group_key; mutable members : int }
 
 type cache_entry = { src : Ia.t; out : Ia.t option }
 
+type record_entry = { mutable out : Ia.t option; mutable confirmed : bool }
+
 (* Advertised state is a hashtable of hashtables so that the very hot
    {!record} path mutates buckets in place instead of rebuilding nested
    functional maps on every announcement; the read accessors that need
-   determinism ({!bindings}, {!peers}) sort on the way out. *)
+   determinism ({!bindings}, {!peers}) sort on the way out.
+
+   Each entry carries a confirmed bit: {!record} is optimistic (sent ⇒
+   delivered) and the network layer calls {!note_failed} for every
+   message it actually drops, so after a session loss the record set
+   describes exactly what the peer may still hold.  [out = None]
+   entries are withdraw tombstones — a withdraw was sent but may not
+   have arrived, so the peer possibly retains a route we no longer
+   advertise. *)
 type t = {
-  advertised : (Peer.t, (Prefix.t, Ia.t) Hashtbl.t) Hashtbl.t;
+  advertised : (Peer.t, (Prefix.t, record_entry) Hashtbl.t) Hashtbl.t;
   mutable groups : group list; (* newest first; ids never reused *)
   mutable by_peer : int Peer.Map.t;
   mutable next_id : int;
@@ -90,13 +100,13 @@ let join t ~peer key =
     | Some old when old = target.id -> ()
     | old ->
       (* A changed egress identity (new filter, relationship or
-         capability) evicts only the departed group's cached exports;
-         entries of the group being joined stay valid — they depend on
-         the group key and source IA alone, never on membership. *)
+         capability) leaves the old group; {!leave} evicts that group's
+         cached exports only if the departure empties it — remaining
+         members still share the key, so their entries stay valid (a
+         cached result depends on the group key and source IA alone,
+         never on membership). *)
       ( match old with
-        | Some old_id ->
-          evict_group t old_id;
-          leave t ~peer
+        | Some _ -> leave t ~peer
         | None -> () );
       target.members <- target.members + 1;
       t.by_peer <- Peer.Map.add peer target.id t.by_peer );
@@ -132,6 +142,14 @@ let cache_size t = Hashtbl.length t.cache
 
 (* ------------------------- advertised state ------------------------- *)
 
+let table t ~peer =
+  match Hashtbl.find_opt t.advertised peer with
+  | Some m -> m
+  | None ->
+    let m = Hashtbl.create 16 in
+    Hashtbl.replace t.advertised peer m;
+    m
+
 let record t ~peer prefix = function
   | None -> (
     match Hashtbl.find_opt t.advertised peer with
@@ -140,23 +158,51 @@ let record t ~peer prefix = function
       Hashtbl.remove m prefix;
       if Hashtbl.length m = 0 then Hashtbl.remove t.advertised peer )
   | Some ia -> (
-    match Hashtbl.find_opt t.advertised peer with
-    | Some m -> Hashtbl.replace m prefix ia
+    match Hashtbl.find_opt (table t ~peer) prefix with
+    | Some e ->
+      e.out <- Some ia;
+      e.confirmed <- true
     | None ->
-      let m = Hashtbl.create 16 in
-      Hashtbl.replace m prefix ia;
-      Hashtbl.replace t.advertised peer m )
+      Hashtbl.replace (table t ~peer) prefix { out = Some ia; confirmed = true }
+    )
+
+let note_failed t ~peer prefix =
+  match Hashtbl.find_opt (table t ~peer) prefix with
+  | Some e -> e.confirmed <- false
+  | None ->
+    (* A dropped withdraw: the entry was optimistically removed by
+       {!record}, but the peer may still hold the route.  Leave a
+       tombstone so the next sync re-sends the withdraw. *)
+    Hashtbl.replace (table t ~peer) prefix { out = None; confirmed = false }
+
+let find t ~peer prefix =
+  match Hashtbl.find_opt t.advertised peer with
+  | None -> None
+  | Some m -> (
+    match Hashtbl.find_opt m prefix with
+    | None -> None
+    | Some e -> Some (e.out, e.confirmed) )
 
 let advertised t ~peer prefix =
   match Hashtbl.find_opt t.advertised peer with
   | None -> false
   | Some m -> Hashtbl.mem m prefix
 
+let entries t ~peer =
+  match Hashtbl.find_opt t.advertised peer with
+  | None -> []
+  | Some m ->
+    Hashtbl.fold (fun p e acc -> (p, e.out, e.confirmed) :: acc) m []
+    |> List.sort (fun (a, _, _) (b, _, _) -> Prefix.compare a b)
+
 let bindings t ~peer =
   match Hashtbl.find_opt t.advertised peer with
   | None -> []
   | Some m ->
-    Hashtbl.fold (fun p ia acc -> (p, ia) :: acc) m []
+    Hashtbl.fold
+      (fun p e acc ->
+        match e.out with Some ia -> (p, ia) :: acc | None -> acc)
+      m []
     |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)
 
 let peers t =

@@ -14,8 +14,8 @@
       once per (group, prefix) and fanned out to every member.
 
     A cached entry is valid while the source IA is unchanged (physical
-    equality, then [Ia.equal]); a peer changing egress identity evicts
-    only its departed group's entries.  Caching is sound only for pure
+    equality, then [Ia.equal]); a departed group's entries are evicted
+    when its last member leaves.  Caching is sound only for pure
     export filters — every filter in {!Filters} is. *)
 
 type group_key = {
@@ -34,8 +34,9 @@ val create : unit -> t
 val join : t -> peer:Peer.t -> group_key -> int
 (** Put the peer in the group matching [key] (creating it if needed) and
     return the group id.  Re-joining with an unchanged key is a no-op;
-    a changed key leaves the old group, evicting only that group's
-    cached exports. *)
+    a changed key leaves the old group, whose cached exports are
+    evicted only if the departure empties it — they remain valid for
+    any members still sharing the key. *)
 
 val leave : t -> peer:Peer.t -> unit
 (** Remove the peer from its group; a group left empty is dropped along
@@ -66,9 +67,29 @@ val cache_size : t -> int
 
 val record : t -> peer:Peer.t -> Dbgp_types.Prefix.t -> Ia.t option -> unit
 (** [Some ia]: we announced [ia]; [None]: we withdrew (or never had
-    anything advertised — the entry is removed). *)
+    anything advertised — the entry is removed).  Recording is
+    optimistic: the entry is marked confirmed (sent ⇒ delivered) until
+    the transport reports otherwise via {!note_failed}. *)
+
+val note_failed : t -> peer:Peer.t -> Dbgp_types.Prefix.t -> unit
+(** The transport dropped the last message for [prefix] toward [peer]:
+    clear the entry's confirmed bit, or — for a dropped withdraw whose
+    entry {!record} already removed — leave an unconfirmed
+    [out = None] tombstone, so a later incremental sync knows the peer
+    may still hold a route we no longer advertise. *)
+
+val find :
+  t -> peer:Peer.t -> Dbgp_types.Prefix.t -> (Ia.t option * bool) option
+(** The recorded [(out, confirmed)] state for [prefix], if any.
+    [out = None] is a withdraw tombstone. *)
 
 val advertised : t -> peer:Peer.t -> Dbgp_types.Prefix.t -> bool
+
+val entries :
+  t -> peer:Peer.t -> (Dbgp_types.Prefix.t * Ia.t option * bool) list
+(** All recorded [(prefix, out, confirmed)] entries toward the peer —
+    tombstones included — in ascending prefix order. *)
+
 val bindings : t -> peer:Peer.t -> (Dbgp_types.Prefix.t * Ia.t) list
 val peers : t -> Peer.t list
 (** Peers with at least one advertised route, ascending. *)

@@ -48,6 +48,25 @@ let bindings t = Prefix.Map.bindings t.best
 let fold f t acc = Prefix.Map.fold f t.best acc
 let cardinal t = Prefix.Map.cardinal t.best
 
+let fold_range t ~above ~limit ~f ~init =
+  if limit <= 0 then invalid_arg "Loc_rib.fold_range: limit must be positive";
+  let seq =
+    match above with
+    | None -> Prefix.Map.to_seq t.best
+    | Some p ->
+      (* [to_seq_from] is inclusive; the cursor names the last prefix
+         already consumed, so skip it. *)
+      Seq.filter (fun (q, _) -> Prefix.compare q p > 0)
+        (Prefix.Map.to_seq_from p t.best)
+  in
+  let rec go seq n acc last =
+    match seq () with
+    | Seq.Nil -> (acc, None)
+    | Seq.Cons ((p, c), rest) ->
+      if n = 0 then (acc, last) else go rest (n - 1) (f p c acc) (Some p)
+  in
+  go seq limit init None
+
 let next_hop t dest =
   refresh t;
   Option.map snd (Trie.longest_match dest t.fib)

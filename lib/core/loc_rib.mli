@@ -32,6 +32,19 @@ val bindings : 'c t -> (Dbgp_types.Prefix.t * 'c) list
 val fold : (Dbgp_types.Prefix.t -> 'c -> 'a -> 'a) -> 'c t -> 'a -> 'a
 val cardinal : 'c t -> int
 
+val fold_range :
+  'c t ->
+  above:Dbgp_types.Prefix.t option ->
+  limit:int ->
+  f:(Dbgp_types.Prefix.t -> 'c -> 'a -> 'a) ->
+  init:'a ->
+  'a * Dbgp_types.Prefix.t option
+(** Cursor walk in ascending prefix order: fold over at most [limit]
+    routes strictly above [above] ([None] starts from the beginning).
+    Returns the accumulator and the cursor to resume from — [None] when
+    the table is exhausted.  The backbone of chunked streaming table
+    transfer.  @raise Invalid_argument when [limit <= 0]. *)
+
 val next_hop : 'c t -> Dbgp_types.Ipv4.t -> Dbgp_types.Ipv4.t option
 (** Longest-prefix-match FIB lookup. *)
 

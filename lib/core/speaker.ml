@@ -422,6 +422,87 @@ let refresh_peer t peer =
       t.loc []
     |> List.rev
 
+(* ---------------- incremental table transfer ---------------- *)
+
+(* The transport failed to deliver the last message for [prefix] toward
+   [peer]: demote the Adj-RIB-Out record to unconfirmed (or leave a
+   withdraw tombstone) so the next {!sync_peer} re-sends it.  The
+   simulator calls this from every drop point — it plays the role TCP
+   delivery failure plays for a real speaker. *)
+let note_undelivered t peer prefix =
+  Adj_rib_out.note_failed t.rib_out ~peer prefix
+
+(* Incremental/streaming table transfer on session (re)establish: walk
+   the Loc-RIB in cursor order and re-send only routes whose current
+   emission differs from the peer's confirmed Adj-RIB-Out record — a
+   route the peer provably already holds is skipped.  On the final
+   chunk, records with no backing Loc-RIB route (withdraw tombstones and
+   entries for routes dropped while the session was down) are withdrawn.
+   Degenerates to a full-table send when no records exist (a
+   non-graceful teardown dropped them), which is exactly when the peer
+   kept nothing either. *)
+let sync_peer ?(limit = max_int) ?cursor t peer =
+  match Peer.Map.find_opt peer t.nbrs with
+  | None -> ([], None)
+  | Some n ->
+    let out = ref [] in
+    let sent = ref 0 and skipped = ref 0 and withdrawn = ref 0 in
+    let (), next =
+      Loc_rib.fold_range t.loc ~above:cursor ~limit
+        ~f:(fun prefix chosen () ->
+          match emission_for t chosen n with
+          | Some ia -> (
+            match Adj_rib_out.find t.rib_out ~peer prefix with
+            | Some (Some prev, true) when Ia.equal prev ia -> incr skipped
+            | _ ->
+              record_adj_out t peer prefix (Some ia);
+              out := (peer, Announce ia) :: !out;
+              incr sent )
+          | None ->
+            if Option.is_some (Adj_rib_out.find t.rib_out ~peer prefix)
+            then begin
+              record_adj_out t peer prefix None;
+              out := (peer, Withdraw prefix) :: !out;
+              incr withdrawn
+            end)
+        ~init:()
+    in
+    if next = None then
+      List.iter
+        (fun (prefix, _, _) ->
+          if not (Loc_rib.mem t.loc prefix) then begin
+            record_adj_out t peer prefix None;
+            out := (peer, Withdraw prefix) :: !out;
+            incr withdrawn
+          end)
+        (Adj_rib_out.entries t.rib_out ~peer);
+    if !sent > 0 then
+      Metrics.incr ~by:!sent (Metrics.counter t.obs "sync.sent");
+    if !skipped > 0 then
+      Metrics.incr ~by:!skipped (Metrics.counter t.obs "sync.skipped");
+    if !withdrawn > 0 then
+      Metrics.incr ~by:!withdrawn (Metrics.counter t.obs "sync.withdrawn");
+    (List.rev !out, next)
+
+(* End-of-RIB for an incremental transfer (RFC 4724 §3): the sync is
+   complete, so any route from [peer] still stale was deliberately
+   *skipped* as already-confirmed — clear the marks and keep the routes.
+   Contrast {!flush_stale}, which closes an expired restart window by
+   dropping what was never refreshed. *)
+let end_of_rib ?(now = 0.) t peer =
+  let set = Adj_rib_in.take_stale t.rib_in ~peer in
+  let routes = Prefix.Set.cardinal set in
+  if routes > 0 then begin
+    Metrics.incr ~by:routes (Metrics.counter t.obs "restart.retained");
+    Trace.emit t.trace ~at:now
+      (Trace.Restart_phase
+         { asn = my_asn t;
+           peer = Asn.to_int peer.Peer.asn;
+           phase = "retained";
+           routes })
+  end;
+  routes
+
 (* Recompute the best path for [prefix]: stages 2-6 of Figure 5.  [now] is
    the simulation clock, needed only to evaluate flap-damping decay. *)
 let process t ~now prefix =

@@ -194,6 +194,38 @@ val refresh_peer : t -> Peer.t -> (Peer.t * msg) list
 (** Re-advertise the current best routes to one (re-connected) neighbor,
     route-refresh style.  Idempotent at the receiver. *)
 
+val sync_peer :
+  ?limit:int ->
+  ?cursor:Dbgp_types.Prefix.t ->
+  t ->
+  Peer.t ->
+  (Peer.t * msg) list * Dbgp_types.Prefix.t option
+(** Incremental/streaming table transfer on session (re)establish: walk
+    up to [limit] Loc-RIB routes strictly above [cursor] (all of them,
+    from the start, by default) and emit only the routes whose current
+    emission differs from the peer's confirmed Adj-RIB-Out record —
+    routes the peer provably already holds are skipped.  Returns the
+    messages and the cursor to resume from; [None] means the transfer
+    is complete and withdrawals for records no longer backed by a
+    Loc-RIB route (including dropped-withdraw tombstones) have been
+    appended.  With no records at all (a non-graceful teardown dropped
+    them) this degenerates to a full-table send.  Counted under
+    [sync.sent] / [sync.skipped] / [sync.withdrawn]. *)
+
+val note_undelivered : t -> Peer.t -> Dbgp_types.Prefix.t -> unit
+(** Transport feedback: the last message for the prefix toward the peer
+    was dropped.  Demotes the Adj-RIB-Out record to unconfirmed (a
+    dropped withdrawal leaves a tombstone) so {!sync_peer} re-sends
+    it. *)
+
+val end_of_rib : ?now:float -> t -> Peer.t -> int
+(** End-of-RIB marker for a completed incremental transfer (RFC 4724
+    §3): clear the peer's remaining stale marks {e without} dropping the
+    routes — they are exactly the ones the sender skipped as confirmed.
+    Returns the number retained (counted under [restart.retained]).
+    Contrast {!flush_stale}, which drops what an expired restart window
+    never refreshed. *)
+
 val stale_count : t -> int
 (** Routes currently retained as stale across all peers. *)
 

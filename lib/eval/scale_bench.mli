@@ -1,0 +1,67 @@
+(** Internet-scale RIB benchmark: streaming table transfer and
+    compressed-trie footprint on CAIDA-style power-law topologies.
+
+    Each {!row} converges a background prefix set across the whole
+    topology, then loads a full-size table at a single-homed stub feed
+    whose provider (a route collector) re-exports nothing, and bounces
+    the feed link three ways to compare table-transfer cost:
+
+    - [full_transfer_msgs]: no graceful restart — the legacy
+      session-establish re-announce storm, ~1 message per route;
+    - [clean_transfer_msgs]: re-establish inside the graceful window
+      with nothing changed — the streamed incremental sync should send
+      ~0 and skip ~the whole table ([clean_skipped]);
+    - [churn_transfer_msgs]: [churn_routes] re-originated while the
+      session was down — the sync should re-send just those.
+
+    [words_per_route] is the network's [Obj.reachable_words] delta
+    across the table load (FIB tries forced, shared blocks counted
+    once) divided by the table size: the combined sender + receiver
+    resident footprint of one route.  The results ship in
+    [BENCH_scale.json]. *)
+
+type row = {
+  ases : int;
+  prefixes : int;       (** feed table size *)
+  bg_prefixes : int;
+  edges : int;
+  bg_updates : int;
+  bg_elapsed_s : float;
+  bg_updates_per_s : float;
+  load_updates : int;
+  load_elapsed_s : float;
+  load_cpu_s : float;
+  load_updates_per_s : float;
+  words_per_route : float;
+  full_transfer_msgs : int;
+  clean_transfer_msgs : int;
+  clean_skipped : int;
+  churn_routes : int;
+  churn_transfer_msgs : int;
+}
+
+val feed_prefix : int -> Dbgp_types.Prefix.t
+(** The deterministic table contents: /24s spread over 192.0.0.0/2 by a
+    multiplicative hash (distinct for indices below ~4M). *)
+
+val run :
+  ?seed:int ->
+  ?bg:int ->
+  ?mrai:float ->
+  ?churn_frac:float ->
+  ases:int ->
+  prefixes:int ->
+  unit ->
+  row
+(** One cell: build, converge background, load the table, bounce the
+    feed link three ways.  Defaults: [seed 42], [bg 32], [mrai 0.5],
+    [churn_frac 0.05]. *)
+
+val smoke : ?seed:int -> unit -> row
+(** The [@scale] runtest cell: 100 ASes, 1k prefixes, 16 background. *)
+
+val suite : ?seed:int -> ?grid:(int * int) list -> unit -> row list
+(** Default grid: {1k, 10k} ASes x {1k, 100k} prefixes. *)
+
+val to_snapshot : row -> Dbgp_obs.Snapshot.t
+val pp : Format.formatter -> row -> unit

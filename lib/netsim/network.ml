@@ -42,6 +42,12 @@ type t = {
   mutable fault : Fault_model.t option;
   mutable graceful_window : float option;    (* restart window; None = flush at once *)
   restart_gen : (int, int) Hashtbl.t;  (* invalidates superseded flush timers *)
+  (* Open restart windows by packed link key: the absolute time the
+     graceful flush will fire.  A link recovering before its deadline
+     re-establishes with an incremental sync (both sides kept state);
+     past it — or with no entry — only a full refresh is sound. *)
+  restart_deadline : (int, float) Hashtbl.t;
+  mutable sync_chunk : int;  (* prefixes examined per sync event *)
   (* Per (src, dst) directed pair: the latest pending message per prefix
      plus whether a flush is already scheduled. *)
   pending : (int, (Prefix.t, Speaker.msg) Hashtbl.t * bool ref) Hashtbl.t;
@@ -75,6 +81,8 @@ let create () =
     fault = None;
     graceful_window = None;
     restart_gen = Hashtbl.create 16;
+    restart_deadline = Hashtbl.create 16;
+    sync_chunk = 512;
     pending = Hashtbl.create 64;
     drain_scheduled = Hashtbl.create 64;
     peer_memo = Hashtbl.create 64;
@@ -191,7 +199,13 @@ let rec dispatch t ~from outbox =
       | None -> () (* neighbor not simulated; drop *)
       | Some dst_asn ->
         let dst = Asn.of_int dst_asn in
-        if Hashtbl.mem t.latencies (lat_key from dst) then begin
+        if not (Hashtbl.mem t.latencies (lat_key from dst)) then
+          (* Link already down at send time: the message dies here, and
+             the sender's Adj-RIB-Out must know (routes that change
+             while a session is down are exactly what an incremental
+             re-establish has to re-send). *)
+          note_lost t ~from ~to_:dst msg
+        else begin
           Trace.emit t.trace ~at:(Event_queue.now t.q)
             (Trace.Update_sent
                { src = Asn.to_int from;
@@ -243,16 +257,31 @@ let rec dispatch t ~from outbox =
         end)
     outbox
 
+and note_lost t ~from ~to_ msg =
+  (* Delivery-failure feedback to the sender's Adj-RIB-Out: in this
+     simulator the transport knows exactly which messages die, playing
+     the role a TCP connection reset plays for a real speaker.  Without
+     it the confirmed bits would claim the peer holds state it never
+     received and an incremental sync would wrongly skip it. *)
+  match Hashtbl.find_opt t.speakers (Asn.to_int from) with
+  | Some s -> Speaker.note_undelivered s (peer_of t to_) (prefix_of_msg msg)
+  | None -> ()
+
 and deliver t ~from ~to_ msg =
   let now = Event_queue.now t.q in
-  if not (Hashtbl.mem t.latencies (lat_key from to_)) then
+  if not (Hashtbl.mem t.latencies (lat_key from to_)) then begin
     (* The link went down while the message was in flight. *)
-    Metrics.incr t.c_dropped
+    Metrics.incr t.c_dropped;
+    note_lost t ~from ~to_ msg
+  end
   else if
     match t.fault with
     | Some f -> Fault_model.drop f ~now (Asn.to_int from) (Asn.to_int to_)
     | None -> false
-  then Metrics.incr t.c_dropped
+  then begin
+    Metrics.incr t.c_dropped;
+    note_lost t ~from ~to_ msg
+  end
   else begin
     (* Duplicate delivery: the session layer hands the same message to
        the speaker twice (a retransmit).  The second copy draws its own
@@ -419,15 +448,24 @@ let link t ?(latency = 1.0) ?(a_import = Dbgp_core.Filters.accept)
    table; emptying the table makes an already-scheduled flush a no-op, so
    a failed link never delivers stale pre-failure state. *)
 let clear_pending t a b =
-  List.iter
-    (fun key ->
-      match Hashtbl.find_opt t.pending key with
-      | Some (batch, _scheduled) ->
-        Hashtbl.reset batch;
-        Hashtbl.remove t.pending key
-      | None -> ())
-    [ pack_pair (Asn.to_int a) (Asn.to_int b);
-      pack_pair (Asn.to_int b) (Asn.to_int a) ]
+  let clear src dst =
+    match Hashtbl.find_opt t.pending (pack_pair (Asn.to_int src) (Asn.to_int dst)) with
+    | Some (batch, _scheduled) ->
+      (* Discarded batch contents were never delivered: tell the sender,
+         so its Adj-RIB-Out confirmed bits stay truthful for the next
+         incremental sync. *)
+      ( match Hashtbl.find_opt t.speakers (Asn.to_int src) with
+        | Some s ->
+          Hashtbl.iter
+            (fun prefix _ -> Speaker.note_undelivered s (peer_of t dst) prefix)
+            batch
+        | None -> () );
+      Hashtbl.reset batch;
+      Hashtbl.remove t.pending (pack_pair (Asn.to_int src) (Asn.to_int dst))
+    | None -> ()
+  in
+  clear a b;
+  clear b a
 
 let bump_restart_gen t key =
   let g = 1 + Option.value (Hashtbl.find_opt t.restart_gen key) ~default:0 in
@@ -447,8 +485,10 @@ let fail_link t a b =
     Speaker.peer_down_graceful ~now sa (peer_of t b);
     Speaker.peer_down_graceful ~now sb (peer_of t a);
     let gen = bump_restart_gen t (lat_key a b) in
+    Hashtbl.replace t.restart_deadline (lat_key a b) (now +. window);
     Event_queue.schedule t.q ~delay:window (fun () ->
         if Hashtbl.find_opt t.restart_gen (lat_key a b) = Some gen then begin
+          Hashtbl.remove t.restart_deadline (lat_key a b);
           let now = Event_queue.now t.q in
           let out_a = Speaker.flush_stale ~now sa (peer_of t b) in
           let out_b = Speaker.flush_stale ~now sb (peer_of t a) in
@@ -473,13 +513,74 @@ let refresh_link t a b =
   Event_queue.schedule t.q ~delay:0. (fun () ->
       dispatch t ~from:b (Speaker.refresh_peer sb (peer_of t a)))
 
+let set_sync_chunk t n =
+  if n <= 0 then invalid_arg "Network.set_sync_chunk: chunk must be positive"
+  else t.sync_chunk <- n
+
+(* One direction of an incremental table transfer: chunked,
+   self-rescheduling events walking the sender's Loc-RIB cursor.  Every
+   step (and the trailing End-of-RIB) is guarded by the link's restart
+   generation, so a new failure mid-transfer aborts it cleanly. *)
+let sync_dir t ~gen src dst =
+  let key = lat_key src dst in
+  let live () =
+    Hashtbl.find_opt t.restart_gen key = Some gen && Hashtbl.mem t.latencies key
+  in
+  let rec step cursor =
+    Event_queue.schedule t.q ~delay:0. (fun () ->
+        if live () then begin
+          let s = speaker t src in
+          let out, next =
+            Speaker.sync_peer ~limit:t.sync_chunk ?cursor s (peer_of t dst)
+          in
+          dispatch t ~from:src out;
+          match next with
+          | Some _ as next -> step next
+          | None ->
+            (* End-of-RIB: once everything in flight has had time to
+               land (link latency plus an MRAI flush), the receiver
+               retains whatever is still stale — exactly the routes the
+               transfer skipped as already delivered.  {!Speaker.end_of_rib}
+               never drops routes, so a late (jittered) straggler is
+               harmless. *)
+            Event_queue.schedule t.q ~delay:(latency t src dst +. t.mrai)
+              (fun () ->
+                if live () then
+                  ignore
+                    (Speaker.end_of_rib ~now:(Event_queue.now t.q)
+                       (speaker t dst) (peer_of t src)))
+        end)
+  in
+  step None
+
+let sync_link t a b =
+  let gen =
+    Option.value (Hashtbl.find_opt t.restart_gen (lat_key a b)) ~default:0
+  in
+  sync_dir t ~gen a b;
+  sync_dir t ~gen b a
+
 let recover_link t a b =
   match Hashtbl.find_opt t.links (lat_key a b) with
   | None -> invalid_arg "Network.recover_link: link was never configured"
   | Some cfg ->
     if not (Hashtbl.mem t.latencies (lat_key a b)) then begin
       connect_link t cfg;
-      refresh_link t a b
+      (* Re-establishing inside an open restart window stops the pending
+         stale flush (RFC 4724's restart-timer stop on session
+         re-establishment) and streams an incremental sync — both sides
+         kept state, so only the delta travels.  Outside a window the
+         peers' views may have diverged arbitrarily (stale state already
+         flushed, or no graceful mode at all): fall back to a full
+         route refresh. *)
+      let within_window =
+        match Hashtbl.find_opt t.restart_deadline (lat_key a b) with
+        | Some deadline -> Event_queue.now t.q < deadline
+        | None -> false
+      in
+      ignore (bump_restart_gen t (lat_key a b));
+      Hashtbl.remove t.restart_deadline (lat_key a b);
+      if within_window then sync_link t a b else refresh_link t a b
     end
 
 (* Permanent administrative teardown, as opposed to [fail_link]'s
@@ -596,7 +697,8 @@ let speaker_counter_names =
   [ "decision.runs"; "decision.changes"; "updates.received";
     "updates.duplicate"; "withdrawals.received"; "import.rejected";
     "damping.suppressed"; "damping.reused"; "restart.stale_marked";
-    "restart.flushed"; "errors.discard_attribute";
+    "restart.flushed"; "restart.retained"; "sync.sent"; "sync.skipped";
+    "sync.withdrawn"; "errors.discard_attribute";
     "errors.treat_as_withdraw"; "errors.session_reset"; "errors.internal";
     "pipeline.dirty_marks"; "pipeline.runs_saved"; "pipeline.drains";
     "pipeline.export_cache.hits"; "pipeline.export_cache.misses" ]

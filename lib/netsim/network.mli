@@ -81,10 +81,30 @@ val fail_link : t -> Dbgp_types.Asn.t -> Dbgp_types.Asn.t -> unit
     flushed when it closes. *)
 
 val recover_link : t -> Dbgp_types.Asn.t -> Dbgp_types.Asn.t -> unit
-(** Brings a failed link back with its original configuration and
-    schedules a route refresh in both directions.  No-op if the link is
-    already up.
+(** Brings a failed link back with its original configuration.  When the
+    session re-establishes inside a still-open graceful-restart window,
+    the pending stale flush is cancelled (RFC 4724's restart-timer stop)
+    and both directions stream an incremental table transfer
+    ({!sync_link}) — only routes whose advertised state differs from the
+    peer's confirmed Adj-RIB-Out record travel.  Outside a window (no
+    graceful mode, or the window expired and the stale routes were
+    already flushed) it falls back to a full route refresh.  No-op if
+    the link is already up.
     @raise Invalid_argument if the pair was never linked. *)
+
+val sync_link : t -> Dbgp_types.Asn.t -> Dbgp_types.Asn.t -> unit
+(** Schedules an incremental/streaming table transfer in both directions
+    of an up link: chunked cursor walks over each sender's Loc-RIB
+    (see {!set_sync_chunk}) batched through the normal MRAI/dispatch
+    path, sending only routes whose advertised state differs from the
+    confirmed Adj-RIB-Out record, followed by an End-of-RIB that clears
+    the receiver's remaining stale marks without dropping routes.  A
+    link failure mid-transfer aborts the remaining chunks. *)
+
+val set_sync_chunk : t -> int -> unit
+(** Loc-RIB routes examined per streaming-transfer event (default 512) —
+    bounds per-event work so a million-prefix sync interleaves with
+    normal traffic.  @raise Invalid_argument on a non-positive chunk. *)
 
 val unlink : t -> Dbgp_types.Asn.t -> Dbgp_types.Asn.t -> unit
 (** Permanent administrative teardown, as opposed to {!fail_link}'s

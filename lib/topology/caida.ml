@@ -1,0 +1,183 @@
+open Dbgp_types
+
+type params = {
+  n : int;
+  tier1 : int;
+  max_providers : int;
+  multihome : float;
+  peering : float;
+}
+
+let default =
+  { n = 10_000; tier1 = 12; max_providers = 3; multihome = 0.45; peering = 0.25 }
+
+(* ------------------------- generator ------------------------- *)
+
+(* Preferential attachment over provider degree.  [deg] is the running
+   total degree; new customers pick providers with probability
+   proportional to [deg + 1], which is what produces the heavy power-law
+   tail observed in the CAIDA AS-relationship snapshots: early (core)
+   ASes accumulate thousands of customers while most of the graph stays
+   single-homed stubs. *)
+let pick_weighted rng deg ~bound ~taken =
+  let total = ref 0 in
+  for u = 0 to bound - 1 do
+    if not (Hashtbl.mem taken u) then total := !total + deg.(u) + 1
+  done;
+  if !total <= 0 then None
+  else begin
+    let target = 1 + Prng.int rng !total in
+    let acc = ref 0 and pick = ref (-1) in
+    (try
+       for u = 0 to bound - 1 do
+         if not (Hashtbl.mem taken u) then begin
+           acc := !acc + deg.(u) + 1;
+           if !acc >= target then begin
+             pick := u;
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    if !pick < 0 then None else Some !pick
+  end
+
+let generate rng p =
+  if p.n < 2 then invalid_arg "Caida.generate: need at least 2 ASes";
+  if p.tier1 < 1 || p.tier1 > p.n then invalid_arg "Caida.generate: bad tier1";
+  if p.max_providers < 1 then invalid_arg "Caida.generate: bad max_providers";
+  if p.multihome < 0. || p.multihome >= 1. then
+    invalid_arg "Caida.generate: multihome must be in [0, 1)";
+  if p.peering < 0. then invalid_arg "Caida.generate: bad peering";
+  let g = As_graph.create p.n in
+  let deg = Array.make p.n 0 in
+  let connect_cp ~customer ~provider =
+    As_graph.add_customer_provider g ~customer ~provider;
+    deg.(customer) <- deg.(customer) + 1;
+    deg.(provider) <- deg.(provider) + 1
+  in
+  let connect_peer a b =
+    As_graph.add_peering g a b;
+    deg.(a) <- deg.(a) + 1;
+    deg.(b) <- deg.(b) + 1
+  in
+  (* The transit-free core: a clique of mutual peers, like the CAIDA
+     snapshots' tier-1 mesh.  Ids [0 .. tier1-1]. *)
+  let tier1 = min p.tier1 p.n in
+  for a = 0 to tier1 - 1 do
+    for b = a + 1 to tier1 - 1 do
+      connect_peer a b
+    done
+  done;
+  (* Everyone else joins with one provider (guaranteeing connectivity)
+     plus a geometric number of extra providers: each additional homing
+     happens with probability [multihome], capped at [max_providers].
+     Providers are drawn degree-proportionally from the earlier ASes. *)
+  for v = max tier1 1 to p.n - 1 do
+    let taken = Hashtbl.create 4 in
+    let want =
+      let w = ref 1 in
+      while !w < p.max_providers && Prng.float rng 1.0 < p.multihome do incr w done;
+      min !w v
+    in
+    for _ = 1 to want do
+      match pick_weighted rng deg ~bound:v ~taken with
+      | Some u ->
+        Hashtbl.replace taken u ();
+        connect_cp ~customer:v ~provider:u
+      | None -> ()
+    done
+  done;
+  (* Settlement-free peering at the edge: roughly [peering * n] extra
+     links between degree-proportionally drawn non-core ASes that have
+     no relationship yet, mirroring the [a|b|0] rows of a serial-1
+     file.  Peering never replaces an existing transit edge. *)
+  if p.n > tier1 + 1 then begin
+    let wanted = int_of_float (p.peering *. float_of_int p.n) in
+    let attempts = ref (4 * wanted) in
+    let added = ref 0 in
+    let none = Hashtbl.create 0 in
+    while !added < wanted && !attempts > 0 do
+      decr attempts;
+      match
+        ( pick_weighted rng deg ~bound:p.n ~taken:none,
+          pick_weighted rng deg ~bound:p.n ~taken:none )
+      with
+      | Some a, Some b
+        when a <> b
+             && (a >= tier1 || b >= tier1)
+             && As_graph.view_of g ~me:a ~neighbor:b = None ->
+        connect_peer a b;
+        incr added
+      | _ -> ()
+    done
+  end;
+  g
+
+(* ------------------------- serial-1 loader ------------------------- *)
+
+(* CAIDA AS-relationship "serial-1" format: one relationship per line,
+   [provider|customer|-1] for transit and [peer|peer|0] for peering,
+   [#]-prefixed comment lines.  Real snapshots name ~70-80k ASes with
+   sparse 32-bit AS numbers; they are compacted to dense graph indices
+   in order of first appearance. *)
+let parse_serial1 text =
+  let ids = Hashtbl.create 1024 in
+  let order = ref [] in
+  let count = ref 0 in
+  let intern asn =
+    match Hashtbl.find_opt ids asn with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      incr count;
+      Hashtbl.replace ids asn i;
+      order := asn :: !order;
+      i
+  in
+  let edges = ref [] in
+  let lineno = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         incr lineno;
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' then
+           match String.split_on_char '|' line with
+           | a :: b :: rel :: _ -> (
+             match
+               (int_of_string_opt a, int_of_string_opt b, String.trim rel)
+             with
+             | Some a, Some b, ("-1" | "0") when a <> b ->
+               let rel = if String.trim rel = "-1" then `Transit else `Peer in
+               (* Left-to-right interning: tuple components evaluate
+                  right-to-left, which would flip first-appearance
+                  order. *)
+               let ia = intern a in
+               let ib = intern b in
+               edges := (ia, ib, rel) :: !edges
+             | _ ->
+               invalid_arg
+                 (Printf.sprintf "Caida.parse_serial1: bad line %d: %S"
+                    !lineno line) )
+           | _ ->
+             invalid_arg
+               (Printf.sprintf "Caida.parse_serial1: bad line %d: %S" !lineno
+                  line));
+  if !count < 2 then
+    invalid_arg "Caida.parse_serial1: need at least two ASes";
+  let g = As_graph.create !count in
+  List.iter
+    (fun (a, b, rel) ->
+      match rel with
+      | `Transit -> As_graph.add_customer_provider g ~customer:b ~provider:a
+      | `Peer -> As_graph.add_peering g a b)
+    (List.rev !edges);
+  let asns = Array.make !count 0 in
+  List.iteri (fun i asn -> asns.(!count - 1 - i) <- asn) !order;
+  (g, asns)
+
+let load_serial1 path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_serial1 (really_input_string ic (in_channel_length ic)))

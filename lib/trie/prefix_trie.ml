@@ -1,9 +1,25 @@
 open Dbgp_types
 
-(* A binary trie: the node at depth [d] along a bit path represents the
-   prefix whose first [d] bits are that path.  Depth is bounded by 32, so
-   path compression is unnecessary for correctness or asymptotics here. *)
-type 'a t = Empty | Node of 'a option * 'a t * 'a t
+(* A path-compressed (Patricia) binary trie.  Every node carries the
+   full prefix it represents; children strictly extend their parent's
+   prefix, and one-way chains of valueless interior nodes are never
+   materialized.  The structure is canonical: a node either holds a
+   value or has two non-empty children (a valueless single-child node
+   collapses into that child).  An n-route table therefore uses at most
+   2n-1 nodes — the property that lets million-prefix tables fit — where
+   the uncompressed trie spent up to [prefix length] nodes per route on
+   interior chains.
+
+   Observable orders are unchanged from the uncompressed trie:
+   {!matches} is deepest-first, {!fold}/{!bindings} ascending by
+   (network, length).  Pre-order traversal (value, left, right) yields
+   exactly that ascending order: a node's network is canonical (host
+   bits zero), left descendants share it with further bits possibly
+   set, and right descendants set bit [length], so
+   value < left subtree < right subtree under {!Prefix.compare}. *)
+type 'a t =
+  | Empty
+  | Node of { pfx : Prefix.t; v : 'a option; l : 'a t; r : 'a t }
 
 let empty = Empty
 
@@ -11,78 +27,131 @@ let is_empty = function
   | Empty -> true
   | Node _ -> false
 
-let node v l r =
-  match (v, l, r) with None, Empty, Empty -> Empty | _ -> Node (v, l, r)
+(* Smart constructor enforcing canonical form: valueless leaves vanish
+   and a valueless node with a single child collapses into the child
+   (which keeps its own, longer prefix). *)
+let node pfx v l r =
+  match (v, l, r) with
+  | None, Empty, Empty -> Empty
+  | None, (Node _ as c), Empty | None, Empty, (Node _ as c) -> c
+  | _ -> Node { pfx; v; l; r }
+
+let leaf pfx value = Node { pfx; v = Some value; l = Empty; r = Empty }
+
+(* The first bit position at which [p] and [q] disagree, capped at the
+   shorter length — i.e. the length of their longest common prefix.
+   Networks are canonical, so a single xor finds the disagreement and a
+   short scan locates it. *)
+let first_diff p q =
+  let lim = min (Prefix.length p) (Prefix.length q) in
+  let x = Ipv4.to_int (Prefix.network p) lxor Ipv4.to_int (Prefix.network q) in
+  if x = 0 then lim
+  else
+    let rec go i =
+      if i >= lim then lim
+      else if x land (1 lsl (31 - i)) <> 0 then i
+      else go (i + 1)
+    in
+    go 0
 
 let add p value t =
-  let len = Prefix.length p in
-  let rec go i t =
-    let v, l, r = match t with Empty -> (None, Empty, Empty) | Node (v, l, r) -> (v, l, r) in
-    if i = len then Node (Some value, l, r)
-    else if Prefix.bit p i then Node (v, l, go (i + 1) r)
-    else Node (v, go (i + 1) l, r)
+  let rec go t =
+    match t with
+    | Empty -> leaf p value
+    | Node n ->
+      let lp = Prefix.length n.pfx and lq = Prefix.length p in
+      let d = first_diff n.pfx p in
+      if d = lp && d = lq then Node { n with v = Some value }
+      else if d = lp then
+        (* [p] strictly extends the node's prefix: descend. *)
+        if Prefix.bit p lp then Node { n with r = go n.r }
+        else Node { n with l = go n.l }
+      else if d = lq then
+        (* The node's prefix strictly extends [p]: insert above. *)
+        if Prefix.bit n.pfx lq then Node { pfx = p; v = Some value; l = Empty; r = t }
+        else Node { pfx = p; v = Some value; l = t; r = Empty }
+      else
+        (* Divergence below both: branch at the common prefix. *)
+        let c = Prefix.make (Prefix.network p) d in
+        if Prefix.bit p d then Node { pfx = c; v = None; l = t; r = leaf p value }
+        else Node { pfx = c; v = None; l = leaf p value; r = t }
   in
-  go 0 t
+  go t
 
 let update p f t =
-  let len = Prefix.length p in
-  let rec go i t =
-    let v, l, r = match t with Empty -> (None, Empty, Empty) | Node (v, l, r) -> (v, l, r) in
-    if i = len then node (f v) l r
-    else if Prefix.bit p i then node v l (go (i + 1) r)
-    else node v (go (i + 1) l) r
+  let rec go t =
+    match t with
+    | Empty -> ( match f None with None -> Empty | Some v -> leaf p v )
+    | Node n -> (
+      let lp = Prefix.length n.pfx and lq = Prefix.length p in
+      let d = first_diff n.pfx p in
+      if d = lp && d = lq then node n.pfx (f n.v) n.l n.r
+      else if d = lp then
+        if Prefix.bit p lp then node n.pfx n.v n.l (go n.r)
+        else node n.pfx n.v (go n.l) n.r
+      else
+        (* [p] is absent from the trie; only an insertion changes it. *)
+        match f None with
+        | None -> t
+        | Some v ->
+          if d = lq then
+            if Prefix.bit n.pfx lq then
+              Node { pfx = p; v = Some v; l = Empty; r = t }
+            else Node { pfx = p; v = Some v; l = t; r = Empty }
+          else
+            let c = Prefix.make (Prefix.network p) d in
+            if Prefix.bit p d then Node { pfx = c; v = None; l = t; r = leaf p v }
+            else Node { pfx = c; v = None; l = leaf p v; r = t } )
   in
-  go 0 t
+  go t
 
 let remove p t = update p (fun _ -> None) t
 
 let find p t =
-  let len = Prefix.length p in
-  let rec go i t =
+  let rec go t =
     match t with
     | Empty -> None
-    | Node (v, l, r) ->
-      if i = len then v else if Prefix.bit p i then go (i + 1) r else go (i + 1) l
+    | Node n ->
+      let lp = Prefix.length n.pfx and lq = Prefix.length p in
+      let d = first_diff n.pfx p in
+      if d < lp then None
+      else if lp = lq then n.v
+      else go (if Prefix.bit p lp then n.r else n.l)
   in
-  go 0 t
+  go t
 
 let mem p t = Option.is_some (find p t)
 
 let addr_bit a i = Ipv4.to_int a land (1 lsl (31 - i)) <> 0
 
 let matches addr t =
-  let rec go i t acc =
+  let rec go t acc =
     match t with
     | Empty -> acc
-    | Node (v, l, r) ->
-      let acc =
-        match v with
-        | None -> acc
-        | Some x -> (Prefix.make addr i, x) :: acc
-      in
-      if i = 32 then acc
-      else if addr_bit addr i then go (i + 1) r acc
-      else go (i + 1) l acc
+    | Node n ->
+      (* With compression a branch taken at the parent no longer
+         guarantees the child's (longer) prefix contains the address —
+         check before descending further. *)
+      if not (Prefix.mem addr n.pfx) then acc
+      else
+        let acc =
+          match n.v with None -> acc | Some x -> (n.pfx, x) :: acc
+        in
+        let len = Prefix.length n.pfx in
+        if len = 32 then acc
+        else go (if addr_bit addr len then n.r else n.l) acc
   in
-  go 0 t []
+  go t []
 
 let longest_match addr t =
   match matches addr t with [] -> None | best :: _ -> Some best
 
-let rec fold_at p f t acc =
+let rec fold f t acc =
   match t with
   | Empty -> acc
-  | Node (v, l, r) ->
-    let acc = match v with None -> acc | Some x -> f p x acc in
-    ( match Prefix.split p with
-      | None -> acc
-      | Some (lo, hi) -> fold_at hi f r (fold_at lo f l acc) )
-
-let fold f t acc =
-  (* Accumulate in reverse then flip to get prefix order without requiring
-     f to be commutative. *)
-  let items = fold_at Prefix.default (fun p v acc -> (p, v) :: acc) t [] in
-  List.fold_left (fun acc (p, v) -> f p v acc) acc (List.rev items)
+  | Node n ->
+    let acc = match n.v with None -> acc | Some x -> f n.pfx x acc in
+    fold f n.r (fold f n.l acc)
 
 let iter f t = fold (fun p v () -> f p v) t ()
 let cardinal t = fold (fun _ _ n -> n + 1) t 0
@@ -91,10 +160,28 @@ let of_list l = List.fold_left (fun t (p, v) -> add p v t) empty l
 
 let rec map f = function
   | Empty -> Empty
-  | Node (v, l, r) -> Node (Option.map f v, map f l, map f r)
+  | Node n ->
+    Node { pfx = n.pfx; v = Option.map f n.v; l = map f n.l; r = map f n.r }
 
 let filter pred t =
   fold (fun p v acc -> if pred p v then add p v acc else acc) t empty
 
 let covered p t =
-  bindings t |> List.filter (fun (q, _) -> Prefix.subsumes p q)
+  let lq = Prefix.length p in
+  let rec go t =
+    match t with
+    | Empty -> []
+    | Node n ->
+      let lp = Prefix.length n.pfx in
+      let d = first_diff n.pfx p in
+      if d = lq then
+        (* The node's prefix sits inside [p]; so does its whole
+           subtree.  Collect it in ascending order. *)
+        List.rev (fold (fun q x acc -> (q, x) :: acc) t [])
+      else if d = lp then
+        (* [p] strictly extends the node's prefix: any covered binding
+           lives down [p]'s branch. *)
+        go (if Prefix.bit p lp then n.r else n.l)
+      else []
+  in
+  go t

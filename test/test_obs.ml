@@ -464,6 +464,49 @@ let test_perf_bench_schema () =
   check "json renders" true
     (String.length (Snapshot.to_json_pretty s) > 0)
 
+(* BENCH_scale.json rows come straight from [Scale_bench.to_snapshot];
+   pin the schema plus the headline claims: the legacy arm re-sends the
+   whole table on a session bounce, the clean incremental arm streams
+   ~nothing, and the churn arm re-sends only what changed. *)
+let test_scale_bench_schema () =
+  let r = E.Scale_bench.run ~ases:30 ~prefixes:50 ~bg:4 () in
+  let s = E.Scale_bench.to_snapshot r in
+  let int_fields =
+    [ "ases"; "prefixes"; "bg_prefixes"; "edges"; "bg_updates";
+      "load_updates"; "full_transfer_msgs"; "clean_transfer_msgs";
+      "clean_skipped"; "churn_routes"; "churn_transfer_msgs" ]
+  in
+  let float_fields =
+    [ "bg_elapsed_s"; "bg_updates_per_s"; "load_elapsed_s"; "load_cpu_s";
+      "load_updates_per_s"; "words_per_route" ]
+  in
+  List.iter
+    (fun f ->
+      match Snapshot.member f s with
+      | Some (Snapshot.Int _) -> ()
+      | _ -> Alcotest.fail (f ^ ": expected Int field"))
+    int_fields;
+  List.iter
+    (fun f ->
+      match Snapshot.member f s with
+      | Some (Snapshot.Float _) | Some (Snapshot.Int _) -> ()
+      | _ -> Alcotest.fail (f ^ ": expected numeric field"))
+    float_fields;
+  check "full arm re-sends the table" true
+    (r.E.Scale_bench.full_transfer_msgs >= r.E.Scale_bench.prefixes);
+  check "clean arm streams ~nothing" true
+    (r.E.Scale_bench.clean_transfer_msgs <= 2);
+  check "clean arm skipped the table" true
+    (r.E.Scale_bench.clean_skipped >= r.E.Scale_bench.prefixes);
+  check "churn arm re-sends only the changed slice" true
+    (r.E.Scale_bench.churn_transfer_msgs
+     <= r.E.Scale_bench.churn_routes + 1);
+  (* The reachable-words delta is deterministic (no GC noise), so even
+     a 50-route table must grow the network. *)
+  check "routes occupy memory" true (r.E.Scale_bench.words_per_route > 0.);
+  check "json renders" true
+    (String.length (Snapshot.to_json_pretty s) > 0)
+
 (* BENCH_stability.json schema: the divergence-lab report shape, pinned
    against a two-case run (one divergent gadget, one converged control),
    each classified with damping off and on. *)
@@ -565,5 +608,7 @@ let () =
            test_pipeline_bench_schema;
          Alcotest.test_case "perf bench schema" `Quick
            test_perf_bench_schema;
+         Alcotest.test_case "scale bench schema" `Quick
+           test_scale_bench_schema;
          Alcotest.test_case "stability bench schema" `Quick
            test_stability_bench_schema ]) ]

@@ -17,6 +17,7 @@ module Policy = Dbgp_bgp.Policy
 module Damping = Dbgp_bgp.Flap_damping
 module Metrics = Dbgp_obs.Metrics
 module Network = Dbgp_netsim.Network
+module Event_queue = Dbgp_netsim.Event_queue
 module Graph = Dbgp_topology.As_graph
 module Brite = Dbgp_topology.Brite
 module Invariants = Dbgp_eval.Invariants
@@ -195,6 +196,35 @@ let test_export_cache_scoped_eviction () =
   ignore
     (Adj_rib_out.egress out ~group:None ~prefix:src.Ia.prefix ~src ~compute);
   check_int "groupless always computes" (before + 1) !computes
+
+(* Regression: a peer re-joining with a changed key must not evict the
+   departed group's cache while that group still has members — only the
+   departure that empties the group evicts. *)
+let test_join_move_preserves_shared_cache () =
+  let out = Adj_rib_out.create () in
+  let g1 = Adj_rib_out.join out ~peer:(peer 1) (key Policy.To_customer) in
+  let g1b = Adj_rib_out.join out ~peer:(peer 2) (key Policy.To_customer) in
+  check_int "peers 1 and 2 share a group" g1 g1b;
+  let src = base_ia () in
+  let run g =
+    Adj_rib_out.egress out ~group:(Some g) ~prefix:src.Ia.prefix ~src
+      ~compute:(fun () -> Some src)
+  in
+  check "warmed" true (snd (run g1) = false && snd (run g1) = true);
+  (* Peer 1 re-adds with a private export filter: it moves to a fresh
+     group, but peer 2 is still using the old one. *)
+  let f : Filters.t = fun ia -> Some ia in
+  let g1' =
+    Adj_rib_out.join out ~peer:(peer 1)
+      { (key Policy.To_customer) with Adj_rib_out.export = f }
+  in
+  check "moved to a fresh group" true (g1' <> g1);
+  check "peer 2 still in the old group" true
+    (Adj_rib_out.group_of out ~peer:(peer 2) = Some g1);
+  check "survivor's cached egress intact" true (snd (run g1) = true);
+  (* Once peer 2 leaves too, the now-empty group's entries do go. *)
+  Adj_rib_out.leave out ~peer:(peer 2);
+  check "emptied group evicted" true (snd (run g1) = false)
 
 (* Speaker-level: same-group neighbors receive structurally identical
    IAs, computed once and fanned out. *)
@@ -454,6 +484,102 @@ let test_batched_network_equivalence () =
   check "batched cache hit" true
     (total batched "pipeline.export_cache.hits" > 0)
 
+(* ---------------- session re-establishment ---------------- *)
+
+let feed_net n =
+  let net = Network.create () in
+  List.iter (fun i -> ignore (Harness.add_as net i)) [ 1; 2 ];
+  Network.link net ~a:(asn 1) ~b:(asn 2) ~b_is:Policy.To_provider ();
+  for i = 0 to n - 1 do
+    Network.originate net (asn 1)
+      (Ia.originate
+         ~prefix:(pfx (Printf.sprintf "99.%d.0.0/24" i))
+         ~origin_asn:(asn 1)
+         ~next_hop:(Network.speaker_addr (asn 1)) ())
+  done;
+  ignore (Network.run net);
+  net
+
+let messages net =
+  Metrics.count (Metrics.counter (Network.metrics net) "net.messages")
+
+let table_at net a n =
+  List.for_all
+    (fun i ->
+      Speaker.best (Network.speaker net (asn a))
+        (pfx (Printf.sprintf "99.%d.0.0/24" i))
+      <> None)
+    (List.init n Fun.id)
+
+(* The tentpole bugfix: a clean down/up inside the graceful window must
+   NOT re-announce the full table — the streamed incremental sync skips
+   every route whose confirmed Adj-RIB-Out record already matches. *)
+let test_reestablish_incremental () =
+  let n = 40 in
+  (* Control arm: without graceful restart the bounce re-sends the whole
+     table (the legacy storm). *)
+  let net = feed_net n in
+  Network.fail_link net (asn 1) (asn 2);
+  ignore (Network.run net);
+  let m0 = messages net in
+  Network.recover_link net (asn 1) (asn 2);
+  ignore (Network.run net);
+  let storm = messages net - m0 in
+  check "storm re-sends the table" true (storm >= n);
+  (* Fixed arm: graceful down/up, nothing changed meanwhile. *)
+  let net = feed_net n in
+  Network.set_graceful_restart net (Some 50.);
+  Network.fail_link net (asn 1) (asn 2);
+  let m0 = messages net in
+  let sk0 = Network.counter_total net "sync.skipped" in
+  let sent0 = Network.counter_total net "sync.sent" in
+  Network.recover_link net (asn 1) (asn 2);
+  ignore (Network.run net);
+  let resent = messages net - m0 in
+  check "incremental sync sends almost nothing" true (resent <= 2);
+  check "whole table skipped" true
+    (Network.counter_total net "sync.skipped" - sk0 >= n);
+  check_int "nothing streamed" sent0 (Network.counter_total net "sync.sent");
+  check "table intact at the receiver" true (table_at net 2 n);
+  check_int "no stale routes left" 0 (Network.stale_total net)
+
+(* Graceful re-establish under churn: routes that changed while the
+   session was down are re-sent exactly once; the rest are retained by
+   the End-of-RIB without being flushed or re-sent (no double-send, no
+   wrongful flush from the cancelled restart timer). *)
+let test_restart_under_churn () =
+  let n = 20 and extra = 3 in
+  let net = feed_net n in
+  Network.set_graceful_restart net (Some 100.);
+  let q = Network.queue net in
+  Network.fail_link net (asn 1) (asn 2);
+  (* New routes appear while the session is down: their announcements
+     die on the cut link, demoting the Adj-RIB-Out records. *)
+  for i = n to n + extra - 1 do
+    Network.originate net (asn 1)
+      (Ia.originate
+         ~prefix:(pfx (Printf.sprintf "99.%d.0.0/24" i))
+         ~origin_asn:(asn 1)
+         ~next_hop:(Network.speaker_addr (asn 1)) ())
+  done;
+  let m0 = messages net in
+  let u0 = Network.counter_total net "updates.received" in
+  let ret0 = Network.counter_total net "restart.retained" in
+  Event_queue.schedule q ~delay:5. (fun () ->
+      Network.recover_link net (asn 1) (asn 2));
+  ignore (Network.run net);
+  (* Exactly the churned slice travels... *)
+  check "only changed routes re-sent" true (messages net - m0 <= extra + 1);
+  check_int "each delivered exactly once" extra
+    (Network.counter_total net "updates.received" - u0);
+  (* ...the unchanged table is retained by the End-of-RIB... *)
+  check "unchanged routes retained, not re-sent" true
+    (Network.counter_total net "restart.retained" - ret0 >= n);
+  check "full table present" true (table_at net 2 (n + extra));
+  (* ...and the cancelled restart timer never flushes anything, even
+     after simulated time passes the original window. *)
+  check_int "no stale routes left" 0 (Network.stale_total net)
+
 let () =
   Alcotest.run "pipeline"
     [ ( "adj-rib-in",
@@ -470,8 +596,15 @@ let () =
         [ Alcotest.test_case "membership" `Quick test_groups_membership;
           Alcotest.test_case "scoped eviction" `Quick
             test_export_cache_scoped_eviction;
+          Alcotest.test_case "move keeps survivors' cache" `Quick
+            test_join_move_preserves_shared_cache;
           Alcotest.test_case "speaker fanout" `Quick
             test_speaker_export_fanout ] );
+      ( "reestablish",
+        [ Alcotest.test_case "incremental sync, not a storm" `Quick
+            test_reestablish_incremental;
+          Alcotest.test_case "restart under churn" `Quick
+            test_restart_under_churn ] );
       ( "batching",
         [ Alcotest.test_case "ingest/flush coalesces" `Quick
             test_ingest_flush_coalesces;

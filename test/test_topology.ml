@@ -1,6 +1,7 @@
 open Dbgp_types
 module G = Dbgp_topology.As_graph
 module Brite = Dbgp_topology.Brite
+module Caida = Dbgp_topology.Caida
 module Routing = Dbgp_topology.Routing
 
 let check = Alcotest.(check bool)
@@ -260,6 +261,93 @@ let qcheck =
           (fun (u, _) -> Option.is_some routes.(u))
           (Dbgp_topology.As_graph.neighbors g dest)) ]
 
+(* ------------------------- Caida ------------------------- *)
+
+let test_caida_connected_deterministic () =
+  let params = { Caida.default with Caida.n = 1_000 } in
+  let g1 = Caida.generate (Prng.create 1) params in
+  let g2 = Caida.generate (Prng.create 1) params in
+  check "connected" true (G.is_connected g1);
+  check_int "deterministic" (G.edge_count g1) (G.edge_count g2);
+  check "another seed differs" true
+    (G.edge_count (Caida.generate (Prng.create 9) params) <> G.edge_count g1
+    || G.degree (Caida.generate (Prng.create 9) params) 0 <> G.degree g1 0)
+
+let test_caida_shape () =
+  let params = { Caida.default with Caida.n = 1_000 } in
+  let g = Caida.generate (Prng.create 7) params in
+  (* The tier-1 core is a fully peered clique... *)
+  for a = 0 to params.Caida.tier1 - 1 do
+    for b = a + 1 to params.Caida.tier1 - 1 do
+      check "core fully peered" true
+        (G.view_of g ~me:a ~neighbor:b = Some G.Peer_of_me)
+    done
+  done;
+  (* ...transit is acyclic because providers always have earlier ids... *)
+  check "provider orientation acyclic" true
+    (List.for_all
+       (fun v -> List.for_all (fun p -> p < v) (G.providers g v))
+       (List.init (G.size g) Fun.id));
+  (* ...and preferential attachment yields a heavy power-law tail: a few
+     hubs with enormous degree over a mass of single-homed stubs. *)
+  let degrees =
+    List.sort compare (List.init (G.size g) (fun v -> G.degree g v))
+  in
+  let max_deg = List.nth degrees (List.length degrees - 1) in
+  let median = List.nth degrees (List.length degrees / 2) in
+  check "heavy tail" true (max_deg >= 20 * median);
+  check "mostly low-degree edge" true (median <= 3)
+
+let test_caida_params_validated () =
+  let gen p = ignore (Caida.generate (Prng.create 1) p) in
+  let raises p =
+    match gen p with exception Invalid_argument _ -> true | () -> false
+  in
+  check "n too small" true (raises { Caida.default with Caida.n = 1 });
+  check "bad tier1" true
+    (raises { Caida.default with Caida.n = 10; tier1 = 0 });
+  check "bad multihome" true
+    (raises { Caida.default with Caida.n = 10; multihome = 1.0 });
+  check "bad peering" true
+    (raises { Caida.default with Caida.n = 10; peering = -0.1 })
+
+let test_caida_serial1 () =
+  let text =
+    "# comment line\n\
+     701|7018|0\n\
+     701|64500|-1\n\
+     7018|64501|-1\n\
+     \n\
+     64500|64501|0\n"
+  in
+  let g, asns = Caida.parse_serial1 text in
+  check_int "four ASes" 4 (G.size g);
+  check "dense ids in first-appearance order" true
+    (asns = [| 701; 7018; 64500; 64501 |]);
+  check "transit orientation" true
+    (G.view_of g ~me:2 ~neighbor:0 = Some G.Provider_of_me
+    && G.view_of g ~me:0 ~neighbor:2 = Some G.Customer_of_me);
+  check "peering" true
+    (G.view_of g ~me:0 ~neighbor:1 = Some G.Peer_of_me
+    && G.view_of g ~me:2 ~neighbor:3 = Some G.Peer_of_me);
+  check "malformed line reports its number" true
+    (match Caida.parse_serial1 "701|7018|0\n701|oops|-1\n" with
+    | exception Invalid_argument m ->
+      (* the bad line is line 2 *)
+      let has s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      has m "line 2"
+    | _ -> false);
+  check "bad relationship rejected" true
+    (match Caida.parse_serial1 "701|7018|7\n1|2|0\n" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let () =
   Alcotest.run "topology"
     [ ("as-graph",
@@ -271,6 +359,12 @@ let () =
        [ Alcotest.test_case "connected+deterministic" `Quick test_brite_connected_deterministic;
          Alcotest.test_case "provider DAG" `Quick test_brite_provider_acyclic;
          Alcotest.test_case "validation" `Quick test_brite_params_validated ]);
+      ("caida",
+       [ Alcotest.test_case "connected+deterministic" `Quick
+           test_caida_connected_deterministic;
+         Alcotest.test_case "clique, DAG, power-law" `Quick test_caida_shape;
+         Alcotest.test_case "validation" `Quick test_caida_params_validated;
+         Alcotest.test_case "serial-1 parser" `Quick test_caida_serial1 ]);
       ("routing",
        [ Alcotest.test_case "shortest" `Quick test_routing_shortest;
          Alcotest.test_case "no customer transit" `Quick test_routing_valley_free_export;

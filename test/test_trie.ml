@@ -88,6 +88,180 @@ let test_map_filter () =
   let odd = Trie.filter (fun _ v -> v mod 2 = 1) t in
   check_int "filter" 1 (Trie.cardinal odd)
 
+(* The pre-compression binary trie, verbatim from the repo's history:
+   the reference model the path-compressed implementation must agree
+   with on every observable. *)
+module Ref_trie = struct
+  type 'a t = Empty | Node of 'a option * 'a t * 'a t
+
+  let empty = Empty
+
+  let node v l r =
+    match (v, l, r) with None, Empty, Empty -> Empty | _ -> Node (v, l, r)
+
+  let add p value t =
+    let len = Prefix.length p in
+    let rec go i t =
+      let v, l, r =
+        match t with Empty -> (None, Empty, Empty) | Node (v, l, r) -> (v, l, r)
+      in
+      if i = len then Node (Some value, l, r)
+      else if Prefix.bit p i then Node (v, l, go (i + 1) r)
+      else Node (v, go (i + 1) l, r)
+    in
+    go 0 t
+
+  let update p f t =
+    let len = Prefix.length p in
+    let rec go i t =
+      let v, l, r =
+        match t with Empty -> (None, Empty, Empty) | Node (v, l, r) -> (v, l, r)
+      in
+      if i = len then node (f v) l r
+      else if Prefix.bit p i then node v l (go (i + 1) r)
+      else node v (go (i + 1) l) r
+    in
+    go 0 t
+
+  let remove p t = update p (fun _ -> None) t
+
+  let find p t =
+    let len = Prefix.length p in
+    let rec go i t =
+      match t with
+      | Empty -> None
+      | Node (v, l, r) ->
+        if i = len then v
+        else if Prefix.bit p i then go (i + 1) r
+        else go (i + 1) l
+    in
+    go 0 t
+
+  let addr_bit a i = Ipv4.to_int a land (1 lsl (31 - i)) <> 0
+
+  let matches addr t =
+    let rec go i t acc =
+      match t with
+      | Empty -> acc
+      | Node (v, l, r) ->
+        let acc =
+          match v with
+          | None -> acc
+          | Some x -> (Prefix.make addr i, x) :: acc
+        in
+        if i = 32 then acc
+        else if addr_bit addr i then go (i + 1) r acc
+        else go (i + 1) l acc
+    in
+    go 0 t []
+
+  let longest_match addr t =
+    match matches addr t with [] -> None | best :: _ -> Some best
+
+  let rec fold_at p f t acc =
+    match t with
+    | Empty -> acc
+    | Node (v, l, r) ->
+      let acc = match v with None -> acc | Some x -> f p x acc in
+      ( match Prefix.split p with
+        | None -> acc
+        | Some (lo, hi) -> fold_at hi f r (fold_at lo f l acc) )
+
+  let fold f t acc =
+    let items = fold_at Prefix.default (fun p v acc -> (p, v) :: acc) t [] in
+    List.fold_left (fun acc (p, v) -> f p v acc) acc (List.rev items)
+
+  let bindings t = List.rev (fold (fun p v acc -> (p, v) :: acc) t [])
+
+  let covered p t =
+    bindings t |> List.filter (fun (q, _) -> Prefix.subsumes p q)
+end
+
+(* Seeded random tables emphasizing exactly what path compression can
+   break: /0 and /32 extremes, and sibling pairs that differ only in
+   the bit right at the prefix boundary. *)
+let qcheck_vs_reference =
+  let open QCheck in
+  let gen_prefix =
+    Gen.(
+      let gen_len = oneof [ oneofl [ 0; 1; 31; 32 ]; int_bound 32 ] in
+      map2
+        (fun net len -> Prefix.make (Ipv4.of_int net) len)
+        (int_bound 0xFFFFFFFF) gen_len)
+  in
+  let with_siblings =
+    Gen.(
+      list_size (int_range 0 48) (pair gen_prefix (pair bool (int_bound 100)))
+      |> map
+           (List.concat_map (fun (q, (sib, v)) ->
+                let l = Prefix.length q in
+                if sib && l > 0 then
+                  let flipped =
+                    Ipv4.of_int
+                      (Ipv4.to_int (Prefix.network q) lxor (1 lsl (32 - l)))
+                  in
+                  [ (q, v); (Prefix.make flipped l, v + 1) ]
+                else [ (q, v) ])))
+  in
+  let arb_ops = make with_siblings in
+  let build ops =
+    ( List.fold_left (fun t (q, v) -> Trie.add q v t) Trie.empty ops,
+      List.fold_left (fun t (q, v) -> Ref_trie.add q v t) Ref_trie.empty ops )
+  in
+  let probes ops =
+    Ipv4.of_int 0 :: Ipv4.of_int 0xFFFFFFFF
+    :: List.concat_map
+         (fun (q, _) ->
+           [ Prefix.network q;
+             Ipv4.of_int (Ipv4.to_int (Prefix.network q) lxor 1) ])
+         ops
+  in
+  [ Test.make ~name:"compressed bindings = reference bindings" ~count:300
+      arb_ops (fun ops ->
+        let t, r = build ops in
+        Trie.bindings t = Ref_trie.bindings r);
+    Test.make ~name:"compressed longest_match/matches = reference" ~count:300
+      arb_ops (fun ops ->
+        let t, r = build ops in
+        List.for_all
+          (fun a ->
+            Trie.longest_match a t = Ref_trie.longest_match a r
+            && Trie.matches a t = Ref_trie.matches a r)
+          (probes ops));
+    Test.make ~name:"compressed covered = reference covered" ~count:300
+      arb_ops (fun ops ->
+        let t, r = build ops in
+        Trie.covered Prefix.default t = Ref_trie.covered Prefix.default r
+        && List.for_all
+             (fun (q, _) -> Trie.covered q t = Ref_trie.covered q r)
+             ops);
+    Test.make ~name:"removal keeps agreeing (collapse paths)" ~count:300
+      arb_ops (fun ops ->
+        let t, r = build ops in
+        (* Remove every other prefix: exercises the smart-constructor
+           collapse of one-child interior nodes. *)
+        let doomed = List.filteri (fun i _ -> i mod 2 = 0) ops in
+        let t =
+          List.fold_left (fun t (q, _) -> Trie.remove q t) t doomed
+        in
+        let r =
+          List.fold_left (fun r (q, _) -> Ref_trie.remove q r) r doomed
+        in
+        Trie.bindings t = Ref_trie.bindings r
+        && List.for_all
+             (fun a -> Trie.longest_match a t = Ref_trie.longest_match a r)
+             (probes ops));
+    Test.make ~name:"update parity with reference" ~count:300 arb_ops
+      (fun ops ->
+        let t, r = build ops in
+        let f = function None -> Some 999 | Some v -> if v mod 3 = 0 then None else Some (v + 1) in
+        let t = List.fold_left (fun t (q, _) -> Trie.update q f t) t ops in
+        let r = List.fold_left (fun r (q, _) -> Ref_trie.update q f r) r ops in
+        Trie.bindings t = Ref_trie.bindings r
+        && List.for_all
+             (fun (q, _) -> Trie.find q t = Ref_trie.find q r)
+             ops) ]
+
 (* Model-based property tests against Prefix.Map and a linear scan. *)
 let qcheck =
   let open QCheck in
@@ -143,4 +317,6 @@ let () =
       ("traversal",
        [ Alcotest.test_case "fold order" `Quick test_fold_order;
          Alcotest.test_case "map/filter" `Quick test_map_filter ]);
-      ("properties", List.map QCheck_alcotest.to_alcotest qcheck) ]
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck);
+      ( "vs-reference",
+        List.map QCheck_alcotest.to_alcotest qcheck_vs_reference ) ]
