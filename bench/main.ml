@@ -411,6 +411,21 @@ let stability_bench () =
   close_out oc;
   Format.fprintf out "wrote BENCH_stability.json@."
 
+(* ------------------------------------------------------------------ *)
+(* Adversary suite: every attack class across the three protocol arms, *)
+(* scored by blast radius, persisted as BENCH_adversary.json.  Fully   *)
+(* seeded, so the file is byte-reproducible.                           *)
+(* ------------------------------------------------------------------ *)
+
+let adversary_bench () =
+  rule "Adversary suite: hijacks, leaks and island attacks (blast radius)";
+  let r = E.Adversary.run E.Adversary.default in
+  Format.fprintf out "%a@." E.Adversary.pp_report r;
+  let oc = open_out "BENCH_adversary.json" in
+  output_string oc (Dbgp_obs.Snapshot.to_json_pretty (E.Adversary.to_snapshot r));
+  close_out oc;
+  Format.fprintf out "wrote BENCH_adversary.json@."
+
 let () =
   let t0 = Unix.gettimeofday () in
   rule "Table 1: protocol taxonomy";
@@ -527,5 +542,6 @@ let () =
   scale_bench ();
   obs_bench ();
   stability_bench ();
+  adversary_bench ();
   run_bechamel ();
   Format.fprintf out "total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

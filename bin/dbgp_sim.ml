@@ -334,6 +334,28 @@ let stability budget seed control_ases json =
   Format.fprintf out "verdicts match expectations: %b@." ok;
   if not ok then exit 1
 
+(* ---------- adversary ---------- *)
+
+let adversary seed json =
+  Format.fprintf out
+    "Adversary suite: hijacks, route leaks and D-BGP island attacks@.\
+     across legacy BGP / D-BGP / D-BGP + BGPSec-like critical fix,@.\
+     scored by blast radius (exit 1 on broken containment)@.@.";
+  let r = E.Adversary.run { E.Adversary.default with E.Adversary.seed } in
+  Format.fprintf out "%a@." E.Adversary.pp_report r;
+  ( match json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Dbgp_obs.Snapshot.to_json_pretty (E.Adversary.to_snapshot r));
+      close_out oc;
+      Format.fprintf out "wrote %s@." path );
+  (* Safety gate: an arm that claims containment must show zero blast
+     radius, detection must fire wherever applicable, and control and
+     recovery phases must be clean — all folded into [healthy]. *)
+  if not r.E.Adversary.healthy then exit 1
+
 (* ---------- stats ---------- *)
 
 let stats ases seed events =
@@ -454,6 +476,13 @@ let stability_json_arg =
     & info [ "json" ]
         ~doc:"Write the stability report as JSON to $(docv)" ~docv:"FILE")
 
+let adversary_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ]
+        ~doc:"Write the adversary report as JSON to $(docv)" ~docv:"FILE")
+
 let stats_ases_arg =
   Arg.(value & opt int 200 & info [ "stats-ases" ] ~doc:"Stats topology size")
 
@@ -538,6 +567,14 @@ let cmds =
       Term.(
         const stability $ budget_arg $ seed_arg $ control_ases_arg
         $ stability_json_arg);
+    Cmd.v
+      (Cmd.info "adversary"
+         ~doc:
+           "Adversary suite: prefix hijacks, route leaks and D-BGP island \
+            attacks across three protocol arms, scored by blast radius \
+            (exit 1 if a containment claim is broken, detection misses an \
+            attack, or control/recovery state is unclean)")
+      Term.(const adversary $ seed_arg $ adversary_json_arg);
     Cmd.v
       (Cmd.info "stats"
          ~doc:

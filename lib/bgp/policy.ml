@@ -79,3 +79,12 @@ let export_for rel ~learned_local_pref =
   match rel with
   | To_customer -> true
   | To_peer | To_provider -> from_customer
+
+type export_rule = learned:relationship option -> to_:relationship -> bool
+
+let valley_free ~learned ~to_ =
+  match learned with
+  | None (* locally originated *) | Some To_customer -> true
+  | Some (To_peer | To_provider) -> to_ = To_customer
+
+let export_all ~learned:_ ~to_:_ = true

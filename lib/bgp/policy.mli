@@ -48,3 +48,20 @@ val export_for : relationship -> learned_local_pref:int option -> bool
 (** Gao-Rexford export rule: may a route with the given import-assigned
     LOCAL_PREF be sent on a session of this relationship?  Customer
     routes (lp >= 200) go everywhere; others only to customers. *)
+
+type export_rule = learned:relationship option -> to_:relationship -> bool
+(** Relationship-keyed export gate: may a route learned over a session of
+    relationship [learned] ([None] = locally originated) be advertised on
+    a session of relationship [to_]?  Speakers evaluate this before the
+    per-neighbor route-map export filter. *)
+
+val valley_free : export_rule
+(** The Gao-Rexford default: customer routes and locally originated
+    routes are exported everywhere; peer- and provider-learned routes
+    only to customers.  Every path stays valley-free when all ASes
+    follow it. *)
+
+val export_all : export_rule
+(** Exports everything to everyone — the route-leak behavior.  An AS
+    running this re-advertises provider/peer routes to its other
+    providers and peers, violating valley-freeness. *)

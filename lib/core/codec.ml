@@ -133,6 +133,36 @@ let encode (ia : Ia.t) =
   W.list w encode_id ia.island_descriptors;
   W.contents w
 
+(* Withdraw wire format: just the withdrawn prefix — a withdraw carries
+   no attributes. *)
+let encode_withdraw prefix =
+  let w = W.create ~capacity:8 () in
+  W.prefix w prefix;
+  W.contents w
+
+(* The RFC 7606 ladder for withdraws is short: if the prefix decodes the
+   message is usable (trailing garbage is discarded and accounted), and
+   an unreadable prefix is a framing failure of the whole message —
+   Session_reset, like an unreadable announce prefix. *)
+let decode_withdraw_robust s : (Prefix.t * Errors.t list, Errors.t) result =
+  let r = R.of_string s in
+  match R.prefix r with
+  | prefix ->
+    if R.at_end r then Ok (prefix, [])
+    else
+      Ok
+        ( prefix,
+          [ Errors.make Errors.Discard_attribute Errors.Framing
+              "trailing bytes after withdrawn prefix" ] )
+  | exception R.Error m ->
+    Error
+      (Errors.make Errors.Session_reset Errors.Framing
+         ("unreadable withdrawn prefix: " ^ m))
+  | exception _ ->
+    Error
+      (Errors.make Errors.Session_reset Errors.Framing
+         "unreadable withdrawn prefix")
+
 (* ------------------------------------------------------------------ *)
 (* Encode-once wire sharing.
 

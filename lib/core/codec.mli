@@ -33,6 +33,16 @@ val decode_robust : string -> (Ia.t * Errors.t list, Errors.t) result
 val size : Ia.t -> int
 (** Exact encoded size in bytes (served from the encode cache). *)
 
+val encode_withdraw : Dbgp_types.Prefix.t -> string
+(** Wire format of a Withdraw message: just the withdrawn prefix. *)
+
+val decode_withdraw_robust :
+  string -> (Dbgp_types.Prefix.t * Errors.t list, Errors.t) result
+(** RFC 7606-style decode for withdraw wires.  [Ok (prefix, discarded)]
+    when the prefix decodes ([discarded] notes trailing garbage as a
+    [Discard_attribute]); [Error e] with [e.cls = Session_reset] when the
+    prefix itself is unreadable.  Never raises. *)
+
 (** {1 Encode-once wire sharing}
 
     One distinct (physical) IA encodes once; every fan-out delivery

@@ -105,6 +105,11 @@ type t = {
      actually changes — the stability detector's per-prefix change
      feed. *)
   mutable change_hook : (now:float -> Prefix.t -> unit) option;
+  (* Relationship-keyed export gate, evaluated before the per-neighbor
+     route-map filter.  Defaults to Gao-Rexford valley-free; the
+     adversary layer swaps in [Policy.export_all] to model a route
+     leak. *)
+  mutable export_rule : Dbgp_bgp.Policy.export_rule;
 }
 
 let create cfg =
@@ -138,7 +143,8 @@ let create cfg =
     gen = 0;
     contrib_cache = None;
     supported_cache = None;
-    change_hook = None }
+    change_hook = None;
+    export_rule = Dbgp_bgp.Policy.valley_free }
 
 let asn t = t.cfg.asn
 let addr t = t.cfg.addr
@@ -199,13 +205,10 @@ let module_for t proto =
   | Some m -> m
   | None -> Hashtbl.find t.modules (Protocol_id.to_int Protocol_id.bgp)
 
-(* Valley-free export: routes from peers/providers flow only to customers. *)
-let export_allowed ~(learned : Dbgp_bgp.Policy.relationship option)
-    ~(to_ : Dbgp_bgp.Policy.relationship) =
-  match learned with
-  | None (* locally originated *) | Some Dbgp_bgp.Policy.To_customer -> true
-  | Some (Dbgp_bgp.Policy.To_peer | Dbgp_bgp.Policy.To_provider) ->
-    to_ = Dbgp_bgp.Policy.To_customer
+(* Relationship-keyed export gate: valley-free by default, swappable so
+   the adversary layer can model a leaking AS. *)
+let set_export_rule t rule = t.export_rule <- rule
+let export_rule t = t.export_rule
 
 let learned_relationship t (c : Decision_module.candidate) =
   match c.from_peer with
@@ -362,7 +365,7 @@ let emission_with t ~learned (chosen : chosen) (n : neighbor) =
   in
   let eligible =
     (not is_sender) && (not on_path)
-    && export_allowed ~learned ~to_:n.relationship
+    && t.export_rule ~learned ~to_:n.relationship
   in
   if eligible then cached_egress t n chosen.outgoing else None
 
@@ -755,6 +758,28 @@ let originate ?(now = 0.) t (ia : Ia.t) =
   Pipeline.mark t.sched ia.Ia.prefix;
   flush ~now t
 
+(* Stop originating [prefix]: the decision process re-runs without the
+   local route, withdrawing it from every peer (or falling back to a
+   learned route).  This is how a hijacker stands down. *)
+let withdraw_origin ?(now = 0.) t prefix =
+  if Prefix.Map.mem prefix t.local then begin
+    t.local <- Prefix.Map.remove prefix t.local;
+    Pipeline.mark t.sched prefix;
+    flush ~now t
+  end
+  else []
+
+(* Unconditionally re-derive the advertisements for [prefix] from the
+   current Loc-RIB best.  Unlike {!reevaluate} (a no-op when the best
+   route is unchanged) this re-runs the per-neighbor export decision, so
+   it picks up an export-rule change: newly eligible peers get an
+   announce, newly ineligible previously-announced peers get a
+   withdraw. *)
+let readvertise ?now:_ t prefix = distribute t prefix
+
+let readvertise_all ?now:_ t =
+  Loc_rib.fold (fun prefix _ acc -> distribute t prefix @ acc) t.loc []
+
 (* ---------------- wire-level receive (RFC 7606 ladder) ---------------- *)
 
 type rx_outcome =
@@ -821,6 +846,28 @@ let receive_wire ?(now = 0.) ?(defer = false) t ~from bytes =
       then (Rx_filtered, out)
       else (Rx_accepted (List.length discarded), out)
     end
+
+(* Wire-level withdraw: the counterpart of {!receive_wire} for Withdraw
+   messages, so faults (and adversaries) on the wire can hit the full
+   message surface.  A withdraw carries only the prefix; if that decodes
+   the damage is at worst a (possibly wrong-prefix) withdraw — already
+   the least-destructive action — and an unreadable prefix escalates to
+   Session_reset exactly like an unreadable announce prefix. *)
+let receive_wire_withdraw ?(now = 0.) ?(defer = false) t ~from bytes =
+  let rx msg =
+    if defer then begin
+      ingest ~now t ~from msg;
+      []
+    end
+    else receive ~now t ~from msg
+  in
+  match Codec.decode_withdraw_robust bytes with
+  | Error e ->
+    record_error t ~now ~from e;
+    (Rx_session_error, [])
+  | Ok (prefix, discarded) ->
+    List.iter (record_error t ~now ~from) discarded;
+    (Rx_withdrawn, rx (Withdraw prefix))
 
 (* ---------------- session teardown ---------------- *)
 

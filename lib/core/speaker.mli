@@ -108,6 +108,32 @@ val originate : ?now:float -> t -> Ia.t -> (Peer.t * msg) list
     {!Ia.originate} plus any descriptors) and returns announcements.
     [now] is the simulation clock, used only by flap damping. *)
 
+val withdraw_origin : ?now:float -> t -> Dbgp_types.Prefix.t -> (Peer.t * msg) list
+(** Stops originating [prefix]: removes the local route, re-runs the
+    decision process (falling back to any learned route) and returns the
+    resulting withdrawals/announcements.  No-op if the prefix was not
+    locally originated.  How a hijacker stands down. *)
+
+val set_export_rule : t -> Dbgp_bgp.Policy.export_rule -> unit
+(** Replace the relationship-keyed export gate (default
+    {!Dbgp_bgp.Policy.valley_free}).  Takes effect on subsequent
+    emissions only; call {!readvertise} / {!readvertise_all} to re-derive
+    what has already been advertised.  [Policy.export_all] here is
+    exactly a route leak. *)
+
+val export_rule : t -> Dbgp_bgp.Policy.export_rule
+(** The currently installed export gate. *)
+
+val readvertise : ?now:float -> t -> Dbgp_types.Prefix.t -> (Peer.t * msg) list
+(** Unconditionally re-derive the advertisements for [prefix] from the
+    current Loc-RIB best — unlike {!reevaluate}, this re-runs the
+    per-neighbor export decision even when the best route is unchanged,
+    so it picks up an export-rule change: newly eligible peers get the
+    announce, newly ineligible previously-announced peers a withdraw. *)
+
+val readvertise_all : ?now:float -> t -> (Peer.t * msg) list
+(** {!readvertise} for every Loc-RIB prefix. *)
+
 val receive : ?now:float -> t -> from:Peer.t -> msg -> (Peer.t * msg) list
 (** Never raises: an exception thrown anywhere in the pipeline (a filter,
     a decision module, the factory) is absorbed, counted as
@@ -178,6 +204,19 @@ val receive_wire :
     dirty-prefix pipeline instead of draining immediately — the emission
     list is then always empty and the update takes effect at the next
     {!flush}. *)
+
+val receive_wire_withdraw :
+  ?now:float ->
+  ?defer:bool ->
+  t ->
+  from:Peer.t ->
+  string ->
+  rx_outcome * (Peer.t * msg) list
+(** Feed one encoded withdraw (see {!Codec.encode_withdraw}) through the
+    pipeline — the Withdraw counterpart of {!receive_wire}, so wire
+    faults cover the full message surface.  A readable prefix yields
+    [Rx_withdrawn] (trailing garbage is discarded and counted); an
+    unreadable prefix yields [Rx_session_error].  Never raises. *)
 
 (** {1 Resilience: graceful restart (RFC 4724) and flap damping (RFC 2439)} *)
 

@@ -15,6 +15,10 @@ type violation =
   | Orphan_adj_in of int * int
   | Orphan_flap of int * int
   | Orphan_stale of int * int
+  | Origin_mismatch of int * int
+  | Valley_export of int * int
+  | Forged_island_descriptor of int
+  | Forged_adjacency of int * int * int
 
 type report = {
   speakers : int;
@@ -94,6 +98,168 @@ let check ?expect_descriptor ~prefix ~dest net =
 
 let ok r = r.violations = []
 
+(* ------------------- adversary detection predicates ------------------- *)
+
+(* The origin an IA claims: the far end of its path vector ([-1] when
+   there is no concrete origin AS, e.g. an island abstraction). *)
+let claimed_origin ia =
+  match List.rev (Ia.asns_on_path ia) with
+  | o :: _ -> Asn.to_int o
+  | [] -> -1
+
+(* Origin mismatch versus ground-truth ownership: every speaker whose
+   selected route for a prefix subsumed by [prefix] claims an origin
+   other than [owner] is routing on a hijacked announcement.  Sub-prefix
+   hijacks are caught because the forged more-specific is still subsumed
+   by the owned aggregate. *)
+let origin_mismatches net ~prefix ~owner =
+  let owner_i = Asn.to_int owner in
+  List.concat_map
+    (fun a ->
+      let s = Network.speaker net a in
+      List.filter_map
+        (fun (p, _) ->
+          if not (Prefix.subsumes prefix p) then None
+          else
+            match Speaker.best s p with
+            | None -> None
+            | Some chosen ->
+              let ia = chosen.Speaker.candidate.Dbgp_core.Decision_module.ia in
+              let o = claimed_origin ia in
+              if o <> owner_i then Some (Origin_mismatch (Asn.to_int a, o))
+              else None)
+        (Speaker.best_routes s))
+    (Network.asns net)
+
+(* Valley-free violation walk: a speaker advertising a peer- or
+   provider-learned route toward another peer or provider has leaked it.
+   Checked against what actually sits in each Adj-RIB-Out, so it catches
+   the leak at the leaking AS — not just its downstream effects. *)
+let valley_violations net =
+  List.concat_map
+    (fun a ->
+      let s = Network.speaker net a in
+      let nbrs = Speaker.neighbors s in
+      let rel_of peer =
+        List.find_map
+          (fun (n : Speaker.neighbor) ->
+            if Dbgp_core.Peer.equal n.Speaker.peer peer then
+              Some n.Speaker.relationship
+            else None)
+          nbrs
+      in
+      List.concat_map
+        (fun (n : Speaker.neighbor) ->
+          match n.Speaker.relationship with
+          | Dbgp_bgp.Policy.To_customer -> []
+          | Dbgp_bgp.Policy.To_peer | Dbgp_bgp.Policy.To_provider ->
+            List.filter_map
+              (fun (prefix, _out) ->
+                match Speaker.best s prefix with
+                | None -> None
+                | Some chosen -> (
+                  match
+                    chosen.Speaker.candidate.Dbgp_core.Decision_module.from_peer
+                  with
+                  | None -> None (* locally originated: exportable anywhere *)
+                  | Some p -> (
+                    match rel_of p with
+                    | Some (Dbgp_bgp.Policy.To_peer | Dbgp_bgp.Policy.To_provider)
+                      ->
+                      Some
+                        (Valley_export
+                           ( Asn.to_int a,
+                             Asn.to_int n.Speaker.peer.Dbgp_core.Peer.asn ))
+                    | _ -> None )))
+              (Speaker.adj_out s n.Speaker.peer))
+        nbrs)
+    (Network.asns net)
+
+(* Island-descriptor ground truth: flag every speaker whose selected
+   route for [prefix] carries an island descriptor ([island], [proto],
+   [field]) differing from [expected] ([None] = no such descriptor was
+   ever legitimately published, so its mere presence is a forgery). *)
+let forged_island_descriptors net ~prefix ~island ~proto ~field ~expected =
+  List.filter_map
+    (fun a ->
+      let s = Network.speaker net a in
+      match Speaker.best s prefix with
+      | None -> None
+      | Some chosen ->
+        let ia = chosen.Speaker.candidate.Dbgp_core.Decision_module.ia in
+        let got = Ia.find_island_descriptor ~island ~proto ~field ia in
+        let same =
+          match (got, expected) with
+          | None, None -> true
+          | Some v, Some e -> Value.equal v e
+          | _ -> false
+        in
+        if same then None else Some (Forged_island_descriptor (Asn.to_int a)))
+    (Network.asns net)
+
+(* AS-path plausibility against topology ground truth: every consecutive
+   AS pair on a selected path must be an actual link.  Catches forged-path
+   hijacks (the attacker claims adjacency to the true origin), which pure
+   origin validation cannot.  Only sound when paths carry no island
+   abstractions — an island on the path elides its interior, making
+   honest consecutive ASNs non-adjacent. *)
+let forged_adjacencies net ~prefix =
+  let pair_linked a b = Network.link_up net a b in
+  List.concat_map
+    (fun a ->
+      let s = Network.speaker net a in
+      List.concat_map
+        (fun (p, _) ->
+          if not (Prefix.subsumes prefix p) then []
+          else
+            match Speaker.best s p with
+            | None -> []
+            | Some chosen ->
+              let ia = chosen.Speaker.candidate.Dbgp_core.Decision_module.ia in
+              let rec pairs = function
+                | x :: (y :: _ as rest) ->
+                  (if pair_linked x y then []
+                   else
+                     [ Forged_adjacency
+                         (Asn.to_int a, Asn.to_int x, Asn.to_int y) ])
+                  @ pairs rest
+                | _ -> []
+              in
+              pairs (Ia.asns_on_path ia))
+        (Speaker.best_routes s))
+    (Network.asns net)
+
+(* Candidate-level forgery scan: Adj-RIB-In holds what neighbors actually
+   announced, before import policy has had a chance to reject it — so this
+   is where a contained hijack remains visible at the first validating
+   speaker (the selected-state predicates above see nothing when
+   validation rejects the route everywhere).  Flags wrong claimed origins
+   and topologically impossible adjacencies among the received candidates
+   for [prefix]. *)
+let forged_candidates net ~prefix ~owner =
+  let owner_i = Asn.to_int owner in
+  let pair_linked a b = Network.link_up net a b in
+  List.concat_map
+    (fun a ->
+      let s = Network.speaker net a in
+      let me = Asn.to_int a in
+      List.concat_map
+        (fun (_, ia) ->
+          let origin_bad =
+            let o = claimed_origin ia in
+            if o <> owner_i then [ Origin_mismatch (me, o) ] else []
+          in
+          let rec pairs = function
+            | x :: (y :: _ as rest) ->
+              (if pair_linked x y then []
+               else [ Forged_adjacency (me, Asn.to_int x, Asn.to_int y) ])
+              @ pairs rest
+            | _ -> []
+          in
+          origin_bad @ pairs (Ia.asns_on_path ia))
+        (Speaker.candidates_for s prefix))
+    (Network.asns net)
+
 (* Post-teardown cleanliness for one (speaker, ex-peer) pair: after
    [Speaker.remove_neighbor] nothing of the peer may remain in any
    pipeline stage or in the damping memory. *)
@@ -120,11 +286,16 @@ let kind_name = function
   | Orphan_adj_in _ -> "orphan_adj_in"
   | Orphan_flap _ -> "orphan_flap"
   | Orphan_stale _ -> "orphan_stale"
+  | Origin_mismatch _ -> "origin_mismatch"
+  | Valley_export _ -> "valley_export"
+  | Forged_island_descriptor _ -> "forged_island_descriptor"
+  | Forged_adjacency _ -> "forged_adjacency"
 
 let all_kinds =
   [ "forwarding_loop"; "route_via_down_link"; "rib_fib_mismatch";
     "passthrough_mutated"; "stale_leak"; "orphan_adj_out"; "orphan_adj_in";
-    "orphan_flap"; "orphan_stale" ]
+    "orphan_flap"; "orphan_stale"; "origin_mismatch"; "valley_export";
+    "forged_island_descriptor"; "forged_adjacency" ]
 
 let pp_violation ppf = function
   | Forwarding_loop a -> Format.fprintf ppf "forwarding loop at AS%d" a
@@ -144,6 +315,16 @@ let pp_violation ppf = function
     Format.fprintf ppf "AS%d retains flap-damping state for removed AS%d" a p
   | Orphan_stale (a, p) ->
     Format.fprintf ppf "AS%d retains stale marks for removed AS%d" a p
+  | Origin_mismatch (a, o) ->
+    Format.fprintf ppf "AS%d routes on an announcement claiming origin AS%d" a o
+  | Valley_export (a, p) ->
+    Format.fprintf ppf
+      "AS%d leaks a peer/provider-learned route to peer/provider AS%d" a p
+  | Forged_island_descriptor a ->
+    Format.fprintf ppf "AS%d carries a forged island descriptor" a
+  | Forged_adjacency (a, x, y) ->
+    Format.fprintf ppf
+      "AS%d routes on a path claiming nonexistent adjacency AS%d-AS%d" a x y
 
 let pp ppf r =
   if ok r then

@@ -39,6 +39,20 @@ type violation =
           {!peer_clean} reports it). *)
   | Orphan_stale of int * int
       (** (asn, peer): stale marks for a removed peer. *)
+  | Origin_mismatch of int * int
+      (** (asn, origin): the selected route claims an origin other than
+          the prefix's ground-truth owner — a hijacked announcement. *)
+  | Valley_export of int * int
+      (** (asn, peer): a peer/provider-learned route sits in the
+          Adj-RIB-Out toward another peer or provider — a route leak,
+          flagged at the leaking AS. *)
+  | Forged_island_descriptor of int
+      (** The selected route carries an island descriptor that differs
+          from ground truth (forged or tampered in transit). *)
+  | Forged_adjacency of int * int * int
+      (** (asn, x, y): the selected route's path claims consecutive ASes
+          x and y are adjacent, but no such link exists — a forged-path
+          hijack. *)
 
 type report = {
   speakers : int;           (** speakers examined *)
@@ -57,6 +71,58 @@ val check :
     must carry that exact descriptor value. *)
 
 val ok : report -> bool
+
+(** {1 Adversary detection predicates}
+
+    Read-only ground-truth checks over a quiesced network, used by the
+    adversary harness ({!Dbgp_eval.Adversary}): each returns the empty
+    list on honest converged state and fires under the matching attack
+    class. *)
+
+val origin_mismatches :
+  Dbgp_netsim.Network.t ->
+  prefix:Dbgp_types.Prefix.t ->
+  owner:Dbgp_types.Asn.t ->
+  violation list
+(** Every speaker whose selected route for any prefix subsumed by
+    [prefix] claims an origin other than [owner] ({!Origin_mismatch}).
+    Catches both origin-forgery and sub-prefix hijacks. *)
+
+val valley_violations : Dbgp_netsim.Network.t -> violation list
+(** Every (speaker, neighbor) pair where a peer/provider-learned route is
+    advertised toward another peer or provider ({!Valley_export}) —
+    the Gao-Rexford valley-free walk over actual Adj-RIB-Out state. *)
+
+val forged_island_descriptors :
+  Dbgp_netsim.Network.t ->
+  prefix:Dbgp_types.Prefix.t ->
+  island:Dbgp_types.Island_id.t ->
+  proto:Dbgp_types.Protocol_id.t ->
+  field:string ->
+  expected:Dbgp_core.Value.t option ->
+  violation list
+(** Every speaker whose selected route for [prefix] carries an island
+    descriptor ([island], [proto], [field]) differing from [expected]
+    ([None] = legitimately absent, so presence alone is a forgery). *)
+
+val forged_adjacencies :
+  Dbgp_netsim.Network.t -> prefix:Dbgp_types.Prefix.t -> violation list
+(** Path plausibility against topology ground truth: every consecutive AS
+    pair on a selected path (for prefixes subsumed by [prefix]) must be
+    an actual link ({!Forged_adjacency} otherwise).  Catches forged-path
+    hijacks, which defeat pure origin validation.  Only sound when paths
+    carry no island abstractions. *)
+
+val forged_candidates :
+  Dbgp_netsim.Network.t ->
+  prefix:Dbgp_types.Prefix.t ->
+  owner:Dbgp_types.Asn.t ->
+  violation list
+(** The same origin and adjacency ground-truth checks applied to the
+    Adj-RIB-In candidates for exactly [prefix] — what neighbors actually
+    announced, before import policy rejects anything.  This is where a
+    {e contained} hijack is still visible: the first validating speaker
+    holds the forged candidate it refused to select. *)
 
 val peer_clean : Dbgp_core.Speaker.t -> Dbgp_core.Peer.t -> violation list
 (** Post-teardown cleanliness for one (speaker, ex-peer) pair: after

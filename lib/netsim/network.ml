@@ -40,6 +40,11 @@ type t = {
   mutable mrai : float;
   mutable wire_delivery : bool;
   mutable fault : Fault_model.t option;
+  (* Adversarial egress interposition: a compromised AS rewrites (or
+     silently drops) messages it sends, before they hit the wire.  The
+     adversary layer installs this; [None] result = message suppressed. *)
+  mutable interposer :
+    (from:Asn.t -> to_:Asn.t -> Speaker.msg -> Speaker.msg option) option;
   mutable graceful_window : float option;    (* restart window; None = flush at once *)
   restart_gen : (int, int) Hashtbl.t;  (* invalidates superseded flush timers *)
   (* Open restart windows by packed link key: the absolute time the
@@ -79,6 +84,7 @@ let create () =
     mrai = 0.;
     wire_delivery = false;
     fault = None;
+    interposer = None;
     graceful_window = None;
     restart_gen = Hashtbl.create 16;
     restart_deadline = Hashtbl.create 16;
@@ -206,6 +212,21 @@ let rec dispatch t ~from outbox =
              re-establish has to re-send). *)
           note_lost t ~from ~to_:dst msg
         else begin
+          match
+            match t.interposer with
+            | None -> Some msg
+            | Some f -> (
+              match f ~from ~to_:dst msg with
+              | Some m ->
+                if m != msg then
+                  Metrics.incr (Metrics.counter t.obs "net.adversary.tampered");
+                Some m
+              | None ->
+                Metrics.incr (Metrics.counter t.obs "net.adversary.dropped");
+                None )
+          with
+          | None -> () (* suppressed by the compromised sender *)
+          | Some msg ->
           Trace.emit t.trace ~at:(Event_queue.now t.q)
             (Trace.Update_sent
                { src = Asn.to_int from;
@@ -333,6 +354,27 @@ and deliver_once t ~now ~from ~to_ msg =
           Metrics.incr (Metrics.counter t.obs "net.corruption.survived")
         | Speaker.Rx_filtered | Speaker.Rx_withdrawn
         | Speaker.Rx_session_error -> () );
+      out
+    | Some f, Speaker.Withdraw p
+      when Fault_model.corrupt f ~now (Asn.to_int from) (Asn.to_int to_) ->
+      (* Withdraws cross the wire too: encode the prefix, damage the
+         bytes, push them through the robust withdraw decode.  The full
+         message surface — not just Announces — faces the fault model. *)
+      let wire = Fault_model.mutate f (Dbgp_core.Codec.encode_withdraw p) in
+      Metrics.incr (Metrics.counter t.obs "net.corruption.injected");
+      let outcome, out =
+        Speaker.receive_wire_withdraw ~now ~defer:batched s
+          ~from:(peer_of t from) wire
+      in
+      ( match outcome with
+        | Speaker.Rx_withdrawn
+          when (match Dbgp_core.Codec.decode_withdraw_robust wire with
+               | Ok (p', _) -> Prefix.compare p' p = 0
+               | Error _ -> false) ->
+          (* The damage hit bits the codec could absorb: the intended
+             prefix still came through. *)
+          Metrics.incr (Metrics.counter t.obs "net.corruption.survived")
+        | _ -> () );
       out
     | _, Speaker.Announce ia when t.wire_delivery ->
       (* Wire-faithful delivery (opt-in, see {!set_wire_delivery}):
@@ -637,6 +679,20 @@ let reevaluate t a prefix =
       let outbox = Speaker.reevaluate ~now:(Event_queue.now t.q) s prefix in
       drain_reuse t a s;
       dispatch t ~from:a outbox)
+
+let withdraw_origin t a prefix =
+  Event_queue.schedule t.q ~delay:0. (fun () ->
+      let s = speaker t a in
+      let outbox = Speaker.withdraw_origin ~now:(Event_queue.now t.q) s prefix in
+      dispatch t ~from:a outbox)
+
+let readvertise_all t a =
+  Event_queue.schedule t.q ~delay:0. (fun () ->
+      let s = speaker t a in
+      let outbox = Speaker.readvertise_all ~now:(Event_queue.now t.q) s in
+      dispatch t ~from:a outbox)
+
+let set_interposer t f = t.interposer <- f
 
 let set_mrai t v =
   if v < 0. then invalid_arg "Network.set_mrai: negative interval" else t.mrai <- v

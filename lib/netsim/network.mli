@@ -197,6 +197,29 @@ val set_wire_delivery : t -> bool -> unit
 val originate : t -> Dbgp_types.Asn.t -> Dbgp_core.Ia.t -> unit
 (** Locally originate a route at the AS and schedule its announcements. *)
 
+val withdraw_origin : t -> Dbgp_types.Asn.t -> Dbgp_types.Prefix.t -> unit
+(** Schedule {!Dbgp_core.Speaker.withdraw_origin} at the AS (delay 0),
+    dispatching the resulting withdrawals — how a hijack is called off. *)
+
+val readvertise_all : t -> Dbgp_types.Asn.t -> unit
+(** Schedule {!Dbgp_core.Speaker.readvertise_all} at the AS (delay 0):
+    re-derives every advertisement under the speaker's current export
+    rule.  Announces what a freshly-leaking AS now exports, and withdraws
+    the leaks once the rule is restored. *)
+
+val set_interposer :
+  t ->
+  (from:Dbgp_types.Asn.t -> to_:Dbgp_types.Asn.t -> Dbgp_core.Speaker.msg ->
+   Dbgp_core.Speaker.msg option) option ->
+  unit
+(** Install (or clear, with [None]) an adversarial egress interposition
+    hook: every message is passed through it at send time, before MRAI
+    batching and the wire.  Returning a different message models a
+    compromised AS tampering with pass-through data it forwards (counted
+    as [net.adversary.tampered]); returning [None] silently suppresses
+    the message ([net.adversary.dropped]).  The hook sees all traffic —
+    implementations gate on [from] to compromise specific ASes. *)
+
 val inject : t -> from:Dbgp_core.Peer.t -> to_:Dbgp_types.Asn.t ->
   Dbgp_core.Speaker.msg -> unit
 (** Deliver an arbitrary message as if [from] had sent it (attack and

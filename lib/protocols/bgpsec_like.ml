@@ -83,7 +83,19 @@ let verify ~pki ia =
   | Full when has_islands -> Partial []
   | st -> st
 
-type config = { me : Asn.t; secret : string; pki : pki; require_full : bool }
+type config = {
+  me : Asn.t;
+  secret : string;
+  pki : pki;
+  require_full : bool;
+  authorized : (Prefix.t -> Asn.t -> bool) option;
+}
+
+(* The origin AS an attestation chain vouches for: the far end of the
+   path vector.  [None] when the path is empty or ends in an island
+   abstraction (no concrete origin AS to authorize). *)
+let origin_asn ia =
+  match List.rev (Ia.asns_on_path ia) with o :: _ -> Some o | [] -> None
 
 let status_rank = function
   | Full -> 2
@@ -92,11 +104,27 @@ let status_rank = function
 
 let decision_module cfg =
   let bgp = Dm.bgp () in
+  let origin_ok ia =
+    (* ROA-style origin authorization — the critical fix's actual fix.
+       Attestations alone cannot stop a hijacker who signs the victim's
+       prefix with its own perfectly valid key; the route-origin check
+       rejects any announcement whose claimed origin is not authorized
+       for the prefix (sub-prefixes included, since authorization is
+       checked against the announced prefix itself). *)
+    match cfg.authorized with
+    | None -> true
+    | Some auth -> (
+      match origin_asn ia with
+      | Some o -> auth ia.Ia.prefix o
+      | None -> false (* no concrete origin to authorize: reject *) )
+  in
   let import_filter ia =
-    match verify ~pki:cfg.pki ia with
-    | Broken _ -> None
-    | Full -> Some ia
-    | Partial _ -> if cfg.require_full then None else Some ia
+    if not (origin_ok ia) then None
+    else
+      match verify ~pki:cfg.pki ia with
+      | Broken _ -> None
+      | Full -> Some ia
+      | Partial _ -> if cfg.require_full then None else Some ia
   in
   let select ~prefix cands =
     (* Prefer better-attested candidates, then fall back to BGP rules. *)

@@ -55,7 +55,20 @@ type config = {
   (** true: reject candidates without a full chain (secure-island
       interior behaviour); false: prefer better-attested paths but accept
       any (border behaviour). *)
+  authorized : (Dbgp_types.Prefix.t -> Dbgp_types.Asn.t -> bool) option;
+  (** ROA-style route-origin authorization — [authorized prefix asn] says
+      whether [asn] may originate [prefix].  Attestation chains alone
+      cannot stop an origin hijack (the hijacker signs the victim's
+      prefix with its own valid key and verifies [Full]); with this set,
+      the import filter rejects any candidate whose claimed origin — the
+      far end of the path vector — is not authorized for the announced
+      prefix, covering sub-prefix hijacks too.  [None] disables the
+      check. *)
 }
+
+val origin_asn : Dbgp_core.Ia.t -> Dbgp_types.Asn.t option
+(** The claimed origin: the far end of the path vector ([None] for an
+    empty path or one ending in an island abstraction). *)
 
 val decision_module : config -> Dbgp_core.Decision_module.t
 val drop_attestations : Dbgp_core.Filters.t

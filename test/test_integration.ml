@@ -108,7 +108,7 @@ let test_bgpsec_end_to_end () =
         let s = add net n in
         Speaker.add_module s
           (Bgpsec.decision_module
-             { Bgpsec.me = asn n; secret = List.assoc n keys; pki; require_full = false });
+             { Bgpsec.me = asn n; secret = List.assoc n keys; pki; require_full = false; authorized = None });
         Speaker.set_active s (pfx "99.0.0.0/24") Bgpsec.protocol;
         s)
       [ 1; 2; 3; 4 ]

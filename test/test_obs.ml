@@ -582,6 +582,68 @@ let test_stability_bench_schema () =
     | _ -> Alcotest.fail "converged row has a null period" );
   check "json renders" true (String.length (Snapshot.to_json_pretty s) > 0)
 
+(* BENCH_adversary.json schema: the blast-radius report shape — every
+   topology x attack x arm combination present, per-scenario fields
+   typed, and the containment contract visible in the data (an arm that
+   claims containment reports zero blast radius). *)
+let test_adversary_bench_schema () =
+  let r = E.Adversary.run E.Adversary.default in
+  let s = E.Adversary.to_snapshot r in
+  List.iter
+    (fun f ->
+      match Snapshot.member f s with
+      | Some (Snapshot.Int _) -> ()
+      | _ -> Alcotest.fail (f ^ ": expected Int field"))
+    [ "seed"; "brite_ases"; "caida_ases" ];
+  ( match Snapshot.member "healthy" s with
+    | Some (Snapshot.Bool true) -> ()
+    | _ -> Alcotest.fail "the default suite must be healthy" );
+  let rows =
+    match Snapshot.member "scenarios" s with
+    | Some (Snapshot.List rows) -> rows
+    | _ -> Alcotest.fail "scenarios must be a list"
+  in
+  check_int "2 topologies x 6 attacks x 3 arms" 36 (List.length rows);
+  List.iter
+    (fun row ->
+      ( match Snapshot.member "topology" row with
+        | Some (Snapshot.String ("brite" | "caida")) -> ()
+        | _ -> Alcotest.fail "topology: expected brite|caida" );
+      ( match Snapshot.member "arm" row with
+        | Some (Snapshot.String ("legacy" | "dbgp" | "dbgp_bgpsec")) -> ()
+        | _ -> Alcotest.fail "arm: expected one of the three arms" );
+      ( match Snapshot.member "attack" row with
+        | Some (Snapshot.String _) -> ()
+        | _ -> Alcotest.fail "attack: expected String field" );
+      List.iter
+        (fun f ->
+          match Snapshot.member f row with
+          | Some (Snapshot.Int _) -> ()
+          | _ -> Alcotest.fail (f ^ ": expected Int field"))
+        [ "attacker"; "victim"; "ases"; "baseline_via_attacker"; "poisoned";
+          "detections" ];
+      List.iter
+        (fun f ->
+          match Snapshot.member f row with
+          | Some (Snapshot.Float _) -> ()
+          | _ -> Alcotest.fail (f ^ ": expected Float field"))
+        [ "blast_radius"; "time_to_poison"; "time_to_recover" ];
+      List.iter
+        (fun f ->
+          match Snapshot.member f row with
+          | Some (Snapshot.Bool _) -> ()
+          | _ -> Alcotest.fail (f ^ ": expected Bool field"))
+        [ "control_clean"; "detection_applicable"; "claims_containment";
+          "contained"; "recovered_clean"; "censored" ];
+      (* The containment contract, as recorded in the artifact. *)
+      match (Snapshot.member "claims_containment" row,
+             Snapshot.member "blast_radius" row) with
+      | Some (Snapshot.Bool true), Some (Snapshot.Float b) when b <> 0. ->
+        Alcotest.fail "containment claimed but blast radius nonzero"
+      | _ -> ())
+    rows;
+  check "json renders" true (String.length (Snapshot.to_json_pretty s) > 0)
+
 let () =
   Alcotest.run "obs"
     [ ("metrics",
@@ -611,4 +673,6 @@ let () =
          Alcotest.test_case "scale bench schema" `Quick
            test_scale_bench_schema;
          Alcotest.test_case "stability bench schema" `Quick
-           test_stability_bench_schema ]) ]
+           test_stability_bench_schema;
+         Alcotest.test_case "adversary bench schema" `Quick
+           test_adversary_bench_schema ]) ]

@@ -212,8 +212,8 @@ let test_bgpsec_mac_deterministic () =
   check_int "128-bit hex" 32 (String.length m1)
 
 let full_chain () =
-  let cfg2 = { Bgpsec.me = asn 2; secret = "k2"; pki; require_full = false } in
-  let cfg3 = { Bgpsec.me = asn 3; secret = "k3"; pki; require_full = false } in
+  let cfg2 = { Bgpsec.me = asn 2; secret = "k2"; pki; require_full = false; authorized = None } in
+  let cfg3 = { Bgpsec.me = asn 3; secret = "k3"; pki; require_full = false; authorized = None } in
   let m2 = Bgpsec.decision_module cfg2 and m3 = Bgpsec.decision_module cfg3 in
   base_ia ()
   |> Bgpsec.sign_origin ~secret:"k1" ~me:(asn 1)
@@ -252,7 +252,7 @@ let test_bgpsec_tamper_broken () =
   | _ -> Alcotest.fail "expected broken on prefix change"
 
 let test_bgpsec_module_filters () =
-  let cfg = { Bgpsec.me = asn 9; secret = "k9"; pki; require_full = true } in
+  let cfg = { Bgpsec.me = asn 9; secret = "k9"; pki; require_full = true; authorized = None } in
   let m = Bgpsec.decision_module cfg in
   let good = full_chain () in
   check "full accepted" true (m.Dm.import_filter good <> None);
@@ -268,7 +268,7 @@ let test_bgpsec_module_filters () =
   check "broken always rejected" true (lax.Dm.import_filter forged = None)
 
 let test_bgpsec_select_prefers_attested () =
-  let cfg = { Bgpsec.me = asn 9; secret = "k9"; pki; require_full = false } in
+  let cfg = { Bgpsec.me = asn 9; secret = "k9"; pki; require_full = false; authorized = None } in
   let m = Bgpsec.decision_module cfg in
   let attested = cand ~peer_n:2 (full_chain ()) in
   let longer_unattested = cand ~peer_n:1 (base_ia ()) in
@@ -373,7 +373,7 @@ let qcheck =
             incr next;
             let n = 2 + (!next mod 2) in
             let secret = List.assoc n keys in
-            let m = Bgpsec.decision_module { Bgpsec.me = asn n; secret; pki; require_full = false } in
+            let m = Bgpsec.decision_module { Bgpsec.me = asn n; secret; pki; require_full = false; authorized = None } in
             if not (List.mem (asn n) (Ia.asns_on_path !ia)) then
               ia := Ia.prepend_as (asn n) (m.Dm.contribute ~me:(asn n) !ia))
           hops;
