@@ -325,12 +325,20 @@ let perf_bench () =
   ( match headline with
     | Some h -> Format.fprintf out "%a@." E.Perf_bench.pp_headline h
     | None -> () );
+  rule "Sharded execution: domain-count scaling (determinism-checked)";
+  let sharded = E.Perf_bench.domains_suite ~ases:1000 () in
+  List.iter (fun r -> Format.fprintf out "%a@." E.Perf_bench.pp_sharded r) sharded;
+  if List.exists (fun r -> not r.E.Perf_bench.s_transcript_match) sharded then
+    failwith "sharded transcript diverged from the sequential run";
   let doc =
     Dbgp_obs.Snapshot.Obj
       [ ("seed", Dbgp_obs.Snapshot.Int 42);
         ("mrai", Dbgp_obs.Snapshot.Float 2.0);
         ( "rows",
           Dbgp_obs.Snapshot.List (List.map E.Perf_bench.to_snapshot rows) );
+        ( "sharded",
+          Dbgp_obs.Snapshot.List
+            (List.map E.Perf_bench.sharded_to_snapshot sharded) );
         ( "headline",
           match headline with
           | Some h -> E.Perf_bench.headline_to_snapshot h

@@ -85,9 +85,13 @@ module Value_tbl = Intern.Make (struct
   let hash = Hashtbl.hash
 end)
 
-let values = Value_tbl.create 256
-let intern_value v = Value_tbl.intern values v
-let value_intern_stats () = Value_tbl.stats values
+(* Domain-local: interning is a cache, not a source of truth — two
+   domains interning the same value independently still produce
+   structurally equal descriptors, so per-domain tables cost only hit
+   rate, never correctness. *)
+let values_key = Domain.DLS.new_key (fun () -> Value_tbl.create 256)
+let intern_value v = Value_tbl.intern (Domain.DLS.get values_key) v
+let value_intern_stats () = Value_tbl.stats (Domain.DLS.get values_key)
 
 let decode_pd_body r : Ia.path_descriptor =
   let owners = R.list r decode_proto in
@@ -176,26 +180,58 @@ let decode_withdraw_robust s : (Prefix.t * Errors.t list, Errors.t) result =
    never correctness (the IA is immutable, the slot key is compared by
    pointer). *)
 
-let wire_obs = Dbgp_obs.Metrics.create ()
-let wire_metrics () = wire_obs
-let c_enc_hits = Dbgp_obs.Metrics.counter wire_obs "wire.encode_cache.hits"
-let c_enc_misses = Dbgp_obs.Metrics.counter wire_obs "wire.encode_cache.misses"
-let c_dec_hits = Dbgp_obs.Metrics.counter wire_obs "wire.decode_memo.hits"
-let c_dec_misses = Dbgp_obs.Metrics.counter wire_obs "wire.decode_memo.misses"
-
 let enc_slots = 16384
-let enc_cache : (Ia.t * string) option array = Array.make enc_slots None
+let dec_slots = 1024
+
+(* All mutable wire-layer state — the metrics registry, its four cached
+   counters, the encode cache and the decode memo — lives in one
+   domain-local record.  Caches are semantically transparent (a miss
+   just re-encodes/re-decodes), so per-domain instances change hit
+   rates, never results; per-domain registries are merged explicitly
+   by the sharded runner via [Metrics.merge_into]. *)
+type wire_state = {
+  obs : Dbgp_obs.Metrics.t;
+  c_enc_hits : Dbgp_obs.Metrics.counter;
+  c_enc_misses : Dbgp_obs.Metrics.counter;
+  c_dec_hits : Dbgp_obs.Metrics.counter;
+  c_dec_misses : Dbgp_obs.Metrics.counter;
+  enc_cache : (Ia.t * string) option array;
+  dec_memo : (string * Ia.t) option array;
+}
+
+let wire_key =
+  Domain.DLS.new_key (fun () ->
+      let obs = Dbgp_obs.Metrics.create () in
+      {
+        obs;
+        c_enc_hits = Dbgp_obs.Metrics.counter obs "wire.encode_cache.hits";
+        c_enc_misses = Dbgp_obs.Metrics.counter obs "wire.encode_cache.misses";
+        c_dec_hits = Dbgp_obs.Metrics.counter obs "wire.decode_memo.hits";
+        c_dec_misses = Dbgp_obs.Metrics.counter obs "wire.decode_memo.misses";
+        enc_cache = Array.make enc_slots None;
+        dec_memo = Array.make dec_slots None;
+      })
+
+let wire_state () = Domain.DLS.get wire_key
+let wire_metrics () = (wire_state ()).obs
+
+let wire_metrics_reset () =
+  let ws = wire_state () in
+  Dbgp_obs.Metrics.reset ws.obs;
+  Array.fill ws.enc_cache 0 enc_slots None;
+  Array.fill ws.dec_memo 0 dec_slots None
 
 let encode_cached ia =
+  let ws = wire_state () in
   let slot = Hashtbl.hash_param 32 128 ia land (enc_slots - 1) in
-  match Array.unsafe_get enc_cache slot with
+  match Array.unsafe_get ws.enc_cache slot with
   | Some (ia', wire) when ia' == ia ->
-    Dbgp_obs.Metrics.incr c_enc_hits;
+    Dbgp_obs.Metrics.incr ws.c_enc_hits;
     wire
   | _ ->
-    Dbgp_obs.Metrics.incr c_enc_misses;
+    Dbgp_obs.Metrics.incr ws.c_enc_misses;
     let wire = encode ia in
-    Array.unsafe_set enc_cache slot (Some (ia, wire));
+    Array.unsafe_set ws.enc_cache slot (Some (ia, wire));
     wire
 
 (* Minimum encoded sizes, used to bound hostile list counts before
@@ -282,35 +318,36 @@ let decode_robust_uncached s : (Ia.t * Errors.t list, Errors.t) result =
    (no discarded descriptors) are memoized so the error counters and
    rx traces replay identically on every malformed delivery. *)
 
-let dec_slots = 1024
 let dec_memo_max_wire = 4096
-let dec_memo : (string * Ia.t) option array = Array.make dec_slots None
 let decode_memo_capacity = dec_slots
 
 let decode_robust s : (Ia.t * Errors.t list, Errors.t) result =
+  let ws = wire_state () in
   if String.length s > dec_memo_max_wire then begin
-    Dbgp_obs.Metrics.incr c_dec_misses;
+    Dbgp_obs.Metrics.incr ws.c_dec_misses;
     decode_robust_uncached s
   end
   else begin
     let slot = Hashtbl.hash s land (dec_slots - 1) in
-    match Array.unsafe_get dec_memo slot with
+    match Array.unsafe_get ws.dec_memo slot with
     | Some (s', ia) when String.equal s' s ->
-      Dbgp_obs.Metrics.incr c_dec_hits;
+      Dbgp_obs.Metrics.incr ws.c_dec_hits;
       Ok (ia, [])
     | _ ->
-      Dbgp_obs.Metrics.incr c_dec_misses;
+      Dbgp_obs.Metrics.incr ws.c_dec_misses;
       let result = decode_robust_uncached s in
       ( match result with
-        | Ok (ia, []) -> Array.unsafe_set dec_memo slot (Some (s, ia))
+        | Ok (ia, []) -> Array.unsafe_set ws.dec_memo slot (Some (s, ia))
         | Ok (_, _ :: _) | Error _ -> () );
       result
   end
 
-let decode_memo_reset () = Array.fill dec_memo 0 dec_slots None
+let decode_memo_reset () = Array.fill (wire_state ()).dec_memo 0 dec_slots None
 
 let decode_memo_residency () =
-  Array.fold_left (fun n e -> if e = None then n else n + 1) 0 dec_memo
+  Array.fold_left
+    (fun n e -> if e = None then n else n + 1)
+    0 (wire_state ()).dec_memo
 
 let decode s : Ia.t =
   let r = R.of_string s in

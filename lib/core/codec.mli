@@ -57,11 +57,21 @@ val encode_cached : Ia.t -> string
     group). *)
 
 val wire_metrics : unit -> Dbgp_obs.Metrics.t
-(** Global registry holding [wire.encode_cache.hits]/[.misses] and
-    [wire.decode_memo.hits]/[.misses]. *)
+(** The calling domain's wire registry, holding
+    [wire.encode_cache.hits]/[.misses] and
+    [wire.decode_memo.hits]/[.misses].  Domain-local: each simulation
+    domain accumulates into its own registry; a sharded run folds them
+    together with {!Dbgp_obs.Metrics.merge_into}. *)
+
+val wire_metrics_reset : unit -> unit
+(** Zero the calling domain's wire registry and drop its encode cache
+    and decode memo.  Test suites sharing the process-lifetime wire
+    state call this in their setup so counts from earlier suites cannot
+    bleed into their assertions. *)
 
 val value_intern_stats : unit -> Dbgp_types.Intern.stats
-(** Interning statistics for decoded descriptor values. *)
+(** Interning statistics for decoded descriptor values (calling
+    domain's table). *)
 
 val decode_memo_capacity : int
 (** Hard slot bound of the decode memo — residency can never exceed

@@ -30,6 +30,14 @@ val run : ?seed:int -> string -> digest
 (** Run one scenario (default seed 42).
     @raise Invalid_argument on an unknown scenario name. *)
 
+val state_digest :
+  (int * Dbgp_core.Speaker.t) list -> Dbgp_types.Prefix.t list -> string
+(** MD5 over final speaker state — best routes (candidate and outgoing
+    IAs, byte-encoded), FIB next hops for the given prefixes, and every
+    per-neighbor Adj-RIB-Out — for speakers listed by ascending ASN.
+    Shared with the sharded differential ({!Shard_differential}) so
+    sequential and sharded runs fingerprint state identically. *)
+
 val run_all : ?seed:int -> unit -> digest list
 (** Every scenario, in {!scenarios} order. *)
 

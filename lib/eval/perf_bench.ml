@@ -145,6 +145,151 @@ let run ?(seed = 42) ?(prefixes = 64) ?(mrai = 2.0) ?(wire = false) ~ases () =
     dec_misses;
     dec_hit_rate = rate dec_hits dec_misses }
 
+(* ------------------------------------------------------------------ *)
+(* Sharded axis: the same BRITE convergence workload on a partitioned  *)
+(* shard, swept over worker-domain counts.  The region count is fixed  *)
+(* across the sweep so every run executes the identical partitioned    *)
+(* schedule — the domain count is pure execution policy, and the       *)
+(* transcript digest doubles as the determinism oracle.                *)
+(* ------------------------------------------------------------------ *)
+
+module Shard = Dbgp_netsim.Shard
+
+type sharded_row = {
+  s_ases : int;
+  s_prefixes : int;
+  s_domains : int;
+  s_regions : int;
+  s_cut_edges : int;
+  s_lookahead : float;
+  s_epochs : int;
+  s_messages : int;
+  s_updates : int;
+  s_events : int;
+  s_elapsed_s : float;
+  s_cpu_s : float;
+  s_updates_per_s : float;
+  s_speedup_vs_1 : float;
+  s_transcript_md5 : string;
+  s_transcript_match : bool;
+}
+
+let build_sharded ~seed ~ases ~regions ~mrai =
+  let rng = Prng.create seed in
+  let g = Brite.generate rng { Brite.default with Brite.n = ases } in
+  let sh =
+    Shard.create ~mrai ~regions
+      ~make_speaker:(fun a ->
+        let asn = Asn.of_int a in
+        Dbgp_core.Speaker.create
+          (Dbgp_core.Speaker.config ~asn ~addr:(Network.speaker_addr asn) ()))
+      ()
+  in
+  for i = 1 to Graph.size g do
+    Shard.add_as sh i
+  done;
+  Graph.fold_edges
+    (fun a b view () ->
+      let rel =
+        match view with
+        | Graph.Customer_of_me -> Dbgp_bgp.Policy.To_customer
+        | Graph.Provider_of_me -> Dbgp_bgp.Policy.To_provider
+        | Graph.Peer_of_me -> Dbgp_bgp.Policy.To_peer
+      in
+      Shard.link sh ~a:(a + 1) ~b:(b + 1) ~b_is:rel ())
+    g ();
+  Shard.enable_transcript sh;
+  Shard.build sh;
+  sh
+
+let run_sharded ?(seed = 42) ?(prefixes = 64) ?(mrai = 2.0) ?(regions = 8)
+    ~ases ~domains () =
+  let sh = build_sharded ~seed ~ases ~regions ~mrai in
+  for i = 0 to prefixes - 1 do
+    let prefix = Prefix.of_string (Printf.sprintf "99.%d.0.0/24" i) in
+    let origin = Asn.of_int (1 + (i mod ases)) in
+    Shard.originate sh (Asn.to_int origin)
+      (Dbgp_core.Ia.originate ~prefix ~origin_asn:origin
+         ~next_hop:(Network.speaker_addr origin) ())
+  done;
+  Gc.compact ();
+  let tm0 = Unix.times () in
+  let t0 = Unix.gettimeofday () in
+  let stats = Shard.run ~domains sh in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let tm1 = Unix.times () in
+  let cpu =
+    tm1.Unix.tms_utime -. tm0.Unix.tms_utime
+    +. (tm1.Unix.tms_stime -. tm0.Unix.tms_stime)
+  in
+  let c = Shard.counter_total sh in
+  let updates = c "updates.received" + c "withdrawals.received" in
+  { s_ases = ases;
+    s_prefixes = prefixes;
+    s_domains = stats.Shard.domains;
+    s_regions = stats.Shard.regions;
+    s_cut_edges = stats.Shard.cut_edges;
+    s_lookahead = stats.Shard.lookahead;
+    s_epochs = stats.Shard.epochs;
+    s_messages = stats.Shard.net.Network.messages;
+    s_updates = updates;
+    s_events = stats.Shard.net.Network.events;
+    s_elapsed_s = elapsed;
+    s_cpu_s = cpu;
+    s_updates_per_s =
+      (if elapsed > 0. then float_of_int updates /. elapsed else 0.);
+    s_speedup_vs_1 = 1.;
+    s_transcript_md5 = Shard.transcript_digest sh;
+    s_transcript_match = true }
+
+let domains_suite ?(seed = 42) ?(prefixes = 64) ?(mrai = 2.0) ?(regions = 8)
+    ?(domains = [ 1; 2; 4; 8 ]) ~ases () =
+  let rows =
+    List.map
+      (fun d -> run_sharded ~seed ~prefixes ~mrai ~regions ~ases ~domains:d ())
+      domains
+  in
+  match rows with
+  | [] -> []
+  | base :: _ ->
+    List.map
+      (fun r ->
+        { r with
+          s_speedup_vs_1 =
+            (if base.s_updates_per_s > 0. then
+               r.s_updates_per_s /. base.s_updates_per_s
+             else 0.);
+          s_transcript_match = r.s_transcript_md5 = base.s_transcript_md5 })
+      rows
+
+let sharded_to_snapshot r =
+  Snapshot.Obj
+    [ ("ases", Snapshot.Int r.s_ases);
+      ("prefixes", Snapshot.Int r.s_prefixes);
+      ("domains", Snapshot.Int r.s_domains);
+      ("regions", Snapshot.Int r.s_regions);
+      ("cut_edges", Snapshot.Int r.s_cut_edges);
+      ("lookahead", Snapshot.Float r.s_lookahead);
+      ("epochs", Snapshot.Int r.s_epochs);
+      ("cores", Snapshot.Int (Domain.recommended_domain_count ()));
+      ("messages", Snapshot.Int r.s_messages);
+      ("updates", Snapshot.Int r.s_updates);
+      ("events", Snapshot.Int r.s_events);
+      ("elapsed_s", Snapshot.Float r.s_elapsed_s);
+      ("cpu_s", Snapshot.Float r.s_cpu_s);
+      ("updates_per_s", Snapshot.Float r.s_updates_per_s);
+      ("speedup_vs_1_domain", Snapshot.Float r.s_speedup_vs_1);
+      ("transcript_md5", Snapshot.String r.s_transcript_md5);
+      ("transcript_match", Snapshot.Bool r.s_transcript_match) ]
+
+let pp_sharded ppf r =
+  Format.fprintf ppf
+    "%4d ASes %3d pfx %d/%d domains/regions (%d cut, L=%.1f) %6d epochs  \
+     %6d updates  %7.0f up/s  %.2fx vs 1-domain  transcript %s"
+    r.s_ases r.s_prefixes r.s_domains r.s_regions r.s_cut_edges r.s_lookahead
+    r.s_epochs r.s_updates r.s_updates_per_s r.s_speedup_vs_1
+    (if r.s_transcript_match then "match" else "DIVERGED")
+
 let suite ?(sizes = [ 100; 500; 1000 ]) ?(prefixes = 64) () =
   List.concat_map
     (fun ases ->

@@ -62,6 +62,54 @@ val headline : row list -> headline option
     1000 ASes / 64 prefixes on the reference machine).  [None] if the
     list holds no in-memory row. *)
 
+(** {1 Sharded axis}
+
+    The same BRITE convergence workload on a partitioned shard
+    ({!Dbgp_netsim.Shard}), swept over worker-domain counts at a fixed
+    region count — every run executes the identical partitioned
+    schedule, so the transcript digest doubles as the determinism
+    oracle: any divergence from the 1-domain digest is a correctness
+    failure, not noise. *)
+
+type sharded_row = {
+  s_ases : int;
+  s_prefixes : int;
+  s_domains : int;         (** worker domains actually used *)
+  s_regions : int;
+  s_cut_edges : int;
+  s_lookahead : float;     (** conservative window: min cut latency + MRAI *)
+  s_epochs : int;          (** barrier rounds *)
+  s_messages : int;
+  s_updates : int;
+  s_events : int;
+  s_elapsed_s : float;
+  s_cpu_s : float;
+  s_updates_per_s : float;
+  s_speedup_vs_1 : float;  (** vs the sweep's first (1-domain) row *)
+  s_transcript_md5 : string;
+  s_transcript_match : bool;  (** digest equals the 1-domain digest *)
+}
+
+val run_sharded :
+  ?seed:int -> ?prefixes:int -> ?mrai:float -> ?regions:int -> ases:int ->
+  domains:int -> unit -> sharded_row
+(** One sharded convergence run.  Defaults: seed 42, 64 prefixes,
+    MRAI 2.0 s, 8 regions.  [s_speedup_vs_1] and [s_transcript_match]
+    are filled against the run itself; use {!domains_suite} for the
+    cross-domain comparison. *)
+
+val domains_suite :
+  ?seed:int -> ?prefixes:int -> ?mrai:float -> ?regions:int ->
+  ?domains:int list -> ases:int -> unit -> sharded_row list
+(** One {!run_sharded} per domain count (default [1; 2; 4; 8]), with
+    speedups and transcript matches computed against the first row. *)
+
+val sharded_to_snapshot : sharded_row -> Dbgp_obs.Snapshot.t
+(** Includes a ["cores"] field ({!Domain.recommended_domain_count}) so
+    recorded numbers carry their hardware context. *)
+
+val pp_sharded : Format.formatter -> sharded_row -> unit
+
 val to_snapshot : row -> Dbgp_obs.Snapshot.t
 val headline_to_snapshot : headline -> Dbgp_obs.Snapshot.t
 val pp : Format.formatter -> row -> unit

@@ -1,0 +1,35 @@
+(** Persistent pool of worker domains for barrier-synchronized rounds.
+
+    Spawns [size - 1] long-lived domains at creation; the caller is
+    member 0.  Keeping domains alive across rounds preserves their
+    domain-local caches (intern tables, codec caches) — the sharded
+    simulator runs thousands of short epochs and respawning per epoch
+    would throw the caches away each time.
+
+    Every {!run} is a round executed by all members in parallel; its
+    mutex handshake doubles as the memory barrier of the mailbox
+    protocol: writes made during round [k] are visible to all members
+    in round [k + 1]. *)
+
+type t
+
+val create : size:int -> t
+(** Spawn [size - 1] workers.  A pool of size 1 spawns nothing and
+    {!run} degenerates to a plain call.
+    @raise Invalid_argument if [size < 1]. *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f member] on every member ([0] on the calling
+    domain, [1 .. size-1] on the workers) and returns when all have
+    finished.  If members raise, the exception from the lowest member
+    index is re-raised after the round completes; the pool remains
+    usable. *)
+
+val map : t -> (int -> 'a) -> 'a array
+(** Like {!run}, collecting each member's result by index. *)
+
+val shutdown : t -> unit
+(** Stop and join all workers.  The pool must not be used afterwards.
+    Idempotent. *)

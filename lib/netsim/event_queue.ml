@@ -106,3 +106,45 @@ let run ?(max_events = 10_000_000) t =
   !executed
 
 let budget_exhausted t = t.exhausted
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+(* Epoch slice: execute while the head is strictly below [horizon].
+   The barrier synchronizer calls this once per epoch; events at or
+   past the horizon stay queued for a later epoch, and the clock is
+   left wherever the last executed event put it (never advanced to the
+   horizon, so a cross-partition arrival scheduled exactly at the
+   horizon is still in this queue's future). *)
+let run_until ?(max_events = max_int) t ~horizon =
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if !executed >= max_events || t.size = 0 then continue := false
+    else if t.heap.(0).time >= horizon then continue := false
+    else begin
+      ignore (step t);
+      incr executed
+    end
+  done;
+  t.exhausted <- !executed >= max_events && t.size > 0;
+  !executed
+
+(* Drain [src] into [dst], preserving [src]'s internal (time, seq)
+   order among its own events: same-time entries from [src] are
+   re-scheduled in their original sequence order and therefore receive
+   increasing [dst] sequence numbers.  Used by tests to fold a
+   reference queue into a live one; the sharded engine itself never
+   merges queues (regions keep theirs for the whole run). *)
+let merge ~into:dst src =
+  let n = src.size in
+  if n > 0 then begin
+    let entries = Array.sub src.heap 0 n in
+    Array.sort (fun a b -> if before a b then -1 else 1) entries;
+    Array.iter
+      (fun e ->
+        let time = if e.time < dst.clock then dst.clock else e.time in
+        schedule_at dst ~time e.f)
+      entries;
+    Array.fill src.heap 0 n nil;
+    src.size <- 0
+  end

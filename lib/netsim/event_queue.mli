@@ -30,3 +30,23 @@ val budget_exhausted : t -> bool
 
 val step : t -> bool
 (** Execute one event; [false] if the queue was empty. *)
+
+(** {1 Epoch execution (sharded runs)} *)
+
+val peek_time : t -> float option
+(** Timestamp of the next event without executing it; [None] when
+    empty.  Lets the barrier synchronizer decide whether a region has
+    work inside the current epoch. *)
+
+val run_until : ?max_events:int -> t -> horizon:float -> int
+(** Pop and execute events whose time is strictly below [horizon];
+    returns the number executed.  Events at or past the horizon remain
+    queued.  The clock is left at the last executed event's time, never
+    advanced to the horizon, so arrivals scheduled exactly at the
+    horizon are still schedulable. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into:dst src] drains every pending event of [src] into
+    [dst], preserving [src]'s relative (time, seq) order; [src] events
+    in [dst]'s past are clamped to [dst]'s current clock.  [src] is
+    left empty. *)

@@ -1,0 +1,40 @@
+(* Single-producer mailbox for cross-partition deliveries.
+
+   One mailbox exists per directed (source region, destination region)
+   pair.  The owning source domain pushes during its epoch; the
+   destination domain drains at the next barrier.  The epoch barrier
+   (a Mutex/Condition round in [Domain_pool]) is the synchronization
+   point: every push happens-before the barrier and every drain
+   happens-after it, so the mailbox itself needs no lock — the
+   single-producer/drain-after-barrier contract is the whole
+   concurrency story.
+
+   Determinism: entries carry the producer's push index, so the
+   consumer can impose a total order on the union of its inbound
+   mailboxes — (arrival time, source region, push index) — that
+   depends only on simulation content, never on domain scheduling. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = { mutable entries : 'a entry list; mutable next_seq : int }
+
+let create () = { entries = []; next_seq = 0 }
+
+let push t ~time payload =
+  t.entries <- { time; seq = t.next_seq; payload } :: t.entries;
+  t.next_seq <- t.next_seq + 1
+
+let is_empty t = t.entries = []
+let length t = List.length t.entries
+
+let min_time t =
+  List.fold_left
+    (fun acc e -> match acc with
+      | Some m when m <= e.time -> acc
+      | _ -> Some e.time)
+    None t.entries
+
+let drain t =
+  let out = List.rev t.entries in
+  t.entries <- [];
+  List.map (fun e -> (e.time, e.seq, e.payload)) out

@@ -1,0 +1,33 @@
+(** Single-producer mailbox for cross-partition deliveries.
+
+    One mailbox per directed (source region, destination region) pair.
+    The source domain pushes during its epoch; the destination domain
+    drains after the next barrier.  The barrier is the synchronization
+    point (its mutex round establishes happens-before), so the mailbox
+    itself is lock-free by contract: never push and drain the same
+    mailbox concurrently.
+
+    Entries carry the producer's monotonically increasing push index;
+    the consumer sorts the union of its inbound mailboxes by (arrival
+    time, source region, push index) to get a total order that depends
+    only on simulation content, never on domain scheduling. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Producer side: append a payload arriving at simulated [time].
+    Push order is preserved and recorded in the entry's index. *)
+
+val drain : 'a t -> (float * int * 'a) list
+(** Consumer side (after a barrier): all pending entries as
+    [(time, push_index, payload)] in push order; the mailbox is left
+    empty. *)
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val min_time : 'a t -> float option
+(** Earliest pending arrival time; [None] when empty.  Used by the
+    epoch scheduler to pick the next conservative horizon. *)

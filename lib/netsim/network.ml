@@ -30,11 +30,32 @@ type link_cfg = {
   c_b_is : Dbgp_bgp.Policy.relationship;
 }
 
+(* One side of a link whose other endpoint lives in a different
+   partition: everything needed to (re-)install the local neighbor
+   entry, mirroring [link_cfg] for half of a cut edge. *)
+type half_cfg = {
+  hc_latency : float;
+  hc_local : Asn.t;
+  hc_remote : Asn.t;
+  hc_import : Dbgp_core.Filters.t;
+  hc_export : Dbgp_core.Filters.t;
+  hc_remote_dbgp : bool;
+  hc_remote_is : Dbgp_bgp.Policy.relationship;
+  hc_same_island : bool;
+}
+
 type t = {
   q : Event_queue.t;
   lookup : Lookup_service.t;
   speakers : (int, Speaker.t) Hashtbl.t;     (* by ASN *)
   by_addr : (int, int) Hashtbl.t;            (* speaker addr -> ASN *)
+  (* Cross-partition egress: messages to an ASN in [remote_addrs] are
+     handed (with their computed arrival time) to the shard engine's
+     hook instead of the local event queue. *)
+  mutable remote :
+    (from:Asn.t -> to_:Asn.t -> at:float -> Speaker.msg -> unit) option;
+  remote_addrs : (int, int) Hashtbl.t;       (* peer addr -> remote ASN *)
+  half_links : (int, half_cfg) Hashtbl.t;    (* by packed pair *)
   latencies : (int, float) Hashtbl.t;  (* by packed ASN pair, a < b; presence = link up *)
   links : (int, link_cfg) Hashtbl.t;   (* config for every link ever made *)
   mutable mrai : float;
@@ -79,6 +100,9 @@ let create () =
     lookup = Lookup_service.create ();
     speakers = Hashtbl.create 64;
     by_addr = Hashtbl.create 64;
+    remote = None;
+    remote_addrs = Hashtbl.create 16;
+    half_links = Hashtbl.create 16;
     latencies = Hashtbl.create 64;
     links = Hashtbl.create 64;
     mrai = 0.;
@@ -141,6 +165,20 @@ let peer_of t a =
 let asn_of_addr t addr =
   Option.map Asn.of_int (Hashtbl.find_opt t.by_addr (Ipv4.to_int addr))
 
+let set_remote_hook t f = t.remote <- f
+
+(* Register an AS simulated by another partition: a shared Peer.t (so
+   the local speakers' identity-first comparisons still hit) plus the
+   reverse address mapping [dispatch] uses to route egress to the
+   shard engine instead of dropping it. *)
+let add_remote_peer t a =
+  let key = Asn.to_int a in
+  if not (Hashtbl.mem t.peer_memo key) then begin
+    let addr = speaker_addr a in
+    Hashtbl.replace t.peer_memo key (Peer.make ~asn:a ~addr);
+    Hashtbl.replace t.remote_addrs (Ipv4.to_int addr) key
+  end
+
 (* ASN pairs are packed into a single int ((lo lsl 31) lor hi) so the
    per-message link and MRAI-batch lookups probe int-keyed tables
    instead of allocating and generic-hashing a tuple each time. *)
@@ -202,7 +240,52 @@ let rec dispatch t ~from outbox =
   List.iter
     (fun ((peer : Peer.t), msg) ->
       match Hashtbl.find_opt t.by_addr (Ipv4.to_int peer.Peer.addr) with
-      | None -> () (* neighbor not simulated; drop *)
+      | None -> (
+        (* Not simulated here — but possibly simulated by another
+           partition.  Cross-partition sends bypass MRAI sender-side
+           coalescing (each message ships individually with the MRAI
+           interval added to its arrival delay, preserving the
+           conservative lookahead the epoch barrier depends on) and see
+           no fault model (cross-cut links are fault-free by the
+           partitioner's pinning contract).  Receive-side batching at
+           the destination still coalesces decision runs. *)
+        match
+          (t.remote, Hashtbl.find_opt t.remote_addrs (Ipv4.to_int peer.Peer.addr))
+        with
+        | Some hook, Some dst_asn ->
+          let dst = Asn.of_int dst_asn in
+          if not (Hashtbl.mem t.latencies (lat_key from dst)) then
+            note_lost t ~from ~to_:dst msg
+          else begin
+            match
+              match t.interposer with
+              | None -> Some msg
+              | Some f -> (
+                match f ~from ~to_:dst msg with
+                | Some m ->
+                  if m != msg then
+                    Metrics.incr (Metrics.counter t.obs "net.adversary.tampered");
+                  Some m
+                | None ->
+                  Metrics.incr (Metrics.counter t.obs "net.adversary.dropped");
+                  None )
+            with
+            | None -> ()
+            | Some msg ->
+              Trace.emit t.trace ~at:(Event_queue.now t.q)
+                (Trace.Update_sent
+                   { src = Asn.to_int from;
+                     dst = dst_asn;
+                     prefix = Prefix.to_string (prefix_of_msg msg);
+                     bytes = msg_bytes msg;
+                     withdraw = is_withdraw msg });
+              let at =
+                Event_queue.now t.q +. Float.max t.mrai 0.
+                +. latency t from dst
+              in
+              hook ~from ~to_:dst ~at msg
+          end
+        | _ -> () (* neighbor not simulated anywhere; drop *) )
       | Some dst_asn ->
         let dst = Asn.of_int dst_asn in
         if not (Hashtbl.mem t.latencies (lat_key from dst)) then
@@ -509,6 +592,92 @@ let clear_pending t a b =
   clear a b;
   clear b a
 
+(* ------------------- cross-partition half links ------------------- *)
+
+(* The local side of a cut edge: install latency, the remote peer and
+   the local speaker's neighbor entry.  The remote region installs the
+   mirror half from its own [half_cfg]. *)
+let connect_half t cfg =
+  let s = speaker t cfg.hc_local in
+  add_remote_peer t cfg.hc_remote;
+  Hashtbl.replace t.latencies (lat_key cfg.hc_local cfg.hc_remote) cfg.hc_latency;
+  Speaker.add_neighbor s
+    (Speaker.neighbor ~import:cfg.hc_import ~export:cfg.hc_export
+       ~dbgp_capable:cfg.hc_remote_dbgp ~same_island:cfg.hc_same_island
+       ~relationship:cfg.hc_remote_is (peer_of t cfg.hc_remote))
+
+let half_link t ?(latency = 1.0) ?(import = Dbgp_core.Filters.accept)
+    ?(export = Dbgp_core.Filters.accept) ?(remote_dbgp = true)
+    ?(same_island = false) ~local ~remote ~remote_is () =
+  if Asn.equal local remote then
+    invalid_arg "Network.half_link: cannot link an AS to itself";
+  let cfg =
+    { hc_latency = latency;
+      hc_local = local;
+      hc_remote = remote;
+      hc_import = import;
+      hc_export = export;
+      hc_remote_dbgp = remote_dbgp;
+      hc_remote_is = remote_is;
+      hc_same_island = same_island }
+  in
+  Hashtbl.replace t.half_links (lat_key local remote) cfg;
+  connect_half t cfg
+
+(* Session loss on a cut edge, local side only: the shard engine fires
+   the same event at the same simulated time in the remote region, so
+   both halves act in lockstep without any cross-domain call.  Cross
+   links never use graceful restart (the restart window would need
+   cross-region timers); failure flushes immediately. *)
+let fail_half t local remote =
+  Hashtbl.remove t.latencies (lat_key local remote);
+  clear_pending t local remote;
+  let s = speaker t local in
+  let now = Event_queue.now t.q in
+  let out = Speaker.peer_down ~now s (peer_of t remote) in
+  Event_queue.schedule t.q ~delay:0. (fun () -> dispatch t ~from:local out)
+
+let recover_half t local remote =
+  match Hashtbl.find_opt t.half_links (lat_key local remote) with
+  | None -> invalid_arg "Network.recover_half: half link was never configured"
+  | Some cfg ->
+    if not (Hashtbl.mem t.latencies (lat_key local remote)) then begin
+      connect_half t cfg;
+      (* Cross-partition recovery resynchronizes with a full route
+         refresh (incremental sync would need the peer's restart
+         window, which lives in another region). *)
+      Event_queue.schedule t.q ~delay:0. (fun () ->
+          dispatch t ~from:local
+            (Speaker.refresh_peer (speaker t local) (peer_of t remote)))
+    end
+
+(* Ingest one cross-partition arrival, drained from a mailbox at an
+   epoch boundary and scheduled at its precomputed arrival time.
+   Returns the prefix to NACK back to the sending region when the
+   message dies on a link that went down while it crossed the cut —
+   the sender's Adj-RIB-Out confirmed bits must learn about the loss,
+   and the only route back is the mailbox in the other direction.
+   Cross links see no fault model (the partitioner pins faulty links
+   intra-region), so no PRNG draw happens here. *)
+let deliver_remote t ~from ~to_ msg =
+  let now = Event_queue.now t.q in
+  if not (Hashtbl.mem t.latencies (lat_key from to_)) then begin
+    Metrics.incr t.c_dropped;
+    Some (prefix_of_msg msg)
+  end
+  else begin
+    deliver_once t ~now ~from ~to_ msg;
+    None
+  end
+
+(* Apply a NACK from the region that dropped our message:
+   [Speaker.note_undelivered] is time-independent, so it is sound to
+   apply at mailbox-drain time, one epoch after the drop. *)
+let apply_nack t ~local ~remote prefix =
+  match Hashtbl.find_opt t.speakers (Asn.to_int local) with
+  | Some s -> Speaker.note_undelivered s (peer_of t remote) prefix
+  | None -> ()
+
 let bump_restart_gen t key =
   let g = 1 + Option.value (Hashtbl.find_opt t.restart_gen key) ~default:0 in
   Hashtbl.replace t.restart_gen key g;
@@ -699,8 +868,10 @@ let set_mrai t v =
 
 let set_wire_delivery t v = t.wire_delivery <- v
 
-let run ?max_events t =
-  let events = Event_queue.run ?max_events t.q in
+(* Stats as of now; [events]/[exhausted] are the caller's because only
+   it knows how many queue events this run accounted for (the sharded
+   engine drives the queue itself across many epochs). *)
+let stats_now t ~events ~exhausted =
   { messages = Metrics.count t.c_messages;
     announce_bytes = Metrics.count t.c_announce_bytes;
     withdrawals = Metrics.count t.c_withdrawals;
@@ -709,7 +880,11 @@ let run ?max_events t =
       + (match t.fault with Some f -> Fault_model.dropped f | None -> 0);
     events;
     converged_at = Event_queue.now t.q;
-    exhausted = Event_queue.budget_exhausted t.q }
+    exhausted }
+
+let run ?max_events t =
+  let events = Event_queue.run ?max_events t.q in
+  stats_now t ~events ~exhausted:(Event_queue.budget_exhausted t.q)
 
 let asns t =
   Hashtbl.fold (fun a _ acc -> Asn.of_int a :: acc) t.speakers []

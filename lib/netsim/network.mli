@@ -228,6 +228,105 @@ val inject : t -> from:Dbgp_core.Peer.t -> to_:Dbgp_types.Asn.t ->
 val run : ?max_events:int -> t -> stats
 (** Run to quiescence. *)
 
+val stats_now : t -> events:int -> exhausted:bool -> stats
+(** Current accounting without running anything — for callers (the
+    sharded engine) that drive the event queue themselves and track
+    event counts and budget exhaustion externally. *)
+
+(** {1 Cross-partition execution (sharded runs)}
+
+    A {!Dbgp_eval}-level shard engine splits one topology across
+    several [Network.t] instances, one per region, each owned by one
+    OCaml domain.  A cut peering edge becomes two {e half links}: each
+    side installs its local speaker's neighbor entry, the latency, and
+    a remote peer stub; egress to a remote AS is handed to the
+    {!set_remote_hook} callback (with its precomputed arrival time)
+    instead of the local event queue, and ingress arrives via
+    {!deliver_remote} when the owning domain drains its mailboxes at
+    an epoch boundary.
+
+    Cross-cut semantics are deliberately restricted so that no shared
+    state or cross-domain call exists: no fault model on cut links (the
+    partitioner pins fault-carrying links intra-region), no
+    sender-side MRAI coalescing (each message ships individually with
+    the MRAI interval added to its arrival delay — preserving the
+    conservative lookahead), no graceful restart across the cut, and
+    recovery resynchronizes by full route refresh. *)
+
+val set_remote_hook :
+  t ->
+  (from:Dbgp_types.Asn.t ->
+  to_:Dbgp_types.Asn.t ->
+  at:float ->
+  Dbgp_core.Speaker.msg ->
+  unit)
+  option ->
+  unit
+(** Install the shard engine's egress callback.  [at] is the absolute
+    simulated arrival time at the destination (send time + MRAI
+    interval if any + link latency), always at least one lookahead
+    ahead of the sending region's clock. *)
+
+val add_remote_peer : t -> Dbgp_types.Asn.t -> unit
+(** Register an AS simulated by another region: creates the shared
+    {!Dbgp_core.Peer.t} stub (at {!speaker_addr}) and the reverse
+    mapping that routes egress through the remote hook.  Idempotent.
+    Implied by {!half_link}. *)
+
+val half_link :
+  t ->
+  ?latency:float ->
+  ?import:Dbgp_core.Filters.t ->
+  ?export:Dbgp_core.Filters.t ->
+  ?remote_dbgp:bool ->
+  ?same_island:bool ->
+  local:Dbgp_types.Asn.t ->
+  remote:Dbgp_types.Asn.t ->
+  remote_is:Dbgp_bgp.Policy.relationship ->
+  unit ->
+  unit
+(** Install the local half of a cut edge: [import]/[export] are the
+    local speaker's filters, [remote_is] the remote AS's relationship
+    as seen locally.  The remote region must install the mirror half
+    with the inverse relationship and identical latency.
+    @raise Invalid_argument on a self-loop. *)
+
+val fail_half : t -> Dbgp_types.Asn.t -> Dbgp_types.Asn.t -> unit
+(** Session loss on a cut edge, local side only.  The shard engine
+    schedules the same event at the same time in the remote region, so
+    both halves act in lockstep.  Immediate flush (no graceful restart
+    across the cut); pending MRAI batches toward the peer are
+    discarded with sender notification. *)
+
+val recover_half : t -> Dbgp_types.Asn.t -> Dbgp_types.Asn.t -> unit
+(** Bring a failed half link back and schedule a full route refresh
+    toward the remote peer.  No-op if already up.
+    @raise Invalid_argument if the pair was never half-linked. *)
+
+val deliver_remote :
+  t ->
+  from:Dbgp_types.Asn.t ->
+  to_:Dbgp_types.Asn.t ->
+  Dbgp_core.Speaker.msg ->
+  Dbgp_types.Prefix.t option
+(** Ingest one cross-partition arrival (called from an event scheduled
+    at the arrival time carried by the mailbox entry).  Returns
+    [Some prefix] when the half link was down at arrival and the
+    message died — the shard engine must route that as a NACK back to
+    the sending region, where {!apply_nack} repairs the sender's
+    Adj-RIB-Out confirmed bits. *)
+
+val apply_nack :
+  t ->
+  local:Dbgp_types.Asn.t ->
+  remote:Dbgp_types.Asn.t ->
+  Dbgp_types.Prefix.t ->
+  unit
+(** The sending-region side of a cross-cut drop: mark [prefix] as
+    undelivered on [local]'s Adj-RIB-Out toward [remote].
+    Time-independent, so sound to apply at mailbox-drain time, one
+    epoch after the drop. *)
+
 val asns : t -> Dbgp_types.Asn.t list
 
 val stale_total : t -> int

@@ -81,6 +81,47 @@ let quantile h q =
     go 0 0
   end
 
+(* Zero every instrument in place.  Identity is preserved: handles
+   obtained before the reset (the hot-path cached counters all over the
+   tree) keep working and observe the zeroed state — which is exactly
+   what makes an explicit reset safe to call between test suites. *)
+let reset t =
+  Hashtbl.iter (fun _ c -> c.n <- 0) t.cs;
+  Hashtbl.iter (fun _ g -> g.v <- 0.) t.gs;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.bucket 0 nbuckets 0;
+      h.observed <- 0;
+      h.sum <- 0.;
+      h.max <- 0.)
+    t.hs
+
+(* Fold [src] into [dst]: counters add, gauges keep the maximum (the
+   only merge that is independent of merge order — last-change-at
+   gauges want it anyway), histograms add bucket-wise.  Used to merge
+   per-region registries of a sharded run into one snapshot. *)
+let merge_into ~into:dst src =
+  Hashtbl.iter
+    (fun name (c : counter) ->
+      let d = counter dst name in
+      d.n <- d.n + c.n)
+    src.cs;
+  Hashtbl.iter
+    (fun name (g : gauge) ->
+      let d = gauge dst name in
+      if g.v > d.v then d.v <- g.v)
+    src.gs;
+  Hashtbl.iter
+    (fun name (h : histogram) ->
+      let d = histogram dst name in
+      for i = 0 to nbuckets - 1 do
+        d.bucket.(i) <- d.bucket.(i) + h.bucket.(i)
+      done;
+      d.observed <- d.observed + h.observed;
+      d.sum <- d.sum +. h.sum;
+      if h.max > d.max then d.max <- h.max)
+    src.hs
+
 let sorted_bindings tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

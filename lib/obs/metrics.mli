@@ -68,6 +68,22 @@ val quantile : histogram -> float -> float
     (conservative: the true value is at most this).  0 for an empty
     histogram.  @raise Invalid_argument unless [0 <= q <= 1]. *)
 
+(** {1 Lifecycle} *)
+
+val reset : t -> unit
+(** Zero every instrument in place.  Instrument identity is preserved:
+    handles obtained before the reset keep working and read the zeroed
+    state.  Test suites sharing a long-lived registry (e.g. the wire
+    codec's) call this in their setup so earlier suites' counts cannot
+    bleed in. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src] into [into]: counters add,
+    gauges keep the maximum, histograms add bucket-wise (sum/max/count
+    included).  Merge order therefore never changes the result — the
+    property the sharded simulator relies on when folding per-region
+    registries into one snapshot. *)
+
 (** {1 Enumeration (snapshots)} *)
 
 val counters : t -> (string * int) list

@@ -82,9 +82,21 @@ module Elem_tbl = Make (struct
   let hash = Hashtbl.hash
 end)
 
-let elems = Elem_tbl.create 256
-let path_elem e = Elem_tbl.intern elems e
-let path_elem_stats () = Elem_tbl.stats elems
+(* The shared tables below are domain-local (one instance per OCaml 5
+   domain, created lazily on first use).  Interning is semantically
+   transparent — it only decides which physical representative a
+   structurally-equal value maps to — so two domains interning the same
+   value independently is sound: each gets a canonical pointer for
+   comparisons *within its own domain*, and cross-domain [==] simply
+   degrades to the structural fallback every comparison site already
+   has.  Domain-locality is what lets the sharded simulator run one
+   region per domain with no locks on the update hot path. *)
+
+let elems_key =
+  Domain.DLS.new_key (fun () -> Elem_tbl.create 256)
+
+let path_elem e = Elem_tbl.intern (Domain.DLS.get elems_key) e
+let path_elem_stats () = Elem_tbl.stats (Domain.DLS.get elems_key)
 
 (* ------------------------------------------------------------------ *)
 (* Path vectors, hash-consed cons cell by cons cell so that vectors
@@ -107,16 +119,17 @@ module Vec_tbl = Make (struct
   let hash = Hashtbl.hash
 end)
 
-let vecs = Vec_tbl.create 1024
+let vecs_key =
+  Domain.DLS.new_key (fun () -> Vec_tbl.create 1024)
 
 let rec path_vector = function
   | [] -> []
   | e :: rest ->
     let e = path_elem e in
     let rest = path_vector rest in
-    Vec_tbl.intern vecs (e :: rest)
+    Vec_tbl.intern (Domain.DLS.get vecs_key) (e :: rest)
 
-let path_vector_stats () = Vec_tbl.stats vecs
+let path_vector_stats () = Vec_tbl.stats (Domain.DLS.get vecs_key)
 
 (* ------------------------------------------------------------------ *)
 (* Strings (descriptor field names, protocol names): small closed sets
@@ -129,24 +142,30 @@ module Str_tbl = Make (struct
   let hash = Hashtbl.hash
 end)
 
-let strs = Str_tbl.create 64
-let string s = Str_tbl.intern strs s
-let string_stats () = Str_tbl.stats strs
+let strs_key =
+  Domain.DLS.new_key (fun () -> Str_tbl.create 64)
+
+let string s = Str_tbl.intern (Domain.DLS.get strs_key) s
+let string_stats () = Str_tbl.stats (Domain.DLS.get strs_key)
 
 (* ------------------------------------------------------------------ *)
 (* Loop-check memo: [Path_elem.has_loop] walks the vector building
    scratch sets on every ingress filter run.  Interned vectors repeat
    physically, so a small direct-mapped identity cache answers most
    checks in O(1).  Sound for any list (the slot key is compared by
-   pointer), merely ineffective for un-interned ones. *)
+   pointer), merely ineffective for un-interned ones.  Domain-local for
+   the same reason as the intern tables: the memo is a pure
+   accelerator, so private per-domain copies cost only warm-up. *)
 
 let loop_slots = 512
-let loop_memo : (Path_elem.t list * bool) array =
-  Array.make loop_slots ([], false)
+
+let loop_memo_key : (Path_elem.t list * bool) array Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Array.make loop_slots ([], false))
 
 let has_loop = function
   | [] -> false
   | pv ->
+    let loop_memo = Domain.DLS.get loop_memo_key in
     let slot = Hashtbl.hash pv land (loop_slots - 1) in
     let (key, cached) = Array.unsafe_get loop_memo slot in
     if key == pv then cached
@@ -157,7 +176,7 @@ let has_loop = function
     end
 
 let clear_all () =
-  Elem_tbl.clear elems;
-  Vec_tbl.clear vecs;
-  Str_tbl.clear strs;
-  Array.fill loop_memo 0 loop_slots ([], false)
+  Elem_tbl.clear (Domain.DLS.get elems_key);
+  Vec_tbl.clear (Domain.DLS.get vecs_key);
+  Str_tbl.clear (Domain.DLS.get strs_key);
+  Array.fill (Domain.DLS.get loop_memo_key) 0 loop_slots ([], false)

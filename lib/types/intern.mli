@@ -6,8 +6,16 @@
     every interned value stays valid after a reset — only future
     sharing is lost — so callers never need to care about residency.
 
-    The global tables below are what the codec and speaker use; the
-    {!Make} functor builds additional per-type tables. *)
+    The shared tables below are what the codec and speaker use; the
+    {!Make} functor builds additional per-type tables.
+
+    Domain-safety: the shared tables (and the loop memo) are
+    domain-local — each OCaml 5 domain lazily creates its own instance
+    on first use, so sharded simulations intern lock-free.  Interning is
+    semantically transparent, so per-domain canonicalization is sound:
+    values crossing domains merely lose the pointer-equality fast path
+    and fall back to structural comparison.  Stats and {!clear_all}
+    refer to the calling domain's tables. *)
 
 type stats = { hits : int; misses : int; size : int; clears : int }
 

@@ -17,6 +17,15 @@ let split t =
   let s = bits64 t in
   { state = mix s }
 
+(* [n] independent child streams in one deterministic left-to-right
+   pass: child [i] is seeded from the parent's [i]-th split draw, so
+   [split_n t n] is exactly [Array.init n (fun _ -> split t)] — spelled
+   out as the canonical way to hand each region of a sharded simulation
+   its own stream. *)
+let split_n t n =
+  if n < 0 then invalid_arg "Prng.split_n: negative count"
+  else Array.init n (fun _ -> split t)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive"
   else

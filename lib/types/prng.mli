@@ -13,7 +13,15 @@ val create : int -> t
 
 val split : t -> t
 (** An independent generator derived from the current state; the parent
-    advances.  Lets sub-experiments draw without perturbing each other. *)
+    advances.  Lets sub-experiments draw without perturbing each other.
+    Deterministic: the child stream depends only on the parent's seed
+    and how many draws/splits preceded it. *)
+
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] independent child generators, equivalent to
+    [n] successive {!split}s (the parent advances [n] times).  The
+    canonical way to seed each region of a sharded simulation.
+    @raise Invalid_argument on a negative count. *)
 
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)].

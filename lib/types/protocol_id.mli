@@ -29,12 +29,17 @@ val of_int : int -> t option
 (** Look an ID up by its registry number. *)
 
 val compare : t -> t -> int
+(** By {e name}, not registry number: decoding can lazily register
+    never-seen protocol names from any simulation domain, so id
+    allocation order depends on domain scheduling and must never be
+    observable.  {!equal} and {!hash} agree with this order. *)
+
 val equal : t -> t -> bool
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
 val pp_kind : Format.formatter -> kind -> unit
 val all : unit -> t list
-(** Every protocol registered so far, in registration order. *)
+(** Every protocol registered so far, in name order. *)
 
 (** {1 Well-known protocols}
 

@@ -56,21 +56,25 @@ let asn b a = u32 b (Dbgp_types.Asn.to_int a)
 (* Scratch buffers for single-pass [list]: elements are encoded while
    being counted, then blitted after the varint count.  A pool (stack)
    rather than one global buffer because element encoders recurse into
-   [list] (nested Value lists). *)
-let scratch_pool : Buffer.t list ref = ref []
+   [list] (nested Value lists).  The pool is domain-local: encoders run
+   concurrently on simulation domains, and a shared stack would let two
+   domains pop the same buffer and interleave their bytes. *)
+let scratch_pool : Buffer.t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let with_scratch f =
+  let pool = Domain.DLS.get scratch_pool in
   let b =
-    match !scratch_pool with
+    match !pool with
     | [] -> Buffer.create 128
     | b :: tl ->
-      scratch_pool := tl;
+      pool := tl;
       b
   in
   Fun.protect
     ~finally:(fun () ->
       Buffer.clear b;
-      scratch_pool := b :: !scratch_pool)
+      pool := b :: !pool)
     (fun () -> f b)
 
 let list b f = function

@@ -1,12 +1,20 @@
 (* Regenerate the differential golden transcripts.
 
-   Usage: dune exec test/gen_golden.exe > test/golden_differential.txt
+   Usage:
+     dune exec test/gen_golden.exe > test/golden_differential.txt
+     dune exec test/gen_golden.exe sharded > test/golden_sharded.txt
 
-   The committed golden file was produced by the pre-pipeline speaker;
-   regenerating it only makes sense when an *intentional* behaviour
-   change has been reviewed and the new fingerprints accepted. *)
+   The sharded variant records the 1-domain digests of the sharded
+   differential scenarios; the parallel suite reproduces them at 2 and
+   4 domains (the determinism oracle).  The committed files were
+   produced by the current speaker; regenerating only makes sense when
+   an *intentional* behaviour change has been reviewed and the new
+   fingerprints accepted. *)
 
 let () =
-  List.iter
-    (fun d -> print_endline (Dbgp_eval.Differential.to_line d))
-    (Dbgp_eval.Differential.run_all ())
+  let digests =
+    if Array.length Sys.argv > 1 && Sys.argv.(1) = "sharded" then
+      Dbgp_eval.Shard_differential.run_all ~domains:1 ()
+    else Dbgp_eval.Differential.run_all ()
+  in
+  List.iter (fun d -> print_endline (Dbgp_eval.Differential.to_line d)) digests

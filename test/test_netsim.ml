@@ -275,6 +275,70 @@ let test_network_duplicate_delivery () =
   check_int "no route flaps from retransmits" 0
     (Network.counter_total dup "withdrawals.received")
 
+(* --------------- merge/drain order reference model --------------- *)
+
+(* The contract a sharded run leans on (Shard.drain merges mailbox
+   arrivals into region queues): [merge ~into:dst src] appends [src]'s
+   events in their (time, seq) order, clamping past times to [dst]'s
+   clock, so at equal times [dst]'s pre-existing events drain first and
+   [src]'s relative order survives.  Model: a Map keyed by
+   (time, dst-before-src, rank) replayed against the real queue after an
+   arbitrary partial drain. *)
+let qcheck_merge =
+  let open QCheck in
+  let module Key = struct
+    type t = float * int * int
+
+    let compare = Stdlib.compare
+  end in
+  let module M = Map.Make (Key) in
+  Test.make ~name:"merge/drain order matches Map reference model" ~count:500
+    (triple
+       (list_of_size (Gen.int_range 0 12) (int_bound 40))
+       (list_of_size (Gen.int_range 0 12) (int_bound 40))
+       (int_bound 40))
+    (fun (dst_raw, src_raw, h_raw) ->
+      (* Quarter-step grid makes same-time ties common. *)
+      let t_of i = float_of_int i /. 4. in
+      let dst_times = List.map t_of dst_raw in
+      let src_times = List.map t_of src_raw in
+      let horizon = t_of h_raw in
+      let log = ref [] in
+      let emit tag () = log := tag :: !log in
+      let dst = Eq.create () and src = Eq.create () in
+      List.iteri (fun i t -> Eq.schedule_at dst ~time:t (emit ("d", i))) dst_times;
+      List.iteri (fun j t -> Eq.schedule_at src ~time:t (emit ("s", j))) src_times;
+      ignore (Eq.run_until dst ~horizon);
+      Eq.merge ~into:dst src;
+      let src_empty = Eq.is_empty src in
+      ignore (Eq.run dst);
+      (* Reference: the partial drain runs dst events strictly below the
+         horizon in (time, seq) order and leaves the clock on the last
+         one; everything else replays from the model map. *)
+      let executed, remaining =
+        List.partition (fun ((t, _, _), _) -> t < horizon)
+          (List.mapi (fun i t -> ((t, 0, i), ("d", i))) dst_times)
+      in
+      let executed = List.sort (fun (a, _) (b, _) -> Key.compare a b) executed in
+      let clock =
+        List.fold_left (fun c ((t, _, _), _) -> max c t) 0. executed
+      in
+      let src_ranked =
+        List.sort
+          (fun (t, j, _) (t', j', _) -> Stdlib.compare (t, j) (t', j'))
+          (List.mapi (fun j t -> (t, j, ("s", j))) src_times)
+        |> List.mapi (fun rank (t, _, tag) -> ((max t clock, 1, rank), tag))
+      in
+      let model =
+        List.fold_left
+          (fun m (k, v) -> M.add k v m)
+          M.empty (remaining @ src_ranked)
+      in
+      let expected =
+        List.map snd executed @ List.map snd (M.bindings model)
+      in
+      src_empty && List.rev !log = expected)
+
 let () =
   Alcotest.run "netsim"
     [ ("event-queue",
@@ -297,4 +361,5 @@ let () =
          Alcotest.test_case "mrai batches" `Quick test_network_mrai_batches;
          Alcotest.test_case "mrai same routes" `Quick test_network_mrai_converges_same_routes;
          Alcotest.test_case "duplicate delivery absorbed" `Quick
-           test_network_duplicate_delivery ]) ]
+           test_network_duplicate_delivery ]);
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_merge ]) ]

@@ -644,13 +644,99 @@ let test_adversary_bench_schema () =
     rows;
   check "json renders" true (String.length (Snapshot.to_json_pretty s) > 0)
 
+(* Regression: the wire codec's registry is long-lived (domain-local,
+   not per-run), so a suite that reads it without an explicit
+   [Codec.wire_metrics_reset] in its setup inherits whatever earlier
+   suites encoded.  Pin the discipline: reset zeroes every instrument in
+   place and preserves identity, so even stale handles read zero. *)
+let test_wire_registry_bleed () =
+  let module Codec = Dbgp_core.Codec in
+  let ia =
+    Dbgp_core.Ia.originate
+      ~prefix:(Prefix.of_string "10.99.0.0/24")
+      ~origin_asn:(Asn.of_int 99)
+      ~next_hop:(Ipv4.of_string "10.99.0.1") ()
+  in
+  ignore (Codec.decode (Codec.encode ia));
+  ignore (Codec.encode_cached ia);
+  let m = Codec.wire_metrics () in
+  let before = Metrics.counters m in
+  check "codec traffic recorded" true (List.exists (fun (_, n) -> n > 0) before);
+  (* A handle an "earlier suite" kept around. *)
+  let stale = Metrics.counter m "wire.decode_memo.misses" in
+  Codec.wire_metrics_reset ();
+  check "registry identity stable across reset" true
+    (Codec.wire_metrics () == m);
+  List.iter
+    (fun (name, _) ->
+      check_int (name ^ " zeroed") 0 (Metrics.count (Metrics.counter m name)))
+    before;
+  check_int "stale handle reads zero" 0 (Metrics.count stale);
+  (* The bleed this guards against: without the reset, the next suite
+     would have started from [before]'s totals instead of from zero. *)
+  ignore (Codec.encode_cached ia);
+  check "post-reset counts reflect only new traffic" true
+    (List.for_all (fun (_, n) -> n <= 2) (Metrics.counters m))
+
+(* BENCH_perf.json gains a sharded section (the [--domains] axis); pin
+   its row shape so the artifact cannot drift silently.  A tiny
+   two-domain run doubles as an end-to-end check that the determinism
+   oracle feeds the bench: both rows must carry the same transcript. *)
+let test_sharded_bench_schema () =
+  let rows =
+    E.Perf_bench.domains_suite ~ases:40 ~prefixes:6 ~regions:2
+      ~domains:[ 1; 2 ] ()
+  in
+  check_int "one row per domain count" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      let s = E.Perf_bench.sharded_to_snapshot r in
+      let int_fields =
+        [ "ases"; "prefixes"; "domains"; "regions"; "cut_edges"; "epochs";
+          "cores"; "messages"; "updates"; "events" ]
+      in
+      let float_fields =
+        [ "lookahead"; "elapsed_s"; "cpu_s"; "updates_per_s";
+          "speedup_vs_1_domain" ]
+      in
+      List.iter
+        (fun f ->
+          match Snapshot.member f s with
+          | Some (Snapshot.Int _) -> ()
+          | _ -> Alcotest.fail (f ^ ": expected Int field"))
+        int_fields;
+      List.iter
+        (fun f ->
+          match Snapshot.member f s with
+          | Some (Snapshot.Float _) | Some (Snapshot.Int _) -> ()
+          | _ -> Alcotest.fail (f ^ ": expected numeric field"))
+        float_fields;
+      ( match Snapshot.member "transcript_md5" s with
+        | Some (Snapshot.String md5) ->
+          check_int "md5 length" 32 (String.length md5)
+        | _ -> Alcotest.fail "transcript_md5: expected String" );
+      ( match Snapshot.member "transcript_match" s with
+        | Some (Snapshot.Bool true) -> ()
+        | _ -> Alcotest.fail "transcript_match must hold on a deterministic run" );
+      check "json renders" true
+        (String.length (Snapshot.to_json_pretty s) > 0))
+    rows;
+  match rows with
+  | r1 :: r2 :: _ ->
+    check "domain counts recorded" true
+      (r1.E.Perf_bench.s_domains = 1 && r2.E.Perf_bench.s_domains = 2);
+    check_str "identical transcripts across domain counts"
+      r1.E.Perf_bench.s_transcript_md5 r2.E.Perf_bench.s_transcript_md5
+  | _ -> ()
+
 let () =
   Alcotest.run "obs"
     [ ("metrics",
        [ Alcotest.test_case "counters" `Quick test_counters;
          Alcotest.test_case "gauges" `Quick test_gauges;
          Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
-         Alcotest.test_case "histogram observe/quantile" `Quick test_histogram_observe ]);
+         Alcotest.test_case "histogram observe/quantile" `Quick test_histogram_observe;
+         Alcotest.test_case "wire registry bleed" `Quick test_wire_registry_bleed ]);
       ("trace",
        [ Alcotest.test_case "ring buffer" `Quick test_trace_ring;
          Alcotest.test_case "labels" `Quick test_trace_labels ]);
@@ -675,4 +761,6 @@ let () =
          Alcotest.test_case "stability bench schema" `Quick
            test_stability_bench_schema;
          Alcotest.test_case "adversary bench schema" `Quick
-           test_adversary_bench_schema ]) ]
+           test_adversary_bench_schema;
+         Alcotest.test_case "sharded bench schema" `Quick
+           test_sharded_bench_schema ]) ]

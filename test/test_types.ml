@@ -150,9 +150,17 @@ let test_protocol_kinds () =
 let test_protocol_all () =
   let all = Protocol_id.all () in
   check "contains bgp" true (List.exists (Protocol_id.equal Protocol_id.bgp) all);
-  check "sorted by id" true
+  (* Identity (and hence the enumeration order) is the registered name,
+     never the registry number: id allocation order depends on which
+     simulation domain first decoded a name, so it must stay invisible. *)
+  check "sorted by name" true
     (List.for_all2
-       (fun a b -> Protocol_id.to_int a < Protocol_id.to_int b)
+       (fun a b -> String.compare (Protocol_id.name a) (Protocol_id.name b) < 0)
+       (List.filteri (fun i _ -> i < List.length all - 1) all)
+       (List.tl all));
+  check "compare follows names" true
+    (List.for_all2
+       (fun a b -> Protocol_id.compare a b < 0)
        (List.filteri (fun i _ -> i < List.length all - 1) all)
        (List.tl all))
 
@@ -225,7 +233,40 @@ let test_prng_split () =
   let u = Prng.split t in
   let xs = List.init 10 (fun _ -> Prng.int t 100) in
   let ys = List.init 10 (fun _ -> Prng.int u 100) in
-  check "split streams differ" false (xs = ys)
+  check "split streams differ" false (xs = ys);
+  (* Children are a pure function of the parent's seed and position:
+     replaying the same seed reproduces both streams exactly. *)
+  let t' = Prng.create 4 in
+  let u' = Prng.split t' in
+  check "replayed parent stream" true
+    (xs = List.init 10 (fun _ -> Prng.int t' 100));
+  check "replayed child stream" true
+    (ys = List.init 10 (fun _ -> Prng.int u' 100));
+  (* Splitting perturbs the parent: an unsplit generator with the same
+     seed produces a different stream. *)
+  let v = Prng.create 4 in
+  check "split advances parent" false
+    (xs = List.init 10 (fun _ -> Prng.int v 100))
+
+let test_prng_split_n () =
+  let draws g = List.init 8 (fun _ -> Prng.int g 1_000_000) in
+  (* split_n = n successive splits, including the parent's final state. *)
+  let a = Prng.create 7 and b = Prng.create 7 in
+  let kids = Prng.split_n a 4 in
+  let kids' = Array.init 4 (fun _ -> Prng.split b) in
+  Array.iteri
+    (fun i k -> check "split_n = iterated split" true (draws k = draws kids'.(i)))
+    kids;
+  check "parent advanced identically" true (draws a = draws b);
+  (* Streams are pairwise independent-looking: no two children (or the
+     parent) share a stream. *)
+  let streams = draws a :: Array.to_list (Array.map draws (Prng.split_n a 6)) in
+  check_int "all streams distinct" (List.length streams)
+    (List.length (List.sort_uniq compare streams));
+  check_int "zero children" 0 (Array.length (Prng.split_n a 0));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Prng.split_n: negative count") (fun () ->
+      ignore (Prng.split_n a (-1)))
 
 (* ------------------------- properties ------------------------- *)
 
@@ -285,5 +326,6 @@ let () =
        [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
          Alcotest.test_case "bounds" `Quick test_prng_bounds;
          Alcotest.test_case "shuffle/sample" `Quick test_prng_shuffle_sample;
-         Alcotest.test_case "split" `Quick test_prng_split ]);
+         Alcotest.test_case "split" `Quick test_prng_split;
+         Alcotest.test_case "split_n" `Quick test_prng_split_n ]);
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck) ]
