@@ -2,52 +2,85 @@ open Dbgp_types
 
 (* The outer per-prefix table is a hashtable so {!set} — run once per
    delivered announcement — replaces its bucket in place instead of
-   rebuilding a functional-map spine.  The inner per-peer maps stay
-   ordered so {!candidates} keeps its deterministic ascending order.
-   Cold readers that need ordered output sort on the way out. *)
+   rebuilding a functional-map spine.
+
+   A slot is specialized to its population: almost every prefix in a
+   full table has exactly one contributing peer (a transit AS learns
+   each destination from one upstream), and a [Single] cell is 3 words
+   where a one-entry [Peer.Map] node is 6 — on a million-route
+   Adj-RIB-In that halves the per-binding overhead.  [Multi] (a map,
+   always holding >= 2 peers) keeps {!candidates}'s deterministic
+   ascending order for the genuinely contested prefixes. *)
+type 'r slot =
+  | Single of Peer.t * 'r
+  | Multi of 'r Peer.Map.t
+
 type 'r t = {
-  routes : (Prefix.t, 'r Peer.Map.t) Hashtbl.t;
+  routes : (Prefix.t, 'r slot) Hashtbl.t;
   mutable stale : Prefix.Set.t Peer.Map.t;
 }
 
 let create () = { routes = Hashtbl.create 64; stale = Peer.Map.empty }
 
 let set t ~peer prefix r =
-  let m =
-    Option.value (Hashtbl.find_opt t.routes prefix) ~default:Peer.Map.empty
+  let slot =
+    match Hashtbl.find_opt t.routes prefix with
+    | None -> Single (peer, r)
+    | Some (Single (p, _)) when Peer.equal p peer -> Single (peer, r)
+    | Some (Single (p, r0)) ->
+      Multi (Peer.Map.add peer r (Peer.Map.singleton p r0))
+    | Some (Multi m) -> Multi (Peer.Map.add peer r m)
   in
-  Hashtbl.replace t.routes prefix (Peer.Map.add peer r m)
+  Hashtbl.replace t.routes prefix slot
 
 let remove t ~peer prefix =
   match Hashtbl.find_opt t.routes prefix with
   | None -> ()
-  | Some m ->
+  | Some (Single (p, _)) ->
+    if Peer.equal p peer then Hashtbl.remove t.routes prefix
+  | Some (Multi m) -> (
     let m = Peer.Map.remove peer m in
-    if Peer.Map.is_empty m then Hashtbl.remove t.routes prefix
-    else Hashtbl.replace t.routes prefix m
+    match Peer.Map.cardinal m with
+    | 0 -> Hashtbl.remove t.routes prefix
+    | 1 ->
+      let p, r = Peer.Map.choose m in
+      Hashtbl.replace t.routes prefix (Single (p, r))
+    | _ -> Hashtbl.replace t.routes prefix (Multi m) )
+
+let slot_find peer = function
+  | Single (p, r) -> if Peer.equal p peer then Some r else None
+  | Multi m -> Peer.Map.find_opt peer m
+
+let slot_mem peer = function
+  | Single (p, _) -> Peer.equal p peer
+  | Multi m -> Peer.Map.mem peer m
 
 let find t ~peer prefix =
-  Option.bind (Hashtbl.find_opt t.routes prefix) (Peer.Map.find_opt peer)
+  Option.bind (Hashtbl.find_opt t.routes prefix) (slot_find peer)
 
 let candidates t prefix =
   match Hashtbl.find_opt t.routes prefix with
   | None -> []
-  | Some m -> Peer.Map.bindings m
+  | Some (Single (p, r)) -> [ (p, r) ]
+  | Some (Multi m) -> Peer.Map.bindings m
 
 let prefixes_of t ~peer =
   Hashtbl.fold
-    (fun p m acc -> if Peer.Map.mem peer m then p :: acc else acc)
+    (fun p s acc -> if slot_mem peer s then p :: acc else acc)
     t.routes []
   |> List.sort Prefix.compare
 
 let has_routes t ~peer =
-  Hashtbl.fold (fun _ m acc -> acc || Peer.Map.mem peer m) t.routes false
+  Hashtbl.fold (fun _ s acc -> acc || slot_mem peer s) t.routes false
 
 let prefixes t =
   Hashtbl.fold (fun p _ acc -> Prefix.Set.add p acc) t.routes Prefix.Set.empty
 
 let size t =
-  Hashtbl.fold (fun _ m acc -> acc + Peer.Map.cardinal m) t.routes 0
+  Hashtbl.fold
+    (fun _ s acc ->
+      acc + match s with Single _ -> 1 | Multi m -> Peer.Map.cardinal m)
+    t.routes 0
 
 (* ------------------------- stale marks ------------------------- *)
 

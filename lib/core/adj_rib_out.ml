@@ -125,7 +125,17 @@ let group_members t id =
 (* A cached egress result is valid while the source IA is unchanged:
    physical equality is the fast path (the common case — the chosen
    outgoing IA is the same value across a drain), [Ia.equal] the slow
-   one. *)
+   one.
+
+   Only positive results earn a slot.  A rejected export ([None]) is
+   cheap to recompute per drain, but a cached rejection is resident for
+   the lifetime of the route — a route collector that rejects a
+   million-prefix table toward every peer group would pin an entry per
+   (group, prefix) of pure dead weight.  The table is also capped:
+   beyond [cache_max] entries it resets wholesale, which (as with the
+   intern tables) costs only future sharing, never correctness. *)
+let cache_max = 262_144
+
 let egress t ~group ~prefix ~src ~compute =
   match group with
   | None -> (compute (), false)
@@ -133,9 +143,13 @@ let egress t ~group ~prefix ~src ~compute =
     let key = cache_key gid prefix in
     match Hashtbl.find_opt t.cache key with
     | Some e when e.src == src || Ia.equal e.src src -> (e.out, true)
-    | _ ->
+    | stale ->
       let out = compute () in
-      Hashtbl.replace t.cache key { src; out };
+      ( match out with
+        | Some _ ->
+          if Hashtbl.length t.cache >= cache_max then Hashtbl.reset t.cache;
+          Hashtbl.replace t.cache key { src; out }
+        | None -> if Option.is_some stale then Hashtbl.remove t.cache key );
       (out, false) )
 
 let cache_size t = Hashtbl.length t.cache
@@ -150,21 +164,23 @@ let table t ~peer =
     Hashtbl.replace t.advertised peer m;
     m
 
-let record t ~peer prefix = function
+let record t ~peer prefix out =
+  match out with
   | None -> (
     match Hashtbl.find_opt t.advertised peer with
     | None -> ()
     | Some m ->
       Hashtbl.remove m prefix;
       if Hashtbl.length m = 0 then Hashtbl.remove t.advertised peer )
-  | Some ia -> (
+  | Some _ -> (
+    (* Store the caller's option value as-is: it is the same box the
+       egress cache holds, so a recorded advertisement costs no
+       per-route [Some] of its own. *)
     match Hashtbl.find_opt (table t ~peer) prefix with
     | Some e ->
-      e.out <- Some ia;
+      e.out <- out;
       e.confirmed <- true
-    | None ->
-      Hashtbl.replace (table t ~peer) prefix { out = Some ia; confirmed = true }
-    )
+    | None -> Hashtbl.replace (table t ~peer) prefix { out; confirmed = true } )
 
 let note_failed t ~peer prefix =
   match Hashtbl.find_opt (table t ~peer) prefix with

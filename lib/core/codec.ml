@@ -150,7 +150,7 @@ let encode_withdraw prefix =
    Session_reset, like an unreadable announce prefix. *)
 let decode_withdraw_robust s : (Prefix.t * Errors.t list, Errors.t) result =
   let r = R.of_string s in
-  match R.prefix r with
+  match Intern.prefix (R.prefix r) with
   | prefix ->
     if R.at_end r then Ok (prefix, [])
     else
@@ -243,17 +243,19 @@ let id_min_width = 6
 
 exception Fatal of Errors.t
 
-let decode_robust_uncached s : (Ia.t * Errors.t list, Errors.t) result =
-  let discards = ref [] in
-  let r = R.of_string s in
+(* Salvaging decode of the attribute body (everything after the prefix:
+   path vector, membership, framed descriptors).  Shared between the
+   single-prefix frame and the batched frame's attribute block.  The
+   count and every descriptor frame must parse (losing them loses sync
+   with the rest of the message, [Fatal Treat_as_withdraw]), but a
+   malformed body inside an intact frame is discarded alone — pushed
+   onto [discards] — and decoding continues. *)
+let decode_attrs_salvage r discards =
   let guard stage f =
     try f ()
     with R.Error m ->
       raise (Fatal (Errors.make Errors.Treat_as_withdraw stage m))
   in
-  (* Salvaging list decode: the count and every frame must parse (losing
-     them loses sync with the rest of the message), but a malformed body
-     inside an intact frame is discarded alone and decoding continues. *)
   let salvage stage ~min_width body =
     guard stage (fun () ->
         let n = R.varint r in
@@ -277,25 +279,32 @@ let decode_robust_uncached s : (Ia.t * Errors.t list, Errors.t) result =
                    Errors.make Errors.Discard_attribute stage m :: !discards;
                  None)))
   in
+  let path_vector =
+    guard Errors.Path_vector (fun () ->
+        Intern.path_vector (R.list ~min_width:2 r decode_elem))
+  in
+  let membership =
+    guard Errors.Membership (fun () -> R.list ~min_width:3 r decode_membership)
+  in
+  let path_descriptors =
+    salvage Errors.Path_descriptor ~min_width:pd_min_width decode_pd_body
+  in
+  let island_descriptors =
+    salvage Errors.Island_descriptor ~min_width:id_min_width decode_id_body
+  in
+  (path_vector, membership, path_descriptors, island_descriptors)
+
+let decode_robust_uncached s : (Ia.t * Errors.t list, Errors.t) result =
+  let discards = ref [] in
+  let r = R.of_string s in
   try
     let prefix =
-      try R.prefix r
+      try Intern.prefix (R.prefix r)
       with R.Error m ->
         raise (Fatal (Errors.make Errors.Session_reset Errors.Framing m))
     in
-    let path_vector =
-      guard Errors.Path_vector (fun () ->
-          Intern.path_vector (R.list ~min_width:2 r decode_elem))
-    in
-    let membership =
-      guard Errors.Membership (fun () ->
-          R.list ~min_width:3 r decode_membership)
-    in
-    let path_descriptors =
-      salvage Errors.Path_descriptor ~min_width:pd_min_width decode_pd_body
-    in
-    let island_descriptors =
-      salvage Errors.Island_descriptor ~min_width:id_min_width decode_id_body
+    let path_vector, membership, path_descriptors, island_descriptors =
+      decode_attrs_salvage r discards
     in
     if not (R.at_end r) then
       raise
@@ -351,7 +360,7 @@ let decode_memo_residency () =
 
 let decode s : Ia.t =
   let r = R.of_string s in
-  let prefix = R.prefix r in
+  let prefix = Intern.prefix (R.prefix r) in
   let path_vector = Intern.path_vector (R.list ~min_width:2 r decode_elem) in
   let membership = R.list ~min_width:3 r decode_membership in
   let path_descriptors = R.list ~min_width:pd_min_width r decode_pd in
@@ -367,6 +376,159 @@ let size ia = String.length (encode_cached ia)
 let encode_compressed ia = Dbgp_wire.Compress.compress (encode ia)
 let decode_compressed s = decode (Dbgp_wire.Compress.decompress s)
 let compressed_size ia = String.length (encode_compressed ia)
+
+(* ------------------------------------------------------------------ *)
+(* Batched frames: many NLRI prefixes sharing one attribute block, as
+   real BGP packs an UPDATE.
+
+   Announce layout:   varint count
+                      count × delimited(NLRI entry = BGP-style prefix)
+                      delimited(attribute block = path vector,
+                                membership, framed descriptors)
+   Withdraw layout:   varint count
+                      count × delimited(prefix)
+
+   Salvage ladder (RFC 7606 transposed to the batch):
+   - the count or an entry's outer frame unreadable → the decoder has
+     lost sync with the whole message → [Session_reset];
+   - a malformed prefix inside an intact NLRI frame → that entry alone
+     is discarded, the rest of the batch survives;
+   - the attribute block unreadable or malformed past salvage (or
+     trailing bytes) → every salvaged prefix is treated as withdrawn
+     ([Batch_withdraw]): the routes cannot be trusted but reachability
+     state must not be, either. *)
+
+(* Outer frame (1-byte varint length for any real prefix) + prefix
+   length byte: the smallest well-formed NLRI entry is 2 bytes. *)
+let nlri_min_width = 2
+
+let encode_prefix_entries w prefixes =
+  let scratch = W.create ~capacity:8 () in
+  List.iter
+    (fun p ->
+      W.reset scratch;
+      W.prefix scratch p;
+      W.delimited w (W.contents scratch))
+    prefixes
+
+(* Per-entry salvage: outer frames already read, so a bad prefix body
+   inside one costs that entry alone. *)
+let salvage_prefix_entries blobs discards =
+  List.filter_map
+    (fun blob ->
+      match
+        let sub = R.of_string blob in
+        let p = R.prefix sub in
+        if R.at_end sub then Intern.prefix p
+        else raise (R.Error "stray bytes inside NLRI entry")
+      with
+      | p -> Some p
+      | exception R.Error m ->
+        discards :=
+          Errors.make Errors.Discard_attribute Errors.Framing
+            ("NLRI entry: " ^ m)
+          :: !discards;
+        None)
+    blobs
+
+let read_entry_frames what r =
+  let n = R.varint r in
+  if n = 0 then raise (R.Error (what ^ ": empty prefix list"));
+  if n > R.remaining r / nlri_min_width then
+    raise
+      (R.Error
+         (Printf.sprintf "%s: count %d exceeds buffer (%d bytes)" what n
+            (R.remaining r)));
+  List.init n (fun _ -> R.delimited r)
+
+let encode_batch ias =
+  match ias with
+  | [] -> invalid_arg "Codec.encode_batch: empty batch"
+  | (head : Ia.t) :: _ ->
+    let w = W.create ~capacity:(512 + (8 * List.length ias)) () in
+    W.varint w (List.length ias);
+    encode_prefix_entries w (List.map (fun (ia : Ia.t) -> ia.Ia.prefix) ias);
+    let attrs = W.create ~capacity:512 () in
+    W.list attrs encode_elem head.path_vector;
+    W.list attrs encode_membership head.membership;
+    W.list attrs encode_pd head.path_descriptors;
+    W.list attrs encode_id head.island_descriptors;
+    W.delimited w (W.contents attrs);
+    W.contents w
+
+type batch =
+  | Batch_routes of Ia.t list * Errors.t list
+  | Batch_withdraw of Prefix.t list * Errors.t
+
+let decode_batch_robust s : (batch, Errors.t) result =
+  let r = R.of_string s in
+  match read_entry_frames "batch NLRI" r with
+  | exception R.Error m ->
+    Error (Errors.make Errors.Session_reset Errors.Framing m)
+  | blobs -> (
+    let discards = ref [] in
+    let prefixes = salvage_prefix_entries blobs discards in
+    let withdraw_all e = Ok (Batch_withdraw (prefixes, e)) in
+    match R.delimited r with
+    | exception R.Error m ->
+      withdraw_all
+        (Errors.make Errors.Treat_as_withdraw Errors.Framing
+           ("batch attribute block: " ^ m))
+    | attr_blob ->
+      if not (R.at_end r) then
+        withdraw_all
+          (Errors.make Errors.Treat_as_withdraw Errors.Framing
+             (Printf.sprintf "%d trailing bytes after batch attribute block"
+                (R.remaining r)))
+      else begin
+        let sub = R.of_string attr_blob in
+        match decode_attrs_salvage sub discards with
+        | exception Fatal e -> withdraw_all e
+        | path_vector, membership, path_descriptors, island_descriptors ->
+          if not (R.at_end sub) then
+            withdraw_all
+              (Errors.make Errors.Treat_as_withdraw Errors.Framing
+                 (Printf.sprintf "%d stray bytes inside attribute block"
+                    (R.remaining sub)))
+          else
+            (* One decoded attribute set fans out to every salvaged
+               prefix — the IAs in a batch share their attribute fields
+               physically by construction. *)
+            let ias =
+              List.map
+                (fun prefix ->
+                  { Ia.prefix; path_vector; membership; path_descriptors;
+                    island_descriptors })
+                prefixes
+            in
+            Ok (Batch_routes (ias, List.rev !discards))
+      end)
+
+let encode_withdraw_batch prefixes =
+  if prefixes = [] then invalid_arg "Codec.encode_withdraw_batch: empty batch";
+  let w = W.create ~capacity:(8 + (8 * List.length prefixes)) () in
+  W.varint w (List.length prefixes);
+  encode_prefix_entries w prefixes;
+  W.contents w
+
+let decode_withdraw_batch_robust s :
+    (Prefix.t list * Errors.t list, Errors.t) result =
+  let r = R.of_string s in
+  match read_entry_frames "withdraw batch" r with
+  | exception R.Error m ->
+    Error (Errors.make Errors.Session_reset Errors.Framing m)
+  | blobs ->
+    let discards = ref [] in
+    let prefixes = salvage_prefix_entries blobs discards in
+    (* Like the single-prefix withdraw: trailing garbage after an
+       otherwise-usable message is noted and dropped, not fatal. *)
+    if not (R.at_end r) then
+      discards :=
+        Errors.make Errors.Discard_attribute Errors.Framing
+          (Printf.sprintf "%d trailing bytes after withdraw batch"
+             (R.remaining r))
+        :: !discards;
+    Ok (prefixes, List.rev !discards)
 
 type breakdown = {
   base : int;

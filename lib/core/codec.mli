@@ -43,6 +43,48 @@ val decode_withdraw_robust :
     [Discard_attribute]); [Error e] with [e.cls = Session_reset] when the
     prefix itself is unreadable.  Never raises. *)
 
+(** {1 Batched frames}
+
+    Many NLRI prefixes sharing one attribute block, as real BGP packs an
+    UPDATE: [varint count; count × delimited NLRI entry; delimited
+    attribute block] for announces, [varint count; count × delimited
+    prefix] for withdraws.  Single-prefix frames remain first-class and
+    byte-identical — batching is a delivery-layer choice, not a codec
+    migration. *)
+
+val encode_batch : Ia.t list -> string
+(** One frame for the whole batch.  The attribute block is taken from
+    the head; callers must only batch IAs related by {!Ia.same_attrs}
+    (the network layer's bucketing guarantees this).
+    @raise Invalid_argument on an empty batch. *)
+
+(** Decoded batch, after salvage. *)
+type batch =
+  | Batch_routes of Ia.t list * Errors.t list
+      (** The surviving routes — every IA physically shares one decoded
+          attribute set — plus per-entry/per-descriptor
+          [Discard_attribute] errors.  An NLRI entry whose prefix is
+          malformed inside an intact outer frame is discarded alone. *)
+  | Batch_withdraw of Dbgp_types.Prefix.t list * Errors.t
+      (** The attribute block was unreadable (or trailing bytes
+          followed it): RFC 7606 treat-as-withdraw applied to every
+          salvaged prefix of the batch. *)
+
+val decode_batch_robust : string -> (batch, Errors.t) result
+(** Salvaging decode of a batched announce frame.  [Error e] (with
+    [e.cls = Session_reset]) only when the NLRI count or an entry's
+    outer frame is unreadable — the decoder has lost sync with the
+    message.  Never raises. *)
+
+val encode_withdraw_batch : Dbgp_types.Prefix.t list -> string
+(** @raise Invalid_argument on an empty batch. *)
+
+val decode_withdraw_batch_robust :
+  string -> (Dbgp_types.Prefix.t list * Errors.t list, Errors.t) result
+(** Salvaging decode of a batched withdraw frame: malformed entries are
+    discarded alone ([Discard_attribute] in the error list), framing
+    loss is [Error] with [Session_reset].  Never raises. *)
+
 (** {1 Encode-once wire sharing}
 
     One distinct (physical) IA encodes once; every fan-out delivery

@@ -198,6 +198,23 @@ let with_next_hop nh t =
 
 let equal a b = a == b || a = b
 
+(* Attribute equality ignoring the prefix: the batching layer buckets
+   routes whose attribute sets coincide.  Per-field pointer checks come
+   first — interning and the export cache make physical sharing the
+   common case — with a structural fallback per field so equal-but-
+   unshared attributes still bucket together. *)
+let same_attrs a b =
+  a == b
+  || ((a.path_vector == b.path_vector || a.path_vector = b.path_vector)
+     && (a.membership == b.membership || a.membership = b.membership)
+     && (a.path_descriptors == b.path_descriptors
+        || a.path_descriptors = b.path_descriptors)
+     && (a.island_descriptors == b.island_descriptors
+        || a.island_descriptors = b.island_descriptors))
+
+let with_prefix prefix t =
+  if Prefix.equal prefix t.prefix then t else { t with prefix }
+
 let pp_owner_list ppf owners =
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")

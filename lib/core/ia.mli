@@ -131,4 +131,19 @@ val next_hop : t -> Dbgp_types.Ipv4.t option
 val with_next_hop : Dbgp_types.Ipv4.t -> t -> t
 
 val equal : t -> t -> bool
+
+val same_attrs : t -> t -> bool
+(** Equality of everything {e except} the prefix — path vector,
+    membership, descriptors.  Physical per-field fast paths first (the
+    export cache and attribute table make sharing the common case),
+    structural fallback second.  This is the bucketing relation for
+    multi-prefix batched updates: routes with [same_attrs] can share one
+    wire attribute block. *)
+
+val with_prefix : Dbgp_types.Prefix.t -> t -> t
+(** [t] re-pointed at [prefix]; the attribute fields are physically
+    shared with [t] (and [t] itself is returned when the prefix already
+    matches).  The decode side of batched frames fans one decoded
+    attribute block out to every NLRI entry with this. *)
+
 val pp : Format.formatter -> t -> unit

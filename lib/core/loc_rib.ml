@@ -1,45 +1,45 @@
 open Dbgp_types
 module Trie = Dbgp_trie.Prefix_trie
 
-(* The best-route map is the authoritative store; the two tries exist
-   only for data-plane queries ({!lookup}, {!next_hop}), which run after
-   convergence, not inside the update hot path.  Rebuilding a /24 path
-   in a functional trie touches ~24 nodes, so doing it twice per
-   decision change dominated allocation — instead the tries are marked
-   stale on every write and rebuilt from the maps on the next query. *)
+(* One map, one trie, and nothing per route but the chosen value
+   itself.  The forwarding next hop is not stored — it is a projection
+   of the chosen route (the address of the peer it was learned from),
+   supplied once at {!create} and applied at query time.  The earlier
+   layout spent a second AVL node, a second trie and a next-hop cell
+   per route to answer {!next_hop}; at Internet table sizes that
+   dominated the route store's footprint.
+
+   The trie exists only for data-plane queries ({!lookup}, {!next_hop}),
+   which run after convergence, not inside the update hot path.
+   Rebuilding a /24 path in a functional trie touches ~24 nodes, so
+   doing it per decision change dominated allocation — instead the trie
+   is marked stale on every write and rebuilt from the map on the next
+   query. *)
 type 'c t = {
+  nh_of : 'c -> Ipv4.t option;
   mutable best : 'c Prefix.Map.t;
-  mutable nhs : Ipv4.t Prefix.Map.t; (* prefix -> next hop; learned only *)
-  mutable by_addr : 'c Trie.t; (* LPM over chosen routes; lazy *)
-  mutable fib : Ipv4.t Trie.t; (* lazy, derived from [nhs] *)
-  mutable tries_stale : bool;
+  mutable by_addr : 'c Trie.t; (* LPM; lazy *)
+  mutable trie_stale : bool;
 }
 
-let create () =
-  { best = Prefix.Map.empty;
-    nhs = Prefix.Map.empty;
+let create ?(next_hop = fun _ -> None) () =
+  { nh_of = next_hop;
+    best = Prefix.Map.empty;
     by_addr = Trie.empty;
-    fib = Trie.empty;
-    tries_stale = false }
+    trie_stale = false }
 
-let set t prefix c ~next_hop =
+let set t prefix c =
   t.best <- Prefix.Map.add prefix c t.best;
-  t.nhs <-
-    ( match next_hop with
-      | Some nh -> Prefix.Map.add prefix nh t.nhs
-      | None -> Prefix.Map.remove prefix t.nhs );
-  t.tries_stale <- true
+  t.trie_stale <- true
 
 let remove t prefix =
   t.best <- Prefix.Map.remove prefix t.best;
-  t.nhs <- Prefix.Map.remove prefix t.nhs;
-  t.tries_stale <- true
+  t.trie_stale <- true
 
 let refresh t =
-  if t.tries_stale then begin
+  if t.trie_stale then begin
     t.by_addr <- Prefix.Map.fold Trie.add t.best Trie.empty;
-    t.fib <- Prefix.Map.fold Trie.add t.nhs Trie.empty;
-    t.tries_stale <- false
+    t.trie_stale <- false
   end
 
 let find t prefix = Prefix.Map.find_opt prefix t.best
@@ -67,9 +67,18 @@ let fold_range t ~above ~limit ~f ~init =
   in
   go seq limit init None
 
+(* The longest match *among next-hop-bearing routes*: a locally
+   originated more-specific (no next hop) must not shadow a learned,
+   forwardable covering route, so walk the deepest-first match list
+   past hop-less entries. *)
 let next_hop t dest =
   refresh t;
-  Option.map snd (Trie.longest_match dest t.fib)
+  let rec first = function
+    | [] -> None
+    | (_, c) :: rest -> (
+      match t.nh_of c with Some _ as nh -> nh | None -> first rest )
+  in
+  first (Trie.matches dest t.by_addr)
 
 let lookup t dest =
   refresh t;

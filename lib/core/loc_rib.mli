@@ -1,26 +1,31 @@
 (** Loc-RIB: stage 2 of the RIB pipeline.
 
-    The per-prefix selected best routes plus a forwarding view: a
-    next-hop FIB trie (longest-prefix match to the chosen neighbor
-    address) and an LPM trie over the chosen routes themselves.  The
-    tries are rebuilt lazily — {!set}/{!remove} only touch the route
-    maps and mark the tries stale; the first {!next_hop}/{!lookup}
-    after a write rebuilds them.  This keeps trie maintenance out of
-    the decision hot path while individual lookups stay O(prefix
-    length) once refreshed.
+    The per-prefix selected best routes plus a forwarding view: one
+    LPM trie over the chosen routes answers both {!lookup} and
+    {!next_hop}.  The next hop is not stored per route — it is a
+    projection of the chosen value (supplied at {!create}), so a RIB
+    entry's resident cost is exactly one map node plus one trie node.
+    The trie is rebuilt lazily — {!set}/{!remove} only touch the route
+    map and mark it stale; the first {!next_hop}/{!lookup} after a
+    write rebuilds it.  This keeps trie maintenance out of the
+    decision hot path while individual lookups stay O(prefix length)
+    once refreshed.
 
-    Polymorphic in the chosen-route type; a route selected without a
-    next hop (locally originated) is held in the best map but absent
-    from the FIB. *)
+    Polymorphic in the chosen-route type; a route whose projection
+    yields no next hop (locally originated) is selectable but skipped
+    by the FIB walk. *)
 
 type 'c t
 
-val create : unit -> 'c t
+val create : ?next_hop:('c -> Dbgp_types.Ipv4.t option) -> unit -> 'c t
+(** [next_hop] projects a chosen route to the neighbor address the FIB
+    should forward to — [None] (the default for every route when
+    omitted) marks it locally originated / not forwardable.  The
+    projection must be pure: it is applied at query time, not at
+    {!set} time. *)
 
-val set : 'c t -> Dbgp_types.Prefix.t -> 'c -> next_hop:Dbgp_types.Ipv4.t option -> unit
-(** Install (or replace) the chosen route for a prefix.  [next_hop] is
-    the neighbor address the FIB should forward to; [None] (a locally
-    originated route) removes the prefix from the FIB. *)
+val set : 'c t -> Dbgp_types.Prefix.t -> 'c -> unit
+(** Install (or replace) the chosen route for a prefix. *)
 
 val remove : 'c t -> Dbgp_types.Prefix.t -> unit
 val find : 'c t -> Dbgp_types.Prefix.t -> 'c option

@@ -122,7 +122,13 @@ let create cfg =
     active = Trie.empty;
     nbrs = Peer.Map.empty;
     rib_in = Adj_rib_in.create ();
-    loc = Loc_rib.create ();
+    loc =
+      Loc_rib.create
+        ~next_hop:(fun c ->
+          Option.map
+            (fun p -> p.Peer.addr)
+            c.candidate.Decision_module.from_peer)
+        ();
     rib_out = Adj_rib_out.create ();
     sched = Pipeline.create obs;
     local = Prefix.Map.empty;
@@ -392,8 +398,10 @@ let distribute t prefix =
       Peer.Map.iter
         (fun peer n ->
           match emission_with t ~learned chosen n with
-          | Some ia ->
-            record_adj_out t peer prefix (Some ia);
+          | Some ia as o ->
+            (* Record the egress cache's own option box — no per-route
+               [Some] of the Adj-RIB-Out's own. *)
+            record_adj_out t peer prefix o;
             emit peer (Announce ia)
           | None ->
             if previously_announced t peer prefix then begin
@@ -413,8 +421,8 @@ let refresh_peer t peer =
     Loc_rib.fold
       (fun prefix chosen acc ->
         match emission_for t chosen n with
-        | Some ia ->
-          record_adj_out t peer prefix (Some ia);
+        | Some ia as o ->
+          record_adj_out t peer prefix o;
           (peer, Announce ia) :: acc
         | None ->
           if previously_announced t peer prefix then begin
@@ -454,11 +462,11 @@ let sync_peer ?(limit = max_int) ?cursor t peer =
       Loc_rib.fold_range t.loc ~above:cursor ~limit
         ~f:(fun prefix chosen () ->
           match emission_for t chosen n with
-          | Some ia -> (
+          | Some ia as o -> (
             match Adj_rib_out.find t.rib_out ~peer prefix with
             | Some (Some prev, true) when Ia.equal prev ia -> incr skipped
             | _ ->
-              record_adj_out t peer prefix (Some ia);
+              record_adj_out t peer prefix o;
               out := (peer, Announce ia) :: !out;
               incr sent )
           | None ->
@@ -617,9 +625,13 @@ let process t ~now prefix =
         ( match m.Decision_module.export_filter outgoing with
           | None -> None
           | Some outgoing ->
+            (* The Loc-RIB chosen entry holds its own reference on the
+               outgoing attribute set — built IAs fan out to every
+               neighbor, so collapsing equal builds is the big sharing
+               win on transit speakers. *)
             Some
               { candidate;
-                outgoing;
+                outgoing = Attr_table.share outgoing;
                 built_gen = t.gen;
                 built_from = raw_candidates } )
   in
@@ -635,6 +647,15 @@ let process t ~now prefix =
         && Ia.equal a.outgoing b.outgoing )
     | _ -> true
   in
+  (* Reference discipline: a freshly built chosen entry acquired a
+     reference above.  If it replaces a stored entry the old reference
+     drops; if it turns out equal to the stored entry it is discarded
+     and its own reference drops.  Refcounts only steer attribute-table
+     residency, so this bookkeeping can never invalidate a route. *)
+  if changed then
+    Option.iter (fun p -> Attr_table.release p.outgoing) prev
+  else if not reused then
+    Option.iter (fun c -> Attr_table.release c.outgoing) next;
   if changed then begin
     Metrics.incr t.c_changes;
     Metrics.set t.g_last_change now;
@@ -654,13 +675,7 @@ let process t ~now prefix =
            best_via });
     ( match next with
       | None -> Loc_rib.remove t.loc prefix
-      | Some c ->
-        let next_hop =
-          Option.map
-            (fun p -> p.Peer.addr)
-            c.candidate.Decision_module.from_peer
-        in
-        Loc_rib.set t.loc prefix c ~next_hop );
+      | Some c -> Loc_rib.set t.loc prefix c );
     (match t.change_hook with Some f -> f ~now prefix | None -> ());
     distribute t prefix
   end
@@ -677,12 +692,14 @@ let ingest_msg t ~now ~from msg =
   match msg with
   | Withdraw prefix ->
     Metrics.incr t.c_withdrawals_rx;
-    let had = Option.is_some (Adj_rib_in.find t.rib_in ~peer:from prefix) in
+    let prev = Adj_rib_in.find t.rib_in ~peer:from prefix in
+    Option.iter Attr_table.release prev;
     Adj_rib_in.remove t.rib_in ~peer:from prefix;
     (* Hearing from the peer at all proves it is back: its stale mark for
        this prefix is resolved (by removal). *)
     Adj_rib_in.clear_stale t.rib_in ~peer:from prefix;
-    if had then note_flap t ~now from prefix (withdraw_penalty t);
+    if Option.is_some prev then
+      note_flap t ~now from prefix (withdraw_penalty t);
     Pipeline.mark t.sched prefix
   | Announce ia -> (
     Metrics.incr t.c_updates_rx;
@@ -697,13 +714,14 @@ let ingest_msg t ~now ~from msg =
              prefix = Prefix.to_string ia.Ia.prefix });
       (* A rejected IA acts as an implicit withdrawal of any previous
          route from this peer for the prefix. *)
-      if Option.is_some (Adj_rib_in.find t.rib_in ~peer:from ia.Ia.prefix)
-      then begin
+      ( match Adj_rib_in.find t.rib_in ~peer:from ia.Ia.prefix with
+      | None -> ()
+      | Some prev ->
+        Attr_table.release prev;
         Adj_rib_in.remove t.rib_in ~peer:from ia.Ia.prefix;
         Adj_rib_in.clear_stale t.rib_in ~peer:from ia.Ia.prefix;
         note_flap t ~now from ia.Ia.prefix (withdraw_penalty t);
-        Pipeline.mark t.sched ia.Ia.prefix
-      end
+        Pipeline.mark t.sched ia.Ia.prefix )
     | Some ia -> (
       match Adj_rib_in.find t.rib_in ~peer:from ia.Ia.prefix with
       | Some prev when Ia.equal prev ia ->
@@ -715,10 +733,15 @@ let ingest_msg t ~now ~from msg =
         Adj_rib_in.clear_stale t.rib_in ~peer:from ia.Ia.prefix
       | prev ->
         ( match prev with
-          | Some _ ->
+          | Some p ->
             (* Re-advertisement with changed attributes is a flap too. *)
+            Attr_table.release p;
             note_flap t ~now from ia.Ia.prefix (attr_change_penalty t)
           | None -> () );
+        (* The Adj-RIB-In holds a reference on the route's attribute
+           set; sharing here also canonicalizes the stored IA so equal
+           attribute sets across peers and prefixes are one block. *)
+        let ia = Attr_table.share ia in
         Adj_rib_in.set t.rib_in ~peer:from ia.Ia.prefix ia;
         Adj_rib_in.clear_stale t.rib_in ~peer:from ia.Ia.prefix;
         Pipeline.mark t.sched ia.Ia.prefix ) )
@@ -754,6 +777,10 @@ let receive ?(now = 0.) t ~from msg =
     []
 
 let originate ?(now = 0.) t (ia : Ia.t) =
+  (* Local originations share attribute sets too: a speaker originating
+     a million prefixes with one policy holds one attribute block. *)
+  Option.iter Attr_table.release (Prefix.Map.find_opt ia.Ia.prefix t.local);
+  let ia = Attr_table.share ia in
   t.local <- Prefix.Map.add ia.Ia.prefix ia t.local;
   Pipeline.mark t.sched ia.Ia.prefix;
   flush ~now t
@@ -762,12 +789,13 @@ let originate ?(now = 0.) t (ia : Ia.t) =
    local route, withdrawing it from every peer (or falling back to a
    learned route).  This is how a hijacker stands down. *)
 let withdraw_origin ?(now = 0.) t prefix =
-  if Prefix.Map.mem prefix t.local then begin
+  match Prefix.Map.find_opt prefix t.local with
+  | Some ia ->
+    Attr_table.release ia;
     t.local <- Prefix.Map.remove prefix t.local;
     Pipeline.mark t.sched prefix;
     flush ~now t
-  end
-  else []
+  | None -> []
 
 (* Unconditionally re-derive the advertisements for [prefix] from the
    current Loc-RIB best.  Unlike {!reevaluate} (a no-op when the best
@@ -869,6 +897,81 @@ let receive_wire_withdraw ?(now = 0.) ?(defer = false) t ~from bytes =
     List.iter (record_error t ~now ~from) discarded;
     (Rx_withdrawn, rx (Withdraw prefix))
 
+(* Batched wire receive: one frame, many NLRI prefixes sharing one
+   attribute block.  The whole batch is ingested before a single
+   decision flush — the pipeline's dirty-prefix scheduler coalesces the
+   work exactly as it does for a burst of single-prefix messages, minus
+   the per-message flush overhead. *)
+let receive_wire_batch ?(now = 0.) ?(defer = false) t ~from bytes =
+  let rx_batch msgs =
+    List.iter (fun m -> ingest ~now t ~from m) msgs;
+    if defer then []
+    else
+      try flush ~now t
+      with exn ->
+        absorb t ~now ~from exn;
+        []
+  in
+  match Codec.decode_batch_robust bytes with
+  | Error e ->
+    record_error t ~now ~from e;
+    (Rx_session_error, [])
+  | Ok (Codec.Batch_withdraw (prefixes, e)) ->
+    (* Corrupted attribute block: RFC 7606 treat-as-withdraw scoped to
+       the whole batch — every salvaged prefix loses its route. *)
+    record_error t ~now ~from e;
+    (Rx_withdrawn, rx_batch (List.map (fun p -> Withdraw p) prefixes))
+  | Ok (Codec.Batch_routes (ias, discarded)) -> (
+    List.iter (record_error t ~now ~from) discarded;
+    match ias with
+    | [] -> (Rx_accepted (List.length discarded), [])
+    | head :: _ ->
+      (* The IAs share one attribute set, so the semantic next-hop check
+         is batch-wide: no usable next hop means no route in the batch
+         can enter the FIB. *)
+      if Ia.next_hop head = None then begin
+        let e =
+          Errors.make Errors.Treat_as_withdraw Errors.Semantic
+            "missing BGP next-hop descriptor"
+        in
+        record_error t ~now ~from e;
+        ( Rx_withdrawn,
+          rx_batch (List.map (fun (ia : Ia.t) -> Withdraw ia.Ia.prefix) ias)
+        )
+      end
+      else begin
+        let rejected_before =
+          Metrics.count (Metrics.counter t.obs "import.rejected")
+        in
+        let out = rx_batch (List.map (fun ia -> Announce ia) ias) in
+        let rejected =
+          Metrics.count (Metrics.counter t.obs "import.rejected")
+          - rejected_before
+        in
+        if rejected >= List.length ias then (Rx_filtered, out)
+        else (Rx_accepted (List.length discarded), out)
+      end )
+
+(* Batched withdraw frame: per-entry salvage, then one decision flush
+   for every surviving prefix. *)
+let receive_wire_withdraw_batch ?(now = 0.) ?(defer = false) t ~from bytes =
+  let rx_batch msgs =
+    List.iter (fun m -> ingest ~now t ~from m) msgs;
+    if defer then []
+    else
+      try flush ~now t
+      with exn ->
+        absorb t ~now ~from exn;
+        []
+  in
+  match Codec.decode_withdraw_batch_robust bytes with
+  | Error e ->
+    record_error t ~now ~from e;
+    (Rx_session_error, [])
+  | Ok (prefixes, discarded) ->
+    List.iter (record_error t ~now ~from) discarded;
+    (Rx_withdrawn, rx_batch (List.map (fun p -> Withdraw p) prefixes))
+
 (* ---------------- session teardown ---------------- *)
 
 (* Shared teardown: drop the peer's pipeline state and recompute the
@@ -876,6 +979,12 @@ let receive_wire_withdraw ?(now = 0.) ?(defer = false) t ~from bytes =
    loss (damping memory survives — a flapping link must not reset its
    own penalties) from administrative removal (everything goes). *)
 let teardown ~forget_flaps ~now t peer =
+  (* Every route the peer contributed leaves the Adj-RIB-In at once;
+     drop their attribute-set references before the wholesale drop. *)
+  List.iter
+    (fun p ->
+      Option.iter Attr_table.release (Adj_rib_in.find t.rib_in ~peer p))
+    (Adj_rib_in.prefixes_of t.rib_in ~peer);
   let affected = Adj_rib_in.drop_peer t.rib_in ~peer in
   Adj_rib_out.drop_peer t.rib_out ~peer;
   Adj_rib_out.leave t.rib_out ~peer;
@@ -905,6 +1014,7 @@ let flush_stale ?(now = 0.) t peer =
            routes });
     Prefix.Set.iter
       (fun p ->
+        Option.iter Attr_table.release (Adj_rib_in.find t.rib_in ~peer p);
         Adj_rib_in.remove t.rib_in ~peer p;
         Pipeline.mark t.sched p)
       set;

@@ -218,6 +218,33 @@ val receive_wire_withdraw :
     [Rx_withdrawn] (trailing garbage is discarded and counted); an
     unreadable prefix yields [Rx_session_error].  Never raises. *)
 
+val receive_wire_batch :
+  ?now:float ->
+  ?defer:bool ->
+  t ->
+  from:Peer.t ->
+  string ->
+  rx_outcome * (Peer.t * msg) list
+(** Feed one batched announce frame (see {!Codec.encode_batch}) through
+    the pipeline.  The whole batch is ingested before a single decision
+    flush.  Salvage follows {!Codec.decode_batch_robust}: a corrupted
+    NLRI entry is discarded alone; a corrupted attribute block (or, the
+    attributes being shared, a missing next hop) treats every salvaged
+    prefix as withdrawn; only lost framing is [Rx_session_error].
+    [Rx_filtered] means import policy rejected the entire batch.  Never
+    raises. *)
+
+val receive_wire_withdraw_batch :
+  ?now:float ->
+  ?defer:bool ->
+  t ->
+  from:Peer.t ->
+  string ->
+  rx_outcome * (Peer.t * msg) list
+(** Feed one batched withdraw frame (see {!Codec.encode_withdraw_batch})
+    through the pipeline: per-entry salvage, then one decision flush for
+    every surviving prefix.  Never raises. *)
+
 (** {1 Resilience: graceful restart (RFC 4724) and flap damping (RFC 2439)} *)
 
 val peer_down_graceful : ?now:float -> t -> Peer.t -> unit

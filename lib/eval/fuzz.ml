@@ -22,6 +22,10 @@ type report = {
   escaped : int;
   discarded_descriptors : int;
   roundtrip_failures : int;
+  batch_cases : int;
+  batch_ok : int;
+  batch_treat_withdraw : int;
+  batch_session_reset : int;
   elapsed : float;
 }
 
@@ -148,6 +152,35 @@ let mutate rng s =
   let s = mutate_once rng s in
   if Prng.int rng 3 = 0 then mutate_once rng s else s
 
+(* Batch-frame-aware mutations, aimed at the structure the batched
+   decoder depends on: the leading NLRI count, the per-entry frames in
+   the first half, and the trailing attribute block. *)
+let mutate_batch rng s =
+  let n = String.length s in
+  if n < 2 then s
+  else
+    match Prng.int rng 4 with
+    | 0 ->
+      (* NLRI count tampering: the count varint leads the frame. *)
+      let b = Bytes.of_string s in
+      Bytes.set b 0
+        (Char.chr (match Prng.int rng 3 with 0 -> 0x00 | 1 -> 0x7F | _ -> 0xFF));
+      Bytes.to_string b
+    | 1 ->
+      (* Attribute-block truncation: the block is length-framed at the
+         tail, so chopping bytes starves its delimited read. *)
+      String.sub s 0 (n - 1 - Prng.int rng (min 16 (n - 1)))
+    | 2 ->
+      (* Split-point corruption: slam an NLRI-region byte (entry length
+         octets live in the first half) to desynchronize the walk from
+         the entries to the attribute block. *)
+      let b = Bytes.of_string s in
+      Bytes.set b
+        (Prng.int rng (max 1 (n / 2)))
+        (Char.chr (if Prng.bool rng then 0x7F else 0xFF));
+      Bytes.to_string b
+    | _ -> mutate rng s
+
 (* ------------------------- the pipeline ------------------------- *)
 
 let make_speaker () =
@@ -173,8 +206,62 @@ let run cfg =
   and strict_errors = ref 0
   and escaped = ref 0
   and discarded = ref 0
-  and roundtrip_failures = ref 0 in
+  and roundtrip_failures = ref 0
+  and batch_cases = ref 0
+  and batch_ok = ref 0
+  and batch_treat_withdraw = ref 0
+  and batch_session_reset = ref 0 in
   let started = Unix.gettimeofday () in
+  (* One mutated batched frame (announce or withdraw) through decoder and
+     speaker; the decoders must verdict, the speaker must absorb. *)
+  let batch_leg rng idx head =
+    incr batch_cases;
+    let width = 2 + Prng.int rng 6 in
+    let ias =
+      List.init width (fun j ->
+          Ia.with_prefix
+            (Prefix.make
+               (Ipv4.of_int (((idx * 8 + j) * 2654435761) land 0xFFFFFF lsl 8))
+               24)
+            head)
+    in
+    let announce = Prng.bool rng in
+    let pristine =
+      if announce then Codec.encode_batch ias
+      else Codec.encode_withdraw_batch (List.map (fun (ia : Ia.t) -> ia.Ia.prefix) ias)
+    in
+    (* Pristine sanity leg: a clean batch must decode back whole. *)
+    ( if announce then
+        match Codec.decode_batch_robust pristine with
+        | Ok (Codec.Batch_routes (ias', [])) when List.for_all2 Ia.equal ias ias' -> ()
+        | _ | (exception _) -> incr roundtrip_failures
+      else
+        match Codec.decode_withdraw_batch_robust pristine with
+        | Ok (ps, []) when List.for_all2
+            (fun (ia : Ia.t) p -> Prefix.equal ia.Ia.prefix p) ias ps -> ()
+        | _ | (exception _) -> incr roundtrip_failures );
+    let wire = if Prng.int rng 4 = 0 then pristine else mutate_batch rng pristine in
+    ( if announce then
+        match Codec.decode_batch_robust wire with
+        | Ok (Codec.Batch_routes _) -> incr batch_ok
+        | Ok (Codec.Batch_withdraw _) -> incr batch_treat_withdraw
+        | Error _ -> incr batch_session_reset
+        | exception _ -> incr escaped
+      else
+        match Codec.decode_withdraw_batch_robust wire with
+        | Ok _ -> incr batch_ok
+        | Error _ -> incr batch_session_reset
+        | exception _ -> incr escaped );
+    match
+      if announce then
+        Speaker.receive_wire_batch ~now:(float_of_int idx) speaker ~from:peer wire
+      else
+        Speaker.receive_wire_withdraw_batch ~now:(float_of_int idx) speaker
+          ~from:peer wire
+    with
+    | (_ : Speaker.rx_outcome), (_ : (Peer.t * Speaker.msg) list) -> ()
+    | exception _ -> incr escaped
+  in
   for idx = 0 to cfg.cases - 1 do
     let ia = gen_ia rng idx in
     let pristine = Codec.encode ia in
@@ -204,7 +291,8 @@ let run cfg =
       | Speaker.Rx_filtered, _ -> incr filtered
       | Speaker.Rx_withdrawn, _ -> incr withdrawn
       | Speaker.Rx_session_error, _ -> incr session_error
-      | exception _ -> incr escaped )
+      | exception _ -> incr escaped );
+    if idx land 3 = 0 then batch_leg rng idx ia
   done;
   { config = cfg;
     accepted = !accepted;
@@ -216,6 +304,10 @@ let run cfg =
     escaped = !escaped;
     discarded_descriptors = !discarded;
     roundtrip_failures = !roundtrip_failures;
+    batch_cases = !batch_cases;
+    batch_ok = !batch_ok;
+    batch_treat_withdraw = !batch_treat_withdraw;
+    batch_session_reset = !batch_session_reset;
     elapsed = Unix.gettimeofday () -. started }
 
 let cases_per_sec r =
@@ -232,7 +324,11 @@ let deterministic_fields r =
     ("strict_errors", r.strict_errors);
     ("escaped", r.escaped);
     ("discarded_descriptors", r.discarded_descriptors);
-    ("roundtrip_failures", r.roundtrip_failures) ]
+    ("roundtrip_failures", r.roundtrip_failures);
+    ("batch_cases", r.batch_cases);
+    ("batch_ok", r.batch_ok);
+    ("batch_treat_withdraw", r.batch_treat_withdraw);
+    ("batch_session_reset", r.batch_session_reset) ]
 
 let to_snapshot r =
   Snapshot.Obj
@@ -244,7 +340,9 @@ let pp_report ppf r =
     "@[<v>fuzz seed=%d cases=%d (%.0f cases/s):@,\
      accepted=%d (+%d with discards, %d descriptors dropped)@,\
      filtered=%d withdrawn=%d session_error=%d@,\
-     strict_errors=%d escaped=%d roundtrip_failures=%d@]"
+     strict_errors=%d escaped=%d roundtrip_failures=%d@,\
+     batch: cases=%d ok=%d treat_withdraw=%d session_reset=%d@]"
     r.config.seed r.config.cases (cases_per_sec r) r.accepted
     r.accepted_with_discards r.discarded_descriptors r.filtered r.withdrawn
     r.session_error r.strict_errors r.escaped r.roundtrip_failures
+    r.batch_cases r.batch_ok r.batch_treat_withdraw r.batch_session_reset

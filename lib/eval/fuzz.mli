@@ -10,6 +10,15 @@
     + {!Dbgp_core.Speaker.receive_wire} on a live speaker (must never
       raise, and must map every input onto the RFC 7606 ladder).
 
+    Every fourth case additionally builds a multi-prefix batched frame
+    (see {!Dbgp_core.Codec.encode_batch}) and attacks its specific
+    structure — NLRI count tampering, attribute-block truncation,
+    NLRI/attr split-point corruption — through
+    {!Dbgp_core.Codec.decode_batch_robust},
+    {!Dbgp_core.Codec.decode_withdraw_batch_robust},
+    {!Dbgp_core.Speaker.receive_wire_batch} and
+    {!Dbgp_core.Speaker.receive_wire_withdraw_batch} (none may raise).
+
     Everything is driven by one seed: the same [config] reproduces the
     same cases and the same outcome histogram, so the histogram can be
     pinned in tests while throughput ([cases_per_sec]) floats. *)
@@ -33,6 +42,10 @@ type report = {
   roundtrip_failures : int;
       (** pristine (unmutated) encodings that did not decode back equal —
           codec bugs, must be 0 *)
+  batch_cases : int;          (** batched frames fed (announce + withdraw) *)
+  batch_ok : int;             (** batched decodes that salvaged routes *)
+  batch_treat_withdraw : int; (** whole-batch treat-as-withdraw verdicts *)
+  batch_session_reset : int;  (** batched frames with framing lost *)
   elapsed : float;            (** wall-clock seconds (not deterministic) *)
 }
 

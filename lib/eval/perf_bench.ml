@@ -42,6 +42,8 @@ type row = {
   updates_per_cpu_s : float;
   minor_words_per_update : float;
   major_words_per_update : float;
+  peak_heap_words : int;
+  live_words : int;
   enc_hits : int;
   enc_misses : int;
   enc_hit_rate : float;
@@ -138,6 +140,11 @@ let run ?(seed = 42) ?(prefixes = 64) ?(mrai = 2.0) ?(wire = false) ~ases () =
     updates_per_cpu_s = (if cpu > 0. then float_of_int updates /. cpu else 0.);
     minor_words_per_update = per_update (g1.Gc.minor_words -. g0.Gc.minor_words);
     major_words_per_update = per_update (g1.Gc.major_words -. g0.Gc.major_words);
+    peak_heap_words = g1.Gc.top_heap_words;
+    live_words =
+      (* Accurate live set needs a completed major cycle. *)
+      (Gc.full_major ();
+       (Gc.stat ()).Gc.live_words);
     enc_hits;
     enc_misses;
     enc_hit_rate = rate enc_hits enc_misses;
@@ -333,6 +340,8 @@ let to_snapshot r =
       ("updates_per_cpu_s", Snapshot.Float r.updates_per_cpu_s);
       ("minor_words_per_update", Snapshot.Float r.minor_words_per_update);
       ("major_words_per_update", Snapshot.Float r.major_words_per_update);
+      ("peak_heap_words", Snapshot.Int r.peak_heap_words);
+      ("live_words", Snapshot.Int r.live_words);
       ("encode_cache_hits", Snapshot.Int r.enc_hits);
       ("encode_cache_misses", Snapshot.Int r.enc_misses);
       ("encode_cache_hit_rate", Snapshot.Float r.enc_hit_rate);

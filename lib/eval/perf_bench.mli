@@ -31,6 +31,8 @@ type row = {
   updates_per_cpu_s : float;
   minor_words_per_update : float;
   major_words_per_update : float;
+  peak_heap_words : int;   (** major-heap high-water mark after the run *)
+  live_words : int;        (** live words after the run (post full major) *)
   enc_hits : int;          (** [wire.encode_cache.hits] delta *)
   enc_misses : int;
   enc_hit_rate : float;

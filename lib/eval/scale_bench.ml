@@ -44,7 +44,14 @@ type row = {
   load_cpu_s : float;
   load_updates_per_s : float;
   words_per_route : float;
+  attr_sets : int;          (* resident shared attribute sets after load *)
+  peak_heap_words : int;    (* major-heap high-water mark after load *)
+  live_words : int;         (* live words after load (post full major) *)
   full_transfer_msgs : int;
+  full_transfer_bytes : int;
+  batched_transfer_msgs : int;
+  batched_transfer_bytes : int;
+  batch_frames : int;
   clean_transfer_msgs : int;
   clean_skipped : int;
   churn_routes : int;
@@ -107,6 +114,10 @@ let net_words net = Obj.reachable_words (Obj.repr net)
 
 let run ?(seed = 42) ?(bg = 32) ?(mrai = 0.5) ?(churn_frac = 0.05) ~ases
     ~prefixes () =
+  (* Rows must be independent: a previous cell's speakers were dropped
+     without teardown, so their attribute sets would otherwise stay
+     resident and pollute this row's [attr_sets]. *)
+  Dbgp_core.Attr_table.reset ();
   let net, g, feed_asn, prov_asn, feed, provider = build ~seed ~ases in
   Network.set_mrai net mrai;
   let c = Network.counter_total net in
@@ -158,15 +169,48 @@ let run ?(seed = 42) ?(bg = 32) ?(mrai = 0.5) ?(churn_frac = 0.05) ~ases
     if prefixes = 0 then 0.
     else float_of_int (w1 - w0) /. float_of_int prefixes
   in
+  let attr_sets = Dbgp_core.Attr_table.occupancy () in
+  (* Heap figures for the loaded table: the major-heap high-water mark
+     over the run so far, and the live set after a full major (so dead
+     load-phase garbage doesn't inflate it). *)
+  Gc.full_major ();
+  let gc = Gc.stat () in
+  let peak_heap_words = gc.Gc.top_heap_words in
+  let live_words = gc.Gc.live_words in
+  let abytes () =
+    Metrics.count (Metrics.counter (Network.metrics net) "net.announce_bytes")
+  in
+  let frames () =
+    Metrics.count (Metrics.counter (Network.metrics net) "net.batch.frames")
+  in
   (* Arm 1 — the legacy storm: no graceful restart, so the bounce drops
-     and refreshes the full table. *)
+     and refreshes the full table, one message per route (the per-prefix
+     baseline the batched arm is judged against). *)
   Network.set_graceful_restart net None;
   Network.fail_link net feed_asn prov_asn;
   ignore (Network.run net);
   let m0 = msgs () in
+  let b0 = abytes () in
   Network.recover_link net feed_asn prov_asn;
   ignore (Network.run net);
   let full_transfer_msgs = msgs () - m0 in
+  let full_transfer_bytes = abytes () - b0 in
+  (* Arm 1b — the same storm with attribute-bucketed frames: the feed's
+     table shares one attribute set, so each MRAI flush leaves as one
+     multi-prefix frame (one attribute block + NLRI list) instead of one
+     message per prefix. *)
+  Network.set_batching net true;
+  Network.fail_link net feed_asn prov_asn;
+  ignore (Network.run net);
+  let m0 = msgs () in
+  let b0 = abytes () in
+  let f0 = frames () in
+  Network.recover_link net feed_asn prov_asn;
+  ignore (Network.run net);
+  Network.set_batching net false;
+  let batched_transfer_msgs = msgs () - m0 in
+  let batched_transfer_bytes = abytes () - b0 in
+  let batch_frames = frames () - f0 in
   (* Arm 2 — clean incremental re-establish inside the graceful window:
      both Adj-RIB-Outs survived, nothing changed, so the streamed sync
      should skip everything. *)
@@ -210,7 +254,14 @@ let run ?(seed = 42) ?(bg = 32) ?(mrai = 0.5) ?(churn_frac = 0.05) ~ases
       (if load_elapsed > 0. then float_of_int load_updates /. load_elapsed
        else 0.);
     words_per_route;
+    attr_sets;
+    peak_heap_words;
+    live_words;
     full_transfer_msgs;
+    full_transfer_bytes;
+    batched_transfer_msgs;
+    batched_transfer_bytes;
+    batch_frames;
     clean_transfer_msgs;
     clean_skipped;
     churn_routes;
@@ -219,9 +270,22 @@ let run ?(seed = 42) ?(bg = 32) ?(mrai = 0.5) ?(churn_frac = 0.05) ~ases
 let smoke ?(seed = 42) () = run ~seed ~bg:16 ~ases:100 ~prefixes:1_000 ()
 
 let suite ?(seed = 42)
-    ?(grid = [ (1_000, 1_000); (1_000, 100_000); (10_000, 1_000); (10_000, 100_000) ])
+    ?(grid =
+      [ (1_000, 1_000);
+        (1_000, 100_000);
+        (10_000, 1_000);
+        (10_000, 100_000);
+        (70_000, 10_000);
+        (1_000, 1_000_000) ])
     () =
-  List.map (fun (ases, prefixes) -> run ~seed ~ases ~prefixes ()) grid
+  List.map
+    (fun (ases, prefixes) ->
+      (* At Internet AS-count the background flood dominates wall time
+         without adding information; a smaller bg set keeps the 70k row
+         about the table, not the flood. *)
+      let bg = if ases >= 50_000 then 8 else 32 in
+      run ~seed ~bg ~ases ~prefixes ())
+    grid
 
 let to_snapshot r =
   Snapshot.Obj
@@ -237,7 +301,14 @@ let to_snapshot r =
       ("load_cpu_s", Snapshot.Float r.load_cpu_s);
       ("load_updates_per_s", Snapshot.Float r.load_updates_per_s);
       ("words_per_route", Snapshot.Float r.words_per_route);
+      ("attr_sets", Snapshot.Int r.attr_sets);
+      ("peak_heap_words", Snapshot.Int r.peak_heap_words);
+      ("live_words", Snapshot.Int r.live_words);
       ("full_transfer_msgs", Snapshot.Int r.full_transfer_msgs);
+      ("full_transfer_bytes", Snapshot.Int r.full_transfer_bytes);
+      ("batched_transfer_msgs", Snapshot.Int r.batched_transfer_msgs);
+      ("batched_transfer_bytes", Snapshot.Int r.batched_transfer_bytes);
+      ("batch_frames", Snapshot.Int r.batch_frames);
       ("clean_transfer_msgs", Snapshot.Int r.clean_transfer_msgs);
       ("clean_skipped", Snapshot.Int r.clean_skipped);
       ("churn_routes", Snapshot.Int r.churn_routes);
@@ -245,8 +316,13 @@ let to_snapshot r =
 
 let pp ppf r =
   Format.fprintf ppf
-    "%5d ASes %6d pfx  %7.0f bg-up/s  %7.0f load-up/s  %5.1f words/route  \
-     transfer full %d / clean %d (skipped %d) / churn %d (of %d changed)"
+    "%5d ASes %7d pfx  %7.0f bg-up/s  %7.0f load-up/s  %5.1f words/route  \
+     (%d attr sets, %.1fM live words)  transfer full %d msgs/%d B, batched \
+     %d msgs/%d B in %d frames / clean %d (skipped %d) / churn %d (of %d \
+     changed)"
     r.ases r.prefixes r.bg_updates_per_s r.load_updates_per_s r.words_per_route
-    r.full_transfer_msgs r.clean_transfer_msgs r.clean_skipped
-    r.churn_transfer_msgs r.churn_routes
+    r.attr_sets
+    (float_of_int r.live_words /. 1e6)
+    r.full_transfer_msgs r.full_transfer_bytes r.batched_transfer_msgs
+    r.batched_transfer_bytes r.batch_frames r.clean_transfer_msgs
+    r.clean_skipped r.churn_transfer_msgs r.churn_routes

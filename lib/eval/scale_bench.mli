@@ -6,8 +6,13 @@
     whose provider (a route collector) re-exports nothing, and bounces
     the feed link three ways to compare table-transfer cost:
 
-    - [full_transfer_msgs]: no graceful restart — the legacy
-      session-establish re-announce storm, ~1 message per route;
+    - [full_transfer_msgs]/[full_transfer_bytes]: no graceful restart —
+      the legacy session-establish re-announce storm, ~1 message per
+      route (the per-prefix baseline);
+    - [batched_transfer_msgs]/[batched_transfer_bytes]: the same storm
+      with attribute-bucketed frames ({!Dbgp_netsim.Network.set_batching})
+      — the table shares one attribute set, so it crosses in
+      [batch_frames] multi-prefix frames;
     - [clean_transfer_msgs]: re-establish inside the graceful window
       with nothing changed — the streamed incremental sync should send
       ~0 and skip ~the whole table ([clean_skipped]);
@@ -17,7 +22,10 @@
     [words_per_route] is the network's [Obj.reachable_words] delta
     across the table load (FIB tries forced, shared blocks counted
     once) divided by the table size: the combined sender + receiver
-    resident footprint of one route.  The results ship in
+    resident footprint of one route.  [attr_sets] is the compact route
+    store's resident shared attribute-set count after the load;
+    [peak_heap_words]/[live_words] are the process major-heap
+    high-water mark and post-full-major live set.  The results ship in
     [BENCH_scale.json]. *)
 
 type row = {
@@ -33,7 +41,14 @@ type row = {
   load_cpu_s : float;
   load_updates_per_s : float;
   words_per_route : float;
+  attr_sets : int;
+  peak_heap_words : int;
+  live_words : int;
   full_transfer_msgs : int;
+  full_transfer_bytes : int;
+  batched_transfer_msgs : int;
+  batched_transfer_bytes : int;
+  batch_frames : int;
   clean_transfer_msgs : int;
   clean_skipped : int;
   churn_routes : int;
@@ -61,7 +76,9 @@ val smoke : ?seed:int -> unit -> row
 (** The [@scale] runtest cell: 100 ASes, 1k prefixes, 16 background. *)
 
 val suite : ?seed:int -> ?grid:(int * int) list -> unit -> row list
-(** Default grid: {1k, 10k} ASes x {1k, 100k} prefixes. *)
+(** Default grid: {1k, 10k} ASes x {1k, 100k} prefixes, plus the two
+    Internet-scale rows — 70k ASes with a 10k-prefix table (background
+    set reduced to 8) and 1k ASes with a 1M-prefix table. *)
 
 val to_snapshot : row -> Dbgp_obs.Snapshot.t
 val pp : Format.formatter -> row -> unit

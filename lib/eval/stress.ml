@@ -37,7 +37,11 @@ let run_quagga_equivalent ?(peers = 6) ~advertisements () =
   (* The same RIB stages the D-BGP speaker uses, with plain-BGP attribute
      candidates as the route type. *)
   let rib_in = Dbgp_core.Adj_rib_in.create () in
-  let loc = Dbgp_core.Loc_rib.create () in
+  let loc =
+    Dbgp_core.Loc_rib.create
+      ~next_hop:(fun b -> Some b.Dbgp_bgp.Decision.from_peer)
+      ()
+  in
   let peer_of i =
     Peer.make
       ~asn:(Asn.of_int (65001 + (i mod peers)))
@@ -68,7 +72,6 @@ let run_quagga_equivalent ?(peers = 6) ~advertisements () =
                   match Dbgp_bgp.Decision.best cands with
                   | Some best ->
                     Dbgp_core.Loc_rib.set loc prefix best
-                      ~next_hop:(Some best.Dbgp_bgp.Decision.from_peer)
                   | None -> Dbgp_core.Loc_rib.remove loc prefix)
                 nlri
             | _ -> ())

@@ -60,6 +60,10 @@ type t = {
   links : (int, link_cfg) Hashtbl.t;   (* config for every link ever made *)
   mutable mrai : float;
   mutable wire_delivery : bool;
+  (* Attribute-bucketed frame delivery at MRAI flush (opt-in, see
+     {!set_batching}): prefixes sharing an attribute set leave in one
+     multi-prefix frame instead of one message each. *)
+  mutable batching : bool;
   mutable fault : Fault_model.t option;
   (* Adversarial egress interposition: a compromised AS rewrites (or
      silently drops) messages it sends, before they hit the wire.  The
@@ -107,6 +111,7 @@ let create () =
     links = Hashtbl.create 64;
     mrai = 0.;
     wire_delivery = false;
+    batching = false;
     fault = None;
     interposer = None;
     graceful_window = None;
@@ -236,6 +241,37 @@ let is_withdraw = function
   | Speaker.Announce _ -> false
   | Speaker.Withdraw _ -> true
 
+(* ------------- attribute-bucketed frames (opt-in, MRAI flush) -------------
+
+   With {!set_batching} on, an MRAI flush leaves the wire as multi-prefix
+   frames: announces are bucketed by attribute set ({!Dbgp_core.Ia.same_attrs})
+   so each bucket ships one attribute block plus an NLRI list, and the
+   flush's withdraws ship as one withdraw frame.  Singleton buckets keep
+   the single-prefix path — and with batching off (the default) nothing
+   here runs, so golden transcripts are untouched. *)
+
+type frame =
+  | Frame_routes of Dbgp_core.Ia.t list (* ≥2, pairwise same_attrs *)
+  | Frame_withdraws of Prefix.t list    (* ≥2 *)
+
+module Attr_buckets = Hashtbl.Make (struct
+  type t = Dbgp_core.Ia.t
+
+  let equal = Dbgp_core.Ia.same_attrs
+
+  (* Prefix excluded: the bucket relation is attrs-only. *)
+  let hash (ia : Dbgp_core.Ia.t) =
+    let h1 = Hashtbl.hash ia.Dbgp_core.Ia.path_vector
+    and h2 = Hashtbl.hash ia.Dbgp_core.Ia.membership
+    and h3 = Hashtbl.hash ia.Dbgp_core.Ia.path_descriptors
+    and h4 = Hashtbl.hash ia.Dbgp_core.Ia.island_descriptors in
+    (((((h1 * 31) + h2) * 31) + h3) * 31) + h4
+end)
+
+let frame_prefixes = function
+  | Frame_routes ias -> List.map (fun (ia : Dbgp_core.Ia.t) -> ia.Dbgp_core.Ia.prefix) ias
+  | Frame_withdraws ps -> ps
+
 let rec dispatch t ~from outbox =
   List.iter
     (fun ((peer : Peer.t), msg) ->
@@ -355,7 +391,8 @@ let rec dispatch t ~from outbox =
                        { src = Asn.to_int from;
                          dst = dst_asn;
                          batched = List.length msgs });
-                  List.iter (fun m -> deliver t ~from ~to_:dst m) msgs)
+                  if t.batching then deliver_batched t ~from ~to_:dst msgs
+                  else List.iter (fun m -> deliver t ~from ~to_:dst m) msgs)
             end
           end
         end)
@@ -476,6 +513,139 @@ and deliver_once t ~now ~from ~to_ msg =
       end
       else Speaker.receive ~now s ~from:(peer_of t from) msg
   in
+  drain_reuse t to_ s;
+  dispatch t ~from:to_ outbox;
+  if batched then schedule_drain t to_ s
+
+(* Bucket one MRAI flush into frames.  Per-prefix latest-state semantics
+   are the pending table's (each prefix appears once); order across
+   buckets follows first appearance in the flush. *)
+and deliver_batched t ~from ~to_ msgs =
+  let withdraws, announces =
+    List.partition_map
+      (function
+        | Speaker.Withdraw p -> Either.Left p
+        | Speaker.Announce ia -> Either.Right ia)
+      msgs
+  in
+  let buckets =
+    let tbl = Attr_buckets.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (ia : Dbgp_core.Ia.t) ->
+        match Attr_buckets.find_opt tbl ia with
+        | Some cell -> cell := ia :: !cell
+        | None ->
+          let cell = ref [ ia ] in
+          Attr_buckets.add tbl ia cell;
+          order := cell :: !order)
+      announces;
+    List.rev_map (fun cell -> List.rev !cell) !order
+  in
+  ( match withdraws with
+    | [] -> ()
+    | [ p ] -> deliver t ~from ~to_ (Speaker.Withdraw p)
+    | ps -> deliver_frame t ~from ~to_ (Frame_withdraws ps) );
+  List.iter
+    (function
+      | [] -> ()
+      | [ ia ] -> deliver t ~from ~to_ (Speaker.Announce ia)
+      | ias -> deliver_frame t ~from ~to_ (Frame_routes ias))
+    buckets
+
+(* Frame counterpart of {!deliver}: same loss/drop/duplicate decisions,
+   scoped to the whole frame (one wire message). *)
+and deliver_frame t ~from ~to_ frame =
+  let now = Event_queue.now t.q in
+  let lose () =
+    Metrics.incr t.c_dropped;
+    match Hashtbl.find_opt t.speakers (Asn.to_int from) with
+    | Some s ->
+      let peer = peer_of t to_ in
+      List.iter (Speaker.note_undelivered s peer) (frame_prefixes frame)
+    | None -> ()
+  in
+  if not (Hashtbl.mem t.latencies (lat_key from to_)) then lose ()
+  else if
+    match t.fault with
+    | Some f -> Fault_model.drop f ~now (Asn.to_int from) (Asn.to_int to_)
+    | None -> false
+  then lose ()
+  else begin
+    let dup =
+      match t.fault with
+      | Some f ->
+        Fault_model.duplicate f ~now (Asn.to_int from) (Asn.to_int to_)
+      | None -> false
+    in
+    deliver_frame_once t ~now ~from ~to_ frame;
+    if dup then deliver_frame_once t ~now ~from ~to_ frame
+  end
+
+and deliver_frame_once t ~now ~from ~to_ frame =
+  let clean, head_prefix, n =
+    match frame with
+    | Frame_routes ias ->
+      ( Dbgp_core.Codec.encode_batch ias,
+        (List.hd ias).Dbgp_core.Ia.prefix,
+        List.length ias )
+    | Frame_withdraws ps ->
+      (Dbgp_core.Codec.encode_withdraw_batch ps, List.hd ps, List.length ps)
+  in
+  (* Frames always cross the wire as bytes, so the fault model corrupts
+     them directly — a damaged attribute block takes the whole batch to
+     treat-as-withdraw, a damaged NLRI entry loses only itself. *)
+  let corrupted =
+    match t.fault with
+    | Some f when Fault_model.corrupt f ~now (Asn.to_int from) (Asn.to_int to_)
+      ->
+      Metrics.incr (Metrics.counter t.obs "net.corruption.injected");
+      Some (Fault_model.mutate f clean)
+    | _ -> None
+  in
+  let wire = Option.value corrupted ~default:clean in
+  let bytes = String.length wire in
+  Metrics.incr t.c_messages;
+  Metrics.observe t.h_msg_bytes (float_of_int bytes);
+  ( match frame with
+    | Frame_routes _ -> Metrics.incr ~by:bytes t.c_announce_bytes
+    | Frame_withdraws ps -> Metrics.incr ~by:(List.length ps) t.c_withdrawals );
+  Metrics.incr (Metrics.counter t.obs "net.batch.frames");
+  Metrics.incr ~by:(n - 1) (Metrics.counter t.obs "net.batch.saved");
+  Metrics.observe
+    (Metrics.histogram t.obs "net.batch.prefixes_per_frame")
+    (float_of_int n);
+  Trace.emit t.trace ~at:now
+    (Trace.Update_received
+       { src = Asn.to_int from;
+         dst = Asn.to_int to_;
+         prefix = Prefix.to_string head_prefix;
+         bytes;
+         withdraw = (match frame with Frame_withdraws _ -> true | _ -> false)
+       });
+  let s = speaker t to_ in
+  let peer = peer_of t from in
+  let batched = t.mrai > 0. in
+  let outcome, outbox =
+    match frame with
+    | Frame_routes _ ->
+      Speaker.receive_wire_batch ~now ~defer:batched s ~from:peer wire
+    | Frame_withdraws _ ->
+      Speaker.receive_wire_withdraw_batch ~now ~defer:batched s ~from:peer
+        wire
+  in
+  ( match (corrupted, frame, outcome) with
+    | Some _, Frame_routes _, Speaker.Rx_accepted _ ->
+      (* The damage hit bits the codec could absorb. *)
+      Metrics.incr (Metrics.counter t.obs "net.corruption.survived")
+    | Some _, Frame_withdraws ps, Speaker.Rx_withdrawn
+      when (match Dbgp_core.Codec.decode_withdraw_batch_robust wire with
+           | Ok (ps', _) ->
+             List.compare_lengths ps' ps = 0
+             && List.for_all2 (fun a b -> Prefix.compare a b = 0) ps' ps
+           | Error _ -> false) ->
+      Metrics.incr (Metrics.counter t.obs "net.corruption.survived")
+    | _ -> () );
   drain_reuse t to_ s;
   dispatch t ~from:to_ outbox;
   if batched then schedule_drain t to_ s
@@ -867,6 +1037,8 @@ let set_mrai t v =
   if v < 0. then invalid_arg "Network.set_mrai: negative interval" else t.mrai <- v
 
 let set_wire_delivery t v = t.wire_delivery <- v
+let set_batching t v = t.batching <- v
+let batching t = t.batching
 
 (* Stats as of now; [events]/[exhausted] are the caller's because only
    it knows how many queue events this run accounted for (the sharded

@@ -194,6 +194,26 @@ val set_wire_delivery : t -> bool -> unit
     serialization boundary real for wire-path benchmarks
     ({!Dbgp_eval.Perf_bench}).  Default off. *)
 
+val set_batching : t -> bool -> unit
+(** Attribute-bucketed frame delivery (default off).  With batching on
+    and a positive MRAI, each MRAI flush partitions its messages into
+    attribute buckets ({!Dbgp_core.Ia.same_attrs}): every bucket of two
+    or more announces leaves as one {!Dbgp_core.Codec.encode_batch}
+    frame — one attribute block plus an NLRI prefix list — and the
+    flush's withdraws (two or more) leave as one withdraw frame.
+    Frames always cross the wire as bytes through the robust batch
+    decode, so the fault model corrupts real frames: a damaged
+    attribute block takes the whole batch to treat-as-withdraw, a
+    damaged NLRI entry is salvaged around.  Singleton buckets keep the
+    single-prefix path, and with batching off nothing changes — golden
+    transcripts are byte-identical.  Message savings are visible as
+    [net.batch.frames] / [net.batch.saved] and the
+    [net.batch.prefixes_per_frame] histogram.  No effect when MRAI is
+    0 (there is no flush to bucket). *)
+
+val batching : t -> bool
+(** Whether attribute-bucketed frame delivery is enabled. *)
+
 val originate : t -> Dbgp_types.Asn.t -> Dbgp_core.Ia.t -> unit
 (** Locally originate a route at the AS and schedule its announcements. *)
 

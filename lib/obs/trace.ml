@@ -14,17 +14,29 @@ type entry = { at : float; event : event }
 
 type t = {
   cap : int;
-  buf : entry option array;
+  (* Grown geometrically up to [cap] as events arrive, so the many
+     mostly-quiet speakers of an Internet-scale run don't each pay the
+     full ring up front. *)
+  mutable buf : entry option array;
   mutable total : int;  (* events ever emitted; write cursor = total mod cap *)
 }
 
 let create ?(capacity = 1024) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive"
-  else { cap = capacity; buf = Array.make capacity None; total = 0 }
+  else { cap = capacity; buf = [||]; total = 0 }
 
 let capacity t = t.cap
 
 let emit t ~at event =
+  let len = Array.length t.buf in
+  if len < t.cap && t.total >= len then begin
+    (* Doubling keeps the write cursor in bounds: growth fires exactly
+       when [total = len], and the new length exceeds [total]. *)
+    let nlen = min t.cap (max 16 (2 * len)) in
+    let nbuf = Array.make nlen None in
+    Array.blit t.buf 0 nbuf 0 len;
+    t.buf <- nbuf
+  end;
   t.buf.(t.total mod t.cap) <- Some { at; event };
   t.total <- t.total + 1
 
@@ -40,7 +52,7 @@ let emitted t = t.total
 let overwritten t = max 0 (t.total - t.cap)
 
 let clear t =
-  Array.fill t.buf 0 t.cap None;
+  Array.fill t.buf 0 (Array.length t.buf) None;
   t.total <- 0
 
 let label = function

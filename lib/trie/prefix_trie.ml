@@ -10,6 +10,15 @@ open Dbgp_types
    the uncompressed trie spent up to [prefix length] nodes per route on
    interior chains.
 
+   Node shapes are specialized to their occupancy so the dominant
+   populations pay no dead fields: a bare [Leaf] is 3 words and a
+   valueless [Branch] 4, where a single uniform
+   [{pfx; v option; l; r}] node spent 5 words plus a [Some] box on
+   every binding.  Random full-table workloads are almost entirely
+   leaves and valueless branches, so this is most of the trie's
+   resident cost.  [Bnode] (a valued node with at least one child)
+   covers bindings that subsume more-specific ones.
+
    Observable orders are unchanged from the uncompressed trie:
    {!matches} is deepest-first, {!fold}/{!bindings} ascending by
    (network, length).  Pre-order traversal (value, left, right) yields
@@ -19,13 +28,28 @@ open Dbgp_types
    value < left subtree < right subtree under {!Prefix.compare}. *)
 type 'a t =
   | Empty
-  | Node of { pfx : Prefix.t; v : 'a option; l : 'a t; r : 'a t }
+  | Leaf of { pfx : Prefix.t; v : 'a }
+  | Branch of { pfx : Prefix.t; l : 'a t; r : 'a t } (* both non-empty *)
+  | Bnode of { pfx : Prefix.t; v : 'a; l : 'a t; r : 'a t }
 
 let empty = Empty
 
 let is_empty = function
   | Empty -> true
-  | Node _ -> false
+  | _ -> false
+
+let leaf pfx value = Leaf { pfx; v = value }
+
+(* The (pfx, value, left, right) view of a non-empty node; the
+   structural operations below are written against it so the insertion
+   logic stays in one shape.  The tuple is transient build-path
+   allocation — the read-heavy query functions match constructors
+   directly instead. *)
+let parts = function
+  | Empty -> invalid_arg "Prefix_trie.parts: empty"
+  | Leaf n -> (n.pfx, Some n.v, Empty, Empty)
+  | Branch n -> (n.pfx, None, n.l, n.r)
+  | Bnode n -> (n.pfx, Some n.v, n.l, n.r)
 
 (* Smart constructor enforcing canonical form: valueless leaves vanish
    and a valueless node with a single child collapses into the child
@@ -33,10 +57,11 @@ let is_empty = function
 let node pfx v l r =
   match (v, l, r) with
   | None, Empty, Empty -> Empty
-  | None, (Node _ as c), Empty | None, Empty, (Node _ as c) -> c
-  | _ -> Node { pfx; v; l; r }
-
-let leaf pfx value = Node { pfx; v = Some value; l = Empty; r = Empty }
+  | None, (Leaf _ | Branch _ | Bnode _ as c), Empty
+  | None, Empty, (Leaf _ | Branch _ | Bnode _ as c) -> c
+  | None, l, r -> Branch { pfx; l; r }
+  | Some v, Empty, Empty -> Leaf { pfx; v }
+  | Some v, l, r -> Bnode { pfx; v; l; r }
 
 (* The first bit position at which [p] and [q] disagree, capped at the
    shorter length — i.e. the length of their longest common prefix.
@@ -58,23 +83,24 @@ let add p value t =
   let rec go t =
     match t with
     | Empty -> leaf p value
-    | Node n ->
-      let lp = Prefix.length n.pfx and lq = Prefix.length p in
-      let d = first_diff n.pfx p in
-      if d = lp && d = lq then Node { n with v = Some value }
+    | _ ->
+      let pfx, v, l, r = parts t in
+      let lp = Prefix.length pfx and lq = Prefix.length p in
+      let d = first_diff pfx p in
+      if d = lp && d = lq then node pfx (Some value) l r
       else if d = lp then
         (* [p] strictly extends the node's prefix: descend. *)
-        if Prefix.bit p lp then Node { n with r = go n.r }
-        else Node { n with l = go n.l }
+        if Prefix.bit p lp then node pfx v l (go r)
+        else node pfx v (go l) r
       else if d = lq then
         (* The node's prefix strictly extends [p]: insert above. *)
-        if Prefix.bit n.pfx lq then Node { pfx = p; v = Some value; l = Empty; r = t }
-        else Node { pfx = p; v = Some value; l = t; r = Empty }
+        if Prefix.bit pfx lq then Bnode { pfx = p; v = value; l = Empty; r = t }
+        else Bnode { pfx = p; v = value; l = t; r = Empty }
       else
         (* Divergence below both: branch at the common prefix. *)
         let c = Prefix.make (Prefix.network p) d in
-        if Prefix.bit p d then Node { pfx = c; v = None; l = t; r = leaf p value }
-        else Node { pfx = c; v = None; l = leaf p value; r = t }
+        if Prefix.bit p d then Branch { pfx = c; l = t; r = leaf p value }
+        else Branch { pfx = c; l = leaf p value; r = t }
   in
   go t
 
@@ -82,26 +108,27 @@ let update p f t =
   let rec go t =
     match t with
     | Empty -> ( match f None with None -> Empty | Some v -> leaf p v )
-    | Node n -> (
-      let lp = Prefix.length n.pfx and lq = Prefix.length p in
-      let d = first_diff n.pfx p in
-      if d = lp && d = lq then node n.pfx (f n.v) n.l n.r
+    | _ -> (
+      let pfx, v, l, r = parts t in
+      let lp = Prefix.length pfx and lq = Prefix.length p in
+      let d = first_diff pfx p in
+      if d = lp && d = lq then node pfx (f v) l r
       else if d = lp then
-        if Prefix.bit p lp then node n.pfx n.v n.l (go n.r)
-        else node n.pfx n.v (go n.l) n.r
+        if Prefix.bit p lp then node pfx v l (go r)
+        else node pfx v (go l) r
       else
         (* [p] is absent from the trie; only an insertion changes it. *)
         match f None with
         | None -> t
         | Some v ->
           if d = lq then
-            if Prefix.bit n.pfx lq then
-              Node { pfx = p; v = Some v; l = Empty; r = t }
-            else Node { pfx = p; v = Some v; l = t; r = Empty }
+            if Prefix.bit pfx lq then
+              Bnode { pfx = p; v; l = Empty; r = t }
+            else Bnode { pfx = p; v; l = t; r = Empty }
           else
             let c = Prefix.make (Prefix.network p) d in
-            if Prefix.bit p d then Node { pfx = c; v = None; l = t; r = leaf p v }
-            else Node { pfx = c; v = None; l = leaf p v; r = t } )
+            if Prefix.bit p d then Branch { pfx = c; l = t; r = leaf p v }
+            else Branch { pfx = c; l = leaf p v; r = t } )
   in
   go t
 
@@ -111,12 +138,13 @@ let find p t =
   let rec go t =
     match t with
     | Empty -> None
-    | Node n ->
-      let lp = Prefix.length n.pfx and lq = Prefix.length p in
-      let d = first_diff n.pfx p in
+    | _ ->
+      let pfx, v, l, r = parts t in
+      let lp = Prefix.length pfx and lq = Prefix.length p in
+      let d = first_diff pfx p in
       if d < lp then None
-      else if lp = lq then n.v
-      else go (if Prefix.bit p lp then n.r else n.l)
+      else if lp = lq then v
+      else go (if Prefix.bit p lp then r else l)
   in
   go t
 
@@ -125,18 +153,23 @@ let mem p t = Option.is_some (find p t)
 let addr_bit a i = Ipv4.to_int a land (1 lsl (31 - i)) <> 0
 
 let matches addr t =
+  (* With compression a branch taken at the parent no longer guarantees
+     the child's (longer) prefix contains the address — check before
+     descending further. *)
   let rec go t acc =
     match t with
     | Empty -> acc
-    | Node n ->
-      (* With compression a branch taken at the parent no longer
-         guarantees the child's (longer) prefix contains the address —
-         check before descending further. *)
+    | Leaf n -> if Prefix.mem addr n.pfx then (n.pfx, n.v) :: acc else acc
+    | Branch n ->
       if not (Prefix.mem addr n.pfx) then acc
       else
-        let acc =
-          match n.v with None -> acc | Some x -> (n.pfx, x) :: acc
-        in
+        let len = Prefix.length n.pfx in
+        if len = 32 then acc
+        else go (if addr_bit addr len then n.r else n.l) acc
+    | Bnode n ->
+      if not (Prefix.mem addr n.pfx) then acc
+      else
+        let acc = (n.pfx, n.v) :: acc in
         let len = Prefix.length n.pfx in
         if len = 32 then acc
         else go (if addr_bit addr len then n.r else n.l) acc
@@ -149,9 +182,9 @@ let longest_match addr t =
 let rec fold f t acc =
   match t with
   | Empty -> acc
-  | Node n ->
-    let acc = match n.v with None -> acc | Some x -> f n.pfx x acc in
-    fold f n.r (fold f n.l acc)
+  | Leaf n -> f n.pfx n.v acc
+  | Branch n -> fold f n.r (fold f n.l acc)
+  | Bnode n -> fold f n.r (fold f n.l (f n.pfx n.v acc))
 
 let iter f t = fold (fun p v () -> f p v) t ()
 let cardinal t = fold (fun _ _ n -> n + 1) t 0
@@ -160,8 +193,9 @@ let of_list l = List.fold_left (fun t (p, v) -> add p v t) empty l
 
 let rec map f = function
   | Empty -> Empty
-  | Node n ->
-    Node { pfx = n.pfx; v = Option.map f n.v; l = map f n.l; r = map f n.r }
+  | Leaf n -> Leaf { pfx = n.pfx; v = f n.v }
+  | Branch n -> Branch { pfx = n.pfx; l = map f n.l; r = map f n.r }
+  | Bnode n -> Bnode { pfx = n.pfx; v = f n.v; l = map f n.l; r = map f n.r }
 
 let filter pred t =
   fold (fun p v acc -> if pred p v then add p v acc else acc) t empty
@@ -171,9 +205,10 @@ let covered p t =
   let rec go t =
     match t with
     | Empty -> []
-    | Node n ->
-      let lp = Prefix.length n.pfx in
-      let d = first_diff n.pfx p in
+    | _ ->
+      let pfx, _, l, r = parts t in
+      let lp = Prefix.length pfx in
+      let d = first_diff pfx p in
       if d = lq then
         (* The node's prefix sits inside [p]; so does its whole
            subtree.  Collect it in ascending order. *)
@@ -181,7 +216,7 @@ let covered p t =
       else if d = lp then
         (* [p] strictly extends the node's prefix: any covered binding
            lives down [p]'s branch. *)
-        go (if Prefix.bit p lp then n.r else n.l)
+        go (if Prefix.bit p lp then r else l)
       else []
   in
   go t

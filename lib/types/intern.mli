@@ -58,6 +58,17 @@ val string : string -> string
 (** Canonical representative for small repeated strings (descriptor
     field names, protocol names). *)
 
+val prefix : Prefix.t -> Prefix.t
+(** Canonical representative of a prefix.  {!Prefix.t} is itself the
+    dense-int pack ([network lsl 6 lor length]) stored unboxed, so
+    every prefix is already canonical and this is the identity — kept
+    so the decode paths read uniformly with the other intern points. *)
+
+val prefix_pack : Prefix.t -> int
+(** The dense-int pack itself ([network lsl 6 lor length]) — the
+    compact-route-store key under which a RIB entry degenerates to an
+    int pair (prefix pack, attribute-set id). *)
+
 val has_loop : Path_elem.t list -> bool
 (** [Path_elem.has_loop] behind a direct-mapped identity memo —
     repeated checks of the same (physically) vector are O(1).  Sound

@@ -1,14 +1,24 @@
-type t = { net : Ipv4.t; len : int }
+(* Packed immediate representation.  A prefix is canonical on
+   construction (host bits below the mask are zeroed), so it fits
+   losslessly in one tagged int as [network lsl 6 lor length] — 38
+   bits.  Every prefix value is therefore unboxed: map keys, trie node
+   labels and IA destination fields carry no per-prefix allocation,
+   which is what lets a million-route RIB hold its destination keys for
+   free.  The packing is order-preserving — integer comparison is
+   exactly the old (network, length) lexicographic order — so every
+   [Map]/[Set] iteration order is byte-for-byte what the boxed
+   representation produced. *)
+type t = int
 
 let mask len = if len = 0 then 0 else 0xFFFF_FFFF lsl (32 - len) land 0xFFFF_FFFF
 
 let make addr len =
   if len < 0 || len > 32 then
     invalid_arg (Printf.sprintf "Prefix.make: bad length %d" len)
-  else { net = Ipv4.of_int (Ipv4.to_int addr land mask len); len }
+  else ((Ipv4.to_int addr land mask len) lsl 6) lor len
 
-let network p = p.net
-let length p = p.len
+let network p = Ipv4.of_int (p lsr 6)
+let length p = p land 0x3F
 
 let of_string_opt s =
   match String.index_opt s '/' with
@@ -26,48 +36,44 @@ let of_string s =
   | None -> invalid_arg (Printf.sprintf "Prefix.of_string: %S" s)
 
 (* Rendered on every trace emit (twice per delivered update), so the
-   Printf cost is memoized behind a small direct-mapped cache; a slot
-   holds the prefix whose string it stores, compared structurally (two
-   int fields). *)
+   Printf cost is memoized behind a small direct-mapped cache; -1 is
+   not a valid pack, so it marks an empty slot. *)
 let ts_slots = 512
-let ts_memo : (t * string) array = Array.make ts_slots ({ net = Ipv4.any; len = -1 }, "")
+let ts_memo : (t * string) array = Array.make ts_slots (-1, "")
 
 let to_string p =
-  let slot =
-    (Ipv4.to_int p.net lxor (p.len * 0x9E37_79B1)) land (ts_slots - 1)
-  in
+  let slot = ((p lsr 6) lxor ((p land 0x3F) * 0x9E37_79B1)) land (ts_slots - 1) in
   let (p', s) = Array.unsafe_get ts_memo slot in
-  if p'.len = p.len && Ipv4.to_int p'.net = Ipv4.to_int p.net then s
+  if p' = p then s
   else begin
-    let s = Printf.sprintf "%s/%d" (Ipv4.to_string p.net) p.len in
+    let s = Printf.sprintf "%s/%d" (Ipv4.to_string (network p)) (p land 0x3F) in
     Array.unsafe_set ts_memo slot (p, s);
     s
   end
 
 let pp ppf p = Format.pp_print_string ppf (to_string p)
 
-let mem addr p = Ipv4.to_int addr land mask p.len = Ipv4.to_int p.net
+let mem addr p = Ipv4.to_int addr land mask (p land 0x3F) = p lsr 6
 
 let subsumes p q =
-  p.len <= q.len && Ipv4.to_int q.net land mask p.len = Ipv4.to_int p.net
+  p land 0x3F <= q land 0x3F && (q lsr 6) land mask (p land 0x3F) = p lsr 6
 
 let bit p i =
-  if i < 0 || i >= p.len then invalid_arg "Prefix.bit: index out of range"
-  else Ipv4.to_int p.net land (1 lsl (31 - i)) <> 0
+  if i < 0 || i >= p land 0x3F then invalid_arg "Prefix.bit: index out of range"
+  else (p lsr 6) land (1 lsl (31 - i)) <> 0
 
-let compare p q =
-  match Ipv4.compare p.net q.net with 0 -> Int.compare p.len q.len | c -> c
-
-let equal p q = compare p q = 0
-let hash p = Hashtbl.hash (Ipv4.to_int p.net, p.len)
-let default = { net = Ipv4.any; len = 0 }
+let compare : t -> t -> int = Int.compare
+let equal : t -> t -> bool = Int.equal
+let hash (p : t) = Hashtbl.hash p
+let default = 0
 
 let split p =
-  if p.len >= 32 then None
+  let len = p land 0x3F in
+  if len >= 32 then None
   else
-    let lo = { net = p.net; len = p.len + 1 } in
-    let hi_net = Ipv4.of_int (Ipv4.to_int p.net lor (1 lsl (31 - p.len))) in
-    Some (lo, { net = hi_net; len = p.len + 1 })
+    (* Same network, length+1: the pack just increments.  The high half
+       additionally sets bit [len] of the network. *)
+    Some (p + 1, p + 1 + (1 lsl (31 - len + 6)))
 
 module Ord = struct
   type nonrec t = t

@@ -188,6 +188,186 @@ let test_codec_unknown_protocol_passes () =
        (fun p -> Protocol_id.name p = "exotic-proto-xyz")
        (Ia.protocols ia'))
 
+(* ------------------- Codec: batched frames ------------------- *)
+
+module Errors = Dbgp_core.Errors
+module W = Dbgp_wire.Writer
+
+let batch_ias () =
+  let head = rich_ia () in
+  head
+  :: List.map
+       (fun s -> Ia.with_prefix (pfx s) head)
+       [ "99.1.0.0/24"; "99.2.0.0/16"; "99.3.4.0/30" ]
+
+(* Pull the frame apart with a Reader so corruption tests can rebuild it
+   piecewise: [varint count; count × delimited NLRI entry; delimited
+   attribute block]. *)
+let split_batch_wire wire =
+  let r = Dbgp_wire.Reader.of_string wire in
+  let n = Dbgp_wire.Reader.varint r in
+  let entries = List.init n (fun _ -> Dbgp_wire.Reader.delimited r) in
+  let attrs = Dbgp_wire.Reader.delimited r in
+  (entries, attrs)
+
+let test_codec_batch_roundtrip () =
+  let ias = batch_ias () in
+  (match Codec.decode_batch_robust (Codec.encode_batch ias) with
+  | Ok (Codec.Batch_routes (ias', discards)) ->
+    check_int "all routes survive" (List.length ias) (List.length ias');
+    check "no discards" true (discards = []);
+    List.iter2 (fun a b -> check "ia roundtrip" true (Ia.equal a b)) ias ias';
+    (* The decoder fans one attribute set out to every NLRI prefix:
+       physical sharing, not per-route copies. *)
+    (match ias' with
+    | head :: rest ->
+      List.iter
+        (fun (ia : Ia.t) ->
+          check "pv shared" true (ia.Ia.path_vector == head.Ia.path_vector);
+          check "pds shared" true
+            (ia.Ia.path_descriptors == head.Ia.path_descriptors))
+        rest
+    | [] -> Alcotest.fail "empty batch decoded")
+  | Ok (Codec.Batch_withdraw _) -> Alcotest.fail "clean batch became withdraw"
+  | Error e -> Alcotest.fail ("clean batch rejected: " ^ e.Errors.reason));
+  (* A one-route batch is still a valid frame. *)
+  (match Codec.decode_batch_robust (Codec.encode_batch [ rich_ia () ]) with
+  | Ok (Codec.Batch_routes ([ ia' ], [])) ->
+    check "singleton roundtrip" true (Ia.equal (rich_ia ()) ia')
+  | _ -> Alcotest.fail "singleton batch mangled");
+  Alcotest.check_raises "empty batch rejected"
+    (Invalid_argument "Codec.encode_batch: empty batch") (fun () ->
+      ignore (Codec.encode_batch []))
+
+let test_codec_batch_salvage () =
+  let ias = batch_ias () in
+  let wire = Codec.encode_batch ias in
+  let entries, attrs = split_batch_wire wire in
+  let rebuild entries attrs =
+    let w = W.create () in
+    W.varint w (List.length entries);
+    List.iter (W.delimited w) entries;
+    W.delimited w attrs;
+    W.contents w
+  in
+  (* A malformed prefix inside an intact NLRI frame costs that entry
+     alone ("\x2a" claims /42). *)
+  (match
+     Codec.decode_batch_robust
+       (rebuild (List.mapi (fun i e -> if i = 1 then "\x2a" else e) entries) attrs)
+   with
+  | Ok (Codec.Batch_routes (ias', [ d ])) ->
+    check_int "one route lost" (List.length ias - 1) (List.length ias');
+    check "loss is discard-attribute" true (d.Errors.cls = Errors.Discard_attribute);
+    check "head prefix survives" true
+      (List.exists (fun (ia : Ia.t) -> Prefix.equal ia.Ia.prefix (pfx "99.0.0.0/24")) ias')
+  | _ -> Alcotest.fail "bad NLRI entry not salvaged alone");
+  (* Attribute block truncated: routes can't be trusted, reachability
+     must not be either — treat every salvaged prefix as withdrawn. *)
+  (match Codec.decode_batch_robust (String.sub wire 0 (String.length wire - 4)) with
+  | Ok (Codec.Batch_withdraw (prefixes, e)) ->
+    check_int "all prefixes salvaged" (List.length ias) (List.length prefixes);
+    check "treat-as-withdraw" true (e.Errors.cls = Errors.Treat_as_withdraw)
+  | _ -> Alcotest.fail "truncated attr block not treat-as-withdraw");
+  (* Trailing bytes after the attribute block: same ladder rung. *)
+  (match Codec.decode_batch_robust (wire ^ "\x00") with
+  | Ok (Codec.Batch_withdraw (_, e)) ->
+    check "trailing bytes withdraw" true (e.Errors.cls = Errors.Treat_as_withdraw)
+  | _ -> Alcotest.fail "trailing bytes not treat-as-withdraw");
+  (* NLRI count tampered beyond the buffer: framing is lost, nothing
+     downstream can be salvaged. *)
+  let bombed = "\x7f" ^ String.sub wire 1 (String.length wire - 1) in
+  (match Codec.decode_batch_robust bombed with
+  | Error e -> check "count bomb resets" true (e.Errors.cls = Errors.Session_reset)
+  | Ok _ -> Alcotest.fail "count bomb accepted")
+
+let test_codec_withdraw_batch () =
+  let prefixes = List.map pfx [ "99.0.0.0/24"; "10.0.0.0/8"; "203.0.113.0/25" ] in
+  let wire = Codec.encode_withdraw_batch prefixes in
+  (match Codec.decode_withdraw_batch_robust wire with
+  | Ok (ps, []) ->
+    check "withdraw roundtrip" true (List.for_all2 Prefix.equal prefixes ps)
+  | _ -> Alcotest.fail "clean withdraw batch mangled");
+  (* Trailing garbage is noted and dropped, not fatal. *)
+  (match Codec.decode_withdraw_batch_robust (wire ^ "\xde\xad") with
+  | Ok (ps, [ d ]) ->
+    check_int "prefixes intact" (List.length prefixes) (List.length ps);
+    check "garbage noted" true (d.Errors.cls = Errors.Discard_attribute)
+  | _ -> Alcotest.fail "trailing garbage mishandled");
+  (* One bad entry is discarded alone. *)
+  let w = W.create () in
+  W.varint w 3;
+  let scratch = W.create () in
+  W.prefix scratch (pfx "99.0.0.0/24");
+  W.delimited w (W.contents scratch);
+  W.delimited w "\x2a";
+  W.reset scratch;
+  W.prefix scratch (pfx "10.0.0.0/8");
+  W.delimited w (W.contents scratch);
+  (match Codec.decode_withdraw_batch_robust (W.contents w) with
+  | Ok (ps, [ d ]) ->
+    check_int "two survive" 2 (List.length ps);
+    check "bad entry discarded" true (d.Errors.cls = Errors.Discard_attribute)
+  | _ -> Alcotest.fail "bad withdraw entry not salvaged alone");
+  (* Count bomb → framing lost. *)
+  (match Codec.decode_withdraw_batch_robust ("\x7f" ^ String.sub wire 1 (String.length wire - 1)) with
+  | Error e -> check "withdraw bomb resets" true (e.Errors.cls = Errors.Session_reset)
+  | Ok _ -> Alcotest.fail "withdraw count bomb accepted");
+  Alcotest.check_raises "empty withdraw batch rejected"
+    (Invalid_argument "Codec.encode_withdraw_batch: empty batch") (fun () ->
+      ignore (Codec.encode_withdraw_batch []))
+
+(* -------------------- Attr_table lifecycle -------------------- *)
+
+module Attr_table = Dbgp_core.Attr_table
+
+let test_attr_table_lifecycle () =
+  Attr_table.reset ();
+  let a = rich_ia () in
+  let b = Ia.with_prefix (pfx "99.1.0.0/24") (rich_ia ()) in
+  (* b rebuilds the same attribute fields as fresh lists: equal but not
+     physically shared until the table canonicalizes them. *)
+  check "same attrs" true (Ia.same_attrs a b);
+  let a' = Attr_table.share a in
+  let b' = Attr_table.share b in
+  check_int "one resident set" 1 (Attr_table.occupancy ());
+  check "canonicalized to one physical set" true
+    (a'.Ia.path_vector == b'.Ia.path_vector
+    && a'.Ia.path_descriptors == b'.Ia.path_descriptors);
+  check "prefixes kept distinct" false (Prefix.equal a'.Ia.prefix b'.Ia.prefix);
+  check "refcount 2" true (Attr_table.refcount a' = Some 2);
+  let id0 = Attr_table.id_of a' in
+  check "dense id assigned" true (id0 <> None);
+  (* A different attribute set gets its own id. *)
+  let c = Attr_table.share (base_ia ~prefix:"88.0.0.0/24" ()) in
+  check_int "two resident sets" 2 (Attr_table.occupancy ());
+  check "distinct ids" true (Attr_table.id_of c <> id0);
+  (* Releases retire the entry only at refcount zero; its id returns to
+     the free list and is handed out again. *)
+  Attr_table.release a';
+  check "still resident after one release" true (Attr_table.refcount b' = Some 1);
+  Attr_table.release b';
+  check "evicted at zero" true (Attr_table.refcount b' = None);
+  check_int "one set left" 1 (Attr_table.occupancy ());
+  let d = Attr_table.share (rich_ia ()) in
+  check "freed id reused" true (Attr_table.id_of d = id0);
+  (* Releasing a non-resident set is a no-op: evict c, then release it
+     again. *)
+  Attr_table.release c;
+  check_int "c evicted" 1 (Attr_table.occupancy ());
+  Attr_table.release c;
+  check_int "no-op release" 1 (Attr_table.occupancy ());
+  let m = Attr_table.metrics () in
+  let counter name =
+    match Dbgp_obs.Metrics.find_counter m name with
+    | Some c -> Dbgp_obs.Metrics.count c
+    | None -> Alcotest.fail ("missing counter " ^ name)
+  in
+  check "hits counted" true (counter "attr_table.hits" >= 1);
+  check "misses counted" true (counter "attr_table.misses" >= 2);
+  check "evictions counted" true (counter "attr_table.evictions" >= 1);
+  Attr_table.reset ()
+
 (* ------------------------- Filters ------------------------- *)
 
 let test_filters_loops () =
@@ -655,7 +835,10 @@ let () =
        [ Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
          Alcotest.test_case "size/breakdown" `Quick test_codec_size_breakdown;
          Alcotest.test_case "sharing smaller" `Quick test_codec_sharing_smaller;
-         Alcotest.test_case "unknown protocols" `Quick test_codec_unknown_protocol_passes ]);
+         Alcotest.test_case "unknown protocols" `Quick test_codec_unknown_protocol_passes;
+         Alcotest.test_case "batch roundtrip" `Quick test_codec_batch_roundtrip;
+         Alcotest.test_case "batch salvage" `Quick test_codec_batch_salvage;
+         Alcotest.test_case "withdraw batch" `Quick test_codec_withdraw_batch ]);
       ("filters",
        [ Alcotest.test_case "loops" `Quick test_filters_loops;
          Alcotest.test_case "drop/keep" `Quick test_filters_drop_keep;
@@ -664,6 +847,7 @@ let () =
          Alcotest.test_case "when" `Quick test_filters_when ]);
       ("decision-module",
        [ Alcotest.test_case "bgp select" `Quick test_bgp_module_select ]);
+      ("attr-table", [ Alcotest.test_case "refcount lifecycle" `Quick test_attr_table_lifecycle ]);
       ("adj-rib-in", [ Alcotest.test_case "set/candidates/drop" `Quick test_ia_db ]);
       ("factory",
        [ Alcotest.test_case "passthrough" `Quick test_factory_passthrough;

@@ -195,7 +195,14 @@ let test_fuzz_default_corpus () =
    + r.E.Fuzz.withdrawn + r.E.Fuzz.session_error);
   check "mutations bite: not everything accepted clean" true
     (r.E.Fuzz.withdrawn > 0 && r.E.Fuzz.session_error > 0);
-  check "salvage path exercised" true (r.E.Fuzz.discarded_descriptors > 0)
+  check "salvage path exercised" true (r.E.Fuzz.discarded_descriptors > 0);
+  (* The batched-frame leg: every fourth case, zero escapes (already
+     asserted above — batch escapes land in the same counter), and the
+     batch salvage ladder exercised end to end. *)
+  check_int "batch leg ran on every fourth case" 2_500 r.E.Fuzz.batch_cases;
+  check "batch frames salvaged" true (r.E.Fuzz.batch_ok > 0);
+  check "batch treat-as-withdraw hit" true (r.E.Fuzz.batch_treat_withdraw > 0);
+  check "batch framing loss hit" true (r.E.Fuzz.batch_session_reset > 0)
 
 (* ------------------------- safety invariants ------------------------- *)
 

@@ -6,6 +6,9 @@ module Speaker = Dbgp_core.Speaker
 module Ia = Dbgp_core.Ia
 module Value = Dbgp_core.Value
 module P = Dbgp_bgp.Policy
+module Metrics = Dbgp_obs.Metrics
+
+let net_counter net name = Metrics.count (Metrics.counter (Network.metrics net) name)
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -249,6 +252,83 @@ let test_network_mrai_converges_same_routes () =
   in
   check "same final routes with and without MRAI" true (routes 0. = routes 10.)
 
+let test_network_batched_delivery () =
+  (* Attribute-bucketed frames are a transport optimization: with and
+     without them the network must converge to identical routes, and
+     with them the same table must cross the wire in fewer messages. *)
+  let n = 12 in
+  let build batching =
+    let net = mk_net [ 1; 2; 3; 4 ] in
+    Network.set_mrai net 5.;
+    Network.set_batching net batching;
+    for i = 0 to n - 1 do
+      Network.originate net (asn 1) (origin_ia 1 (Printf.sprintf "99.%d.0.0/24" i))
+    done;
+    let stats = Network.run net in
+    (net, stats)
+  in
+  let net_b, st_b = build true in
+  let net_p, st_p = build false in
+  let path net i =
+    match
+      Speaker.best (Network.speaker net (asn 4))
+        (pfx (Printf.sprintf "99.%d.0.0/24" i))
+    with
+    | Some c -> Ia.asns_on_path c.Speaker.candidate.Dbgp_core.Decision_module.ia
+    | None -> []
+  in
+  for i = 0 to n - 1 do
+    check "route reaches AS 4" true (path net_b i <> []);
+    check "same path either way" true (path net_b i = path net_p i)
+  done;
+  check "batching sends fewer messages" true
+    (st_b.Network.messages < st_p.Network.messages);
+  check "frames counted" true (net_counter net_b "net.batch.frames" > 0);
+  check "per-prefix messages saved" true
+    (net_counter net_b "net.batch.saved" >= n - 1);
+  check_int "batching off leaves counters silent" 0
+    (net_counter net_p "net.batch.frames")
+
+let test_network_sync_withdraw_sweep () =
+  (* Routes withdrawn while a session is down leave tombstones; the
+     incremental sync after a graceful re-establish sweeps them out as
+     one batched withdraw frame, counted under sync.withdrawn. *)
+  let n = 10 and k = 6 in
+  let net = mk_net [ 1; 2 ] in
+  Network.set_mrai net 5.;
+  Network.set_batching net true;
+  Network.set_graceful_restart net (Some 500.);
+  for i = 0 to n - 1 do
+    Network.originate net (asn 1) (origin_ia 1 (Printf.sprintf "99.%d.0.0/24" i))
+  done;
+  ignore (Network.run net);
+  Network.fail_link net (asn 1) (asn 2);
+  for i = 0 to k - 1 do
+    Network.withdraw_origin net (asn 1) (pfx (Printf.sprintf "99.%d.0.0/24" i))
+  done;
+  let wd0 = Network.counter_total net "sync.withdrawn" in
+  let saved0 = net_counter net "net.batch.saved" in
+  (* Re-establish inside the restart window: a free-running Network.run
+     would drain the queue past the window expiry and flush the stale
+     state, so the recover rides the event queue. *)
+  Eq.schedule (Network.queue net) ~delay:5. (fun () ->
+      Network.recover_link net (asn 1) (asn 2));
+  ignore (Network.run net);
+  check "sweep counted under sync.withdrawn" true
+    (Network.counter_total net "sync.withdrawn" - wd0 >= k);
+  check "sweep left as a batched frame" true
+    (net_counter net "net.batch.saved" - saved0 >= k - 1);
+  let best i =
+    Speaker.best (Network.speaker net (asn 2)) (pfx (Printf.sprintf "99.%d.0.0/24" i))
+  in
+  for i = 0 to k - 1 do
+    check "withdrawn route gone" true (best i = None)
+  done;
+  for i = k to n - 1 do
+    check "surviving route retained" true (best i <> None)
+  done;
+  check_int "no stale routes left" 0 (Network.stale_total net)
+
 let test_network_duplicate_delivery () =
   (* Session-layer retransmits: every message delivered twice.  The
      duplicate copies must be absorbed by the speakers (no decision
@@ -360,6 +440,8 @@ let () =
          Alcotest.test_case "withdrawal stats" `Quick test_network_stats_withdrawals;
          Alcotest.test_case "mrai batches" `Quick test_network_mrai_batches;
          Alcotest.test_case "mrai same routes" `Quick test_network_mrai_converges_same_routes;
+         Alcotest.test_case "batched delivery" `Quick test_network_batched_delivery;
+         Alcotest.test_case "sync withdraw sweep" `Quick test_network_sync_withdraw_sweep;
          Alcotest.test_case "duplicate delivery absorbed" `Quick
            test_network_duplicate_delivery ]);
       ("properties", [ QCheck_alcotest.to_alcotest qcheck_merge ]) ]

@@ -376,6 +376,44 @@ let test_chaos_snapshot_names () =
         | _ -> Alcotest.fail "violations section missing" )
     | None -> Alcotest.fail "invariants section missing" )
 
+(* The batching and compact-route-store metric names are part of the
+   observable schema: [net.batch.*] on the network registry once a
+   batched MRAI flush has fired, and [attr_table.*] on the domain
+   registry once a speaker has shared an attribute set. *)
+let test_batch_attr_counter_names () =
+  let net = Network.create () in
+  List.iter (fun i -> ignore (E.Harness.add_as net i)) [ 1; 2 ];
+  Network.link net ~a:(Asn.of_int 1) ~b:(Asn.of_int 2)
+    ~b_is:Dbgp_bgp.Policy.To_provider ();
+  Network.set_mrai net 1.0;
+  Network.set_batching net true;
+  for i = 0 to 7 do
+    Network.originate net (Asn.of_int 1)
+      (Dbgp_core.Ia.originate
+         ~prefix:(Prefix.of_string (Printf.sprintf "99.0.%d.0/24" i))
+         ~origin_asn:(Asn.of_int 1)
+         ~next_hop:(Network.speaker_addr (Asn.of_int 1)) ())
+  done;
+  ignore (Network.run net);
+  let count name =
+    Metrics.count (Metrics.counter (Network.metrics net) name)
+  in
+  check "net.batch.frames counted" true (count "net.batch.frames" > 0);
+  check "net.batch.saved counts elided messages" true
+    (count "net.batch.saved" > 0);
+  let at = Dbgp_core.Attr_table.metrics () in
+  List.iter
+    (fun name ->
+      check (name ^ " registered") true (Metrics.find_counter at name <> None))
+    [ "attr_table.hits"; "attr_table.misses"; "attr_table.evictions";
+      "attr_table.overflow" ];
+  check "attr sets resident" true (Dbgp_core.Attr_table.occupancy () > 0);
+  (* Frames decode back into per-prefix routes at the receiver. *)
+  check "batched routes delivered" true
+    (Speaker.best (Network.speaker net (Asn.of_int 2))
+       (Prefix.of_string "99.0.3.0/24")
+     <> None)
+
 (* BENCH_pipeline.json schema: the row shape emitted by the pipeline
    benchmark is consumed downstream, so every field name and JSON type is
    pinned here against a small (fast) run. *)
@@ -423,6 +461,7 @@ let test_perf_bench_schema () =
   let s = E.Perf_bench.to_snapshot r in
   let int_fields =
     [ "ases"; "prefixes"; "messages"; "updates"; "events";
+      "peak_heap_words"; "live_words";
       "encode_cache_hits"; "encode_cache_misses"; "decode_memo_hits";
       "decode_memo_misses" ]
   in
@@ -473,8 +512,11 @@ let test_scale_bench_schema () =
   let s = E.Scale_bench.to_snapshot r in
   let int_fields =
     [ "ases"; "prefixes"; "bg_prefixes"; "edges"; "bg_updates";
-      "load_updates"; "full_transfer_msgs"; "clean_transfer_msgs";
-      "clean_skipped"; "churn_routes"; "churn_transfer_msgs" ]
+      "load_updates"; "attr_sets"; "peak_heap_words"; "live_words";
+      "full_transfer_msgs"; "full_transfer_bytes";
+      "batched_transfer_msgs"; "batched_transfer_bytes"; "batch_frames";
+      "clean_transfer_msgs"; "clean_skipped"; "churn_routes";
+      "churn_transfer_msgs" ]
   in
   let float_fields =
     [ "bg_elapsed_s"; "bg_updates_per_s"; "load_elapsed_s"; "load_cpu_s";
@@ -501,6 +543,19 @@ let test_scale_bench_schema () =
   check "churn arm re-sends only the changed slice" true
     (r.E.Scale_bench.churn_transfer_msgs
      <= r.E.Scale_bench.churn_routes + 1);
+  (* The attribute-bucketed arm: the whole feed table shares one
+     attribute set, so it must cross in a handful of multi-prefix
+     frames — at least 4x fewer messages than the per-prefix storm. *)
+  check "batched arm >= 4x fewer messages" true
+    (r.E.Scale_bench.batched_transfer_msgs * 4
+     <= r.E.Scale_bench.full_transfer_msgs);
+  check "batched arm sends frames" true (r.E.Scale_bench.batch_frames > 0);
+  (* Attribute-set sharing: the resident set count is driven by path
+     diversity, not table size — a 10x larger feed table on the same
+     topology must not materially grow it. *)
+  check "attr sets don't scale with the table" true
+    (let r10 = E.Scale_bench.run ~ases:30 ~prefixes:500 ~bg:4 () in
+     r10.E.Scale_bench.attr_sets < r.E.Scale_bench.attr_sets + 50);
   (* The reachable-words delta is deterministic (no GC noise), so even
      a 50-route table must grow the network. *)
   check "routes occupy memory" true (r.E.Scale_bench.words_per_route > 0.);
@@ -750,6 +805,8 @@ let () =
          Alcotest.test_case "network snapshot" `Quick test_network_snapshot;
          Alcotest.test_case "session instruments" `Quick test_session_instruments;
          Alcotest.test_case "error observability" `Quick test_error_observability;
+         Alcotest.test_case "batch + attr-table counter names" `Quick
+           test_batch_attr_counter_names;
          Alcotest.test_case "chaos snapshot names" `Quick
            test_chaos_snapshot_names;
          Alcotest.test_case "pipeline bench schema" `Quick

@@ -74,24 +74,32 @@ let test_adj_rib_in_drop_clears_stale () =
 (* ------------------------- Loc-RIB ------------------------- *)
 
 let test_loc_rib_lpm_fib () =
-  let loc = Loc_rib.create () in
-  Loc_rib.set loc (pfx "10.0.0.0/8") "wide" ~next_hop:(Some (ip "10.0.0.1"));
-  Loc_rib.set loc (pfx "10.1.0.0/16") "narrow" ~next_hop:(Some (ip "10.0.0.2"));
+  (* Routes are (label, next hop) pairs; the FIB view is the projection
+     supplied at create. *)
+  let loc = Loc_rib.create ~next_hop:snd () in
+  Loc_rib.set loc (pfx "10.0.0.0/8") ("wide", Some (ip "10.0.0.1"));
+  Loc_rib.set loc (pfx "10.1.0.0/16") ("narrow", Some (ip "10.0.0.2"));
   check "lpm" true
-    (Loc_rib.lookup loc (ip "10.1.2.3") = Some (pfx "10.1.0.0/16", "narrow"));
+    (match Loc_rib.lookup loc (ip "10.1.2.3") with
+     | Some (p, ("narrow", _)) -> Prefix.equal p (pfx "10.1.0.0/16")
+     | _ -> false);
   check "fib follows lpm" true
     (Loc_rib.next_hop loc (ip "10.1.2.3") = Some (ip "10.0.0.2"));
   check_int "cardinal" 2 (Loc_rib.cardinal loc);
   Loc_rib.remove loc (pfx "10.1.0.0/16");
   check "fallback" true
-    (Loc_rib.lookup loc (ip "10.1.2.3") = Some (pfx "10.0.0.0/8", "wide"));
+    (match Loc_rib.lookup loc (ip "10.1.2.3") with
+     | Some (p, ("wide", _)) -> Prefix.equal p (pfx "10.0.0.0/8")
+     | _ -> false);
   check "fib fallback" true
     (Loc_rib.next_hop loc (ip "10.1.2.3") = Some (ip "10.0.0.1"));
   (* A locally originated route (no next hop) is selectable but not
      forwardable. *)
-  Loc_rib.set loc (pfx "10.0.0.0/8") "local" ~next_hop:None;
+  Loc_rib.set loc (pfx "10.0.0.0/8") ("local", None);
   check "still selected" true
-    (Loc_rib.find loc (pfx "10.0.0.0/8") = Some "local");
+    (match Loc_rib.find loc (pfx "10.0.0.0/8") with
+     | Some ("local", _) -> true
+     | _ -> false);
   check "absent from fib" true (Loc_rib.next_hop loc (ip "10.1.2.3") = None)
 
 (* ------------------ dirty-prefix scheduler ------------------ *)
